@@ -1,0 +1,120 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// E11 — Coupling-mode cost (paper §4.4 / Fig. 7): transaction throughput
+// when each update triggers one rule under immediate, deferred, or detached
+// coupling, against a no-rule baseline. Detached is expected to be the most
+// expensive (every trigger pays a full extra transaction); deferred batches
+// work at the commit point; immediate pays the cost inline.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/database.h"
+
+namespace sentinel {
+namespace {
+
+class World {
+ public:
+  explicit World(const std::string& tag) {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sentinel_bench_coupling_" + tag);
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    db = std::move(Database::Open({.dir = dir_.string()})).value();
+    db->RegisterClass(ClassBuilder("Counter")
+                          .Reactive()
+                          .Method("Bump", {.end = true})
+                          .Build()).ok();
+    counter = std::make_unique<ReactiveObject>("Counter");
+    db->RegisterLiveObject(counter.get()).ok();
+  }
+  ~World() {
+    db->UnregisterLiveObject(counter.get()).ok();
+    db->Close().ok();
+    db.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void AddRule(CouplingMode mode) {
+    auto event = db->CreatePrimitiveEvent("end Counter::Bump");
+    RuleSpec spec;
+    spec.name = "watch";
+    spec.event = event.value();
+    spec.coupling = mode;
+    spec.action = [this](RuleContext&) {
+      ++fired;
+      return Status::OK();
+    };
+    db->DeclareClassRule("Counter", spec).ok();
+  }
+
+  /// One transaction performing `updates` Bump calls.
+  Status RunTxn(int updates) {
+    return db->WithTransaction([&](Transaction* txn) {
+      for (int i = 0; i < updates; ++i) {
+        MethodEventScope scope(counter.get(), "Bump", {});
+        counter->SetAttr(txn, "n", Value(i));
+      }
+      return Status::OK();
+    });
+  }
+
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ReactiveObject> counter;
+  int64_t fired = 0;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+constexpr int kUpdatesPerTxn = 16;
+
+void BM_TxnNoRules(benchmark::State& state) {
+  World world("none");
+  for (auto _ : state) {
+    world.RunTxn(kUpdatesPerTxn).ok();
+  }
+  state.SetItemsProcessed(state.iterations() * kUpdatesPerTxn);
+}
+
+void BM_TxnImmediateRule(benchmark::State& state) {
+  World world("imm");
+  world.AddRule(CouplingMode::kImmediate);
+  for (auto _ : state) {
+    world.RunTxn(kUpdatesPerTxn).ok();
+  }
+  state.SetItemsProcessed(state.iterations() * kUpdatesPerTxn);
+  state.counters["fired"] = static_cast<double>(world.fired);
+}
+
+void BM_TxnDeferredRule(benchmark::State& state) {
+  World world("def");
+  world.AddRule(CouplingMode::kDeferred);
+  for (auto _ : state) {
+    world.RunTxn(kUpdatesPerTxn).ok();
+  }
+  state.SetItemsProcessed(state.iterations() * kUpdatesPerTxn);
+  state.counters["fired"] = static_cast<double>(world.fired);
+}
+
+void BM_TxnDetachedRule(benchmark::State& state) {
+  World world("det");
+  world.AddRule(CouplingMode::kDetached);
+  for (auto _ : state) {
+    world.RunTxn(kUpdatesPerTxn).ok();
+  }
+  state.SetItemsProcessed(state.iterations() * kUpdatesPerTxn);
+  state.counters["fired"] = static_cast<double>(world.fired);
+}
+
+BENCHMARK(BM_TxnNoRules)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TxnImmediateRule)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TxnDeferredRule)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TxnDetachedRule)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

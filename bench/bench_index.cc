@@ -1,0 +1,112 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Associative access: indexed value lookup vs. scanning the class extent
+// (fetching and decoding every committed instance), across extent sizes.
+// Also measures the index maintenance tax on committed writes.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/database.h"
+
+namespace sentinel {
+namespace {
+
+class World {
+ public:
+  World(const std::string& tag, int objects, bool with_index) {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sentinel_bench_index_" + tag + std::to_string(objects) +
+            (with_index ? "i" : "s"));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    db = std::move(Database::Open({.dir = dir_.string()})).value();
+    db->RegisterClass(ClassBuilder("Doc").Reactive().Build()).ok();
+    if (with_index) db->CreateIndex("Doc", "score").ok();
+    // Populate committed objects with scores 0..objects-1.
+    for (int i = 0; i < objects; ++i) {
+      ReactiveObject doc("Doc");
+      doc.SetAttrRaw("score", Value(int64_t{i}));
+      db->RegisterLiveObject(&doc).ok();
+      db->WithTransaction([&](Transaction* txn) {
+        return db->Persist(txn, &doc);
+      }).ok();
+      oids.push_back(doc.oid());
+      db->UnregisterLiveObject(&doc).ok();
+    }
+  }
+  ~World() {
+    db->Close().ok();
+    db.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<Database> db;
+  std::vector<Oid> oids;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+void BM_IndexedLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  World world("lookup", n, true);
+  int64_t probe = 0;
+  for (auto _ : state) {
+    auto hits = world.db->FindInstances("Doc", "score",
+                                        Value(probe++ % n));
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["extent"] = n;
+}
+
+void BM_ExtentScanLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  World world("scan", n, false);
+  int64_t probe = 0;
+  for (auto _ : state) {
+    // The unindexed plan: fetch and decode every instance of the class.
+    Value target(probe++ % n);
+    std::vector<Oid> hits;
+    for (Oid oid : world.db->store()->Extent("Doc")) {
+      std::string cls, bytes;
+      if (!world.db->store()->Get(nullptr, oid, &cls, &bytes).ok()) continue;
+      PersistentObject probe_obj(cls, oid);
+      Decoder dec(bytes);
+      if (!probe_obj.DeserializeState(&dec).ok()) continue;
+      if (probe_obj.GetAttr("score") == target) hits.push_back(oid);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["extent"] = n;
+}
+
+void BM_CommitWithIndexMaintenance(benchmark::State& state) {
+  const bool with_index = state.range(0) == 1;
+  World world("tax", 1, with_index);
+  ReactiveObject doc("Doc");
+  doc.SetAttrRaw("score", Value(int64_t{0}));
+  world.db->RegisterLiveObject(&doc).ok();
+  int64_t v = 0;
+  for (auto _ : state) {
+    doc.SetAttrRaw("score", Value(++v));
+    world.db->WithTransaction([&](Transaction* txn) {
+      return world.db->Persist(txn, &doc);
+    }).ok();
+  }
+  world.db->UnregisterLiveObject(&doc).ok();
+  state.SetLabel(with_index ? "indexed" : "no-index");
+}
+
+BENCHMARK(BM_IndexedLookup)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExtentScanLookup)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CommitWithIndexMaintenance)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

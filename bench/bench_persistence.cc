@@ -1,0 +1,151 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// E12 — Events and rules as persistent first-class objects (paper §3.3,
+// §3.4): the cost of the first-class citizenship — creating, persisting,
+// and restoring rule/event objects through the object store, plus plain
+// object persist/materialize throughput and database reopen latency.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/database.h"
+#include "events/operators.h"
+
+namespace sentinel {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("sentinel_bench_persist_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+void BM_PersistObject(benchmark::State& state) {
+  std::string dir = FreshDir("obj");
+  auto db = std::move(Database::Open({.dir = dir})).value();
+  db->RegisterClass(ClassBuilder("Doc").Reactive().Build()).ok();
+  ReactiveObject doc("Doc");
+  doc.SetAttrRaw("title", Value("benchmark document"));
+  doc.SetAttrRaw("version", Value(int64_t{0}));
+  db->RegisterLiveObject(&doc).ok();
+  int64_t version = 0;
+  for (auto _ : state) {
+    doc.SetAttrRaw("version", Value(++version));
+    db->WithTransaction([&](Transaction* txn) {
+      return db->Persist(txn, &doc);
+    }).ok();
+  }
+  db->UnregisterLiveObject(&doc).ok();
+  db->Close().ok();
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+void BM_MaterializeObject(benchmark::State& state) {
+  std::string dir = FreshDir("mat");
+  auto db = std::move(Database::Open({.dir = dir})).value();
+  db->RegisterClass(ClassBuilder("Doc").Reactive().Build()).ok();
+  ReactiveObject doc("Doc");
+  doc.SetAttrRaw("title", Value("benchmark document"));
+  db->RegisterLiveObject(&doc).ok();
+  db->WithTransaction([&](Transaction* txn) {
+    return db->Persist(txn, &doc);
+  }).ok();
+  Oid oid = doc.oid();
+  db->UnregisterLiveObject(&doc).ok();
+  for (auto _ : state) {
+    auto restored = db->Materialize(nullptr, oid);
+    benchmark::DoNotOptimize(restored);
+    db->UnregisterLiveObject(restored.value().get()).ok();
+  }
+  db->Close().ok();
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+/// Saving N rules (each with a 3-node event tree) in one transaction.
+void BM_SaveRulesAndEvents(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  std::string dir = FreshDir("save" + std::to_string(rules));
+  auto db = std::move(Database::Open({.dir = dir})).value();
+  db->RegisterClass(ClassBuilder("Stock")
+                        .Reactive()
+                        .Method("SetPrice", {.end = true})
+                        .Method("SetVolume", {.end = true})
+                        .Build()).ok();
+  for (int i = 0; i < rules; ++i) {
+    auto p1 = db->CreatePrimitiveEvent("end Stock::SetPrice").value();
+    auto p2 = db->CreatePrimitiveEvent("end Stock::SetVolume").value();
+    EventPtr tree = And(p1, p2);
+    db->detector()->RegisterEvent("e" + std::to_string(i), tree).ok();
+    RuleSpec spec;
+    spec.name = "r" + std::to_string(i);
+    spec.event = tree;
+    db->CreateRule(spec).ok();
+  }
+  for (auto _ : state) {
+    db->SaveRulesAndEvents().ok();
+  }
+  state.counters["rules"] = rules;
+  db->Close().ok();
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+/// Reopen latency with N persisted rules + event graphs (restores the whole
+/// rule base).
+void BM_ReopenWithRules(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  std::string dir = FreshDir("reopen" + std::to_string(rules));
+  {
+    auto db = std::move(Database::Open({.dir = dir})).value();
+    db->RegisterClass(ClassBuilder("Stock")
+                          .Reactive()
+                          .Method("SetPrice", {.end = true})
+                          .Build()).ok();
+    for (int i = 0; i < rules; ++i) {
+      auto p = db->CreatePrimitiveEvent("end Stock::SetPrice").value();
+      db->detector()->RegisterEvent("e" + std::to_string(i), p).ok();
+      RuleSpec spec;
+      spec.name = "r" + std::to_string(i);
+      spec.event = p;
+      db->CreateRule(spec).ok();
+    }
+    db->SaveRulesAndEvents().ok();
+    db->Close().ok();
+  }
+  for (auto _ : state) {
+    auto db = Database::Open({.dir = dir});
+    benchmark::DoNotOptimize(db);
+    if (db.ok()) {
+      if (db.value()->rules()->rule_count() != static_cast<size_t>(rules)) {
+        state.SkipWithError("rule base not fully restored");
+        break;
+      }
+      db.value()->Close().ok();
+    }
+  }
+  state.counters["rules"] = rules;
+  std::filesystem::remove_all(dir);
+}
+
+BENCHMARK(BM_PersistObject)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MaterializeObject)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SaveRulesAndEvents)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ReopenWithRules)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// E8 — Passive vs. reactive object overhead (paper §3.2): "No overhead is
+// incurred in the definition and use of such [passive] objects", and §4.5:
+// undesignated methods of reactive classes cause no rule evaluation.
+//
+// Measures a salary-update method as: (a) a plain C++ object, (b) a
+// reactive object whose method is NOT in the event interface, (c) a
+// designated method with no subscribers, (d..) designated with growing
+// subscriber counts.
+
+#include <benchmark/benchmark.h>
+
+#include "core/reactive.h"
+#include "oodb/class_catalog.h"
+
+namespace sentinel {
+namespace {
+
+/// The passive baseline: a plain C++ object.
+class PassiveEmployee {
+ public:
+  void SetSalary(double salary) { salary_ = salary; }
+  double salary() const { return salary_; }
+
+ private:
+  double salary_ = 0;
+};
+
+/// Reactive variant routed through the event machinery.
+class ReactiveEmployee : public ReactiveObject {
+ public:
+  ReactiveEmployee() : ReactiveObject("Employee", 1) {}
+
+  void SetSalary(double salary) {
+    MethodEventScope scope(this, "SetSalary", {Value(salary)});
+    salary_ = salary;
+  }
+  void SetNickname(double v) {  // Not designated in the event interface.
+    MethodEventScope scope(this, "SetNickname", {Value(v)});
+    salary_ = v;
+  }
+
+ private:
+  double salary_ = 0;
+};
+
+/// Consumer that just records (the cheapest possible subscriber).
+class NullConsumer : public Notifiable {
+ public:
+  void Notify(const EventOccurrence& occ) override { (void)occ; ++count; }
+  uint64_t count = 0;
+};
+
+struct Schema : RaiseContext {
+  Schema() {
+    catalog_store.RegisterClass(
+        ClassBuilder("Employee")
+            .Reactive()
+            .Method("SetSalary", {.begin = false, .end = true})
+            .Method("SetNickname")
+            .Build()).ok();
+  }
+
+  const ClassCatalog* catalog() const override { return &catalog_store; }
+  Transaction* current_txn() override { return nullptr; }
+  void PreRaise(const EventOccurrence&) override {}
+  void PostRaise(const EventOccurrence&) override {}
+
+  ClassCatalog catalog_store;
+};
+
+void BM_PassiveObject(benchmark::State& state) {
+  PassiveEmployee emp;
+  double s = 1.0;
+  for (auto _ : state) {
+    emp.SetSalary(s);
+    s += 1.0;
+    benchmark::DoNotOptimize(emp);
+  }
+}
+
+void BM_ReactiveUndesignatedMethod(benchmark::State& state) {
+  Schema schema;
+  ReactiveEmployee emp;
+  emp.AttachContext(&schema);
+  NullConsumer consumer;
+  emp.Subscribe(&consumer).ok();
+  double s = 1.0;
+  for (auto _ : state) {
+    emp.SetNickname(s);  // Event interface suppresses both events.
+    s += 1.0;
+  }
+  state.counters["events"] = static_cast<double>(consumer.count);
+}
+
+void BM_ReactiveDesignatedNoSubscribers(benchmark::State& state) {
+  Schema schema;
+  ReactiveEmployee emp;
+  emp.AttachContext(&schema);
+  double s = 1.0;
+  for (auto _ : state) {
+    emp.SetSalary(s);
+    s += 1.0;
+  }
+}
+
+void BM_ReactiveDesignatedWithSubscribers(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  Schema schema;
+  ReactiveEmployee emp;
+  emp.AttachContext(&schema);
+  std::vector<NullConsumer> consumers(static_cast<size_t>(subscribers));
+  for (NullConsumer& consumer : consumers) {
+    emp.Subscribe(&consumer).ok();
+  }
+  double s = 1.0;
+  for (auto _ : state) {
+    emp.SetSalary(s);
+    s += 1.0;
+  }
+  state.counters["subscribers"] = subscribers;
+}
+
+BENCHMARK(BM_PassiveObject);
+BENCHMARK(BM_ReactiveUndesignatedMethod);
+BENCHMARK(BM_ReactiveDesignatedNoSubscribers);
+BENCHMARK(BM_ReactiveDesignatedWithSubscribers)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+
+}  // namespace
+}  // namespace sentinel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,229 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Patient monitoring: the paper's external-monitoring motivation (§2.1).
+//
+// "When a patient class is defined (and instances are created), it is not
+//  known who may be interested in monitoring that patient; depending upon
+//  the diagnosis, additional groups or physicians may have to track the
+//  patient's progress."
+//
+// The Patient class is defined (and patients admitted) first; physicians
+// later attach rules at runtime — without touching the class definition:
+//
+//   * Dr. Lee subscribes a tachycardia alert to one specific patient,
+//   * the ward attaches a class-level charting rule to every patient,
+//   * an Aperiodic event tracks fever spikes inside an observation window
+//     opened by StartObservation and closed by EndObservation (Snoop
+//     extension),
+//   * finally the database is reopened and the persisted rules reload.
+//
+// Run:  ./build/examples/patient [workdir]
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "core/database.h"
+#include "events/operators.h"
+#include "events/primitive_event.h"
+#include "events/snoop_operators.h"
+
+namespace {
+
+using namespace sentinel;  // NOLINT: example brevity.
+
+/// A reactive hospital patient.
+class Patient : public ReactiveObject {
+ public:
+  explicit Patient(std::string name) : ReactiveObject("Patient") {
+    SetAttrRaw("name", Value(std::move(name)));
+    SetAttrRaw("heart_rate", Value(int64_t{70}));
+    SetAttrRaw("temperature", Value(36.6));
+  }
+
+  void RecordVitals(Transaction* txn, int64_t heart_rate, double temp) {
+    MethodEventScope scope(this, "RecordVitals",
+                           {Value(heart_rate), Value(temp)});
+    SetAttr(txn, "heart_rate", Value(heart_rate));
+    SetAttr(txn, "temperature", Value(temp));
+  }
+
+  void StartObservation(Transaction* txn) {
+    MethodEventScope scope(this, "StartObservation", {});
+    SetAttr(txn, "observed", Value(true));
+  }
+
+  void EndObservation(Transaction* txn) {
+    MethodEventScope scope(this, "EndObservation", {});
+    SetAttr(txn, "observed", Value(false));
+  }
+
+  std::string name() const { return GetAttr("name").AsString(); }
+};
+
+Status Run(const std::string& dir) {
+  std::vector<std::string> chart;
+  std::vector<std::string> pages;  // Physician pager messages.
+
+  {
+    SENTINEL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                              Database::Open({.dir = dir}));
+    std::printf("== Patient monitoring (paper §2.1) ==\n");
+
+    // The Patient class is defined with its event interface only — no rules.
+    SENTINEL_RETURN_IF_ERROR(db->RegisterClass(
+        ClassBuilder("Patient")
+            .Reactive()
+            .Method("RecordVitals", {.begin = false, .end = true})
+            .Method("StartObservation", {.begin = false, .end = true})
+            .Method("EndObservation", {.begin = false, .end = true})
+            .Build()));
+
+    Patient smith("Smith"), jones("Jones");
+    SENTINEL_RETURN_IF_ERROR(db->RegisterLiveObject(&smith));
+    SENTINEL_RETURN_IF_ERROR(db->RegisterLiveObject(&jones));
+    std::printf("admitted patients Smith and Jones (no rules exist yet)\n");
+
+    // --- Dr. Lee arrives later: instance-level tachycardia alert -----------
+    SENTINEL_ASSIGN_OR_RETURN(
+        EventPtr vitals,
+        db->CreatePrimitiveEvent("end Patient::RecordVitals"));
+    RuleSpec tachy;
+    tachy.name = "TachycardiaAlert";
+    tachy.event = vitals;
+    tachy.condition = [](const RuleContext& ctx) {
+      return ctx.params()[0].AsInt() > 120;
+    };
+    tachy.action = [&pages](RuleContext& ctx) {
+      pages.push_back("page Dr. Lee: HR " + ctx.params()[0].ToString() +
+                      " for " + OidToString(ctx.detection->last().oid));
+      return Status::OK();
+    };
+    SENTINEL_ASSIGN_OR_RETURN(RulePtr tachy_rule, db->CreateRule(tachy));
+    SENTINEL_RETURN_IF_ERROR(db->ApplyRuleToInstance(tachy_rule, &smith));
+    std::printf("Dr. Lee attached 'TachycardiaAlert' to Smith only\n");
+
+    // --- The ward attaches a class-level charting rule ----------------------
+    SENTINEL_ASSIGN_OR_RETURN(
+        EventPtr vitals2,
+        db->CreatePrimitiveEvent("end Patient::RecordVitals"));
+    RuleSpec charting;
+    charting.name = "Charting";
+    charting.event = vitals2;
+    charting.action = [&chart, db = db.get()](RuleContext& ctx) {
+      auto* p = static_cast<Patient*>(
+          db->FindLiveObject(ctx.detection->last().oid));
+      chart.push_back((p != nullptr ? p->name() : "?") + ": HR " +
+                      ctx.params()[0].ToString() + ", T " +
+                      ctx.params()[1].ToString());
+      return Status::OK();
+    };
+    SENTINEL_ASSIGN_OR_RETURN(RulePtr chart_rule,
+                              db->DeclareClassRule("Patient", charting));
+    std::printf("ward attached class-level 'Charting' to all patients\n\n");
+
+    // --- Fever watch inside an observation window (Aperiodic) ----------------
+    SENTINEL_ASSIGN_OR_RETURN(
+        EventPtr start,
+        db->CreatePrimitiveEvent("end Patient::StartObservation"));
+    SENTINEL_ASSIGN_OR_RETURN(
+        EventPtr vitals3,
+        db->CreatePrimitiveEvent("end Patient::RecordVitals"));
+    SENTINEL_ASSIGN_OR_RETURN(
+        EventPtr finish,
+        db->CreatePrimitiveEvent("end Patient::EndObservation"));
+    EventPtr watched = Aperiodic(start, vitals3, finish);
+
+    RuleSpec fever;
+    fever.name = "FeverWatch";
+    fever.event = watched;
+    fever.condition = [](const RuleContext& ctx) {
+      return ctx.params()[1].AsDouble() >= 38.5;
+    };
+    fever.action = [&pages](RuleContext& ctx) {
+      pages.push_back("page on-call: fever " + ctx.params()[1].ToString() +
+                      " during observation");
+      return Status::OK();
+    };
+    SENTINEL_ASSIGN_OR_RETURN(RulePtr fever_rule, db->CreateRule(fever));
+    SENTINEL_RETURN_IF_ERROR(db->ApplyRuleToInstance(fever_rule, &jones));
+
+    // --- Ward day -------------------------------------------------------------
+    SENTINEL_RETURN_IF_ERROR(db->WithTransaction([&](Transaction* txn) {
+      smith.RecordVitals(txn, 85, 36.8);   // Charted, no alert.
+      jones.RecordVitals(txn, 90, 39.0);   // Fever, but no window open yet.
+      smith.RecordVitals(txn, 140, 37.2);  // Tachycardia page.
+      return Status::OK();
+    }));
+    SENTINEL_RETURN_IF_ERROR(db->WithTransaction([&](Transaction* txn) {
+      jones.StartObservation(txn);
+      jones.RecordVitals(txn, 92, 39.1);   // Inside window: fever page.
+      jones.EndObservation(txn);
+      jones.RecordVitals(txn, 88, 38.9);   // Window closed: no page.
+      return Status::OK();
+    }));
+
+    std::printf("chart (%zu entries):\n", chart.size());
+    for (const std::string& line : chart) {
+      std::printf("  %s\n", line.c_str());
+    }
+    std::printf("pages (%zu):\n", pages.size());
+    for (const std::string& line : pages) {
+      std::printf("  %s\n", line.c_str());
+    }
+
+    // Persist patients and definitions, then close.
+    SENTINEL_RETURN_IF_ERROR(db->WithTransaction([&](Transaction* txn) {
+      SENTINEL_RETURN_IF_ERROR(db->Persist(txn, &smith));
+      return db->Persist(txn, &jones);
+    }));
+    SENTINEL_RETURN_IF_ERROR(db->detector()->RegisterEvent("FeverWatchEvent",
+                                                           watched));
+    SENTINEL_RETURN_IF_ERROR(db->SaveRulesAndEvents());
+    SENTINEL_RETURN_IF_ERROR(db->Close());
+    std::printf("\nclosed database (rules + events persisted)\n");
+  }
+
+  // --- Reopen: first-class rules survive ------------------------------------
+  {
+    SENTINEL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                              Database::Open({.dir = dir}));
+    std::printf("reopened: %zu rules restored (%s), %zu named events\n",
+                db->rules()->rule_count(),
+                [&] {
+                  std::string names;
+                  for (const std::string& n : db->rules()->RuleNames()) {
+                    if (!names.empty()) names += ", ";
+                    names += n;
+                  }
+                  return names;
+                }()
+                    .c_str(),
+                db->detector()->event_count());
+    // Conditions/actions were lambdas (not registered by name), so the
+    // restored rules load disabled — the honest C++ persistence story.
+    SENTINEL_ASSIGN_OR_RETURN(RulePtr restored,
+                              db->rules()->GetRule("TachycardiaAlert"));
+    std::printf("restored 'TachycardiaAlert': enabled=%s, monitors %zu "
+                "instance(s)\n",
+                restored->enabled() ? "yes" : "no (unbound lambdas)",
+                restored->monitored_instances().size());
+    SENTINEL_RETURN_IF_ERROR(db->Close());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/sentinel_patient";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Status s = Run(dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "patient failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("patient OK\n");
+  return 0;
+}

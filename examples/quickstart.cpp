@@ -1,0 +1,213 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Quickstart: the paper's employee/manager examples end to end.
+//
+//   1. Declare reactive classes with an event interface (Fig. 8).
+//   2. Declare a class-level rule (Fig. 9's Marriage rule, which aborts the
+//      triggering transaction).
+//   3. Build the instance-level IncomeLevel rule of Fig. 10: a disjunction
+//      event spanning Employee and Manager instances, keeping Fred's and
+//      Mike's incomes equal.
+//
+// Run:  ./build/examples/quickstart [workdir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/database.h"
+#include "events/operators.h"
+
+namespace {
+
+using sentinel::ClassBuilder;
+using sentinel::CouplingMode;
+using sentinel::Database;
+using sentinel::EventPtr;
+using sentinel::MethodEventScope;
+using sentinel::ReactiveObject;
+using sentinel::RuleContext;
+using sentinel::RulePtr;
+using sentinel::RuleSpec;
+using sentinel::Status;
+using sentinel::Transaction;
+using sentinel::Value;
+
+/// A reactive employee: Change-Income is a designated event generator.
+class Employee : public ReactiveObject {
+ public:
+  explicit Employee(std::string name, std::string cls = "Employee")
+      : ReactiveObject(std::move(cls)) {
+    SetAttrRaw("name", Value(std::move(name)));
+    SetAttrRaw("income", Value(0.0));
+  }
+
+  void ChangeIncome(Transaction* txn, double amount) {
+    MethodEventScope scope(this, "ChangeIncome", {Value(amount)});
+    SetAttr(txn, "income", Value(amount));
+  }
+
+  double income() const { return GetAttr("income").AsDouble(); }
+  std::string name() const { return GetAttr("name").AsString(); }
+};
+
+/// Managers are employees (single inheritance, as in Fig. 11).
+class Manager : public Employee {
+ public:
+  explicit Manager(std::string name)
+      : Employee(std::move(name), "Manager") {}
+};
+
+/// A reactive person for the Marriage rule (Fig. 9).
+class Person : public ReactiveObject {
+ public:
+  Person(std::string name, std::string sex) : ReactiveObject("Person") {
+    SetAttrRaw("name", Value(std::move(name)));
+    SetAttrRaw("sex", Value(std::move(sex)));
+  }
+
+  void Marry(Transaction* txn, Person* spouse) {
+    MethodEventScope scope(this, "Marry",
+                           {Value::MakeOid(spouse->oid())});
+    SetAttr(txn, "spouse", Value::MakeOid(spouse->oid()));
+  }
+};
+
+Status Run(const std::string& dir) {
+  SENTINEL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                            Database::Open({.dir = dir}));
+  std::printf("== Sentinel quickstart ==\n");
+
+  // --- 1. Schema: reactive classes + event interfaces ----------------------
+  SENTINEL_RETURN_IF_ERROR(db->RegisterClass(
+      ClassBuilder("Employee")
+          .Reactive()
+          .Method("ChangeIncome", {.begin = true, .end = true})
+          .Method("GetName")  // Not designated: raises nothing.
+          .Build()));
+  SENTINEL_RETURN_IF_ERROR(db->RegisterClass(
+      ClassBuilder("Manager").Extends("Employee").Build()));
+  SENTINEL_RETURN_IF_ERROR(db->RegisterClass(
+      ClassBuilder("Person")
+          .Reactive()
+          .Method("Marry", {.begin = true, .end = false})
+          .Build()));
+  std::printf("registered classes: Employee, Manager (reactive via "
+              "inheritance), Person\n");
+
+  // --- 2. Class-level rule: Marriage (Fig. 9) ------------------------------
+  // E: begin Person::Marry   C: same sex   A: abort the transaction.
+  SENTINEL_ASSIGN_OR_RETURN(EventPtr marry,
+                            db->CreatePrimitiveEvent("begin Person::Marry"));
+  RuleSpec marriage;
+  marriage.name = "Marriage";
+  marriage.event = marry;
+  marriage.condition = [db = db.get()](const RuleContext& ctx) {
+    auto* self = static_cast<Person*>(
+        db->FindLiveObject(ctx.detection->last().oid));
+    auto* spouse = static_cast<Person*>(
+        db->FindLiveObject(ctx.detection->last().params[0].AsOid()));
+    return self != nullptr && spouse != nullptr &&
+           self->GetAttr("sex") == spouse->GetAttr("sex");
+  };
+  marriage.action = [](RuleContext& ctx) {
+    if (ctx.txn != nullptr) {
+      ctx.txn->RequestAbort("Marriage rule: same-sex check (1993 semantics)");
+    }
+    return Status::OK();
+  };
+  marriage.coupling = CouplingMode::kImmediate;
+  SENTINEL_ASSIGN_OR_RETURN(RulePtr marriage_rule,
+                            db->DeclareClassRule("Person", marriage));
+  std::printf("declared class-level rule 'Marriage' on Person\n");
+
+  Person alice("Alice", "F"), bob("Bob", "F");
+  SENTINEL_RETURN_IF_ERROR(db->RegisterLiveObject(&alice));
+  SENTINEL_RETURN_IF_ERROR(db->RegisterLiveObject(&bob));
+
+  Status wedding = db->WithTransaction([&](Transaction* txn) {
+    alice.Marry(txn, &bob);
+    return Status::OK();
+  });
+  std::printf("Alice.Marry(Bob) -> %s (rule triggered %llu time(s))\n",
+              wedding.ToString().c_str(),
+              static_cast<unsigned long long>(
+                  marriage_rule->triggered_count()));
+  std::printf("Alice's spouse attribute after abort: %s (undone)\n",
+              alice.GetAttr("spouse").ToString().c_str());
+
+  // --- 3. Instance-level rule: IncomeLevel (Fig. 10) -----------------------
+  Employee fred("Fred");
+  Manager mike("Mike");
+  SENTINEL_RETURN_IF_ERROR(db->RegisterLiveObject(&fred));
+  SENTINEL_RETURN_IF_ERROR(db->RegisterLiveObject(&mike));
+
+  // Event* emp  = new Primitive("end Employee::Change-Income(float)")
+  // Event* mang = new Primitive("end Manager::Change-Income(float)")
+  // Event* equal = new Disjunction(emp, mang)
+  SENTINEL_ASSIGN_OR_RETURN(
+      EventPtr emp, db->CreatePrimitiveEvent("end Employee::ChangeIncome"));
+  SENTINEL_ASSIGN_OR_RETURN(
+      EventPtr mang, db->CreatePrimitiveEvent("end Manager::ChangeIncome"));
+  EventPtr equal = sentinel::Or(emp, mang);
+
+  RuleSpec income;
+  income.name = "IncomeLevel";
+  income.event = equal;
+  income.condition = [&](const RuleContext&) {
+    return fred.income() != mike.income();  // CheckEqual()
+  };
+  income.action = [&](RuleContext& ctx) {  // MakeEqual()
+    double amount = ctx.params()[0].AsDouble();
+    if (fred.income() != amount) fred.SetAttr(ctx.txn, "income", amount);
+    if (mike.income() != amount) mike.SetAttr(ctx.txn, "income", amount);
+    return Status::OK();
+  };
+  SENTINEL_ASSIGN_OR_RETURN(RulePtr income_rule, db->CreateRule(income));
+
+  // Fred.Subscribe(IncomeLevel); Mike.Subscribe(IncomeLevel);
+  SENTINEL_RETURN_IF_ERROR(db->ApplyRuleToInstance(income_rule, &fred));
+  SENTINEL_RETURN_IF_ERROR(db->ApplyRuleToInstance(income_rule, &mike));
+  std::printf("\ncreated instance-level rule 'IncomeLevel' monitoring Fred "
+              "(Employee) and Mike (Manager)\n");
+
+  SENTINEL_RETURN_IF_ERROR(db->WithTransaction([&](Transaction* txn) {
+    fred.ChangeIncome(txn, 50000.0);
+    return Status::OK();
+  }));
+  std::printf("Fred.ChangeIncome(50000): fred=%.0f mike=%.0f\n",
+              fred.income(), mike.income());
+
+  SENTINEL_RETURN_IF_ERROR(db->WithTransaction([&](Transaction* txn) {
+    mike.ChangeIncome(txn, 65000.0);
+    return Status::OK();
+  }));
+  std::printf("Mike.ChangeIncome(65000): fred=%.0f mike=%.0f\n",
+              fred.income(), mike.income());
+
+  // Persist the employee objects and rule definitions.
+  SENTINEL_RETURN_IF_ERROR(db->WithTransaction([&](Transaction* txn) {
+    SENTINEL_RETURN_IF_ERROR(db->Persist(txn, &fred));
+    return db->Persist(txn, &mike);
+  }));
+  SENTINEL_RETURN_IF_ERROR(db->SaveRulesAndEvents());
+  std::printf("\npersisted %zu objects, %zu rules, %zu named events\n",
+              db->store()->ObjectCount(), db->rules()->rule_count(),
+              db->detector()->event_count());
+
+  return db->Close();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/sentinel_quickstart";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Status s = Run(dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "quickstart failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nquickstart OK\n");
+  return 0;
+}

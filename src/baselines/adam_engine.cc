@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "baselines/adam_engine.h"
+
+#include <algorithm>
+
+namespace sentinel {
+namespace baselines {
+
+Value AdamObject::Get(const std::string& attr) const {
+  auto it = attrs_.find(attr);
+  return it == attrs_.end() ? Value() : it->second;
+}
+
+void AdamObject::Set(const std::string& attr, Value value) {
+  attrs_[attr] = std::move(value);
+}
+
+Status AdamEngine::DefineClass(const std::string& name,
+                               const std::string& super) {
+  if (class_super_.count(name)) return Status::AlreadyExists("class " + name);
+  if (!super.empty() && !class_super_.count(super)) {
+    return Status::InvalidArgument("unknown superclass " + super);
+  }
+  class_super_[name] = super;
+  return Status::OK();
+}
+
+Result<AdamEventId> AdamEngine::DefineEvent(const std::string& method,
+                                            AdamWhen when) {
+  auto key = std::make_pair(method, when);
+  auto it = event_index_.find(key);
+  if (it != event_index_.end()) return it->second;  // Shared event object.
+  AdamEventId id = next_event_++;
+  event_index_.emplace(key, id);
+  return id;
+}
+
+Status AdamEngine::CreateRule(AdamRule rule) {
+  for (const AdamRule& existing : rules_) {
+    if (existing.name == rule.name) {
+      return Status::AlreadyExists("rule " + rule.name);
+    }
+  }
+  if (!class_super_.count(rule.active_class)) {
+    return Status::InvalidArgument("unknown active-class " +
+                                   rule.active_class);
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Status AdamEngine::DeleteRule(const std::string& name) {
+  auto it = std::find_if(rules_.begin(), rules_.end(),
+                         [&](const AdamRule& r) { return r.name == name; });
+  if (it == rules_.end()) return Status::NotFound("rule " + name);
+  rules_.erase(it);
+  return Status::OK();
+}
+
+Status AdamEngine::EnableRule(const std::string& name, bool enabled) {
+  for (AdamRule& rule : rules_) {
+    if (rule.name == name) {
+      rule.is_it_enabled = enabled;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("rule " + name);
+}
+
+Status AdamEngine::DisableRuleFor(const std::string& name,
+                                  uint64_t object_id) {
+  for (AdamRule& rule : rules_) {
+    if (rule.name == name) {
+      rule.disabled_for.insert(object_id);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("rule " + name);
+}
+
+Result<AdamObject*> AdamEngine::NewObject(const std::string& class_name) {
+  if (!class_super_.count(class_name)) {
+    return Status::NotFound("class " + class_name);
+  }
+  objects_.push_back(std::make_unique<AdamObject>(class_name, next_id_++));
+  return objects_.back().get();
+}
+
+bool AdamEngine::IsSubclassOf(const std::string& cls,
+                              const std::string& super) const {
+  std::string current = cls;
+  while (!current.empty()) {
+    if (current == super) return true;
+    auto it = class_super_.find(current);
+    if (it == class_super_.end()) return false;
+    current = it->second;
+  }
+  return false;
+}
+
+Status AdamEngine::Invoke(AdamObject* object, const std::string& method,
+                          const ValueList& args,
+                          const std::function<void(AdamObject*)>& body) {
+  // Before-events.
+  auto dispatch = [&](AdamWhen when) -> Status {
+    auto key = std::make_pair(method, when);
+    auto eit = event_index_.find(key);
+    if (eit == event_index_.end()) return Status::OK();  // No event object.
+    AdamEventId event = eit->second;
+    // Centralized dispatch: scan the whole registry.
+    for (const AdamRule& rule : rules_) {
+      ++rules_scanned_;
+      if (!rule.is_it_enabled || rule.event != event) continue;
+      if (!IsSubclassOf(object->class_name(), rule.active_class)) continue;
+      if (rule.disabled_for.count(object->id())) continue;
+      ++conditions_checked_;
+      if (rule.condition && !rule.condition(*object, args)) continue;
+      if (rule.action) {
+        ++actions_run_;
+        SENTINEL_RETURN_IF_ERROR(rule.action(object, args));
+      }
+    }
+    return Status::OK();
+  };
+
+  SENTINEL_RETURN_IF_ERROR(dispatch(AdamWhen::kBefore));
+  body(object);
+  return dispatch(AdamWhen::kAfter);
+}
+
+}  // namespace baselines
+}  // namespace sentinel

@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// AdamEngine: a model of ADAM's rule mechanism (§5.1/§6 comparator).
+//
+// ADAM (Díaz, Paton & Gray; PROLOG) creates events and rules as first-class
+// objects entirely at runtime. Its characteristic shape, which this model
+// reproduces:
+//
+//   * an event object is keyed by (active method, when) and shared by rules,
+//   * a rule carries an `active-class` — it fires for every instance of
+//     that class (class-level only); per-instance scoping is expressed
+//     negatively through a `disabled-for` list,
+//   * dispatch is *centralized*: every raised event consults the global
+//     rule registry, so checking cost grows with the number of rules in
+//     the system, not with the number of interested rules (contrast with
+//     Sentinel's subscription mechanism, §3.5),
+//   * events spanning classes need one rule object per class because the
+//     condition differs per class (Fig. 13's two integrity-rule objects).
+
+#ifndef SENTINEL_BASELINES_ADAM_ENGINE_H_
+#define SENTINEL_BASELINES_ADAM_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sentinel {
+namespace baselines {
+
+/// When the event fires relative to the method (ADAM's `when([after])`).
+enum class AdamWhen { kBefore, kAfter };
+
+/// An ADAM object: class name + attribute map.
+class AdamObject {
+ public:
+  AdamObject(std::string class_name, uint64_t id)
+      : class_name_(std::move(class_name)), id_(id) {}
+
+  const std::string& class_name() const { return class_name_; }
+  uint64_t id() const { return id_; }
+
+  Value Get(const std::string& attr) const;
+  void Set(const std::string& attr, Value value);
+
+ private:
+  std::string class_name_;
+  uint64_t id_;
+  std::map<std::string, Value> attrs_;
+};
+
+/// Identifier of a db-event object (ADAM's `1@db-event`).
+using AdamEventId = uint64_t;
+
+/// One integrity/action rule object.
+struct AdamRule {
+  std::string name;
+  AdamEventId event = 0;           ///< Triggering db-event.
+  std::string active_class;        ///< Fires for instances of this class.
+  bool is_it_enabled = true;
+  std::set<uint64_t> disabled_for; ///< Instances exempted from the rule.
+  std::function<bool(const AdamObject&, const ValueList&)> condition;
+  std::function<Status(AdamObject*, const ValueList&)> action;
+};
+
+/// Centralized runtime rule world of ADAM.
+class AdamEngine {
+ public:
+  /// Declares a class; `super` joins it to the is-a hierarchy (rules attach
+  /// to a class and are inherited by subclasses).
+  Status DefineClass(const std::string& name, const std::string& super = "");
+
+  /// Creates a db-event object for (method, when). Shared: creating the
+  /// same pair twice returns the existing id (the paper notes "only one
+  /// event object needs to be created" for same-named methods).
+  Result<AdamEventId> DefineEvent(const std::string& method, AdamWhen when);
+
+  /// Creates a rule object at runtime (ADAM's `new([...]) => integrity-rule`).
+  Status CreateRule(AdamRule rule);
+  Status DeleteRule(const std::string& name);
+  Status EnableRule(const std::string& name, bool enabled);
+  /// Adds an instance to the rule's disabled-for list.
+  Status DisableRuleFor(const std::string& name, uint64_t object_id);
+
+  Result<AdamObject*> NewObject(const std::string& class_name);
+
+  /// Executes a method: runs `body`, raises the (method, when) event, and
+  /// dispatches it through the *entire* rule registry. A rule applies when
+  /// its event matches, the object is-a rule.active_class, the rule is
+  /// enabled, and the object is not in disabled_for. A condition that holds
+  /// runs the action; an action returning Aborted aborts the invocation
+  /// (the update is not rolled back here; ADAM's `fail` unwinds the PROLOG
+  /// resolution — modeled as the returned status).
+  Status Invoke(AdamObject* object, const std::string& method,
+                const ValueList& args,
+                const std::function<void(AdamObject*)>& body);
+
+  // --- Introspection ----------------------------------------------------------
+
+  size_t rule_count() const { return rules_.size(); }
+  uint64_t rules_scanned() const { return rules_scanned_; }
+  uint64_t conditions_checked() const { return conditions_checked_; }
+  uint64_t actions_run() const { return actions_run_; }
+
+ private:
+  bool IsSubclassOf(const std::string& cls, const std::string& super) const;
+
+  std::map<std::string, std::string> class_super_;
+  std::map<std::pair<std::string, AdamWhen>, AdamEventId> event_index_;
+  AdamEventId next_event_ = 1;
+  std::vector<AdamRule> rules_;
+  std::vector<std::unique_ptr<AdamObject>> objects_;
+  uint64_t next_id_ = 1;
+  uint64_t rules_scanned_ = 0;
+  uint64_t conditions_checked_ = 0;
+  uint64_t actions_run_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace sentinel
+
+#endif  // SENTINEL_BASELINES_ADAM_ENGINE_H_

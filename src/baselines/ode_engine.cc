@@ -1,0 +1,184 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "baselines/ode_engine.h"
+
+namespace sentinel {
+namespace baselines {
+
+Value OdeObject::Get(const std::string& attr) const {
+  auto it = attrs_.find(attr);
+  return it == attrs_.end() ? Value() : it->second;
+}
+
+void OdeObject::Set(const std::string& attr, Value value) {
+  attrs_[attr] = std::move(value);
+}
+
+Status OdeEngine::DefineClass(const std::string& name,
+                              const std::string& super) {
+  if (classes_.count(name)) return Status::AlreadyExists("class " + name);
+  if (!super.empty() && !classes_.count(super)) {
+    return Status::InvalidArgument("unknown superclass " + super);
+  }
+  OdeClass cls;
+  cls.name = name;
+  cls.super = super;
+  classes_.emplace(name, std::move(cls));
+  return Status::OK();
+}
+
+Status OdeEngine::AddConstraint(const std::string& class_name,
+                                OdeConstraint c) {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) return Status::NotFound("class " + class_name);
+  if (!it->second.extent.empty()) {
+    return Status::FailedPrecondition(
+        "class " + class_name +
+        " has live instances; changing its rules requires recompilation "
+        "(RecompileClass)");
+  }
+  it->second.constraints.push_back(std::move(c));
+  return Status::OK();
+}
+
+Status OdeEngine::AddTrigger(const std::string& class_name, OdeTrigger t) {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) return Status::NotFound("class " + class_name);
+  if (!it->second.extent.empty()) {
+    return Status::FailedPrecondition(
+        "class " + class_name +
+        " has live instances; changing its rules requires recompilation "
+        "(RecompileClass)");
+  }
+  it->second.triggers.push_back(std::move(t));
+  return Status::OK();
+}
+
+Result<size_t> OdeEngine::RecompileClass(
+    const std::string& class_name, std::vector<OdeConstraint> add_constraints,
+    std::vector<OdeTrigger> add_triggers) {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) return Status::NotFound("class " + class_name);
+  OdeClass& cls = it->second;
+  for (OdeConstraint& c : add_constraints) {
+    cls.constraints.push_back(std::move(c));
+  }
+  for (OdeTrigger& t : add_triggers) cls.triggers.push_back(std::move(t));
+  // The reloaded program revalidates every stored instance against the new
+  // constraint set — the cost of rule evolution in the compile-time model.
+  size_t revalidated = 0;
+  for (const auto& object : cls.extent) {
+    for (const OdeClass* c : Chain(class_name)) {
+      for (const OdeConstraint& constraint : c->constraints) {
+        ++checks_performed_;
+        (void)constraint.predicate(*object);
+      }
+    }
+    ++revalidated;
+  }
+  return revalidated;
+}
+
+Result<OdeObject*> OdeEngine::NewObject(const std::string& class_name) {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) return Status::NotFound("class " + class_name);
+  auto object = std::make_unique<OdeObject>(class_name, next_id_++);
+  OdeObject* raw = object.get();
+  it->second.extent.push_back(std::move(object));
+  return raw;
+}
+
+std::vector<const OdeEngine::OdeClass*> OdeEngine::Chain(
+    const std::string& class_name) const {
+  std::vector<const OdeClass*> chain;
+  std::string current = class_name;
+  while (!current.empty()) {
+    auto it = classes_.find(current);
+    if (it == classes_.end()) break;
+    chain.push_back(&it->second);
+    current = it->second.super;
+  }
+  return chain;
+}
+
+const OdeTrigger* OdeEngine::FindTrigger(
+    const std::string& class_name, const std::string& trigger_name) const {
+  for (const OdeClass* cls : Chain(class_name)) {
+    for (const OdeTrigger& t : cls->triggers) {
+      if (t.name == trigger_name) return &t;
+    }
+  }
+  return nullptr;
+}
+
+Status OdeEngine::ActivateTrigger(OdeObject* object,
+                                  const std::string& trigger_name) {
+  if (FindTrigger(object->class_name(), trigger_name) == nullptr) {
+    return Status::NotFound("trigger " + trigger_name + " not declared for " +
+                            object->class_name());
+  }
+  object->active_triggers_.insert(trigger_name);
+  return Status::OK();
+}
+
+Status OdeEngine::DeactivateTrigger(OdeObject* object,
+                                    const std::string& trigger_name) {
+  if (object->active_triggers_.erase(trigger_name) == 0) {
+    return Status::NotFound("trigger " + trigger_name + " not active");
+  }
+  return Status::OK();
+}
+
+Status OdeEngine::Invoke(OdeObject* object,
+                         const std::function<void(OdeObject*)>& body) {
+  // Snapshot for hard-constraint rollback (Ode aborts the transaction; the
+  // model reverts the object update).
+  std::map<std::string, Value> snapshot = object->attrs_;
+  body(object);
+
+  for (const OdeClass* cls : Chain(object->class_name())) {
+    for (const OdeConstraint& constraint : cls->constraints) {
+      ++checks_performed_;
+      if (!constraint.predicate(*object)) {
+        if (constraint.hard) {
+          object->attrs_ = std::move(snapshot);
+          ++rollbacks_;
+          return Status::Aborted("hard constraint " + constraint.name +
+                                 " violated");
+        }
+        if (constraint.handler) constraint.handler(object);
+      }
+    }
+  }
+
+  // Active triggers of this instance.
+  std::vector<std::string> fired_once;
+  for (const std::string& name : object->active_triggers_) {
+    const OdeTrigger* trigger = FindTrigger(object->class_name(), name);
+    if (trigger == nullptr) continue;
+    ++checks_performed_;
+    if (trigger->condition(*object)) {
+      ++triggers_fired_;
+      trigger->action(object);
+      if (!trigger->perpetual) fired_once.push_back(name);
+    }
+  }
+  for (const std::string& name : fired_once) {
+    object->active_triggers_.erase(name);
+  }
+  return Status::OK();
+}
+
+size_t OdeEngine::ConstraintCount(const std::string& class_name) const {
+  size_t n = 0;
+  for (const OdeClass* cls : Chain(class_name)) n += cls->constraints.size();
+  return n;
+}
+
+size_t OdeEngine::ExtentSize(const std::string& class_name) const {
+  auto it = classes_.find(class_name);
+  return it == classes_.end() ? 0 : it->second.extent.size();
+}
+
+}  // namespace baselines
+}  // namespace sentinel

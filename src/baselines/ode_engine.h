@@ -1,0 +1,152 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// OdeEngine: a faithful model of Ode's rule mechanism (§5.1/§6 comparator).
+//
+// Ode (Gehani & Jagadish, AT&T) declares *constraints* and *triggers* inside
+// class definitions; the O++ compiler weaves checks into every member
+// function. Consequences the paper calls out, which this model reproduces:
+//
+//   * rules live per class — a rule spanning two classes must be written
+//     twice (Fig. 11's complementary hard constraints),
+//   * rule sets are fixed at class-definition time: adding a constraint
+//     after instances exist means recompiling (modeled as an explicit,
+//     costed RecompileClass step),
+//   * hard constraints abort the update (undo), soft constraints run a
+//     handler; triggers are activated per instance at runtime,
+//   * every member-function invocation checks the class's constraint list —
+//     there is no subscription filtering.
+
+#ifndef SENTINEL_BASELINES_ODE_ENGINE_H_
+#define SENTINEL_BASELINES_ODE_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sentinel {
+namespace baselines {
+
+class OdeObject;
+
+/// Constraint declared inside a class: checked after every member function.
+struct OdeConstraint {
+  std::string name;
+  /// Must hold after each update. Receives the object just modified.
+  std::function<bool(const OdeObject&)> predicate;
+  /// Hard constraints roll the update back; soft ones run the handler.
+  bool hard = true;
+  std::function<void(OdeObject*)> handler;  ///< For soft constraints.
+};
+
+/// Trigger declared in a class, activated per instance at runtime.
+struct OdeTrigger {
+  std::string name;
+  std::function<bool(const OdeObject&)> condition;
+  std::function<void(OdeObject*)> action;
+  /// Perpetual triggers stay active after firing; once-triggers deactivate.
+  bool perpetual = true;
+};
+
+/// An Ode object: attribute map + the set of its activated triggers.
+class OdeObject {
+ public:
+  OdeObject(std::string class_name, uint64_t id)
+      : class_name_(std::move(class_name)), id_(id) {}
+
+  const std::string& class_name() const { return class_name_; }
+  uint64_t id() const { return id_; }
+
+  Value Get(const std::string& attr) const;
+  void Set(const std::string& attr, Value value);
+
+  const std::map<std::string, Value>& attrs() const { return attrs_; }
+
+ private:
+  friend class OdeEngine;
+
+  std::string class_name_;
+  uint64_t id_;
+  std::map<std::string, Value> attrs_;
+  std::set<std::string> active_triggers_;
+};
+
+/// The per-class compile-time rule world of Ode.
+class OdeEngine {
+ public:
+  /// Declares a class (optionally inheriting `super`'s constraints and
+  /// trigger types, as O++ constraint inheritance does).
+  Status DefineClass(const std::string& name, const std::string& super = "");
+
+  /// Adds a constraint to a class. Fails FailedPrecondition once instances
+  /// of the class exist — in Ode this requires changing the class
+  /// definition and recompiling (use RecompileClass).
+  Status AddConstraint(const std::string& class_name, OdeConstraint c);
+
+  /// Adds a trigger type under the same restriction.
+  Status AddTrigger(const std::string& class_name, OdeTrigger t);
+
+  /// Models the recompile-and-reload step needed to change a class's rules
+  /// after instances exist: re-checks every instance against the new
+  /// constraint set (cost proportional to the extent size) and installs the
+  /// addition. Returns the number of instances revalidated.
+  Result<size_t> RecompileClass(const std::string& class_name,
+                                std::vector<OdeConstraint> add_constraints,
+                                std::vector<OdeTrigger> add_triggers);
+
+  /// Creates an instance (engine-owned).
+  Result<OdeObject*> NewObject(const std::string& class_name);
+
+  /// Activates/deactivates a declared trigger on one instance.
+  Status ActivateTrigger(OdeObject* object, const std::string& trigger_name);
+  Status DeactivateTrigger(OdeObject* object,
+                           const std::string& trigger_name);
+
+  /// Runs `body` as a member function of `object`: the body mutates the
+  /// object, then every constraint of its class (and superclasses) is
+  /// checked and its active triggers evaluated. A violated hard constraint
+  /// rolls the update back and returns Aborted.
+  Status Invoke(OdeObject* object,
+                const std::function<void(OdeObject*)>& body);
+
+  // --- Introspection --------------------------------------------------------
+
+  /// Constraints visible to `class_name` (own + inherited).
+  size_t ConstraintCount(const std::string& class_name) const;
+  size_t ExtentSize(const std::string& class_name) const;
+
+  uint64_t checks_performed() const { return checks_performed_; }
+  uint64_t triggers_fired() const { return triggers_fired_; }
+  uint64_t rollbacks() const { return rollbacks_; }
+
+ private:
+  struct OdeClass {
+    std::string name;
+    std::string super;
+    std::vector<OdeConstraint> constraints;
+    std::vector<OdeTrigger> triggers;
+    std::vector<std::unique_ptr<OdeObject>> extent;
+  };
+
+  /// Collects the constraint/trigger chain from `class_name` up.
+  std::vector<const OdeClass*> Chain(const std::string& class_name) const;
+
+  const OdeTrigger* FindTrigger(const std::string& class_name,
+                                const std::string& trigger_name) const;
+
+  std::map<std::string, OdeClass> classes_;
+  uint64_t next_id_ = 1;
+  uint64_t checks_performed_ = 0;
+  uint64_t triggers_fired_ = 0;
+  uint64_t rollbacks_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace sentinel
+
+#endif  // SENTINEL_BASELINES_ODE_ENGINE_H_

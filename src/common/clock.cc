@@ -1,0 +1,28 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace sentinel {
+
+std::atomic<uint64_t> Clock::sequence_{1};
+
+Timestamp Clock::Now() {
+  Timestamp ts;
+  ts.micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count();
+  ts.seq = sequence_.fetch_add(1, std::memory_order_relaxed);
+  return ts;
+}
+
+void Clock::ResetSequenceForTest(uint64_t seq) {
+  sequence_.store(seq, std::memory_order_relaxed);
+}
+
+std::string Timestamp::ToString() const {
+  return "ts{" + std::to_string(micros) + "," + std::to_string(seq) + "}";
+}
+
+}  // namespace sentinel

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Little-endian byte codec used by object serialization (oodb) and the WAL.
+// Fixed-width integers, length-prefixed strings, and boxed Values.
+
+#ifndef SENTINEL_COMMON_CODEC_H_
+#define SENTINEL_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sentinel {
+
+/// Appends primitive values to a growable byte buffer.
+class Encoder {
+ public:
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  void PutBool(bool v);
+  /// Length-prefixed (u32) byte string.
+  void PutString(const std::string& s);
+  /// Raw bytes without a length prefix.
+  void PutRaw(const void* data, size_t len);
+  /// Type-tagged Value.
+  void PutValue(const Value& v);
+  /// u32 count followed by each Value.
+  void PutValueList(const ValueList& vs);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Consumes primitive values from a byte span. All Get* methods return a
+/// Corruption status on underflow or malformed tags instead of asserting,
+/// because decoded bytes come from disk.
+class Decoder {
+ public:
+  Decoder(const void* data, size_t len)
+      : data_(static_cast<const char*>(data)), len_(len) {}
+  explicit Decoder(const std::string& s) : Decoder(s.data(), s.size()) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU16(uint16_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetI64(int64_t* v);
+  Status GetDouble(double* v);
+  Status GetBool(bool* v);
+  Status GetString(std::string* s);
+  Status GetValue(Value* v);
+  Status GetValueList(ValueList* vs);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  Status Need(size_t n);
+
+  const char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_COMMON_CODEC_H_

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Minimal leveled logger. Off (kWarn) by default so benchmarks stay quiet;
+// tests flip the level when diagnosing failures.
+
+#ifndef SENTINEL_COMMON_LOGGING_H_
+#define SENTINEL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sentinel {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-wide logger writing to stderr.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+  static void Log(LogLevel level, const std::string& msg);
+};
+
+namespace log_internal {
+
+/// Builds one log line and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define SENTINEL_LOG(lvl)                                        \
+  if (::sentinel::Logger::level() <= ::sentinel::LogLevel::lvl)  \
+  ::sentinel::log_internal::LogLine(::sentinel::LogLevel::lvl)
+
+#define SENTINEL_DEBUG SENTINEL_LOG(kDebug)
+#define SENTINEL_INFO SENTINEL_LOG(kInfo)
+#define SENTINEL_WARN SENTINEL_LOG(kWarn)
+#define SENTINEL_ERROR SENTINEL_LOG(kError)
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_COMMON_LOGGING_H_

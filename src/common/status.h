@@ -1,0 +1,164 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// RocksDB-style Status / Result<T> error handling used across the public API.
+// Sentinel never throws exceptions across module boundaries; every fallible
+// operation returns a Status (or Result<T> when it also produces a value).
+
+#ifndef SENTINEL_COMMON_STATUS_H_
+#define SENTINEL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sentinel {
+
+/// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Machine-readable error category.
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kInvalidArgument,
+    kAlreadyExists,
+    kCorruption,
+    kIOError,
+    kAborted,        ///< Transaction aborted (deadlock victim or rule action).
+    kBusy,           ///< Lock could not be granted.
+    kNotSupported,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  /// Creates an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+
+  /// Human-readable message (empty for OK).
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>" for logging.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+/// A value or a non-OK Status. Analogous to absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure). Asserts the status is not OK.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Status of the operation; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SENTINEL_RETURN_IF_ERROR(expr)           \
+  do {                                           \
+    ::sentinel::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value or returning status.
+#define SENTINEL_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto SENTINEL_CONCAT_(_res_, __LINE__) = (expr);              \
+  if (!SENTINEL_CONCAT_(_res_, __LINE__).ok())                  \
+    return SENTINEL_CONCAT_(_res_, __LINE__).status();          \
+  lhs = std::move(SENTINEL_CONCAT_(_res_, __LINE__)).value()
+
+#define SENTINEL_CONCAT_(a, b) SENTINEL_CONCAT_IMPL_(a, b)
+#define SENTINEL_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_COMMON_STATUS_H_

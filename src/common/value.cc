@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "common/value.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sentinel {
+
+Value Value::MakeOid(uint64_t oid) {
+  Value v;
+  v.rep_ = OidRep{oid};
+  return v;
+}
+
+Value::Type Value::type() const {
+  return static_cast<Type>(rep_.index());
+}
+
+bool Value::AsBool() const {
+  assert(is_bool());
+  return std::get<bool>(rep_);
+}
+
+int64_t Value::AsInt() const {
+  assert(is_int());
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(rep_));
+  assert(is_double());
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  assert(is_string());
+  return std::get<std::string>(rep_);
+}
+
+uint64_t Value::AsOid() const {
+  assert(is_oid());
+  return std::get<OidRep>(rep_).oid;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return AsInt() == other.AsInt();
+    return AsDouble() == other.AsDouble();
+  }
+  return rep_ == other.rep_;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return AsInt() < other.AsInt();
+    return AsDouble() < other.AsDouble();
+  }
+  if (is_string() && other.is_string()) return AsString() < other.AsString();
+  return false;
+}
+
+bool Value::operator<=(const Value& other) const {
+  return *this < other || *this == other;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return AsBool() ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(AsInt());
+    case Type::kDouble: {
+      std::string s = std::to_string(std::get<double>(rep_));
+      return s;
+    }
+    case Type::kString:
+      return "\"" + AsString() + "\"";
+    case Type::kOid:
+      return "oid:" + std::to_string(AsOid());
+  }
+  return "?";
+}
+
+std::string ToString(const ValueList& values) {
+  std::string out = "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sentinel

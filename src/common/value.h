@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Value: the dynamically-typed parameter cell used throughout Sentinel.
+//
+// The paper defines a generated primitive event as
+//   Oid + Class + Method + Actual parameters + Time stamp   (Section 3.1)
+// "Actual parameters" are the arguments of the intercepted method call.
+// Because C++ has no reflection, the instrumentation layer boxes each actual
+// into a Value so that event consumers (rules, operators, the detector's
+// Record store) can inspect them uniformly.
+
+#ifndef SENTINEL_COMMON_VALUE_H_
+#define SENTINEL_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sentinel {
+
+/// A boxed method parameter or object attribute.
+///
+/// Supported payloads: null, bool, int64, double, string, and object
+/// references (raw 64-bit OIDs). Comparison and arithmetic helpers implement
+/// the small expression vocabulary rule conditions need.
+class Value {
+ public:
+  /// Discriminator for the held alternative.
+  enum class Type { kNull = 0, kBool, kInt, kDouble, kString, kOid };
+
+  Value() : rep_(std::monostate{}) {}
+  Value(bool b) : rep_(b) {}                       // NOLINT
+  Value(int v) : rep_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(int64_t v) : rep_(v) {}                    // NOLINT
+  Value(double v) : rep_(v) {}                     // NOLINT
+  Value(const char* s) : rep_(std::string(s)) {}   // NOLINT
+  Value(std::string s) : rep_(std::move(s)) {}     // NOLINT
+
+  /// Tags a 64-bit object identifier; distinct from plain ints so conditions
+  /// can tell references from numbers.
+  static Value MakeOid(uint64_t oid);
+
+  Type type() const;
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_oid() const { return type() == Type::kOid; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Typed accessors. Preconditions: matching type (assert in debug).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;  ///< Accepts kInt too (widening).
+  const std::string& AsString() const;
+  uint64_t AsOid() const;
+
+  /// Deep equality: same type and payload (int/double compare numerically).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Numeric/string ordering. Precondition: both comparable (numeric pair or
+  /// string pair); returns false otherwise.
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const;
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return other <= *this; }
+
+  /// Renders the value for logs and test expectations.
+  std::string ToString() const;
+
+ private:
+  struct OidRep {
+    uint64_t oid;
+    bool operator==(const OidRep&) const = default;
+  };
+
+  std::variant<std::monostate, bool, int64_t, double, std::string, OidRep>
+      rep_;
+};
+
+/// Ordered actual-parameter list of one intercepted method invocation.
+using ValueList = std::vector<Value>;
+
+/// Renders "(v1, v2, ...)" for diagnostics.
+std::string ToString(const ValueList& values);
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_COMMON_VALUE_H_

@@ -1,0 +1,418 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "core/database.h"
+
+#include "common/logging.h"
+
+namespace sentinel {
+
+Database::Database(const Options& options)
+    : options_(options), store_(options.buffer_pages) {}
+
+Database::~Database() { Close().ok(); }
+
+Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
+  std::unique_ptr<Database> db(new Database(options));
+  SENTINEL_RETURN_IF_ERROR(db->store_.Open(options.dir));
+
+  // Schema: load the persisted catalog if present, then make sure the
+  // built-in classes exist (first open, or upgrades).
+  Status s = db->store_.LoadCatalog(&db->catalog_);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  SENTINEL_RETURN_IF_ERROR(db->RegisterBuiltinClasses());
+
+  db->detector_ = std::make_unique<EventDetector>(&db->catalog_);
+  db->scheduler_ = std::make_unique<RuleScheduler>(db.get());
+  db->scheduler_->set_max_cascade_depth(options.max_cascade_depth);
+  db->rule_manager_ = std::make_unique<RuleManager>(
+      db->scheduler_.get(), db->detector_.get(), &db->functions_);
+
+  // Detached coupling: run the rule body in a fresh transaction.
+  Database* raw = db.get();
+  db->scheduler_->set_detached_runner(
+      [raw](std::function<Status(Transaction*)> body) {
+        return raw->WithTransaction(body);
+      });
+
+  // Restore persisted event graphs and rules (no-ops on a fresh database).
+  SENTINEL_RETURN_IF_ERROR(db->detector_->LoadAll(&db->store_));
+  SENTINEL_RETURN_IF_ERROR(db->rule_manager_->LoadAll(&db->store_));
+
+  // Restore index definitions and rebuild their entries from the heap.
+  {
+    std::string cls, state;
+    Status s = db->store_.Get(nullptr, kIndexDefsOid, &cls, &state);
+    if (s.ok()) {
+      Decoder dec(state);
+      SENTINEL_RETURN_IF_ERROR(db->index_.DecodeSpecs(&dec));
+      for (const IndexSpec& spec : db->index_.Specs()) {
+        SENTINEL_RETURN_IF_ERROR(db->BackfillIndex(spec));
+      }
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+  db->store_.SetCommitObserver(db.get());
+
+  db->open_ = true;
+  return db;
+}
+
+void Database::OnCommittedPut(Oid oid, const std::string& class_name,
+                              const std::string& state) {
+  index_.OnCommittedPut(oid, class_name, state);
+}
+
+void Database::OnCommittedDelete(Oid oid) {
+  index_.OnCommittedDelete(oid);
+}
+
+std::vector<IndexSpec> Database::SpecsFor(const std::string& class_name,
+                                          const std::string& attribute,
+                                          bool include_subclasses) const {
+  std::vector<IndexSpec> specs;
+  if (include_subclasses) {
+    for (const std::string& cls : catalog_.SubclassesOf(class_name)) {
+      specs.push_back(IndexSpec{cls, attribute});
+    }
+  } else {
+    specs.push_back(IndexSpec{class_name, attribute});
+  }
+  return specs;
+}
+
+Status Database::BackfillIndex(const IndexSpec& spec) {
+  for (Oid oid : store_.Extent(spec.class_name)) {
+    std::string cls, state;
+    SENTINEL_RETURN_IF_ERROR(store_.Get(nullptr, oid, &cls, &state));
+    index_.OnCommittedPut(oid, cls, state);
+  }
+  return Status::OK();
+}
+
+Status Database::SaveIndexDefs() {
+  Encoder enc;
+  index_.EncodeSpecs(&enc);
+  return store_.SystemPut(kIndexDefsOid, "__index_defs__", enc.Release());
+}
+
+Status Database::CreateIndex(const std::string& class_name,
+                             const std::string& attribute,
+                             bool include_subclasses) {
+  if (!catalog_.HasClass(class_name)) {
+    return Status::InvalidArgument("unknown class " + class_name);
+  }
+  for (const IndexSpec& spec :
+       SpecsFor(class_name, attribute, include_subclasses)) {
+    Status s = index_.CreateIndex(spec);
+    if (s.IsAlreadyExists()) continue;  // Subclass overlap is fine.
+    SENTINEL_RETURN_IF_ERROR(s);
+    SENTINEL_RETURN_IF_ERROR(BackfillIndex(spec));
+  }
+  return SaveIndexDefs();
+}
+
+Status Database::DropIndex(const std::string& class_name,
+                           const std::string& attribute,
+                           bool include_subclasses) {
+  bool dropped_any = false;
+  for (const IndexSpec& spec :
+       SpecsFor(class_name, attribute, include_subclasses)) {
+    if (index_.DropIndex(spec).ok()) dropped_any = true;
+  }
+  if (!dropped_any) {
+    return Status::NotFound("no index on " + class_name + "." + attribute);
+  }
+  return SaveIndexDefs();
+}
+
+Result<std::vector<Oid>> Database::FindInstances(
+    const std::string& class_name, const std::string& attribute,
+    const Value& value, bool include_subclasses) {
+  std::vector<Oid> out;
+  bool any_index = false;
+  for (const IndexSpec& spec :
+       SpecsFor(class_name, attribute, include_subclasses)) {
+    Result<std::vector<Oid>> part = index_.Lookup(spec, value);
+    if (!part.ok()) continue;  // No index on this subclass.
+    any_index = true;
+    out.insert(out.end(), part.value().begin(), part.value().end());
+  }
+  if (!any_index) {
+    return Status::NotFound("no index on " + class_name + "." + attribute);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<Oid>> Database::FindInstancesInRange(
+    const std::string& class_name, const std::string& attribute,
+    const Value& lo, const Value& hi, bool include_subclasses) {
+  std::vector<Oid> out;
+  bool any_index = false;
+  for (const IndexSpec& spec :
+       SpecsFor(class_name, attribute, include_subclasses)) {
+    Result<std::vector<Oid>> part = index_.Range(spec, lo, hi);
+    if (!part.ok()) continue;
+    any_index = true;
+    out.insert(out.end(), part.value().begin(), part.value().end());
+  }
+  if (!any_index) {
+    return Status::NotFound("no index on " + class_name + "." + attribute);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status Database::Close() {
+  if (!open_) return Status::OK();
+  open_ = false;
+  // Best-effort persistence of rule/event definitions at close.
+  Status s = SaveRulesAndEvents();
+  if (!s.ok()) SENTINEL_WARN << "saving rules at close: " << s.ToString();
+  // Registered objects are caller-owned and may already be gone by now, so
+  // Close must not dereference them; objects that outlive the database must
+  // not raise events afterwards (their RaiseContext is dead).
+  live_.clear();
+  return store_.Close();
+}
+
+Status Database::RegisterBuiltinClasses() {
+  auto ensure = [this](ClassDescriptor desc) -> Status {
+    if (catalog_.HasClass(desc.name)) return Status::OK();
+    return catalog_.RegisterClass(desc);
+  };
+  SENTINEL_RETURN_IF_ERROR(ensure(ClassBuilder("Notifiable").Build()));
+  SENTINEL_RETURN_IF_ERROR(
+      ensure(ClassBuilder("Reactive").Reactive().Build()));
+  SENTINEL_RETURN_IF_ERROR(
+      ensure(ClassBuilder("Event").Extends("Notifiable").Build()));
+  for (const char* cls :
+       {"PrimitiveEvent", "Conjunction", "Disjunction", "Sequence",
+        "AnyEvent", "NotEvent", "AperiodicEvent", "PeriodicEvent",
+        "PlusEvent", "EveryEvent"}) {
+    SENTINEL_RETURN_IF_ERROR(
+        ensure(ClassBuilder(cls).Extends("Event").Build()));
+  }
+  // Rule is notifiable (consumes events) and reactive (its lifecycle
+  // operations generate events — rules can monitor rules).
+  SENTINEL_RETURN_IF_ERROR(ensure(
+      ClassBuilder("Rule")
+          .Extends("Notifiable")
+          .Reactive()
+          .Notifiable()
+          .Method("Fire", {.begin = true, .end = true})
+          .Method("Enable", {.begin = false, .end = true})
+          .Method("Disable", {.begin = false, .end = true})
+          .Build()));
+  return store_.SaveCatalog(catalog_);
+}
+
+Status Database::RegisterClass(const ClassDescriptor& desc) {
+  SENTINEL_RETURN_IF_ERROR(catalog_.RegisterClass(desc));
+  return store_.SaveCatalog(catalog_);
+}
+
+std::unique_ptr<Transaction> Database::Begin() {
+  auto txn = store_.txns()->Begin();
+  current_txn_ = txn.get();
+  return txn;
+}
+
+Status Database::Commit(Transaction* txn) {
+  if (current_txn_ == txn) current_txn_ = nullptr;
+  return store_.txns()->Commit(txn);
+}
+
+Status Database::Abort(Transaction* txn) {
+  if (current_txn_ == txn) current_txn_ = nullptr;
+  return store_.txns()->Abort(txn);
+}
+
+Status Database::WithTransaction(
+    const std::function<Status(Transaction*)>& body) {
+  Transaction* previous = current_txn_;
+  auto txn = store_.txns()->Begin();
+  current_txn_ = txn.get();
+  Status s = body(txn.get());
+  if (s.ok() && !txn->abort_requested()) {
+    s = Commit(txn.get());
+  } else {
+    Status abort_status = s.ok() ? Status::Aborted(txn->abort_reason()) : s;
+    Abort(txn.get()).ok();
+    s = abort_status;
+  }
+  current_txn_ = previous;
+  return s;
+}
+
+Status Database::RegisterLiveObject(ReactiveObject* object) {
+  if (object == nullptr) return Status::InvalidArgument("null object");
+  if (!catalog_.HasClass(object->class_name())) {
+    return Status::InvalidArgument("unregistered class " +
+                                   object->class_name());
+  }
+  if (object->oid() == kInvalidOid) object->set_oid(store_.NewOid());
+  object->AttachContext(this);
+  live_[object->oid()] = object;
+
+  // Class-level rules (inheritance-aware) pick up the new instance.
+  for (const RulePtr& rule :
+       rule_manager_->RulesForClass(object->class_name(), catalog_)) {
+    if (!object->IsSubscribed(rule.get())) {
+      SENTINEL_RETURN_IF_ERROR(object->Subscribe(rule.get()));
+    }
+  }
+  // Instance-level rules that were persisted with this oid resubscribe.
+  for (const RulePtr& rule :
+       rule_manager_->RulesWantingInstance(object->oid())) {
+    if (!object->IsSubscribed(rule.get())) {
+      SENTINEL_RETURN_IF_ERROR(object->Subscribe(rule.get()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::UnregisterLiveObject(ReactiveObject* object) {
+  if (object == nullptr) return Status::InvalidArgument("null object");
+  auto it = live_.find(object->oid());
+  if (it == live_.end() || it->second != object) {
+    return Status::NotFound("object not registered");
+  }
+  object->AttachContext(nullptr);
+  live_.erase(it);
+  return Status::OK();
+}
+
+ReactiveObject* Database::FindLiveObject(Oid oid) const {
+  auto it = live_.find(oid);
+  return it == live_.end() ? nullptr : it->second;
+}
+
+Status Database::Persist(Transaction* txn, PersistentObject* object) {
+  if (object == nullptr) return Status::InvalidArgument("null object");
+  if (object->oid() == kInvalidOid) object->set_oid(store_.NewOid());
+  Encoder enc;
+  object->SerializeState(&enc);
+  return store_.Put(txn, object->oid(), object->class_name(), enc.Release());
+}
+
+Result<std::unique_ptr<ReactiveObject>> Database::Materialize(
+    Transaction* txn, Oid oid) {
+  std::string class_name, state;
+  SENTINEL_RETURN_IF_ERROR(store_.Get(txn, oid, &class_name, &state));
+  std::unique_ptr<ReactiveObject> object;
+  auto fit = factories_.find(class_name);
+  if (fit != factories_.end()) {
+    object = fit->second(oid);
+  } else {
+    object = std::make_unique<ReactiveObject>(class_name, oid);
+  }
+  object->set_oid(oid);
+  Decoder dec(state);
+  SENTINEL_RETURN_IF_ERROR(object->DeserializeState(&dec));
+  SENTINEL_RETURN_IF_ERROR(RegisterLiveObject(object.get()));
+  return object;
+}
+
+void Database::RegisterFactory(const std::string& class_name,
+                               ObjectFactory factory) {
+  factories_[class_name] = std::move(factory);
+}
+
+Result<EventPtr> Database::CreatePrimitiveEvent(
+    const std::string& signature) {
+  SENTINEL_ASSIGN_OR_RETURN(std::shared_ptr<PrimitiveEvent> event,
+                            PrimitiveEvent::Create(signature, &catalog_));
+  return EventPtr(std::move(event));
+}
+
+Result<RulePtr> Database::CreateRule(const RuleSpec& spec) {
+  return rule_manager_->CreateRule(spec);
+}
+
+Status Database::ApplyRuleToClass(const RulePtr& rule,
+                                  const std::string& class_name) {
+  if (!catalog_.HasClass(class_name)) {
+    return Status::InvalidArgument("unknown class " + class_name);
+  }
+  SENTINEL_RETURN_IF_ERROR(rule_manager_->MarkClassLevel(rule, class_name));
+  // Subscribe every live instance of the class or its subclasses.
+  for (auto& [oid, object] : live_) {
+    if (catalog_.IsSubclassOf(object->class_name(), class_name) &&
+        !object->IsSubscribed(rule.get())) {
+      SENTINEL_RETURN_IF_ERROR(object->Subscribe(rule.get()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyRuleToInstance(const RulePtr& rule,
+                                     ReactiveObject* object) {
+  return rule_manager_->ApplyToInstance(rule, object);
+}
+
+Status Database::RemoveRuleFromInstance(const RulePtr& rule,
+                                        ReactiveObject* object) {
+  return rule_manager_->RemoveFromInstance(rule, object);
+}
+
+Result<RulePtr> Database::DeclareClassRule(const std::string& class_name,
+                                           const RuleSpec& spec) {
+  SENTINEL_ASSIGN_OR_RETURN(RulePtr rule, rule_manager_->CreateRule(spec));
+  Status s = ApplyRuleToClass(rule, class_name);
+  if (!s.ok()) {
+    rule_manager_->DeleteRule(spec.name).ok();
+    return s;
+  }
+  return rule;
+}
+
+Status Database::DeleteRule(const std::string& name) {
+  SENTINEL_ASSIGN_OR_RETURN(RulePtr rule, rule_manager_->GetRule(name));
+  for (auto& [oid, object] : live_) {
+    if (object->IsSubscribed(rule.get())) {
+      object->Unsubscribe(rule.get()).ok();
+    }
+  }
+  SENTINEL_RETURN_IF_ERROR(rule_manager_->DeleteRule(name));
+  if (rule->oid() != kInvalidOid && store_.Exists(rule->oid())) {
+    return WithTransaction([&](Transaction* txn) {
+      return store_.Delete(txn, rule->oid());
+    });
+  }
+  return Status::OK();
+}
+
+Status Database::SaveRulesAndEvents() {
+  return WithTransaction([this](Transaction* txn) {
+    SENTINEL_RETURN_IF_ERROR(detector_->SaveAll(&store_, txn));
+    return rule_manager_->SaveAll(&store_, txn);
+  });
+}
+
+void Database::PreRaise(const EventOccurrence& occ) {
+  detector_->RecordOccurrence(occ);
+  if (tracer_ != nullptr) {
+    tracer_->Trace(TraceEntry{TraceEntry::Kind::kOccurrence, occ.timestamp,
+                              occ.Key(), sentinel::ToString(occ.params), 0,
+                              occ.txn != nullptr ? occ.txn->id() : 0});
+  }
+  scheduler_->BeginRound();
+}
+
+void Database::PostRaise(const EventOccurrence& occ) {
+  Transaction* txn = occ.txn != nullptr ? occ.txn : current_txn_;
+  Status s = scheduler_->EndRound(txn);
+  if (!s.ok()) {
+    SENTINEL_DEBUG << "rule round after " << occ.Key() << ": "
+                   << s.ToString();
+    // An Aborted status from an immediate rule dooms the transaction.
+    if (s.IsAborted() && txn != nullptr && txn->active() &&
+        !txn->abort_requested()) {
+      txn->RequestAbort(s.message());
+    }
+  }
+}
+
+}  // namespace sentinel

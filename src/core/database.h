@@ -1,0 +1,239 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Database: the Sentinel facade. Owns the object store (persistence +
+// transactions), the class catalog (schema incl. event interfaces), the
+// event detector, the rule manager/scheduler, and the registry of live
+// reactive objects; implements RaiseContext so reactive objects' events
+// flow through occurrence logging and scheduler rounds.
+//
+// Threading model: the storage substrate (buffer pool, lock manager, WAL)
+// is thread safe, but the facade assumes a single mutator thread — the
+// paper's system (Zeitgeist on Sun4) made the same assumption.
+
+#ifndef SENTINEL_CORE_DATABASE_H_
+#define SENTINEL_CORE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reactive.h"
+#include "events/detector.h"
+#include "oodb/attribute_index.h"
+#include "oodb/class_catalog.h"
+#include "oodb/object_store.h"
+#include "rules/rule_manager.h"
+#include "rules/scheduler.h"
+
+namespace sentinel {
+
+/// Record holding the persisted attribute-index definitions.
+constexpr Oid kIndexDefsOid = 4;
+
+/// An open Sentinel database.
+class Database : public RaiseContext, public CommitObserver {
+ public:
+  struct Options {
+    std::string dir;            ///< Directory for heap.db / wal.log.
+    size_t buffer_pages = 256;  ///< Buffer-pool frames.
+    int max_cascade_depth = 32; ///< Immediate-rule cascade guard.
+  };
+
+  /// Opens (creating if needed) the database: replays the WAL, loads the
+  /// catalog (registering Sentinel's built-in classes on first open), and
+  /// restores persisted events and rules.
+  static Result<std::unique_ptr<Database>> Open(const Options& options);
+
+  ~Database() override;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Persists events/rules/catalog and closes the store. Idempotent.
+  Status Close();
+
+  // --- Components ------------------------------------------------------------
+
+  ObjectStore* store() { return &store_; }
+  ClassCatalog* catalog_mutable() { return &catalog_; }
+  EventDetector* detector() { return detector_.get(); }
+  RuleManager* rules() { return rule_manager_.get(); }
+  RuleScheduler* scheduler() { return scheduler_.get(); }
+  FunctionRegistry* functions() { return &functions_; }
+
+  // --- Schema -----------------------------------------------------------------
+
+  /// Registers a class and persists the catalog.
+  Status RegisterClass(const ClassDescriptor& desc);
+
+  // --- Transactions ---------------------------------------------------------------
+
+  /// Starts a transaction and makes it current for event raising.
+  std::unique_ptr<Transaction> Begin();
+
+  /// Commits (running deferred rules at the commit point, then detached
+  /// rules in fresh transactions). Clears the current transaction.
+  Status Commit(Transaction* txn);
+
+  /// Aborts: in-memory attribute undos run, staged writes drop.
+  Status Abort(Transaction* txn);
+
+  /// Begin + body + Commit (Abort on non-OK or abort request).
+  Status WithTransaction(const std::function<Status(Transaction*)>& body);
+
+  // --- Live reactive objects ---------------------------------------------------------
+
+  /// Binds `object` to this database: attaches the raise context, assigns
+  /// an oid when missing, and wires applicable class-level rules and any
+  /// instance-level rules that monitor its oid. The caller keeps ownership
+  /// and must keep the object alive until UnregisterLiveObject/Close.
+  Status RegisterLiveObject(ReactiveObject* object);
+
+  Status UnregisterLiveObject(ReactiveObject* object);
+
+  /// Live object by oid; nullptr when not materialized.
+  ReactiveObject* FindLiveObject(Oid oid) const;
+  size_t live_object_count() const { return live_.size(); }
+
+  // --- Object persistence ----------------------------------------------------------------
+
+  /// Serializes `object` into the store under `txn` (assigning an oid on
+  /// first persist).
+  Status Persist(Transaction* txn, PersistentObject* object);
+
+  /// Creates a ReactiveObject from its committed image, using the factory
+  /// registered for its class (a generic attribute-map object otherwise),
+  /// and registers it live.
+  Result<std::unique_ptr<ReactiveObject>> Materialize(Transaction* txn,
+                                                      Oid oid);
+
+  using ObjectFactory =
+      std::function<std::unique_ptr<ReactiveObject>(Oid oid)>;
+  /// Registers a constructor for materializing instances of `class_name`.
+  void RegisterFactory(const std::string& class_name, ObjectFactory factory);
+
+  // --- Events & rules ------------------------------------------------------------------------
+
+  // --- Associative access ------------------------------------------------------
+
+  /// Declares a value index on `class_name.attribute` (and, by default, on
+  /// every registered subclass), back-fills it from committed objects, and
+  /// persists the definition. Committed updates keep it current.
+  Status CreateIndex(const std::string& class_name,
+                     const std::string& attribute,
+                     bool include_subclasses = true);
+
+  /// Drops the index (and subclass indexes when created that way).
+  Status DropIndex(const std::string& class_name,
+                   const std::string& attribute,
+                   bool include_subclasses = true);
+
+  /// Committed instances of `class_name` (deep: or a subclass) whose
+  /// `attribute` equals `value`. Requires CreateIndex first.
+  Result<std::vector<Oid>> FindInstances(const std::string& class_name,
+                                         const std::string& attribute,
+                                         const Value& value,
+                                         bool include_subclasses = true);
+
+  /// Committed instances with lo <= attribute <= hi (null Value = open
+  /// bound on that side).
+  Result<std::vector<Oid>> FindInstancesInRange(
+      const std::string& class_name, const std::string& attribute,
+      const Value& lo, const Value& hi, bool include_subclasses = true);
+
+  AttributeIndex* indexes() { return &index_; }
+
+  // --- Events & rules ------------------------------------------------------------
+
+  /// Creates a catalog-validated primitive event from a signature string
+  /// (the paper's `new Primitive("end Employee::Set-Salary(float)")`).
+  Result<EventPtr> CreatePrimitiveEvent(const std::string& signature);
+
+  /// Creates a rule through the rule manager (scheduler pre-wired).
+  Result<RulePtr> CreateRule(const RuleSpec& spec);
+
+  /// Class-level association: rule applies to all (current and future)
+  /// instances of `class_name` and its subclasses.
+  Status ApplyRuleToClass(const RulePtr& rule, const std::string& class_name);
+
+  /// Instance-level association.
+  Status ApplyRuleToInstance(const RulePtr& rule, ReactiveObject* object);
+  Status RemoveRuleFromInstance(const RulePtr& rule, ReactiveObject* object);
+
+  /// Ode-style declaration "inside the class definition": creates the rule
+  /// and immediately applies it class-level — the uniform framework of
+  /// §1.1 (both paths yield the same first-class rule object).
+  Result<RulePtr> DeclareClassRule(const std::string& class_name,
+                                   const RuleSpec& spec);
+
+  /// Deletes a rule: unsubscribes it from all live objects, removes it from
+  /// the registry, and deletes its persistent image.
+  Status DeleteRule(const std::string& name);
+
+  /// Persists all named events and rules in one transaction.
+  Status SaveRulesAndEvents();
+
+  /// Advances logical time for temporal event operators.
+  void AdvanceTime(const Timestamp& now) { detector_->AdvanceTime(now); }
+
+  /// Attaches a tracer recording the occurrence -> trigger -> execution
+  /// causality chain (nullptr disables; off by default).
+  void SetTracer(Tracer* tracer) {
+    tracer_ = tracer;
+    scheduler_->set_tracer(tracer);
+  }
+
+  // --- RaiseContext -----------------------------------------------------------------------------
+
+  const ClassCatalog* catalog() const override { return &catalog_; }
+  Transaction* current_txn() override { return current_txn_; }
+  void PreRaise(const EventOccurrence& occ) override;
+  void PostRaise(const EventOccurrence& occ) override;
+
+  /// Overrides the transaction used for subsequent raises (the detached
+  /// runner and tests use this).
+  void SetCurrentTxn(Transaction* txn) { current_txn_ = txn; }
+
+  // --- CommitObserver (index maintenance) -----------------------------------------
+
+  void OnCommittedPut(Oid oid, const std::string& class_name,
+                      const std::string& state) override;
+  void OnCommittedDelete(Oid oid) override;
+
+ private:
+  explicit Database(const Options& options);
+
+  /// Registers Reactive/Notifiable/Event/Rule built-ins (paper Fig. 3/5).
+  Status RegisterBuiltinClasses();
+
+  /// Resolves the index specs a (class, attr, deep) request covers.
+  std::vector<IndexSpec> SpecsFor(const std::string& class_name,
+                                  const std::string& attribute,
+                                  bool include_subclasses) const;
+
+  /// Back-fills one spec from the committed extent.
+  Status BackfillIndex(const IndexSpec& spec);
+
+  /// Persists the current index definitions (system record).
+  Status SaveIndexDefs();
+
+  Options options_;
+  ObjectStore store_;
+  ClassCatalog catalog_;
+  AttributeIndex index_;
+  FunctionRegistry functions_;
+  std::unique_ptr<EventDetector> detector_;
+  std::unique_ptr<RuleScheduler> scheduler_;
+  std::unique_ptr<RuleManager> rule_manager_;
+  std::map<Oid, ReactiveObject*> live_;
+  std::map<std::string, ObjectFactory> factories_;
+  Transaction* current_txn_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  bool open_ = false;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_CORE_DATABASE_H_

@@ -1,0 +1,13 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "core/notifiable.h"
+
+namespace sentinel {
+
+void Notifiable::Record(const EventOccurrence& occ) {
+  recorded_.push_back(occ);
+  ++recorded_total_;
+  while (recorded_.size() > record_capacity_) recorded_.pop_front();
+}
+
+}  // namespace sentinel

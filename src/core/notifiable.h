@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Notifiable: the consumer half of the paper's producer/consumer object
+// model (§3.2, §4.2). A notifiable object receives the primitive events
+// propagated by reactive objects it has subscribed to, and Records their
+// parameters for later use (event detection, condition evaluation).
+//
+// Events and rules are the two notifiable kinds in the paper (Fig. 3);
+// applications may derive their own consumers as well.
+
+#ifndef SENTINEL_CORE_NOTIFIABLE_H_
+#define SENTINEL_CORE_NOTIFIABLE_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "events/occurrence.h"
+
+namespace sentinel {
+
+/// Base class for event consumers.
+class Notifiable {
+ public:
+  virtual ~Notifiable() = default;
+
+  /// Delivery entry point: a subscribed reactive object generated `occ`.
+  /// Implementations typically Record(occ) and run detection logic.
+  virtual void Notify(const EventOccurrence& occ) = 0;
+
+  /// Recently recorded occurrences, oldest first (bounded window).
+  const std::deque<EventOccurrence>& recorded() const { return recorded_; }
+
+  /// Number of occurrences ever recorded (not bounded by the window).
+  uint64_t recorded_total() const { return recorded_total_; }
+
+  /// Caps the Record window; older entries are discarded.
+  void set_record_capacity(size_t capacity) { record_capacity_ = capacity; }
+
+ protected:
+  /// Documents the parameters computed when an event is raised (paper §4.2:
+  /// "The Record method ... records these parameters").
+  void Record(const EventOccurrence& occ);
+
+ private:
+  std::deque<EventOccurrence> recorded_;
+  size_t record_capacity_ = 1024;
+  uint64_t recorded_total_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_CORE_NOTIFIABLE_H_

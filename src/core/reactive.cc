@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "core/reactive.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace sentinel {
+
+Status Reactive::Subscribe(Notifiable* consumer) {
+  if (consumer == nullptr) return Status::InvalidArgument("null consumer");
+  if (IsSubscribed(consumer)) {
+    return Status::AlreadyExists("consumer already subscribed");
+  }
+  consumers_.push_back(consumer);
+  return Status::OK();
+}
+
+Status Reactive::Unsubscribe(Notifiable* consumer) {
+  auto it = std::find(consumers_.begin(), consumers_.end(), consumer);
+  if (it == consumers_.end()) {
+    return Status::NotFound("consumer not subscribed");
+  }
+  consumers_.erase(it);
+  return Status::OK();
+}
+
+bool Reactive::IsSubscribed(const Notifiable* consumer) const {
+  return std::find(consumers_.begin(), consumers_.end(), consumer) !=
+         consumers_.end();
+}
+
+void Reactive::NotifyConsumers(const EventOccurrence& occ) {
+  // Snapshot: a consumer's Notify may unsubscribe itself or others.
+  std::vector<Notifiable*> snapshot = consumers_;
+  for (Notifiable* consumer : snapshot) {
+    if (std::find(consumers_.begin(), consumers_.end(), consumer) ==
+        consumers_.end()) {
+      continue;  // Unsubscribed during this round.
+    }
+    consumer->Notify(occ);
+  }
+}
+
+void ReactiveObject::RaiseEvent(const std::string& method,
+                                EventModifier modifier,
+                                const ValueList& params) {
+  if (context_ != nullptr && context_->catalog() != nullptr) {
+    EventSpec spec = context_->catalog()->EventSpecFor(class_name(), method);
+    bool designated =
+        modifier == EventModifier::kBegin ? spec.begin : spec.end;
+    if (!designated) return;  // Not in the event interface: no event.
+  }
+  EventOccurrence occ;
+  occ.oid = oid();
+  occ.class_name = class_name();
+  occ.method = method;
+  occ.modifier = modifier;
+  occ.params = params;
+  occ.timestamp = Clock::Now();
+  occ.txn = context_ != nullptr ? context_->current_txn() : nullptr;
+  ++raised_count_;
+  if (context_ != nullptr) context_->PreRaise(occ);
+  NotifyConsumers(occ);
+  if (context_ != nullptr) context_->PostRaise(occ);
+}
+
+void ReactiveObject::SetAttr(Transaction* txn, const std::string& name,
+                             Value value) {
+  Value old = SetAttrRaw(name, std::move(value));
+  if (txn != nullptr && txn->active()) {
+    txn->AddUndo([this, name, old]() { SetAttrRaw(name, old); });
+  }
+}
+
+}  // namespace sentinel

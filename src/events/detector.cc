@@ -1,0 +1,229 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "events/detector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sentinel {
+
+namespace {
+constexpr char kEventIndexClass[] = "__event_index__";
+}  // namespace
+
+Status EventDetector::RegisterEvent(const std::string& name,
+                                    EventPtr event) {
+  if (event == nullptr) return Status::InvalidArgument("null event");
+  if (named_.count(name) != 0) {
+    return Status::AlreadyExists("event " + name);
+  }
+  named_.emplace(name, std::move(event));
+  return Status::OK();
+}
+
+Result<EventPtr> EventDetector::GetEvent(const std::string& name) const {
+  auto it = named_.find(name);
+  if (it == named_.end()) return Status::NotFound("event " + name);
+  return it->second;
+}
+
+Status EventDetector::UnregisterEvent(const std::string& name) {
+  if (named_.erase(name) == 0) return Status::NotFound("event " + name);
+  return Status::OK();
+}
+
+std::vector<std::string> EventDetector::EventNames() const {
+  std::vector<std::string> names;
+  names.reserve(named_.size());
+  for (const auto& [name, event] : named_) names.push_back(name);
+  return names;
+}
+
+Result<EventPtr> EventDetector::FindByOid(Oid oid) const {
+  if (oid == kInvalidOid) return Status::InvalidArgument("invalid oid");
+  auto it = loaded_.find(oid);
+  if (it != loaded_.end()) return it->second;
+  for (const auto& [name, event] : named_) {
+    if (event->oid() == oid) return event;
+  }
+  return Status::NotFound("no event with " + OidToString(oid));
+}
+
+void EventDetector::RecordOccurrence(const EventOccurrence& occ) {
+  log_.push_back(occ);
+  ++occurrence_total_;
+  ++key_counts_[occ.Key()];
+  while (log_.size() > log_capacity_) log_.pop_front();
+}
+
+uint64_t EventDetector::CountForKey(const std::string& key) const {
+  auto it = key_counts_.find(key);
+  return it == key_counts_.end() ? 0 : it->second;
+}
+
+void EventDetector::AdvanceTime(const Timestamp& now) {
+  for (const auto& [name, event] : named_) event->AdvanceTime(now);
+}
+
+std::vector<Event*> EventDetector::ReachableNodes() const {
+  std::vector<Event*> nodes;
+  std::vector<Event*> stack;
+  for (const auto& [name, event] : named_) stack.push_back(event.get());
+  while (!stack.empty()) {
+    Event* node = stack.back();
+    stack.pop_back();
+    if (std::find(nodes.begin(), nodes.end(), node) != nodes.end()) continue;
+    nodes.push_back(node);
+    for (Event* child : node->Children()) stack.push_back(child);
+  }
+  return nodes;
+}
+
+Status EventDetector::SaveAll(ObjectStore* store, Transaction* txn) {
+  // Phase 1: make sure every reachable node has an oid (children first is
+  // unnecessary — oids are assigned before any serialization happens).
+  std::vector<Event*> nodes = ReachableNodes();
+  for (Event* node : nodes) {
+    if (node->oid() == kInvalidOid) node->set_oid(store->NewOid());
+  }
+  // Phase 2: serialize each node (child oids are now stable).
+  for (Event* node : nodes) {
+    Encoder enc;
+    node->SerializeState(&enc);
+    SENTINEL_RETURN_IF_ERROR(
+        store->Put(txn, node->oid(), node->class_name(), enc.Release()));
+  }
+  // Phase 3: persist the name index.
+  Encoder index;
+  index.PutU32(static_cast<uint32_t>(named_.size()));
+  for (const auto& [name, event] : named_) {
+    index.PutString(name);
+    index.PutU64(event->oid());
+  }
+  return store->Put(txn, kEventIndexOid, kEventIndexClass, index.Release());
+}
+
+Status EventDetector::LoadAll(ObjectStore* store) {
+  named_.clear();
+  loaded_.clear();
+
+  // Phase 1: instantiate every persisted event node.
+  static const char* kEventClasses[] = {
+      "PrimitiveEvent", "Conjunction", "Disjunction", "Sequence",
+      "AnyEvent",       "NotEvent",    "AperiodicEvent", "PeriodicEvent",
+      "PlusEvent",      "EveryEvent"};
+  for (const char* cls : kEventClasses) {
+    for (Oid oid : store->Extent(cls)) {
+      std::string class_name, state;
+      SENTINEL_RETURN_IF_ERROR(
+          store->Get(nullptr, oid, &class_name, &state));
+      EventPtr node;
+      const std::string c = class_name;
+      if (c == "PrimitiveEvent") {
+        auto prim = std::make_shared<PrimitiveEvent>(EventSignature{});
+        prim->set_catalog(catalog_);
+        node = prim;
+      } else if (c == "Conjunction") {
+        node = std::make_shared<Conjunction>(nullptr, nullptr);
+      } else if (c == "Disjunction") {
+        node = std::make_shared<Disjunction>(nullptr, nullptr);
+      } else if (c == "Sequence") {
+        node = std::make_shared<Sequence>(nullptr, nullptr);
+      } else if (c == "AnyEvent") {
+        node = std::make_shared<AnyEvent>(0, std::vector<EventPtr>{});
+      } else if (c == "NotEvent") {
+        node = std::make_shared<NotEvent>(nullptr, nullptr, nullptr);
+      } else if (c == "AperiodicEvent") {
+        node = std::make_shared<AperiodicEvent>(nullptr, nullptr, nullptr);
+      } else if (c == "PeriodicEvent") {
+        node = std::make_shared<PeriodicEvent>(nullptr, 0, nullptr);
+      } else if (c == "PlusEvent") {
+        node = std::make_shared<PlusEvent>(nullptr, 0);
+      } else if (c == "EveryEvent") {
+        node = std::make_shared<EveryEvent>(1, nullptr);
+      } else {
+        return Status::Corruption("unknown event class " + c);
+      }
+      Decoder dec(state);
+      SENTINEL_RETURN_IF_ERROR(node->DeserializeState(&dec));
+      node->set_oid(oid);
+      loaded_[oid] = std::move(node);
+    }
+  }
+
+  // Phase 2: relink operator children.
+  auto lookup = [this](Oid oid) -> EventPtr {
+    if (oid == kInvalidOid) return nullptr;
+    auto it = loaded_.find(oid);
+    return it == loaded_.end() ? nullptr : it->second;
+  };
+  for (auto& [oid, node] : loaded_) {
+    if (auto* bin = dynamic_cast<BinaryEvent*>(node.get())) {
+      bin->SetChildren(lookup(bin->persisted_left_oid()),
+                       lookup(bin->persisted_right_oid()));
+    } else if (auto* any = dynamic_cast<AnyEvent*>(node.get())) {
+      std::vector<EventPtr> children;
+      for (Oid child : any->persisted_child_oids()) {
+        children.push_back(lookup(child));
+      }
+      if (!children.empty()) any->SetChildrenList(std::move(children));
+    } else if (auto* notev = dynamic_cast<NotEvent*>(node.get())) {
+      std::vector<EventPtr> children;
+      for (Oid child : notev->persisted_child_oids()) {
+        children.push_back(lookup(child));
+      }
+      notev->SetChildrenList(std::move(children));
+    } else if (auto* ap = dynamic_cast<AperiodicEvent*>(node.get())) {
+      std::vector<EventPtr> children;
+      for (Oid child : ap->persisted_child_oids()) {
+        children.push_back(lookup(child));
+      }
+      ap->SetChildrenList(std::move(children));
+    } else if (auto* per = dynamic_cast<PeriodicEvent*>(node.get())) {
+      std::vector<EventPtr> children;
+      for (Oid child : per->persisted_child_oids()) {
+        children.push_back(lookup(child));
+      }
+      per->SetChildrenList(std::move(children));
+    } else if (auto* plus = dynamic_cast<PlusEvent*>(node.get())) {
+      std::vector<EventPtr> children;
+      for (Oid child : plus->persisted_child_oids()) {
+        children.push_back(lookup(child));
+      }
+      plus->SetChildrenList(std::move(children));
+    } else if (auto* every = dynamic_cast<EveryEvent*>(node.get())) {
+      std::vector<EventPtr> children;
+      for (Oid child : every->persisted_child_oids()) {
+        children.push_back(lookup(child));
+      }
+      every->SetChildrenList(std::move(children));
+    }
+  }
+
+  // Phase 3: restore the name index.
+  std::string class_name, state;
+  Status s = store->Get(nullptr, kEventIndexOid, &class_name, &state);
+  if (s.IsNotFound()) return Status::OK();  // Nothing was ever saved.
+  SENTINEL_RETURN_IF_ERROR(s);
+  Decoder dec(state);
+  uint32_t count;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    Oid oid;
+    SENTINEL_RETURN_IF_ERROR(dec.GetString(&name));
+    SENTINEL_RETURN_IF_ERROR(dec.GetU64(&oid));
+    EventPtr root = lookup(oid);
+    if (root == nullptr) {
+      return Status::Corruption("event index references missing " +
+                                OidToString(oid));
+    }
+    named_[name] = std::move(root);
+  }
+  SENTINEL_INFO << "restored " << named_.size() << " named events ("
+                << loaded_.size() << " nodes)";
+  return Status::OK();
+}
+
+}  // namespace sentinel

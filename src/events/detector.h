@@ -1,0 +1,110 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// EventDetector: the bookkeeping half of event management (paper Fig. 2:
+// "The rule passes the events to the event detector for storage and event
+// detection").
+//
+// Detection itself happens inside the event graph (Event/operator nodes);
+// the detector owns what surrounds it:
+//   * a registry of named event objects (create/look up/delete events at
+//     runtime — first-class citizenship),
+//   * the global occurrence log and per-signature counters,
+//   * the logical-time pump for temporal operators,
+//   * persistence: saving and restoring whole event graphs through the
+//     object store, with two-phase relinking of operator children.
+
+#ifndef SENTINEL_EVENTS_DETECTOR_H_
+#define SENTINEL_EVENTS_DETECTOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "events/event.h"
+#include "events/operators.h"
+#include "events/primitive_event.h"
+#include "events/snoop_operators.h"
+#include "oodb/object_store.h"
+
+namespace sentinel {
+
+/// Record holding the persisted name->root-oid index of the registry.
+constexpr Oid kEventIndexOid = 3;
+
+/// Registry, log, and persistence for event objects.
+class EventDetector {
+ public:
+  explicit EventDetector(const ClassCatalog* catalog = nullptr)
+      : catalog_(catalog) {}
+
+  EventDetector(const EventDetector&) = delete;
+  EventDetector& operator=(const EventDetector&) = delete;
+
+  // --- Named event objects --------------------------------------------------
+
+  /// Registers `event` under `name`. AlreadyExists on duplicates.
+  Status RegisterEvent(const std::string& name, EventPtr event);
+
+  /// Looks up a named event.
+  Result<EventPtr> GetEvent(const std::string& name) const;
+
+  /// Removes a named event from the registry (the object dies when the last
+  /// rule referencing it does — shared ownership).
+  Status UnregisterEvent(const std::string& name);
+
+  std::vector<std::string> EventNames() const;
+  size_t event_count() const { return named_.size(); }
+
+  /// Finds an event node by its persistent oid (searches named roots, their
+  /// subtrees, and nodes restored by LoadAll). NotFound otherwise.
+  Result<EventPtr> FindByOid(Oid oid) const;
+
+  // --- Occurrence log ---------------------------------------------------------
+
+  /// Logs one generated occurrence (called by the database on every raise).
+  void RecordOccurrence(const EventOccurrence& occ);
+
+  uint64_t occurrence_total() const { return occurrence_total_; }
+  const std::deque<EventOccurrence>& occurrence_log() const { return log_; }
+  void set_log_capacity(size_t capacity) { log_capacity_ = capacity; }
+
+  /// Occurrences logged for one signature key ("end Employee::SetSalary").
+  uint64_t CountForKey(const std::string& key) const;
+
+  // --- Time pump (Periodic/Plus) ----------------------------------------------
+
+  /// Advances logical time on every registered root (and, through routing,
+  /// its subtree). Temporal operators may Signal from here.
+  void AdvanceTime(const Timestamp& now);
+
+  // --- Persistence --------------------------------------------------------------
+
+  /// Stages every named event graph (all reachable nodes) into `txn`.
+  /// Nodes without oids get fresh ones from the store.
+  Status SaveAll(ObjectStore* store, Transaction* txn);
+
+  /// Rebuilds the registry from the store: instantiates every persisted
+  /// event node, relinks operator children, restores names. Existing
+  /// registry content is replaced.
+  Status LoadAll(ObjectStore* store);
+
+ private:
+  /// All nodes reachable from the named roots (deduplicated).
+  std::vector<Event*> ReachableNodes() const;
+
+  const ClassCatalog* catalog_;
+  std::map<std::string, EventPtr> named_;
+  /// Keeps loaded anonymous nodes alive alongside their parents.
+  std::map<Oid, EventPtr> loaded_;
+
+  std::deque<EventOccurrence> log_;
+  size_t log_capacity_ = 4096;
+  uint64_t occurrence_total_ = 0;
+  std::map<std::string, uint64_t> key_counts_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_EVENTS_DETECTOR_H_

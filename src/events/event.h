@@ -1,0 +1,186 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Events as first-class objects (paper §3.3, §4.3).
+//
+// An Event is simultaneously:
+//   * a Notifiable — reactive objects propagate primitive occurrences to it,
+//   * a PersistentObject — it has an Oid, can be saved/restored (first-class
+//     citizenship: "events are created, deleted, modified and designated as
+//     persistent as other types of objects"),
+//   * a node in an operator graph — composite events listen to their
+//     children and signal their own detections upward.
+//
+// Detection flows: occurrences enter at any node via Notify() and are routed
+// to the unique PrimitiveEvent leaves of that subtree; a leaf that matches
+// Signals a detection; operator nodes combine child detections per their
+// semantics and parameter context and Signal upward; rules listen at the
+// root. Leaves deduplicate occurrences by timestamp so shared sub-events
+// (one event object consumed by several rules, as in ADAM) are exact.
+
+#ifndef SENTINEL_EVENTS_EVENT_H_
+#define SENTINEL_EVENTS_EVENT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/notifiable.h"
+#include "events/occurrence.h"
+#include "oodb/object.h"
+
+namespace sentinel {
+
+class Event;
+
+/// How Event::Notify routes an occurrence to this subtree's leaves.
+enum class EventRouting {
+  /// Depth-first walk collecting leaves on every delivery (the naive
+  /// strategy; O(tree size) per occurrence).
+  kScan,
+  /// Per-root index keyed by (modifier, method), rebuilt lazily when the
+  /// graph changes; O(matching leaves) per occurrence. The default.
+  kIndexed,
+};
+
+/// One detection of an event: the constituent primitive occurrences that
+/// together satisfied the event expression, in occurrence order.
+struct EventDetection {
+  std::vector<EventOccurrence> constituents;
+
+  /// Timestamp of the earliest / latest constituent.
+  Timestamp start_ts;
+  Timestamp end_ts;
+
+  /// Transaction of the terminating occurrence (may be null).
+  Transaction* txn = nullptr;
+
+  /// Wraps a single occurrence.
+  static EventDetection FromOccurrence(const EventOccurrence& occ);
+
+  /// Concatenates detections in argument order, recomputing the time span;
+  /// the transaction is taken from the chronologically last constituent.
+  static EventDetection Merge(const std::vector<EventDetection>& parts);
+
+  /// Constituent parameters of the first/last occurrence, convenience for
+  /// rule conditions.
+  const EventOccurrence& first() const { return constituents.front(); }
+  const EventOccurrence& last() const { return constituents.back(); }
+
+  std::string ToString() const;
+};
+
+/// Callback interface for event consumers in the operator graph (composite
+/// events listening to children, and rules listening to their event).
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  /// `source` signaled detection `det`.
+  virtual void OnEvent(Event* source, const EventDetection& det) = 0;
+};
+
+/// Base class of the event hierarchy (paper Fig. 5: Event with Primitive,
+/// Conjunction, Disjunction, Sequence subclasses; we add the Snoop operators
+/// as extensions).
+class Event : public Notifiable, public PersistentObject {
+ public:
+  /// `event_class` is the catalog class name, e.g. "PrimitiveEvent".
+  explicit Event(std::string event_class);
+  ~Event() override;
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  // --- Consumer registration ----------------------------------------------
+
+  void AddListener(EventListener* listener);
+  void RemoveListener(EventListener* listener);
+  size_t listener_count() const { return listeners_.size(); }
+
+  // --- Occurrence intake (Notifiable) --------------------------------------
+
+  /// Records `occ` and routes it to the unique primitive leaves of this
+  /// subtree. Matching leaves Signal; detections propagate synchronously.
+  void Notify(const EventOccurrence& occ) final;
+
+  // --- Node behavior --------------------------------------------------------
+
+  /// Direct children in the operator graph (empty for primitives).
+  virtual std::vector<Event*> Children() const { return {}; }
+
+  /// Advances logical time for temporal operators (Periodic/Plus); the
+  /// default forwards to children. Detections may be signaled from here.
+  virtual void AdvanceTime(const Timestamp& now);
+
+  /// Clears buffered partial state (not the signal counters).
+  virtual void ResetState();
+
+  /// One-line description, e.g. "And(end Stock::SetPrice, end Fin::SetValue)".
+  virtual std::string Describe() const = 0;
+
+  // --- Introspection --------------------------------------------------------
+
+  /// Number of times this event has been signaled.
+  uint64_t signal_count() const { return signal_count_; }
+
+  /// Paper's `Raised` attribute: has the event ever been signaled?
+  bool raised() const { return signal_count_ > 0; }
+
+  /// The most recent detection. Precondition: raised().
+  const EventDetection& last_detection() const { return last_detection_; }
+
+  /// Process-wide routing strategy (ablation hook; see bench_ablation).
+  static void SetRouting(EventRouting routing);
+  static EventRouting routing();
+
+  /// Signals that some event graph changed shape; indexed routing caches
+  /// revalidate lazily. Called by operators when children are rewired.
+  static void InvalidateGraphCaches();
+
+ protected:
+  /// Routing key of a primitive leaf: "end SetSalary" (class excluded —
+  /// subclass matching is the leaf's own job). Empty for non-leaf nodes,
+  /// which never consume primitives.
+  virtual std::string RoutingKey() const { return std::string(); }
+
+
+  /// Delivers a matched occurrence to this node if it is a primitive leaf.
+  /// Called by the routing in Notify(); default is a no-op (operators only
+  /// react to child signals).
+  virtual void ConsumePrimitive(const EventOccurrence& occ);
+
+  /// Publishes a detection to all listeners and updates counters. Listener
+  /// callbacks run synchronously; a listener may remove itself during the
+  /// callback (delivery iterates over a snapshot).
+  void Signal(const EventDetection& det);
+
+ private:
+  /// Depth-first collection of unique leaves (diamond-safe).
+  void CollectLeaves(std::vector<Event*>* leaves,
+                     std::vector<const Event*>* visited);
+
+  /// Rebuilds leaf_index_ when the graph epoch moved.
+  void RefreshLeafIndex();
+
+  std::vector<EventListener*> listeners_;
+  uint64_t signal_count_ = 0;
+  EventDetection last_detection_;
+
+  // Indexed routing state (per delivery root).
+  uint64_t index_epoch_ = 0;  // 0 = never built.
+  std::unordered_map<std::string, std::vector<Event*>> leaf_index_;
+
+  static std::atomic<uint64_t> graph_epoch_;
+  static std::atomic<EventRouting> routing_;
+};
+
+/// Shared ownership alias used across the API: event graphs are built from
+/// shared_ptr nodes so one event object can participate in several rules.
+using EventPtr = std::shared_ptr<Event>;
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_EVENTS_EVENT_H_

@@ -1,0 +1,17 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "events/occurrence.h"
+
+namespace sentinel {
+
+std::string EventOccurrence::ToString() const {
+  std::string out = Key();
+  out += sentinel::ToString(params);
+  out += " by ";
+  out += OidToString(oid);
+  out += " at ";
+  out += timestamp.ToString();
+  return out;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,46 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// EventOccurrence: one generated primitive event. The paper §3.1:
+//
+//   Generated primitive event =
+//       Oid + Class + Method + Actual parameters + Time stamp
+//
+// plus (from §4.1's Notify) the begin/end shade. We additionally carry the
+// triggering transaction (not persisted) so rule execution can honor the
+// coupling mode relative to the right transaction.
+
+#ifndef SENTINEL_EVENTS_OCCURRENCE_H_
+#define SENTINEL_EVENTS_OCCURRENCE_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/value.h"
+#include "events/signature.h"
+#include "oodb/oid.h"
+
+namespace sentinel {
+
+class Transaction;
+
+/// One raised primitive event, as propagated from a reactive object to its
+/// subscribed notifiable consumers.
+struct EventOccurrence {
+  Oid oid = kInvalidOid;          ///< Identity of the generating object.
+  std::string class_name;         ///< Its class.
+  std::string method;             ///< The invoked method.
+  EventModifier modifier = EventModifier::kEnd;  ///< bom or eom.
+  ValueList params;               ///< Actual arguments of the invocation.
+  Timestamp timestamp;            ///< When the event was generated.
+  Transaction* txn = nullptr;     ///< Triggering transaction (may be null).
+
+  /// Matching key "end Class::Method".
+  std::string Key() const { return EventKey(modifier, class_name, method); }
+
+  /// Human-readable rendering for logs and test diagnostics.
+  std::string ToString() const;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_EVENTS_OCCURRENCE_H_

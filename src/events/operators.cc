@@ -1,0 +1,218 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "events/operators.h"
+
+namespace sentinel {
+
+namespace {
+
+/// True when two detections share any constituent occurrence (by the
+/// process-unique timestamp sequence) — used to prevent an occurrence from
+/// pairing with itself in same-child operators like And(E, E).
+bool SharesOccurrence(const EventDetection& a, const EventDetection& b) {
+  for (const EventOccurrence& x : a.constituents) {
+    for (const EventOccurrence& y : b.constituents) {
+      if (x.timestamp.seq == y.timestamp.seq) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+BinaryEvent::BinaryEvent(std::string event_class, EventPtr left,
+                         EventPtr right, ParameterContext context)
+    : Event(std::move(event_class)), context_(context) {
+  SetChildren(std::move(left), std::move(right));
+}
+
+BinaryEvent::~BinaryEvent() {
+  if (left_) left_->RemoveListener(this);
+  if (right_) right_->RemoveListener(this);
+}
+
+void BinaryEvent::SetChildren(EventPtr left, EventPtr right) {
+  if (left_) left_->RemoveListener(this);
+  if (right_) right_->RemoveListener(this);
+  left_ = std::move(left);
+  right_ = std::move(right);
+  if (left_) left_->AddListener(this);
+  if (right_) right_->AddListener(this);
+  InvalidateGraphCaches();
+}
+
+std::vector<Event*> BinaryEvent::Children() const {
+  std::vector<Event*> out;
+  if (left_) out.push_back(left_.get());
+  if (right_) out.push_back(right_.get());
+  return out;
+}
+
+void BinaryEvent::OnEvent(Event* source, const EventDetection& det) {
+  // A child may be both left and right (e.g. And(E, E)); deliver to the
+  // matching side(s).
+  if (source == left_.get()) OnLeft(det);
+  if (source == right_.get() && left_.get() != right_.get()) OnRight(det);
+}
+
+void BinaryEvent::SerializeState(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(context_));
+  enc->PutU64(left_ ? left_->oid() : kInvalidOid);
+  enc->PutU64(right_ ? right_->oid() : kInvalidOid);
+}
+
+Status BinaryEvent::DeserializeState(Decoder* dec) {
+  uint8_t ctx;
+  SENTINEL_RETURN_IF_ERROR(dec->GetU8(&ctx));
+  if (ctx > static_cast<uint8_t>(ParameterContext::kCumulative)) {
+    return Status::Corruption("bad parameter context tag");
+  }
+  context_ = static_cast<ParameterContext>(ctx);
+  SENTINEL_RETURN_IF_ERROR(dec->GetU64(&persisted_left_));
+  SENTINEL_RETURN_IF_ERROR(dec->GetU64(&persisted_right_));
+  return Status::OK();
+}
+
+// --- Conjunction -----------------------------------------------------------
+
+Conjunction::Conjunction(EventPtr left, EventPtr right,
+                         ParameterContext context)
+    : BinaryEvent("Conjunction", std::move(left), std::move(right), context),
+      left_buffer_(context),
+      right_buffer_(context) {}
+
+void Conjunction::OnSide(PairingBuffer* mine, PairingBuffer* other,
+                         const EventDetection& det) {
+  auto groups = other->PairWithTerminator(det, nullptr);
+  if (groups.empty()) {
+    mine->AddInitiator(det);
+    return;
+  }
+  for (auto& group : groups) {
+    group.push_back(det);
+    Signal(EventDetection::Merge(group));
+  }
+  if (context_ == ParameterContext::kRecent) {
+    // Recent reuses the latest constituent of each side.
+    mine->AddInitiator(det);
+  }
+}
+
+void Conjunction::OnLeft(const EventDetection& det) {
+  if (left() == right()) {
+    // And(E, E): two distinct occurrences of E, any order. An occurrence
+    // must not pair with itself.
+    auto groups = left_buffer_.PairWithTerminator(
+        det, [&det](const EventDetection& init) {
+          return !SharesOccurrence(init, det);
+        });
+    if (groups.empty()) {
+      left_buffer_.AddInitiator(det);
+      return;
+    }
+    for (auto& group : groups) {
+      group.push_back(det);
+      Signal(EventDetection::Merge(group));
+    }
+    if (context_ == ParameterContext::kRecent) left_buffer_.AddInitiator(det);
+    return;
+  }
+  OnSide(&left_buffer_, &right_buffer_, det);
+}
+
+void Conjunction::OnRight(const EventDetection& det) {
+  OnSide(&right_buffer_, &left_buffer_, det);
+}
+
+void Conjunction::ResetState() {
+  left_buffer_.Clear();
+  right_buffer_.Clear();
+  Event::ResetState();
+}
+
+std::string Conjunction::Describe() const {
+  return "And(" + (left() ? left()->Describe() : "?") + ", " +
+         (right() ? right()->Describe() : "?") + ")";
+}
+
+// --- Disjunction -----------------------------------------------------------
+
+Disjunction::Disjunction(EventPtr left, EventPtr right,
+                         ParameterContext context)
+    : BinaryEvent("Disjunction", std::move(left), std::move(right), context) {
+}
+
+void Disjunction::OnLeft(const EventDetection& det) { Signal(det); }
+
+void Disjunction::OnRight(const EventDetection& det) { Signal(det); }
+
+std::string Disjunction::Describe() const {
+  return "Or(" + (left() ? left()->Describe() : "?") + ", " +
+         (right() ? right()->Describe() : "?") + ")";
+}
+
+// --- Sequence ---------------------------------------------------------------
+
+Sequence::Sequence(EventPtr left, EventPtr right, ParameterContext context)
+    : BinaryEvent("Sequence", std::move(left), std::move(right), context),
+      initiators_(context) {}
+
+void Sequence::OnLeft(const EventDetection& det) {
+  if (left() == right()) {
+    // Seq(E, E): a strictly earlier occurrence followed by a later one.
+    auto groups = initiators_.PairWithTerminator(
+        det, [&det](const EventDetection& init) {
+          return init.end_ts < det.end_ts && !SharesOccurrence(init, det);
+        });
+    for (auto& group : groups) {
+      group.push_back(det);
+      Signal(EventDetection::Merge(group));
+    }
+    initiators_.AddInitiator(det);  // Every occurrence can start a new pair.
+    return;
+  }
+  initiators_.AddInitiator(det);
+}
+
+void Sequence::OnRight(const EventDetection& det) {
+  // "E is signaled when the last component of E2 occurs provided all the
+  // components of E1 have occurred" (§4.3): the initiator detection must be
+  // complete before the terminator completes.
+  auto groups = initiators_.PairWithTerminator(
+      det, [&det](const EventDetection& init) {
+        return init.end_ts < det.end_ts;
+      });
+  for (auto& group : groups) {
+    group.push_back(det);
+    Signal(EventDetection::Merge(group));
+  }
+}
+
+void Sequence::ResetState() {
+  initiators_.Clear();
+  Event::ResetState();
+}
+
+std::string Sequence::Describe() const {
+  return "Seq(" + (left() ? left()->Describe() : "?") + ", " +
+         (right() ? right()->Describe() : "?") + ")";
+}
+
+// --- Builders ----------------------------------------------------------------
+
+EventPtr And(EventPtr left, EventPtr right, ParameterContext context) {
+  return std::make_shared<Conjunction>(std::move(left), std::move(right),
+                                       context);
+}
+
+EventPtr Or(EventPtr left, EventPtr right, ParameterContext context) {
+  return std::make_shared<Disjunction>(std::move(left), std::move(right),
+                                       context);
+}
+
+EventPtr Seq(EventPtr left, EventPtr right, ParameterContext context) {
+  return std::make_shared<Sequence>(std::move(left), std::move(right),
+                                    context);
+}
+
+}  // namespace sentinel

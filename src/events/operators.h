@@ -1,0 +1,136 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// The paper's composite-event operators (§4.3, Fig. 5/6):
+//
+//   Conjunction(E1, E2) — signaled when both E1 and E2 have occurred,
+//       regardless of order (composite constituents likewise unordered).
+//   Disjunction(E1, E2) — signaled when either E1 or E2 occurs.
+//   Sequence(E1, E2)    — signaled when E2 occurs provided E1 occurred
+//       earlier; for composite children, when the last component of E2
+//       occurs provided all components of E1 have occurred.
+//
+// Every operator takes a ParameterContext deciding which buffered partial
+// detections pair with a completing one (default Chronicle = FIFO).
+
+#ifndef SENTINEL_EVENTS_OPERATORS_H_
+#define SENTINEL_EVENTS_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "events/context.h"
+#include "events/event.h"
+
+namespace sentinel {
+
+/// Common machinery for two-child operators: child wiring and listening.
+class BinaryEvent : public Event, public EventListener {
+ public:
+  BinaryEvent(std::string event_class, EventPtr left, EventPtr right,
+              ParameterContext context);
+  ~BinaryEvent() override;
+
+  std::vector<Event*> Children() const override;
+  ParameterContext context() const { return context_; }
+
+  /// Rewires children (used by the registry when restoring persisted event
+  /// graphs). Detaches from previous children first.
+  void SetChildren(EventPtr left, EventPtr right);
+
+  Event* left() const { return left_.get(); }
+  Event* right() const { return right_.get(); }
+
+  // EventListener: dispatches to OnLeft/OnRight.
+  void OnEvent(Event* source, const EventDetection& det) final;
+
+  // --- Persistence: stores context + child oids (graph relinked by the
+  // EventRegistry). ----------------------------------------------------------
+  void SerializeState(Encoder* enc) const override;
+  Status DeserializeState(Decoder* dec) override;
+
+  /// Child oids captured by DeserializeState, for registry relinking.
+  Oid persisted_left_oid() const { return persisted_left_; }
+  Oid persisted_right_oid() const { return persisted_right_; }
+
+ protected:
+  virtual void OnLeft(const EventDetection& det) = 0;
+  virtual void OnRight(const EventDetection& det) = 0;
+
+  ParameterContext context_;
+
+ private:
+  EventPtr left_;
+  EventPtr right_;
+  Oid persisted_left_ = kInvalidOid;
+  Oid persisted_right_ = kInvalidOid;
+};
+
+/// And: both children, any order.
+class Conjunction : public BinaryEvent {
+ public:
+  Conjunction(EventPtr left, EventPtr right,
+              ParameterContext context = ParameterContext::kChronicle);
+
+  std::string Describe() const override;
+  void ResetState() override;
+
+  /// Pending partial detections per side (tests/benches).
+  size_t pending_left() const { return left_buffer_.size(); }
+  size_t pending_right() const { return right_buffer_.size(); }
+
+ protected:
+  void OnLeft(const EventDetection& det) override;
+  void OnRight(const EventDetection& det) override;
+
+ private:
+  void OnSide(PairingBuffer* mine, PairingBuffer* other,
+              const EventDetection& det);
+
+  PairingBuffer left_buffer_{ParameterContext::kChronicle};
+  PairingBuffer right_buffer_{ParameterContext::kChronicle};
+};
+
+/// Or: either child.
+class Disjunction : public BinaryEvent {
+ public:
+  Disjunction(EventPtr left, EventPtr right,
+              ParameterContext context = ParameterContext::kChronicle);
+
+  std::string Describe() const override;
+
+ protected:
+  void OnLeft(const EventDetection& det) override;
+  void OnRight(const EventDetection& det) override;
+};
+
+/// Seq: left strictly before right (by detection completion time).
+class Sequence : public BinaryEvent {
+ public:
+  Sequence(EventPtr left, EventPtr right,
+           ParameterContext context = ParameterContext::kChronicle);
+
+  std::string Describe() const override;
+  void ResetState() override;
+
+  size_t pending_initiators() const { return initiators_.size(); }
+
+ protected:
+  void OnLeft(const EventDetection& det) override;
+  void OnRight(const EventDetection& det) override;
+
+ private:
+  PairingBuffer initiators_{ParameterContext::kChronicle};
+};
+
+/// Convenience builders mirroring the paper's `new Conjunction(e1, e2)`.
+EventPtr And(EventPtr left, EventPtr right,
+             ParameterContext context = ParameterContext::kChronicle);
+EventPtr Or(EventPtr left, EventPtr right,
+            ParameterContext context = ParameterContext::kChronicle);
+EventPtr Seq(EventPtr left, EventPtr right,
+             ParameterContext context = ParameterContext::kChronicle);
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_EVENTS_OPERATORS_H_

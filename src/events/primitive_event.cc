@@ -1,0 +1,82 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "events/primitive_event.h"
+
+#include "oodb/class_catalog.h"
+
+namespace sentinel {
+
+PrimitiveEvent::PrimitiveEvent(EventSignature signature)
+    : Event("PrimitiveEvent"), signature_(std::move(signature)) {}
+
+Result<std::shared_ptr<PrimitiveEvent>> PrimitiveEvent::Create(
+    const std::string& signature_text, const ClassCatalog* catalog) {
+  SENTINEL_ASSIGN_OR_RETURN(EventSignature sig,
+                            EventSignature::Parse(signature_text));
+  if (catalog != nullptr) {
+    if (!catalog->HasClass(sig.class_name)) {
+      return Status::InvalidArgument("event on unknown class " +
+                                     sig.class_name);
+    }
+    if (!catalog->IsReactive(sig.class_name)) {
+      return Status::InvalidArgument("class " + sig.class_name +
+                                     " is not reactive");
+    }
+    EventSpec spec = catalog->EventSpecFor(sig.class_name, sig.method);
+    bool designated = sig.modifier == EventModifier::kBegin ? spec.begin
+                                                            : spec.end;
+    if (!designated) {
+      return Status::InvalidArgument(
+          "method " + sig.class_name + "::" + sig.method +
+          " is not designated as a '" + ToString(sig.modifier) +
+          "' event generator in the event interface");
+    }
+  }
+  auto event = std::make_shared<PrimitiveEvent>(std::move(sig));
+  event->catalog_ = catalog;
+  return event;
+}
+
+bool PrimitiveEvent::Matches(const EventOccurrence& occ) const {
+  if (occ.modifier != signature_.modifier) return false;
+  if (occ.method != signature_.method) return false;
+  if (instance_filter_ != kInvalidOid && occ.oid != instance_filter_) {
+    return false;
+  }
+  if (occ.class_name == signature_.class_name) return true;
+  if (exact_class_) return false;
+  // Subclass instances raise the superclass's designated events.
+  return catalog_ != nullptr &&
+         catalog_->IsSubclassOf(occ.class_name, signature_.class_name);
+}
+
+void PrimitiveEvent::ConsumePrimitive(const EventOccurrence& occ) {
+  // A leaf shared by several rules may be fed the same occurrence once per
+  // subscribing rule; signal it only once.
+  if (occ.timestamp.seq != 0 && occ.timestamp.seq == last_consumed_seq_) {
+    return;
+  }
+  if (!Matches(occ)) return;
+  last_consumed_seq_ = occ.timestamp.seq;
+  Signal(EventDetection::FromOccurrence(occ));
+}
+
+std::string PrimitiveEvent::Describe() const { return signature_.Key(); }
+
+void PrimitiveEvent::SerializeState(Encoder* enc) const {
+  enc->PutString(signature_.ToString());
+  enc->PutU64(instance_filter_);
+  enc->PutBool(exact_class_);
+}
+
+Status PrimitiveEvent::DeserializeState(Decoder* dec) {
+  std::string text;
+  SENTINEL_RETURN_IF_ERROR(dec->GetString(&text));
+  SENTINEL_ASSIGN_OR_RETURN(signature_, EventSignature::Parse(text));
+  SENTINEL_RETURN_IF_ERROR(dec->GetU64(&instance_filter_));
+  SENTINEL_RETURN_IF_ERROR(dec->GetBool(&exact_class_));
+  InvalidateGraphCaches();  // The routing key may have changed.
+  return Status::OK();
+}
+
+}  // namespace sentinel

@@ -1,0 +1,230 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Extension operators beyond the paper's conjunction/disjunction/sequence.
+// These are the operators of Snoop — the event specification language the
+// Sentinel project published as its follow-on work (§7 "future research
+// directions") — implemented on the same Event-graph machinery:
+//
+//   Any(m, E1..En)        — signaled when m of the n distinct component
+//                           events have occurred, in any order.
+//   Not(E1, E2, E3)       — signaled when E3 occurs after E1 with no
+//                           occurrence of E2 in between.
+//   Aperiodic(E1, E2, E3) — signals each E2 inside the half-open window
+//                           started by E1 and closed by E3.
+//   Periodic(E1, t, E3)   — signals every t microseconds between E1 and E3.
+//   Plus(E1, t)           — signals t microseconds after each E1.
+//
+// Periodic and Plus are time-driven; they fire from AdvanceTime(now), which
+// the EventDetector calls with the current clock (tests drive it manually).
+
+#ifndef SENTINEL_EVENTS_SNOOP_OPERATORS_H_
+#define SENTINEL_EVENTS_SNOOP_OPERATORS_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "events/context.h"
+#include "events/event.h"
+
+namespace sentinel {
+
+/// Any(m, E1..En): m-out-of-n completion, any order. Pairing is Chronicle
+/// (oldest pending detection of each contributing child).
+class AnyEvent : public Event, public EventListener {
+ public:
+  AnyEvent(size_t m, std::vector<EventPtr> children);
+  ~AnyEvent() override;
+
+  std::vector<Event*> Children() const override;
+  std::string Describe() const override;
+  void ResetState() override;
+  void OnEvent(Event* source, const EventDetection& det) override;
+
+  size_t m() const { return m_; }
+
+  void SerializeState(Encoder* enc) const override;
+  Status DeserializeState(Decoder* dec) override;
+  const std::vector<Oid>& persisted_child_oids() const {
+    return persisted_children_;
+  }
+  /// Registry relink hook.
+  void SetChildrenList(std::vector<EventPtr> children);
+
+ private:
+  size_t m_;
+  std::vector<EventPtr> children_;
+  std::vector<std::deque<EventDetection>> pending_;  // One queue per child.
+  std::vector<Oid> persisted_children_;
+};
+
+/// Not(E1, E2, E3): E3 after E1 with no intervening E2.
+class NotEvent : public Event, public EventListener {
+ public:
+  /// `start` = E1, `forbidden` = E2, `finish` = E3.
+  NotEvent(EventPtr start, EventPtr forbidden, EventPtr finish,
+           ParameterContext context = ParameterContext::kChronicle);
+  ~NotEvent() override;
+
+  std::vector<Event*> Children() const override;
+  std::string Describe() const override;
+  void ResetState() override;
+  void OnEvent(Event* source, const EventDetection& det) override;
+
+  void SerializeState(Encoder* enc) const override;
+  Status DeserializeState(Decoder* dec) override;
+  const std::vector<Oid>& persisted_child_oids() const {
+    return persisted_children_;
+  }
+  /// Registry relink hook: (start, forbidden, finish).
+  void SetChildrenList(std::vector<EventPtr> children);
+
+ private:
+  void Detach();
+
+  EventPtr start_, forbidden_, finish_;
+  PairingBuffer initiators_;
+  std::vector<Oid> persisted_children_;
+};
+
+/// Aperiodic(E1, E2, E3): each E2 inside an open [E1, E3) window signals.
+class AperiodicEvent : public Event, public EventListener {
+ public:
+  AperiodicEvent(EventPtr opener, EventPtr tracked, EventPtr closer);
+  ~AperiodicEvent() override;
+
+  std::vector<Event*> Children() const override;
+  std::string Describe() const override;
+  void ResetState() override;
+  void OnEvent(Event* source, const EventDetection& det) override;
+
+  size_t open_windows() const { return windows_.size(); }
+
+  void SerializeState(Encoder* enc) const override;
+  Status DeserializeState(Decoder* dec) override;
+  const std::vector<Oid>& persisted_child_oids() const {
+    return persisted_children_;
+  }
+  /// Registry relink hook: (opener, tracked, closer).
+  void SetChildrenList(std::vector<EventPtr> children);
+
+ private:
+  void Detach();
+
+  EventPtr opener_, tracked_, closer_;
+  std::deque<EventDetection> windows_;  // Open window initiators.
+  std::vector<Oid> persisted_children_;
+};
+
+/// Periodic(E1, period, E3): fires on the period grid while a window is
+/// open. Detections carry a synthesized "__timer__" occurrence.
+class PeriodicEvent : public Event, public EventListener {
+ public:
+  PeriodicEvent(EventPtr opener, int64_t period_micros, EventPtr closer);
+  ~PeriodicEvent() override;
+
+  std::vector<Event*> Children() const override;
+  std::string Describe() const override;
+  void ResetState() override;
+  void OnEvent(Event* source, const EventDetection& det) override;
+  void AdvanceTime(const Timestamp& now) override;
+
+  size_t open_windows() const { return windows_.size(); }
+  int64_t period_micros() const { return period_micros_; }
+
+  void SerializeState(Encoder* enc) const override;
+  Status DeserializeState(Decoder* dec) override;
+  const std::vector<Oid>& persisted_child_oids() const {
+    return persisted_children_;
+  }
+  /// Registry relink hook: (opener, closer).
+  void SetChildrenList(std::vector<EventPtr> children);
+
+ private:
+  struct Window {
+    EventDetection opened_by;
+    int64_t next_fire_micros;
+  };
+
+  void Detach();
+
+  EventPtr opener_, closer_;
+  int64_t period_micros_;
+  std::deque<Window> windows_;
+  std::vector<Oid> persisted_children_;
+};
+
+/// Every(n, E): fires on every n-th detection of E, carrying the n
+/// constituents that completed the window (a counting/closure-style
+/// operator for "react to every 100th update" rules).
+class EveryEvent : public Event, public EventListener {
+ public:
+  EveryEvent(size_t n, EventPtr base);
+  ~EveryEvent() override;
+
+  std::vector<Event*> Children() const override;
+  std::string Describe() const override;
+  void ResetState() override;
+  void OnEvent(Event* source, const EventDetection& det) override;
+
+  size_t n() const { return n_; }
+  size_t pending() const { return window_.size(); }
+
+  void SerializeState(Encoder* enc) const override;
+  Status DeserializeState(Decoder* dec) override;
+  const std::vector<Oid>& persisted_child_oids() const {
+    return persisted_children_;
+  }
+  /// Registry relink hook: (base).
+  void SetChildrenList(std::vector<EventPtr> children);
+
+ private:
+  size_t n_;
+  EventPtr base_;
+  std::vector<EventDetection> window_;
+  std::vector<Oid> persisted_children_;
+};
+
+/// Plus(E1, delta): fires once, delta micros after each E1.
+class PlusEvent : public Event, public EventListener {
+ public:
+  PlusEvent(EventPtr base, int64_t delta_micros);
+  ~PlusEvent() override;
+
+  std::vector<Event*> Children() const override;
+  std::string Describe() const override;
+  void ResetState() override;
+  void OnEvent(Event* source, const EventDetection& det) override;
+  void AdvanceTime(const Timestamp& now) override;
+
+  size_t pending() const { return pending_.size(); }
+  int64_t delta_micros() const { return delta_micros_; }
+
+  void SerializeState(Encoder* enc) const override;
+  Status DeserializeState(Decoder* dec) override;
+  const std::vector<Oid>& persisted_child_oids() const {
+    return persisted_children_;
+  }
+  /// Registry relink hook: (base).
+  void SetChildrenList(std::vector<EventPtr> children);
+
+ private:
+  EventPtr base_;
+  int64_t delta_micros_;
+  std::deque<EventDetection> pending_;
+  std::vector<Oid> persisted_children_;
+};
+
+/// Builders.
+EventPtr Any(size_t m, std::vector<EventPtr> children);
+EventPtr Not(EventPtr start, EventPtr forbidden, EventPtr finish,
+             ParameterContext context = ParameterContext::kChronicle);
+EventPtr Aperiodic(EventPtr opener, EventPtr tracked, EventPtr closer);
+EventPtr Periodic(EventPtr opener, int64_t period_micros, EventPtr closer);
+EventPtr Plus(EventPtr base, int64_t delta_micros);
+EventPtr Every(size_t n, EventPtr base);
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_EVENTS_SNOOP_OPERATORS_H_

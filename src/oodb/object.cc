@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "oodb/object.h"
+
+namespace sentinel {
+
+Value PersistentObject::GetAttr(const std::string& name) const {
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? Value() : it->second;
+}
+
+Value PersistentObject::SetAttrRaw(const std::string& name, Value value) {
+  Value old = GetAttr(name);
+  attrs_[name] = std::move(value);
+  return old;
+}
+
+bool PersistentObject::HasAttr(const std::string& name) const {
+  return attrs_.count(name) != 0;
+}
+
+void PersistentObject::SerializeState(Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(attrs_.size()));
+  for (const auto& [name, value] : attrs_) {
+    enc->PutString(name);
+    enc->PutValue(value);
+  }
+}
+
+Status PersistentObject::DeserializeState(Decoder* dec) {
+  attrs_.clear();
+  uint32_t count;
+  SENTINEL_RETURN_IF_ERROR(dec->GetU32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    Value value;
+    SENTINEL_RETURN_IF_ERROR(dec->GetString(&name));
+    SENTINEL_RETURN_IF_ERROR(dec->GetValue(&value));
+    attrs_.emplace(std::move(name), std::move(value));
+  }
+  return Status::OK();
+}
+
+}  // namespace sentinel

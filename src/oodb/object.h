@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// PersistentObject: the analog of Zeitgeist's `zg-pos` root class. In the
+// paper (Fig. 3) every persistable entity — Rule and Event objects included —
+// derives from zg-pos; here they derive from PersistentObject, whose state
+// round-trips through the byte codec into the object store.
+
+#ifndef SENTINEL_OODB_OBJECT_H_
+#define SENTINEL_OODB_OBJECT_H_
+
+#include <map>
+#include <string>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "oodb/oid.h"
+
+namespace sentinel {
+
+/// Base class for everything that can live in the object store.
+///
+/// Subclasses serialize their state via SerializeState/DeserializeState.
+/// The generic attribute map covers schema-driven objects (the examples and
+/// tests use it); subclasses with native C++ members may override the
+/// serialization hooks instead.
+class PersistentObject {
+ public:
+  PersistentObject(std::string class_name, Oid oid = kInvalidOid)
+      : class_name_(std::move(class_name)), oid_(oid) {}
+  virtual ~PersistentObject() = default;
+
+  Oid oid() const { return oid_; }
+  const std::string& class_name() const { return class_name_; }
+
+  /// Assigned by the object store when the object is first persisted.
+  void set_oid(Oid oid) { oid_ = oid; }
+
+  // --- Generic attribute state --------------------------------------------
+
+  /// Reads attribute `name`; null Value when unset.
+  Value GetAttr(const std::string& name) const;
+
+  /// Writes attribute `name` and returns the previous value.
+  Value SetAttrRaw(const std::string& name, Value value);
+
+  bool HasAttr(const std::string& name) const;
+
+  const std::map<std::string, Value>& attrs() const { return attrs_; }
+
+  // --- Serialization -------------------------------------------------------
+
+  /// Writes this object's state. Default: the attribute map.
+  virtual void SerializeState(Encoder* enc) const;
+
+  /// Restores this object's state. Default: the attribute map.
+  virtual Status DeserializeState(Decoder* dec);
+
+ protected:
+  std::map<std::string, Value> attrs_;
+
+ private:
+  std::string class_name_;
+  Oid oid_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_OODB_OBJECT_H_

@@ -1,0 +1,484 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "oodb/object_store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace sentinel {
+
+namespace {
+
+/// Class name used for the persisted catalog record; double-underscore
+/// classes are system records and excluded from extents.
+constexpr char kCatalogClass[] = "__catalog__";
+
+bool IsSystemClass(const std::string& name) {
+  return name.rfind("__", 0) == 0;
+}
+
+/// One stored chunk of an object image.
+struct Chunk {
+  Oid oid = kInvalidOid;
+  std::string class_name;
+  uint32_t index = 0;
+  uint32_t count = 1;
+  std::string fragment;
+};
+
+std::string EncodeChunk(const Chunk& chunk) {
+  Encoder enc;
+  enc.PutU64(chunk.oid);
+  enc.PutString(chunk.class_name);
+  enc.PutU32(chunk.index);
+  enc.PutU32(chunk.count);
+  enc.PutString(chunk.fragment);
+  return enc.Release();
+}
+
+Status DecodeChunk(const std::string& payload, Chunk* chunk) {
+  Decoder dec(payload);
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&chunk->oid));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&chunk->class_name));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&chunk->index));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&chunk->count));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&chunk->fragment));
+  return Status::OK();
+}
+
+/// Largest state fragment per chunk, leaving room for the chunk envelope
+/// (oid + class name + counters + length prefixes).
+size_t MaxFragment(const std::string& class_name) {
+  size_t envelope = 8 + 4 + class_name.size() + 4 + 4 + 4 + 64;
+  return SlottedPage::MaxPayload() - envelope;
+}
+
+}  // namespace
+
+ObjectStore::ObjectStore(size_t buffer_pages)
+    : buffer_pages_hint_(buffer_pages) {}
+
+ObjectStore::~ObjectStore() { Close().ok(); }
+
+std::string ObjectStore::FrameRecord(Oid oid, const std::string& class_name,
+                                     const std::string& state) {
+  Encoder enc;
+  enc.PutU64(oid);
+  enc.PutString(class_name);
+  enc.PutString(state);
+  return enc.Release();
+}
+
+Status ObjectStore::UnframeRecord(const std::string& payload, Oid* oid,
+                                  std::string* class_name,
+                                  std::string* state) {
+  Decoder dec(payload);
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(oid));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(class_name));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(state));
+  return Status::OK();
+}
+
+Status ObjectStore::Open(const std::string& dir) {
+  if (open_) return Status::FailedPrecondition("store already open");
+  dir_ = dir;
+  SENTINEL_RETURN_IF_ERROR(disk_.Open(dir + "/heap.db"));
+  pool_ = std::make_unique<BufferPool>(&disk_, buffer_pages_hint_);
+  SENTINEL_RETURN_IF_ERROR(wal_.Open(dir + "/wal.log"));
+  txn_manager_ = std::make_unique<TransactionManager>(&wal_, &lock_manager_);
+  txn_manager_->SetHeap(this);
+
+  SENTINEL_RETURN_IF_ERROR(RebuildDirectory());
+  SENTINEL_RETURN_IF_ERROR(Recover());
+
+  // Restore the oid high-water mark from what the heap now contains.
+  Oid max_oid = kFirstUserOid - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [oid, rids] : directory_) max_oid = std::max(max_oid,
+                                                                  oid);
+  }
+  oids_.Restore(max_oid + 1);
+
+  open_ = true;
+  return Status::OK();
+}
+
+Status ObjectStore::Close() {
+  if (!open_) return Status::OK();
+  SENTINEL_RETURN_IF_ERROR(Checkpoint());
+  SENTINEL_RETURN_IF_ERROR(wal_.Close());
+  SENTINEL_RETURN_IF_ERROR(disk_.Close());
+  pool_.reset();
+  txn_manager_.reset();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    directory_.clear();
+    extents_.clear();
+    data_pages_.clear();
+  }
+  open_ = false;
+  return Status::OK();
+}
+
+Status ObjectStore::RebuildDirectory() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  directory_.clear();
+  extents_.clear();
+  data_pages_.clear();
+  // Collect chunks per oid first; chunk order on disk is arbitrary.
+  std::unordered_map<Oid, std::map<uint32_t, RecordId>> chunks;
+  std::unordered_map<Oid, std::string> classes;
+  uint32_t pages = disk_.page_count();
+  for (PageId pid = 0; pid < pages; ++pid) {
+    SENTINEL_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pid));
+    SlottedPage sp(page);
+    if (!sp.IsInitialized()) {
+      pool_->UnpinPage(pid, false).ok();
+      continue;
+    }
+    data_pages_.push_back(pid);
+    for (uint16_t slot = 0; slot < sp.SlotCount(); ++slot) {
+      if (!sp.IsLive(slot)) continue;
+      std::string payload;
+      Status s = sp.Read(slot, &payload);
+      if (!s.ok()) continue;
+      Chunk chunk;
+      s = DecodeChunk(payload, &chunk);
+      if (!s.ok()) {
+        pool_->UnpinPage(pid, false).ok();
+        return Status::Corruption("bad record on page " +
+                                  std::to_string(pid));
+      }
+      chunks[chunk.oid][chunk.index] = RecordId{pid, slot};
+      classes[chunk.oid] = chunk.class_name;
+    }
+    SENTINEL_RETURN_IF_ERROR(pool_->UnpinPage(pid, false));
+  }
+  for (auto& [oid, ordered] : chunks) {
+    std::vector<RecordId> rids;
+    rids.reserve(ordered.size());
+    for (auto& [index, rid] : ordered) rids.push_back(rid);
+    directory_[oid] = std::move(rids);
+    const std::string& cls = classes[oid];
+    if (!IsSystemClass(cls)) extents_[cls].insert(oid);
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::Recover() {
+  std::vector<WalRecord> records;
+  SENTINEL_RETURN_IF_ERROR(wal_.ReadAll(&records));
+  if (records.empty()) return Status::OK();
+
+  // Pass 1: which transactions committed?
+  std::set<TxnId> committed;
+  for (const WalRecord& rec : records) {
+    if (rec.type == WalRecordType::kCommit) committed.insert(rec.txn);
+  }
+  // Pass 2: redo committed operations in log order (idempotent).
+  size_t redone = 0;
+  for (const WalRecord& rec : records) {
+    if (committed.count(rec.txn) == 0) continue;
+    if (rec.type == WalRecordType::kPut) {
+      SENTINEL_RETURN_IF_ERROR(ApplyPut(rec.oid, rec.payload));
+      ++redone;
+    } else if (rec.type == WalRecordType::kDelete) {
+      Status s = ApplyDelete(rec.oid);
+      if (!s.ok() && !s.IsNotFound()) return s;  // Delete may be replayed.
+      ++redone;
+    }
+  }
+  if (redone > 0) {
+    SENTINEL_INFO << "recovery redid " << redone << " operations";
+  }
+  // The heap is current: checkpoint so the log does not grow unboundedly.
+  SENTINEL_RETURN_IF_ERROR(pool_->FlushAll());
+  return wal_.Reset();
+}
+
+Result<RecordId> ObjectStore::InsertRecord(const std::string& payload) {
+  // Caller holds mutex_.
+  if (payload.size() > SlottedPage::MaxPayload()) {
+    return Status::InvalidArgument("chunk exceeds page capacity (" +
+                                   std::to_string(payload.size()) +
+                                   " bytes)");
+  }
+  // Try recent pages first (cheap heuristic; most pages fill in order).
+  for (auto it = data_pages_.rbegin(); it != data_pages_.rend(); ++it) {
+    PageId pid = *it;
+    SENTINEL_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pid));
+    SlottedPage sp(page);
+    if (sp.FreeSpace() >= payload.size() + 8) {
+      Result<uint16_t> slot = sp.Insert(payload);
+      if (slot.ok()) {
+        SENTINEL_RETURN_IF_ERROR(pool_->UnpinPage(pid, true));
+        return RecordId{pid, slot.value()};
+      }
+    }
+    SENTINEL_RETURN_IF_ERROR(pool_->UnpinPage(pid, false));
+    if (data_pages_.size() - (it - data_pages_.rbegin()) > 4) break;
+  }
+  // Allocate a fresh page.
+  SENTINEL_ASSIGN_OR_RETURN(Page * page, pool_->AllocatePage());
+  SlottedPage sp(page);
+  sp.Init();
+  Result<uint16_t> slot = sp.Insert(payload);
+  if (!slot.ok()) {
+    pool_->UnpinPage(page->page_id(), true).ok();
+    return slot.status();
+  }
+  data_pages_.push_back(page->page_id());
+  RecordId rid{page->page_id(), slot.value()};
+  SENTINEL_RETURN_IF_ERROR(pool_->UnpinPage(page->page_id(), true));
+  return rid;
+}
+
+Status ObjectStore::ReadRecord(const RecordId& rid,
+                               std::string* payload) const {
+  SENTINEL_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  SlottedPage sp(page);
+  Status s = sp.Read(rid.slot, payload);
+  pool_->UnpinPage(rid.page_id, false).ok();
+  return s;
+}
+
+Status ObjectStore::ReadObjectLocked(Oid oid, std::string* class_name,
+                                     std::string* state) const {
+  auto it = directory_.find(oid);
+  if (it == directory_.end()) return Status::NotFound(OidToString(oid));
+  state->clear();
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    std::string payload;
+    SENTINEL_RETURN_IF_ERROR(ReadRecord(it->second[i], &payload));
+    Chunk chunk;
+    SENTINEL_RETURN_IF_ERROR(DecodeChunk(payload, &chunk));
+    if (chunk.oid != oid || chunk.index != i ||
+        chunk.count != it->second.size()) {
+      return Status::Corruption("inconsistent chunk chain for " +
+                                OidToString(oid));
+    }
+    if (i == 0) *class_name = chunk.class_name;
+    state->append(chunk.fragment);
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::Put(Transaction* txn, Oid oid,
+                        const std::string& class_name,
+                        const std::string& state) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  if (oid == kInvalidOid) return Status::InvalidArgument("invalid oid");
+  SENTINEL_RETURN_IF_ERROR(txn->Lock(oid, LockMode::kExclusive));
+  txn->StagePut(oid, FrameRecord(oid, class_name, state));
+  return Status::OK();
+}
+
+Status ObjectStore::Get(Transaction* txn, Oid oid, std::string* class_name,
+                        std::string* state) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  if (txn != nullptr) {
+    if (const PendingWrite* w = txn->FindWrite(oid)) {
+      if (w->op == PendingWrite::Op::kDelete) {
+        return Status::NotFound(OidToString(oid) + " deleted in this txn");
+      }
+      Oid dummy;
+      return UnframeRecord(w->payload, &dummy, class_name, state);
+    }
+    SENTINEL_RETURN_IF_ERROR(txn->Lock(oid, LockMode::kShared));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ReadObjectLocked(oid, class_name, state);
+}
+
+Status ObjectStore::Delete(Transaction* txn, Oid oid) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  SENTINEL_RETURN_IF_ERROR(txn->Lock(oid, LockMode::kExclusive));
+  bool exists_committed = Exists(oid);
+  bool staged = txn->FindWrite(oid) != nullptr;
+  if (!exists_committed && !staged) {
+    return Status::NotFound(OidToString(oid));
+  }
+  txn->StageDelete(oid);
+  return Status::OK();
+}
+
+bool ObjectStore::Exists(Oid oid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return directory_.count(oid) != 0;
+}
+
+std::vector<Oid> ObjectStore::Extent(const std::string& class_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = extents_.find(class_name);
+  if (it == extents_.end()) return {};
+  return std::vector<Oid>(it->second.begin(), it->second.end());
+}
+
+std::vector<Oid> ObjectStore::DeepExtent(const std::string& class_name,
+                                         const ClassCatalog& catalog) const {
+  std::vector<Oid> out;
+  for (const std::string& cls : catalog.SubclassesOf(class_name)) {
+    std::vector<Oid> part = Extent(cls);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t ObjectStore::ObjectCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [cls, members] : extents_) n += members.size();
+  return n;
+}
+
+Status ObjectStore::Checkpoint() {
+  if (pool_ == nullptr) return Status::FailedPrecondition("store not open");
+  SENTINEL_RETURN_IF_ERROR(pool_->FlushAll());
+  return wal_.Reset();
+}
+
+Status ObjectStore::EraseChunksLocked(Oid oid) {
+  auto it = directory_.find(oid);
+  if (it == directory_.end()) return Status::NotFound(OidToString(oid));
+  std::string class_name;
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    const RecordId& rid = it->second[i];
+    SENTINEL_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+    SlottedPage sp(page);
+    if (i == 0) {
+      std::string payload;
+      Chunk chunk;
+      if (sp.Read(rid.slot, &payload).ok() &&
+          DecodeChunk(payload, &chunk).ok()) {
+        class_name = chunk.class_name;
+      }
+    }
+    Status s = sp.Delete(rid.slot);
+    SENTINEL_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, true));
+    SENTINEL_RETURN_IF_ERROR(s);
+  }
+  if (!class_name.empty()) {
+    auto eit = extents_.find(class_name);
+    if (eit != extents_.end()) eit->second.erase(oid);
+  }
+  directory_.erase(it);
+  return Status::OK();
+}
+
+Status ObjectStore::ApplyPut(uint64_t oid, const std::string& payload) {
+  Oid decoded_oid;
+  std::string class_name, state;
+  SENTINEL_RETURN_IF_ERROR(
+      UnframeRecord(payload, &decoded_oid, &class_name, &state));
+  if (decoded_oid != oid) {
+    return Status::Corruption("framed oid mismatch");
+  }
+
+  // Split the state into page-sized fragments.
+  size_t max_fragment = MaxFragment(class_name);
+  std::vector<Chunk> chunks;
+  size_t offset = 0;
+  do {
+    Chunk chunk;
+    chunk.oid = oid;
+    chunk.class_name = class_name;
+    chunk.index = static_cast<uint32_t>(chunks.size());
+    chunk.fragment = state.substr(offset, max_fragment);
+    offset += chunk.fragment.size();
+    chunks.push_back(std::move(chunk));
+  } while (offset < state.size());
+  for (Chunk& chunk : chunks) {
+    chunk.count = static_cast<uint32_t>(chunks.size());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = directory_.find(oid);
+    if (it != directory_.end() && it->second.size() == 1 &&
+        chunks.size() == 1) {
+      // Fast path: single-chunk update in place (or moved among pages).
+      RecordId rid = it->second[0];
+      std::string encoded = EncodeChunk(chunks[0]);
+      SENTINEL_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+      SlottedPage sp(page);
+      Status s = sp.Update(rid.slot, encoded);
+      if (s.ok()) {
+        SENTINEL_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, true));
+      } else {
+        sp.Delete(rid.slot).ok();
+        SENTINEL_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, true));
+        SENTINEL_ASSIGN_OR_RETURN(RecordId moved, InsertRecord(encoded));
+        directory_[oid] = {moved};
+      }
+    } else {
+      // General path: drop old chunks, insert the new chain.
+      if (it != directory_.end()) {
+        SENTINEL_RETURN_IF_ERROR(EraseChunksLocked(oid));
+      }
+      std::vector<RecordId> rids;
+      rids.reserve(chunks.size());
+      for (const Chunk& chunk : chunks) {
+        SENTINEL_ASSIGN_OR_RETURN(RecordId rid,
+                                  InsertRecord(EncodeChunk(chunk)));
+        rids.push_back(rid);
+      }
+      directory_[oid] = std::move(rids);
+      if (!IsSystemClass(class_name)) extents_[class_name].insert(oid);
+    }
+  }
+  if (observer_ != nullptr && !IsSystemClass(class_name)) {
+    observer_->OnCommittedPut(oid, class_name, state);
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::ApplyDelete(uint64_t oid) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SENTINEL_RETURN_IF_ERROR(EraseChunksLocked(oid));
+  }
+  if (observer_ != nullptr) observer_->OnCommittedDelete(oid);
+  return Status::OK();
+}
+
+Status ObjectStore::SystemPut(Oid oid, const std::string& class_name,
+                              const std::string& state) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  std::string framed = FrameRecord(oid, class_name, state);
+  // System mini-transaction (txn id 0) so the write is durable in the WAL
+  // before it lands on the heap.
+  WalRecord begin{WalRecordType::kBegin, 0, 0, {}};
+  WalRecord put{WalRecordType::kPut, 0, oid, framed};
+  WalRecord commit{WalRecordType::kCommit, 0, 0, {}};
+  SENTINEL_RETURN_IF_ERROR(wal_.Append(begin));
+  SENTINEL_RETURN_IF_ERROR(wal_.Append(put));
+  SENTINEL_RETURN_IF_ERROR(wal_.Append(commit));
+  SENTINEL_RETURN_IF_ERROR(wal_.Sync());
+  return ApplyPut(oid, framed);
+}
+
+Status ObjectStore::SaveCatalog(const ClassCatalog& catalog) {
+  Encoder enc;
+  catalog.Encode(&enc);
+  return SystemPut(kCatalogOid, kCatalogClass, enc.Release());
+}
+
+Status ObjectStore::LoadCatalog(ClassCatalog* catalog) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  std::string class_name, state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Status s = ReadObjectLocked(kCatalogOid, &class_name, &state);
+    if (s.IsNotFound()) return Status::NotFound("no saved catalog");
+    SENTINEL_RETURN_IF_ERROR(s);
+  }
+  Decoder dec(state);
+  return catalog->Decode(&dec);
+}
+
+}  // namespace sentinel

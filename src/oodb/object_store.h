@@ -1,0 +1,179 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// ObjectStore: the persistence substrate standing in for Zeitgeist.
+//
+// The store maps Oids to serialized object images kept in slotted pages
+// behind a buffer pool, with transactional updates (strict 2PL + redo WAL,
+// no-steal). It also maintains *class extents* — the set of committed
+// instances per class — which is what lets class-level rules subscribe to
+// "all instances of C, including ones created later" (paper §3.5/§4.7).
+//
+// On-disk layout: an object is stored as one or more *chunk* records, each
+// [oid u64][class name][chunk index u32][chunk count u32][state fragment],
+// so object images larger than a page split transparently. The directory
+// (oid -> ordered chunk record ids) and the extents are rebuilt by a full
+// scan at open, then kept incrementally.
+
+#ifndef SENTINEL_OODB_OBJECT_STORE_H_
+#define SENTINEL_OODB_OBJECT_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "oodb/class_catalog.h"
+#include "oodb/oid.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/slotted_page.h"
+#include "txn/transaction_manager.h"
+#include "txn/wal.h"
+
+namespace sentinel {
+
+/// Observes committed installs (post-WAL, post-heap). The attribute index
+/// and similar derived structures hang off this; observers see committed
+/// images only, never staged transaction state. Callbacks run on the
+/// committing thread with no store locks held.
+class CommitObserver {
+ public:
+  virtual ~CommitObserver() = default;
+  virtual void OnCommittedPut(Oid oid, const std::string& class_name,
+                              const std::string& state) = 0;
+  virtual void OnCommittedDelete(Oid oid) = 0;
+};
+
+/// Transactional Oid -> object-image store with class extents.
+class ObjectStore : public HeapApplier {
+ public:
+  /// `buffer_pages` sizes the buffer pool.
+  explicit ObjectStore(size_t buffer_pages = 256);
+  ~ObjectStore() override;
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Opens (creating if needed) the database under directory `dir`
+  /// (heap file `dir/heap.db`, log `dir/wal.log`), replays the WAL, and
+  /// rebuilds the directory and extents.
+  Status Open(const std::string& dir);
+
+  /// Checkpoints and closes. Idempotent.
+  Status Close();
+
+  bool is_open() const { return open_; }
+
+  /// Issues a fresh object id.
+  Oid NewOid() { return oids_.Next(); }
+
+  /// Transaction factory/committer (shared with the rule scheduler).
+  TransactionManager* txns() { return txn_manager_.get(); }
+  LockManager* locks() { return &lock_manager_; }
+
+  // --- Transactional object access ----------------------------------------
+
+  /// Stages a create-or-update of `oid` under `txn` (X lock).
+  Status Put(Transaction* txn, Oid oid, const std::string& class_name,
+             const std::string& state);
+
+  /// Reads `oid`: the transaction's own staged write if any, else the
+  /// committed image (S lock).
+  Status Get(Transaction* txn, Oid oid, std::string* class_name,
+             std::string* state);
+
+  /// Stages a delete of `oid` (X lock).
+  Status Delete(Transaction* txn, Oid oid);
+
+  // --- Committed-state queries --------------------------------------------
+
+  /// True if a committed image of `oid` exists.
+  bool Exists(Oid oid) const;
+
+  /// Committed instances of exactly `class_name` (sorted).
+  std::vector<Oid> Extent(const std::string& class_name) const;
+
+  /// Committed instances of `class_name` or any registered subclass.
+  std::vector<Oid> DeepExtent(const std::string& class_name,
+                              const ClassCatalog& catalog) const;
+
+  /// Number of committed user objects.
+  size_t ObjectCount() const;
+
+  // --- Maintenance ---------------------------------------------------------
+
+  /// Flushes dirty pages and truncates the WAL.
+  Status Checkpoint();
+
+  /// Writes a system record (catalog, registries) durably and immediately,
+  /// outside user transactions, via a WAL mini-transaction.
+  Status SystemPut(Oid oid, const std::string& class_name,
+                   const std::string& state);
+
+  /// Persists the catalog (system mini-transaction, durable immediately).
+  Status SaveCatalog(const ClassCatalog& catalog);
+
+  /// Restores the catalog saved by SaveCatalog; NotFound if never saved.
+  Status LoadCatalog(ClassCatalog* catalog);
+
+  /// Registers the (single) commit observer; pass nullptr to clear.
+  /// System-class records do not notify.
+  void SetCommitObserver(CommitObserver* observer) { observer_ = observer; }
+
+  // --- HeapApplier (committed writes land here) ----------------------------
+
+  Status ApplyPut(uint64_t oid, const std::string& payload) override;
+  Status ApplyDelete(uint64_t oid) override;
+
+  /// Frames [oid][class][state] as stored on the heap and staged in txns.
+  static std::string FrameRecord(Oid oid, const std::string& class_name,
+                                 const std::string& state);
+  /// Inverse of FrameRecord.
+  static Status UnframeRecord(const std::string& payload, Oid* oid,
+                              std::string* class_name, std::string* state);
+
+ private:
+  /// Inserts `payload` into some page with room, allocating if needed.
+  Result<RecordId> InsertRecord(const std::string& payload);
+
+  /// Reads the record at `rid`.
+  Status ReadRecord(const RecordId& rid, std::string* payload) const;
+
+  /// Reassembles the committed image of `oid` from its chunks. Caller must
+  /// hold mutex_.
+  Status ReadObjectLocked(Oid oid, std::string* class_name,
+                          std::string* state) const;
+
+  /// Deletes every chunk of `oid` and drops its directory/extent entries.
+  /// Caller must hold mutex_.
+  Status EraseChunksLocked(Oid oid);
+
+  /// Scans every heap page rebuilding directory_ and extents_.
+  Status RebuildDirectory();
+
+  /// Replays committed WAL transactions into the heap.
+  Status Recover();
+
+  bool open_ = false;
+  size_t buffer_pages_hint_ = 256;
+  CommitObserver* observer_ = nullptr;
+  std::string dir_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  WalManager wal_;
+  LockManager lock_manager_;
+  std::unique_ptr<TransactionManager> txn_manager_;
+  OidGenerator oids_;
+
+  mutable std::mutex mutex_;  // Guards directory_, extents_, insert path.
+  std::unordered_map<Oid, std::vector<RecordId>> directory_;
+  std::unordered_map<std::string, std::set<Oid>> extents_;
+  std::vector<PageId> data_pages_;  // Pages formatted as slotted pages.
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_OODB_OBJECT_STORE_H_

@@ -1,0 +1,15 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "oodb/oid.h"
+
+#include <algorithm>
+
+namespace sentinel {
+
+void OidGenerator::Restore(Oid next) {
+  next_.store(std::max(next, kFirstUserOid), std::memory_order_relaxed);
+}
+
+std::string OidToString(Oid oid) { return "oid:" + std::to_string(oid); }
+
+}  // namespace sentinel

@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Object identity. Every persistent or reactive entity in Sentinel — user
+// objects, events, and rules alike (first-class citizenship, paper §3.3/§3.4)
+// — carries a 64-bit Oid issued by the object store.
+
+#ifndef SENTINEL_OODB_OID_H_
+#define SENTINEL_OODB_OID_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sentinel {
+
+/// Database-wide object identifier. 0 is invalid; low ids are reserved for
+/// system objects (catalog, oid counter).
+using Oid = uint64_t;
+
+constexpr Oid kInvalidOid = 0;
+/// Record holding the serialized class catalog.
+constexpr Oid kCatalogOid = 1;
+/// Record holding the persisted oid counter.
+constexpr Oid kOidCounterOid = 2;
+/// First id handed to user/rule/event objects.
+constexpr Oid kFirstUserOid = 100;
+
+/// Issues unique Oids. The current high-water mark is persisted by the
+/// object store so ids survive restarts.
+class OidGenerator {
+ public:
+  explicit OidGenerator(Oid next = kFirstUserOid) : next_(next) {}
+
+  Oid Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Current high-water mark (the next id to be issued).
+  Oid Peek() const { return next_.load(std::memory_order_relaxed); }
+
+  /// Restores the counter after recovery; `next` must be >= kFirstUserOid.
+  void Restore(Oid next);
+
+ private:
+  std::atomic<Oid> next_;
+};
+
+/// Renders "oid:<n>" for diagnostics.
+std::string OidToString(Oid oid);
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_OODB_OID_H_

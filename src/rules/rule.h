@@ -1,0 +1,202 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Rules as first-class notifiable objects (paper §3.4, §4.4, Fig. 7).
+//
+// A Rule carries the ECA triple — the Event object that triggers it, the
+// Condition evaluated when the event is signaled, and the Action executed
+// when the condition holds — plus a coupling mode, a priority, and the
+// enabled flag. Rules are:
+//
+//   * Notifiable — they subscribe to reactive objects and forward received
+//     primitive occurrences into their event graph ("the rule passes the
+//     events to the event detector", Fig. 2),
+//   * Reactive — rule operations (Fire/Enable/Disable) generate events of
+//     their own, so rules can be monitored by other rules ("specification
+//     of rules on any set of objects, including rules themselves", §1),
+//   * Persistent — they have Oids and survive restarts. Conditions and
+//     actions are C++ closures and cannot themselves be serialized; they
+//     persist *by name* through the FunctionRegistry (the analog of the
+//     paper's member-function pointers, which Zeitgeist re-resolved against
+//     the compiled application on load).
+
+#ifndef SENTINEL_RULES_RULE_H_
+#define SENTINEL_RULES_RULE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/notifiable.h"
+#include "core/reactive.h"
+#include "events/event.h"
+#include "oodb/oid.h"
+#include "txn/transaction.h"
+
+namespace sentinel {
+
+class Database;
+class Rule;
+class RuleScheduler;
+
+/// When a triggered rule's condition/action run relative to the triggering
+/// transaction (paper Fig. 7 "Coupling mode"; semantics from the HiPAC
+/// lineage the paper builds on).
+enum class CouplingMode : uint8_t {
+  kImmediate = 0,  ///< Synchronously, inside the triggering transaction.
+  kDeferred = 1,   ///< At the triggering transaction's commit point.
+  kDetached = 2,   ///< In a separate transaction after commit.
+};
+
+const char* ToString(CouplingMode mode);
+
+/// Everything a condition/action may consult.
+struct RuleContext {
+  Database* db = nullptr;            ///< Null when running standalone.
+  Transaction* txn = nullptr;        ///< Transaction the rule runs under.
+  const EventDetection* detection = nullptr;  ///< What triggered the rule.
+  Rule* rule = nullptr;
+
+  /// Actual parameters of the terminating constituent (convenience).
+  const ValueList& params() const;
+  /// Constituent occurrences (convenience).
+  const std::vector<EventOccurrence>& constituents() const;
+};
+
+/// Predicate over the triggering context.
+using RuleCondition = std::function<bool(const RuleContext&)>;
+/// Effect; returning a non-OK status surfaces as a rule error (and an
+/// Aborted status dooms the triggering transaction in immediate/deferred
+/// coupling).
+using RuleAction = std::function<Status(RuleContext&)>;
+
+/// An ECA rule.
+class Rule : public Notifiable,
+             public Reactive,
+             public PersistentObject,
+             public EventListener {
+ public:
+  /// `event` may be shared with other rules (events are first-class).
+  Rule(std::string name, EventPtr event, RuleCondition condition,
+       RuleAction action, CouplingMode mode = CouplingMode::kImmediate,
+       int priority = 0);
+  ~Rule() override;
+
+  Rule(const Rule&) = delete;
+  Rule& operator=(const Rule&) = delete;
+
+  // --- Identity & configuration ---------------------------------------------
+
+  const std::string& name() const { return name_; }
+  Event* event() const { return event_.get(); }
+  EventPtr shared_event() const { return event_; }
+  CouplingMode coupling() const { return coupling_; }
+  void set_coupling(CouplingMode mode) { coupling_ = mode; }
+  int priority() const { return priority_; }
+  void set_priority(int priority) { priority_ = priority; }
+
+  /// Rebinds the triggering event (first-class modification). The rule
+  /// re-listens on the new event root.
+  void SetEvent(EventPtr event);
+
+  /// Rebinds condition/action (used by persistence rebinding too).
+  void SetCondition(RuleCondition condition, std::string registered_name = "");
+  void SetAction(RuleAction action, std::string registered_name = "");
+
+  const std::string& condition_name() const { return condition_name_; }
+  const std::string& action_name() const { return action_name_; }
+
+  /// Scheduler wiring; a rule without a scheduler executes inline on
+  /// trigger (standalone mode).
+  void AttachScheduler(RuleScheduler* scheduler) { scheduler_ = scheduler; }
+
+  // --- Lifecycle (paper Fig. 7 methods) --------------------------------------
+
+  /// Enables the rule (and raises "end Rule::Enable" to its consumers).
+  void Enable();
+  /// Disables: received events are ignored (and buffered operator state in
+  /// its private event tree is left as-is).
+  void Disable();
+  bool enabled() const { return enabled_; }
+
+  // --- Event intake -----------------------------------------------------------
+
+  /// Notifiable: a subscribed reactive object generated `occ`; Record it
+  /// and feed the event graph.
+  void Notify(const EventOccurrence& occ) override;
+
+  /// EventListener: the rule's event signaled; trigger per coupling mode.
+  void OnEvent(Event* source, const EventDetection& det) override;
+
+  /// Runs condition-then-action immediately under `ctx`. Called by the
+  /// scheduler (all coupling modes eventually land here) and by tests.
+  Status Execute(RuleContext& ctx);
+
+  // --- Statistics --------------------------------------------------------------
+
+  uint64_t triggered_count() const { return triggered_; }  ///< Event signals.
+  uint64_t fired_count() const { return fired_; }  ///< Condition held.
+  uint64_t error_count() const { return errors_; }
+
+  // --- Persistence ---------------------------------------------------------------
+
+  /// Serialized: name, event oid, condition/action registered names,
+  /// coupling, priority, enabled, monitored-instance oids (resubscribed on
+  /// materialization), target classes (class-level rules).
+  void SerializeState(Encoder* enc) const override;
+  Status DeserializeState(Decoder* dec) override;
+
+  /// Event oid captured by DeserializeState (relinked by RuleManager).
+  Oid persisted_event_oid() const { return persisted_event_; }
+
+  /// True when the serialized rule carried an anonymous (unregistered)
+  /// condition/action closure, which cannot be restored.
+  bool had_anonymous_condition() const { return had_anonymous_condition_; }
+  bool had_anonymous_action() const { return had_anonymous_action_; }
+
+  /// Oids of reactive instances this rule monitors (instance-level rules);
+  /// maintained by RuleManager/Database for persistence + resubscription.
+  std::vector<Oid>& monitored_instances() { return monitored_instances_; }
+  const std::vector<Oid>& monitored_instances() const {
+    return monitored_instances_;
+  }
+
+  /// Classes whose whole extent this rule applies to (class-level rules).
+  std::vector<std::string>& target_classes() { return target_classes_; }
+  const std::vector<std::string>& target_classes() const {
+    return target_classes_;
+  }
+
+ private:
+  /// Raises a rule-lifecycle event ("end Rule::<op>") to this rule's own
+  /// consumers — the hook that makes rules monitorable by rules.
+  void RaiseRuleEvent(const std::string& op, EventModifier modifier);
+
+  std::string name_;
+  EventPtr event_;
+  RuleCondition condition_;
+  RuleAction action_;
+  std::string condition_name_;
+  std::string action_name_;
+  CouplingMode coupling_;
+  int priority_;
+  bool enabled_ = true;
+  RuleScheduler* scheduler_ = nullptr;
+
+  uint64_t triggered_ = 0;
+  uint64_t fired_ = 0;
+  uint64_t errors_ = 0;
+
+  Oid persisted_event_ = kInvalidOid;
+  bool had_anonymous_condition_ = false;
+  bool had_anonymous_action_ = false;
+  std::vector<Oid> monitored_instances_;
+  std::vector<std::string> target_classes_;
+};
+
+using RulePtr = std::shared_ptr<Rule>;
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_RULES_RULE_H_

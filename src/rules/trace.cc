@@ -1,0 +1,96 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "rules/trace.h"
+
+namespace sentinel {
+
+const char* ToString(TraceEntry::Kind kind) {
+  switch (kind) {
+    case TraceEntry::Kind::kOccurrence:
+      return "occurrence";
+    case TraceEntry::Kind::kTriggered:
+      return "triggered";
+    case TraceEntry::Kind::kConditionFalse:
+      return "condition-false";
+    case TraceEntry::Kind::kFired:
+      return "fired";
+    case TraceEntry::Kind::kActionError:
+      return "action-error";
+    case TraceEntry::Kind::kDeferred:
+      return "deferred";
+    case TraceEntry::Kind::kDetached:
+      return "detached";
+  }
+  return "?";
+}
+
+std::string TraceEntry::ToString() const {
+  std::string out(static_cast<size_t>(depth) * 2, ' ');
+  out += sentinel::ToString(kind);
+  out += ' ';
+  out += subject;
+  if (!detail.empty()) {
+    out += " [";
+    out += detail;
+    out += ']';
+  }
+  if (txn != 0) {
+    out += " txn=";
+    out += std::to_string(txn);
+  }
+  return out;
+}
+
+void TraceRecorder::Trace(TraceEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(std::move(entry));
+  ++total_;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<TraceEntry> TraceRecorder::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<TraceEntry>(entries_.begin(), entries_.end());
+}
+
+std::vector<TraceEntry> TraceRecorder::EntriesOfKind(
+    TraceEntry::Kind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEntry> out;
+  for (const TraceEntry& entry : entries_) {
+    if (entry.kind == kind) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<TraceEntry> TraceRecorder::EntriesFor(
+    const std::string& subject) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEntry> out;
+  for (const TraceEntry& entry : entries_) {
+    if (entry.subject == subject) out.push_back(entry);
+  }
+  return out;
+}
+
+std::string TraceRecorder::Dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const TraceEntry& entry : entries_) {
+    out += entry.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace sentinel

@@ -1,0 +1,91 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Rule-execution tracing.
+//
+// Debugging active behaviour is notoriously hard — cascaded rules fire from
+// inside method calls, at commit points, and in detached transactions. The
+// tracer records the causal chain
+//
+//     occurrence -> rule triggered -> condition -> action outcome
+//
+// as structured entries (the Sentinel group's follow-on research built
+// exactly this kind of rule-debugging support). Attach a TraceRecorder via
+// Database::SetTracer / RuleScheduler::set_tracer; it is off (null) by
+// default and costs nothing when absent.
+
+#ifndef SENTINEL_RULES_TRACE_H_
+#define SENTINEL_RULES_TRACE_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace sentinel {
+
+/// One trace event.
+struct TraceEntry {
+  enum class Kind {
+    kOccurrence,      ///< A primitive event was generated.
+    kTriggered,       ///< A rule's event signaled.
+    kConditionFalse,  ///< The rule ran; its condition did not hold.
+    kFired,           ///< Condition held; action ran OK.
+    kActionError,     ///< Condition held; action returned non-OK.
+    kDeferred,        ///< Execution queued to the commit point.
+    kDetached,        ///< Execution queued to a post-commit transaction.
+  };
+
+  Kind kind;
+  Timestamp ts;
+  std::string subject;  ///< Event key or rule name.
+  std::string detail;   ///< Params, status, etc.
+  int depth = 0;        ///< Cascade depth at execution time.
+  uint64_t txn = 0;     ///< Transaction id (0 = none).
+
+  std::string ToString() const;
+};
+
+const char* ToString(TraceEntry::Kind kind);
+
+/// Receiver interface; implement to stream traces elsewhere.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  virtual void Trace(TraceEntry entry) = 0;
+};
+
+/// Bounded in-memory recorder with filtering and text dump. Thread safe.
+class TraceRecorder : public Tracer {
+ public:
+  explicit TraceRecorder(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Trace(TraceEntry entry) override;
+
+  /// All retained entries, oldest first.
+  std::vector<TraceEntry> Entries() const;
+
+  /// Entries of one kind.
+  std::vector<TraceEntry> EntriesOfKind(TraceEntry::Kind kind) const;
+
+  /// Entries whose subject matches exactly (rule name or event key).
+  std::vector<TraceEntry> EntriesFor(const std::string& subject) const;
+
+  /// Multi-line human-readable dump, indented by cascade depth.
+  std::string Dump() const;
+
+  void Clear();
+  size_t size() const;
+  uint64_t total() const { return total_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<TraceEntry> entries_;
+  size_t capacity_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_RULES_TRACE_H_

@@ -1,0 +1,72 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// LRU buffer pool over a DiskManager. Pages are pinned while in use and
+// written back lazily on eviction (plus FlushAll at checkpoints/close).
+
+#ifndef SENTINEL_STORAGE_BUFFER_POOL_H_
+#define SENTINEL_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace sentinel {
+
+/// Caches disk pages in a fixed set of frames with LRU replacement.
+///
+/// Thread safe. A pinned page's frame is never evicted; callers must balance
+/// each Fetch/Allocate with an Unpin.
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames held in memory.
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the page pinned; loads from disk on miss, evicting an unpinned
+  /// LRU frame if needed. Fails with Busy when every frame is pinned.
+  Result<Page*> FetchPage(PageId page_id);
+
+  /// Allocates a fresh page on disk and returns it pinned.
+  Result<Page*> AllocatePage();
+
+  /// Drops a pin; `dirty` marks the frame as needing write-back.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes one page through to disk (it stays cached).
+  Status FlushPage(PageId page_id);
+
+  /// Writes all dirty frames to disk and syncs the file.
+  Status FlushAll();
+
+  size_t capacity() const { return frames_.size(); }
+
+  /// Observability counters for benchmarks.
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+ private:
+  /// Picks a victim frame (unpinned LRU) or returns Busy.
+  Result<size_t> FindVictim();
+
+  DiskManager* disk_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;  // page id -> frame index
+  std::list<size_t> lru_;                          // front = least recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_STORAGE_BUFFER_POOL_H_

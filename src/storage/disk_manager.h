@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// File-backed page store. One DiskManager owns one database file; pages are
+// read and written whole. Thread safe (a single mutex serializes I/O, which
+// is adequate at Sentinel's scale).
+
+#ifndef SENTINEL_STORAGE_DISK_MANAGER_H_
+#define SENTINEL_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace sentinel {
+
+/// Allocates, reads, and writes fixed-size pages in a single file.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if absent) the database file at `path`.
+  Status Open(const std::string& path);
+
+  /// Flushes and closes the file. Idempotent.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Appends a zeroed page to the file and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `page_id` into `out` (exactly kPageSize bytes).
+  Status ReadPage(PageId page_id, char* out);
+
+  /// Writes kPageSize bytes from `data` to page `page_id`.
+  Status WritePage(PageId page_id, const char* data);
+
+  /// Forces buffered writes to the OS.
+  Status Sync();
+
+  /// Number of pages currently allocated in the file.
+  uint32_t page_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint32_t page_count_ = 0;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,12 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Page is header-only; this translation unit anchors the header in the build
+// so include hygiene is checked even before any .cc user exists.
+
+#include "storage/page.h"
+
+namespace sentinel {
+
+static_assert(kPageSize % 512 == 0, "pages must be disk-sector aligned");
+
+}  // namespace sentinel

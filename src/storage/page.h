@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Fixed-size page frame shared by the disk manager and the buffer pool.
+
+#ifndef SENTINEL_STORAGE_PAGE_H_
+#define SENTINEL_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace sentinel {
+
+/// Page size in bytes. 4 KiB matches common filesystem blocks.
+constexpr size_t kPageSize = 4096;
+
+/// Logical page number within a database file. Page 0 is the file header.
+using PageId = uint32_t;
+
+/// Sentinel value for "no page".
+constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// In-memory image of one disk page plus buffer-pool bookkeeping.
+///
+/// Page does not know its own format; SlottedPage (and the header/catalog
+/// pages) interpret data(). The pin count and dirty flag are manipulated only
+/// by the BufferPool under its latch.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return dirty_; }
+
+  /// Clears the frame for reuse by a different page.
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    dirty_ = false;
+  }
+
+ private:
+  friend class BufferPool;
+
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_STORAGE_PAGE_H_

@@ -1,0 +1,92 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "txn/lock_manager.h"
+
+namespace sentinel {
+
+bool LockManager::Compatible(const ResourceState& rs, TxnId txn,
+                             LockMode mode) {
+  for (const auto& [holder, held_mode] : rs.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Lock(TxnId txn, uint64_t resource, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ResourceState& rs = table_[resource];
+
+  auto self = rs.holders.find(txn);
+  if (self != rs.holders.end()) {
+    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // Already strong enough.
+    }
+    // Upgrade S -> X below (falls through to the wait loop).
+  }
+
+  while (!Compatible(rs, txn, mode)) {
+    // Wait-die: only wait on strictly younger conflict-free futures; if any
+    // conflicting holder is older (smaller id), the requester dies.
+    for (const auto& [holder, held_mode] : rs.holders) {
+      if (holder == txn) continue;
+      bool conflicts =
+          mode == LockMode::kExclusive || held_mode == LockMode::kExclusive;
+      if (conflicts && holder < txn) {
+        return Status::Aborted("wait-die: txn " + std::to_string(txn) +
+                               " yields to older txn " +
+                               std::to_string(holder));
+      }
+    }
+    rs.waiters++;
+    rs.cv.wait(lock);
+    rs.waiters--;
+  }
+
+  rs.holders[txn] = mode == LockMode::kExclusive
+                        ? LockMode::kExclusive
+                        : (self != rs.holders.end() ? self->second : mode);
+  if (mode == LockMode::kExclusive) rs.holders[txn] = LockMode::kExclusive;
+  held_[txn].insert(resource);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (uint64_t resource : it->second) {
+    auto rit = table_.find(resource);
+    if (rit == table_.end()) continue;
+    rit->second.holders.erase(txn);
+    if (rit->second.holders.empty() && rit->second.waiters == 0) {
+      table_.erase(rit);
+    } else {
+      rit->second.cv.notify_all();
+    }
+  }
+  held_.erase(it);
+}
+
+bool LockManager::Holds(TxnId txn, uint64_t resource, LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = table_.find(resource);
+  if (it == table_.end()) return false;
+  auto hit = it->second.holders.find(txn);
+  if (hit == it->second.holders.end()) return false;
+  return mode == LockMode::kShared ||
+         hit->second == LockMode::kExclusive;
+}
+
+size_t LockManager::LockedResourceCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [resource, rs] : table_) {
+    if (!rs.holders.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Strict two-phase locking on object identifiers.
+//
+// Deadlock handling uses the wait-die policy: a requester older (smaller
+// transaction id) than every conflicting holder waits; a younger requester
+// is refused with Status::Aborted and must roll back. Locks are held until
+// LockManager::ReleaseAll at commit/abort (strict 2PL), which is what makes
+// rule actions executed in immediate coupling mode see a consistent state.
+
+#ifndef SENTINEL_TXN_LOCK_MANAGER_H_
+#define SENTINEL_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sentinel {
+
+/// Transaction identifier; monotonically increasing, lower = older.
+using TxnId = uint64_t;
+
+/// Lock strength.
+enum class LockMode { kShared, kExclusive };
+
+/// Table of per-resource S/X locks with wait-die deadlock avoidance.
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires (or upgrades to) `mode` on `resource` for `txn`.
+  /// Returns Aborted when wait-die kills the requester.
+  Status Lock(TxnId txn, uint64_t resource, LockMode mode);
+
+  /// Releases every lock held by `txn` and wakes waiters.
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` holds at least `mode` on `resource` (X satisfies S).
+  bool Holds(TxnId txn, uint64_t resource, LockMode mode) const;
+
+  /// Number of distinct resources currently locked (for tests).
+  size_t LockedResourceCount() const;
+
+ private:
+  struct ResourceState {
+    // Holders: txn -> strongest mode held.
+    std::unordered_map<TxnId, LockMode> holders;
+    std::condition_variable cv;
+    int waiters = 0;
+  };
+
+  /// True if `txn` may be granted `mode` now.
+  static bool Compatible(const ResourceState& rs, TxnId txn, LockMode mode);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, ResourceState> table_;
+  // Reverse index: txn -> resources, for O(held) release.
+  std::unordered_map<TxnId, std::unordered_set<uint64_t>> held_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "txn/transaction.h"
+
+namespace sentinel {
+
+void Transaction::RequestAbort(std::string reason) {
+  if (!abort_requested_) {
+    abort_requested_ = true;
+    abort_reason_ = std::move(reason);
+  }
+}
+
+void Transaction::StagePut(uint64_t oid, std::string payload) {
+  writes_[oid] = PendingWrite{PendingWrite::Op::kPut, std::move(payload)};
+}
+
+void Transaction::StageDelete(uint64_t oid) {
+  writes_[oid] = PendingWrite{PendingWrite::Op::kDelete, {}};
+}
+
+const PendingWrite* Transaction::FindWrite(uint64_t oid) const {
+  auto it = writes_.find(oid);
+  return it == writes_.end() ? nullptr : &it->second;
+}
+
+void Transaction::AddUndo(std::function<void()> undo) {
+  undos_.push_back(std::move(undo));
+}
+
+void Transaction::RunUndos() {
+  for (auto it = undos_.rbegin(); it != undos_.rend(); ++it) (*it)();
+  undos_.clear();
+}
+
+void Transaction::AddDeferred(std::function<Status()> work) {
+  deferred_.push_back(std::move(work));
+}
+
+void Transaction::AddDetached(std::function<Status()> work) {
+  detached_.push_back(std::move(work));
+}
+
+Status Transaction::RunDeferred(size_t max_rounds) {
+  size_t executed = 0;
+  // Deferred work can enqueue more deferred work (cascaded rules); process
+  // the queue to a fixpoint with a hard bound against non-terminating
+  // cascades.
+  size_t cursor = 0;
+  while (cursor < deferred_.size()) {
+    if (++executed > max_rounds) {
+      return Status::Aborted("deferred rule cascade exceeded bound");
+    }
+    Status s = deferred_[cursor]();
+    ++cursor;
+    if (!s.ok()) {
+      deferred_.clear();
+      return s;
+    }
+  }
+  deferred_.clear();
+  return Status::OK();
+}
+
+std::vector<std::function<Status()>> Transaction::TakeDetached() {
+  return std::move(detached_);
+}
+
+}  // namespace sentinel

@@ -1,0 +1,117 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Transaction context. The paper requires rules and events to be "subject to
+// the same transaction semantics" as other objects (§3.4) and rule actions
+// may abort the triggering transaction (Fig. 9), so a transaction carries:
+//
+//  * a buffered write set (no-steal: the heap is only touched at commit),
+//  * in-memory undo closures so aborting also rolls back the attribute state
+//    of live reactive C++ objects mutated inside the transaction,
+//  * queues of deferred work (rules with Deferred coupling run at the commit
+//    point) and detached work (rules with Detached coupling run in a fresh
+//    transaction after this one commits).
+
+#ifndef SENTINEL_TXN_TRANSACTION_H_
+#define SENTINEL_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/lock_manager.h"
+
+namespace sentinel {
+
+/// Lifecycle state of a transaction.
+enum class TxnState { kActive, kCommitted, kAborted };
+
+/// One buffered write awaiting commit.
+struct PendingWrite {
+  enum class Op { kPut, kDelete };
+  Op op = Op::kPut;
+  std::string payload;  ///< Serialized object image for kPut.
+};
+
+/// A unit of atomic work. Created by TransactionManager::Begin and finished
+/// by Commit/Abort exactly once. Not thread safe (one owner thread).
+class Transaction {
+ public:
+  Transaction(TxnId id, LockManager* locks) : id_(id), locks_(locks) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kActive; }
+
+  /// Marks this transaction as doomed; Commit will refuse and Abort is the
+  /// only exit. Rule actions call this to reject the triggering update
+  /// (the paper's `abort` action).
+  void RequestAbort(std::string reason);
+  bool abort_requested() const { return abort_requested_; }
+  const std::string& abort_reason() const { return abort_reason_; }
+
+  /// Acquires a lock via the shared lock manager (strict 2PL).
+  Status Lock(uint64_t resource, LockMode mode) {
+    return locks_->Lock(id_, resource, mode);
+  }
+
+  // --- Write set -----------------------------------------------------------
+
+  /// Buffers a create-or-update of `oid`.
+  void StagePut(uint64_t oid, std::string payload);
+  /// Buffers a delete of `oid`.
+  void StageDelete(uint64_t oid);
+  /// Looks up a buffered write; nullptr if this txn has not touched `oid`.
+  const PendingWrite* FindWrite(uint64_t oid) const;
+  const std::map<uint64_t, PendingWrite>& write_set() const {
+    return writes_;
+  }
+
+  // --- In-memory undo ------------------------------------------------------
+
+  /// Registers a closure run (in reverse order) if this txn aborts; used to
+  /// restore live reactive objects' attributes.
+  void AddUndo(std::function<void()> undo);
+  /// Runs and clears the undo list (newest first).
+  void RunUndos();
+
+  // --- Rule-coupling work queues ------------------------------------------
+
+  /// Enqueues work to run at the commit point (Deferred coupling).
+  void AddDeferred(std::function<Status()> work);
+  /// Enqueues work to run after commit in a new transaction (Detached).
+  void AddDetached(std::function<Status()> work);
+
+  /// Drains the deferred queue; stops at the first non-OK status. Deferred
+  /// work may enqueue further deferred work (cascading rules); the loop runs
+  /// to a fixpoint bounded by `max_rounds` enqueued items.
+  Status RunDeferred(size_t max_rounds = 100000);
+
+  /// Moves out the detached queue (the manager runs it post-commit).
+  std::vector<std::function<Status()>> TakeDetached();
+
+  bool HasDeferred() const { return !deferred_.empty(); }
+
+ private:
+  friend class TransactionManager;
+
+  TxnId id_;
+  LockManager* locks_;
+  TxnState state_ = TxnState::kActive;
+  bool abort_requested_ = false;
+  std::string abort_reason_;
+
+  std::map<uint64_t, PendingWrite> writes_;
+  std::vector<std::function<void()>> undos_;
+  std::vector<std::function<Status()>> deferred_;
+  std::vector<std::function<Status()>> detached_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_TXN_TRANSACTION_H_

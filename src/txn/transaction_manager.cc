@@ -1,0 +1,121 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "txn/transaction_manager.h"
+
+#include "common/logging.h"
+
+namespace sentinel {
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  TxnId id = next_id_.fetch_add(1);
+  return std::make_unique<Transaction>(id, locks_);
+}
+
+Status TransactionManager::DoAbort(Transaction* txn, const std::string& why) {
+  txn->RunUndos();
+  txn->writes_.clear();
+  txn->deferred_.clear();
+  txn->detached_.clear();
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.type = WalRecordType::kAbort;
+    rec.txn = txn->id();
+    wal_->Append(rec).ok();  // Abort records are advisory under redo-only.
+  }
+  locks_->ReleaseAll(txn->id());
+  txn->state_ = TxnState::kAborted;
+  SENTINEL_DEBUG << "txn " << txn->id() << " aborted: " << why;
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (!txn->active()) {
+    return Status::FailedPrecondition("abort of finished transaction");
+  }
+  return DoAbort(txn, txn->abort_requested() ? txn->abort_reason()
+                                             : "user abort");
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (!txn->active()) {
+    return Status::FailedPrecondition("commit of finished transaction");
+  }
+
+  // (1) Deferred rule work runs at the commit point, still inside the txn.
+  Status deferred = txn->RunDeferred();
+  if (!deferred.ok()) {
+    DoAbort(txn, "deferred rule failed: " + deferred.ToString());
+    return deferred.IsAborted()
+               ? deferred
+               : Status::Aborted("deferred rule failed: " +
+                                 deferred.ToString());
+  }
+
+  // (2) A rule action may have vetoed the transaction.
+  if (txn->abort_requested()) {
+    std::string reason = txn->abort_reason();
+    DoAbort(txn, reason);
+    return Status::Aborted(reason);
+  }
+
+  // (3) Make the write set durable before touching the heap.
+  if (wal_ != nullptr && !txn->write_set().empty()) {
+    WalRecord rec;
+    rec.type = WalRecordType::kBegin;
+    rec.txn = txn->id();
+    SENTINEL_RETURN_IF_ERROR(wal_->Append(rec));
+    for (const auto& [oid, write] : txn->write_set()) {
+      WalRecord op;
+      op.txn = txn->id();
+      op.oid = oid;
+      if (write.op == PendingWrite::Op::kPut) {
+        op.type = WalRecordType::kPut;
+        op.payload = write.payload;
+      } else {
+        op.type = WalRecordType::kDelete;
+      }
+      SENTINEL_RETURN_IF_ERROR(wal_->Append(op));
+    }
+    WalRecord commit;
+    commit.type = WalRecordType::kCommit;
+    commit.txn = txn->id();
+    SENTINEL_RETURN_IF_ERROR(wal_->Append(commit));
+    SENTINEL_RETURN_IF_ERROR(wal_->Sync());
+  }
+
+  // (4) Install the writes. The commit record is already durable, so the
+  // transaction is logically committed even if an apply fails (recovery
+  // redoes it); surface the first error but still finish the commit — in
+  // particular the locks MUST be released either way.
+  Status apply_error = Status::OK();
+  if (heap_ != nullptr) {
+    for (const auto& [oid, write] : txn->write_set()) {
+      Status s = write.op == PendingWrite::Op::kPut
+                     ? heap_->ApplyPut(oid, write.payload)
+                     : heap_->ApplyDelete(oid);
+      if (!s.ok() && apply_error.ok()) {
+        SENTINEL_ERROR << "heap apply failed post-commit: " << s.ToString();
+        apply_error = s;
+      }
+    }
+  }
+
+  // (5) Done: release locks.
+  locks_->ReleaseAll(txn->id());
+  txn->state_ = TxnState::kCommitted;
+  if (!apply_error.ok()) return apply_error;
+
+  // (6) Detached rule work: each closure runs logically in its own
+  // transaction; the closures themselves Begin/Commit via the database
+  // facade, so here we just invoke them.
+  auto detached = txn->TakeDetached();
+  for (auto& work : detached) {
+    Status s = work();
+    if (!s.ok()) {
+      SENTINEL_WARN << "detached rule failed: " << s.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sentinel

@@ -1,0 +1,79 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Coordinates transaction begin/commit/abort against the WAL, lock manager,
+// and the object heap. Commit protocol (no-steal / redo-only):
+//
+//   1. run deferred rule work (Deferred coupling); any failure aborts,
+//   2. refuse if a rule action requested abort,
+//   3. WAL: Begin + one Put/Delete per buffered write + Commit, then fsync,
+//   4. apply the write set to the heap (via HeapApplier),
+//   5. release locks, mark committed,
+//   6. run detached rule work, each closure in its own new transaction.
+
+#ifndef SENTINEL_TXN_TRANSACTION_MANAGER_H_
+#define SENTINEL_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "txn/wal.h"
+
+namespace sentinel {
+
+/// Where committed writes land. Implemented by oodb::ObjectStore; abstracted
+/// so the txn layer has no dependency on the object layer.
+class HeapApplier {
+ public:
+  virtual ~HeapApplier() = default;
+  /// Installs a committed create-or-update.
+  virtual Status ApplyPut(uint64_t oid, const std::string& payload) = 0;
+  /// Installs a committed delete.
+  virtual Status ApplyDelete(uint64_t oid) = 0;
+};
+
+/// Factory/committer for transactions. Thread safe for Begin; each
+/// Transaction itself is single-owner.
+class TransactionManager {
+ public:
+  TransactionManager(WalManager* wal, LockManager* locks)
+      : wal_(wal), locks_(locks) {}
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Sets the heap that receives committed writes. Must be called before the
+  /// first Commit.
+  void SetHeap(HeapApplier* heap) { heap_ = heap; }
+
+  /// Starts a new transaction.
+  std::unique_ptr<Transaction> Begin();
+
+  /// Runs the commit protocol. On any failure the transaction is aborted
+  /// (undo closures run, locks released) and a non-OK status is returned.
+  Status Commit(Transaction* txn);
+
+  /// Rolls back: runs undo closures, drops the write set, releases locks.
+  Status Abort(Transaction* txn);
+
+  /// Number of transactions started (for tests/benches).
+  uint64_t begun_count() const { return next_id_.load() - 1; }
+
+  LockManager* locks() { return locks_; }
+
+ private:
+  /// Abort without consuming abort_requested (shared by Commit failure path).
+  Status DoAbort(Transaction* txn, const std::string& why);
+
+  WalManager* wal_;
+  LockManager* locks_;
+  HeapApplier* heap_ = nullptr;
+  std::atomic<TxnId> next_id_{1};
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_TXN_TRANSACTION_MANAGER_H_

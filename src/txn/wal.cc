@@ -1,0 +1,120 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "txn/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/codec.h"
+
+namespace sentinel {
+
+WalManager::~WalManager() { Close().ok(); }
+
+Status WalManager::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) return Status::FailedPrecondition("wal already open");
+  std::FILE* probe = std::fopen(path.c_str(), "ab");
+  if (probe == nullptr) {
+    return Status::IOError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::fclose(probe);
+  file_ = std::fopen(path.c_str(), "r+b");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::fseek(file_, 0, SEEK_END);
+  path_ = path;
+  return Status::OK();
+}
+
+Status WalManager::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::OK();
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+Status WalManager::Append(const WalRecord& record) {
+  Encoder body;
+  body.PutU8(static_cast<uint8_t>(record.type));
+  body.PutU64(record.txn);
+  body.PutU64(record.oid);
+  body.PutString(record.payload);
+
+  Encoder framed;
+  framed.PutU32(static_cast<uint32_t>(body.size()));
+  framed.PutRaw(body.buffer().data(), body.size());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  if (std::fwrite(framed.buffer().data(), 1, framed.size(), file_) !=
+      framed.size()) {
+    return Status::IOError("wal append failed");
+  }
+  return Status::OK();
+}
+
+Status WalManager::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  if (std::fflush(file_) != 0) return Status::IOError("wal flush failed");
+  return Status::OK();
+}
+
+Status WalManager::ReadAll(std::vector<WalRecord>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  out->clear();
+  std::fflush(file_);
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError("wal seek failed");
+  }
+  for (;;) {
+    uint32_t len = 0;
+    size_t got = std::fread(&len, 1, 4, file_);
+    if (got < 4) break;  // Clean end or torn length: stop.
+    std::string body(len, '\0');
+    got = std::fread(body.data(), 1, len, file_);
+    if (got < len) break;  // Torn record body: stop (crash tail).
+    Decoder dec(body);
+    WalRecord rec;
+    uint8_t type = 0;
+    Status s = dec.GetU8(&type);
+    if (s.ok()) s = dec.GetU64(&rec.txn);
+    if (s.ok()) s = dec.GetU64(&rec.oid);
+    if (s.ok()) s = dec.GetString(&rec.payload);
+    if (!s.ok()) break;  // Malformed body: treat as torn tail.
+    rec.type = static_cast<WalRecordType>(type);
+    out->push_back(std::move(rec));
+  }
+  std::fseek(file_, 0, SEEK_END);
+  return Status::OK();
+}
+
+Status WalManager::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) {
+    return Status::IOError("wal reset failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WalManager::SizeBytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  std::fflush(file_);
+  long pos = std::ftell(file_);
+  if (pos < 0) return Status::IOError("ftell failed");
+  return static_cast<uint64_t>(pos);
+}
+
+}  // namespace sentinel

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Write-ahead log with redo-only recovery.
+//
+// Sentinel's object store applies a transaction's writes to the heap only
+// after the commit record is durable (a no-steal policy), so recovery never
+// needs undo: it replays the operations of committed transactions in log
+// order and ignores everything else. Log records are length-prefixed and
+// CRC-free (a torn tail is detected by the length check and truncated).
+
+#ifndef SENTINEL_TXN_WAL_H_
+#define SENTINEL_TXN_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/lock_manager.h"
+
+namespace sentinel {
+
+/// Kind of one WAL record.
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kPut = 4,      ///< Create-or-update object: payload = serialized object.
+  kDelete = 5,   ///< Delete object.
+  kCheckpoint = 6,
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  TxnId txn = 0;
+  uint64_t oid = 0;       ///< For kPut/kDelete.
+  std::string payload;    ///< For kPut: serialized object bytes.
+};
+
+/// Append-only log file plus replay support.
+class WalManager {
+ public:
+  WalManager() = default;
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Opens (creating if absent) the log at `path`.
+  Status Open(const std::string& path);
+  Status Close();
+
+  /// Appends one record (buffered; see Sync).
+  Status Append(const WalRecord& record);
+
+  /// Forces the log to disk. Called before acking a commit.
+  Status Sync();
+
+  /// Reads every well-formed record from the start of the log. A torn tail
+  /// stops the scan without error (crash semantics).
+  Status ReadAll(std::vector<WalRecord>* out);
+
+  /// Truncates the log (after a checkpoint has made the heap current).
+  Status Reset();
+
+  /// Bytes currently in the log file (for tests/benches).
+  Result<uint64_t> SizeBytes();
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_TXN_WAL_H_

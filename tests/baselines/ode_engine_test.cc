@@ -1,0 +1,146 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "baselines/ode_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace baselines {
+namespace {
+
+class OdeEngineTest : public ::testing::Test {
+ protected:
+  void DefineEmployee() {
+    ASSERT_TRUE(engine_.DefineClass("Employee").ok());
+    OdeConstraint positive;
+    positive.name = "positive-salary";
+    positive.predicate = [](const OdeObject& o) {
+      return o.Get("salary").is_null() || o.Get("salary") >= Value(0.0);
+    };
+    positive.hard = true;
+    ASSERT_TRUE(engine_.AddConstraint("Employee", positive).ok());
+  }
+
+  OdeEngine engine_;
+};
+
+TEST_F(OdeEngineTest, ClassDefinitionRules) {
+  ASSERT_TRUE(engine_.DefineClass("A").ok());
+  EXPECT_TRUE(engine_.DefineClass("A").IsAlreadyExists());
+  EXPECT_TRUE(engine_.DefineClass("B", "Ghost").IsInvalidArgument());
+  ASSERT_TRUE(engine_.DefineClass("B", "A").ok());
+}
+
+TEST_F(OdeEngineTest, HardConstraintRollsBackViolation) {
+  DefineEmployee();
+  auto obj = engine_.NewObject("Employee");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(engine_.Invoke(obj.value(), [](OdeObject* o) {
+    o->Set("salary", Value(100.0));
+  }).ok());
+  Status s = engine_.Invoke(obj.value(), [](OdeObject* o) {
+    o->Set("salary", Value(-5.0));
+  });
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(obj.value()->Get("salary"), Value(100.0));  // Rolled back.
+  EXPECT_EQ(engine_.rollbacks(), 1u);
+}
+
+TEST_F(OdeEngineTest, SoftConstraintRunsHandler) {
+  ASSERT_TRUE(engine_.DefineClass("Gauge").ok());
+  int handled = 0;
+  OdeConstraint clamp;
+  clamp.name = "max-100";
+  clamp.predicate = [](const OdeObject& o) {
+    return o.Get("level").is_null() || o.Get("level") <= Value(100);
+  };
+  clamp.hard = false;
+  clamp.handler = [&handled](OdeObject* o) {
+    ++handled;
+    o->Set("level", Value(100));
+  };
+  ASSERT_TRUE(engine_.AddConstraint("Gauge", clamp).ok());
+  auto obj = engine_.NewObject("Gauge");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(engine_.Invoke(obj.value(), [](OdeObject* o) {
+    o->Set("level", Value(150));
+  }).ok());
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(obj.value()->Get("level"), Value(100));
+}
+
+TEST_F(OdeEngineTest, RuleChangeAfterInstancesRequiresRecompile) {
+  DefineEmployee();
+  ASSERT_TRUE(engine_.NewObject("Employee").ok());
+  // The compile-time model refuses live rule addition...
+  OdeConstraint extra;
+  extra.name = "extra";
+  extra.predicate = [](const OdeObject&) { return true; };
+  EXPECT_TRUE(
+      engine_.AddConstraint("Employee", extra).IsFailedPrecondition());
+  EXPECT_TRUE(engine_.AddTrigger("Employee", OdeTrigger{
+      "t", [](const OdeObject&) { return true; },
+      [](OdeObject*) {}, true}).IsFailedPrecondition());
+  // ...unless the class is recompiled, which revalidates the extent.
+  auto revalidated = engine_.RecompileClass("Employee", {extra}, {});
+  ASSERT_TRUE(revalidated.ok());
+  EXPECT_EQ(revalidated.value(), 1u);
+  EXPECT_EQ(engine_.ConstraintCount("Employee"), 2u);
+}
+
+TEST_F(OdeEngineTest, TriggersArePerInstanceActivations) {
+  ASSERT_TRUE(engine_.DefineClass("Account").ok());
+  int fired = 0;
+  OdeTrigger low_balance;
+  low_balance.name = "low-balance";
+  low_balance.condition = [](const OdeObject& o) {
+    return !o.Get("balance").is_null() && o.Get("balance") < Value(10.0);
+  };
+  low_balance.action = [&fired](OdeObject*) { ++fired; };
+  low_balance.perpetual = false;  // Once-trigger.
+  ASSERT_TRUE(engine_.AddTrigger("Account", low_balance).ok());
+
+  auto watched = engine_.NewObject("Account");
+  auto unwatched = engine_.NewObject("Account");
+  ASSERT_TRUE(watched.ok() && unwatched.ok());
+  ASSERT_TRUE(engine_.ActivateTrigger(watched.value(), "low-balance").ok());
+  EXPECT_TRUE(engine_.ActivateTrigger(watched.value(), "ghost").IsNotFound());
+
+  auto drain = [](OdeObject* o) { o->Set("balance", Value(5.0)); };
+  ASSERT_TRUE(engine_.Invoke(watched.value(), drain).ok());
+  ASSERT_TRUE(engine_.Invoke(unwatched.value(), drain).ok());
+  EXPECT_EQ(fired, 1);  // Only the activated instance fires.
+  // Once-trigger deactivated after firing.
+  ASSERT_TRUE(engine_.Invoke(watched.value(), drain).ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(OdeEngineTest, ConstraintsAreInherited) {
+  DefineEmployee();
+  ASSERT_TRUE(engine_.DefineClass("Manager", "Employee").ok());
+  EXPECT_EQ(engine_.ConstraintCount("Manager"), 1u);
+  auto mgr = engine_.NewObject("Manager");
+  ASSERT_TRUE(mgr.ok());
+  Status s = engine_.Invoke(mgr.value(), [](OdeObject* o) {
+    o->Set("salary", Value(-1.0));
+  });
+  EXPECT_TRUE(s.IsAborted());  // Inherited constraint enforced.
+}
+
+TEST_F(OdeEngineTest, EveryInvokeChecksAllConstraints) {
+  DefineEmployee();
+  auto obj = engine_.NewObject("Employee");
+  ASSERT_TRUE(obj.ok());
+  uint64_t before = engine_.checks_performed();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine_.Invoke(obj.value(), [](OdeObject* o) {
+      o->Set("salary", Value(1.0));
+    }).ok());
+  }
+  // One constraint, ten invokes: ten checks even though nothing changed.
+  EXPECT_EQ(engine_.checks_performed() - before, 10u);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace sentinel

@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sentinel {
+namespace {
+
+TEST(ClockTest, NowIsStrictlyMonotone) {
+  Timestamp prev = Clock::Now();
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp next = Clock::Now();
+    EXPECT_TRUE(prev < next);
+    EXPECT_FALSE(next < prev);
+    prev = next;
+  }
+}
+
+TEST(ClockTest, OrderingOperatorsAreConsistent) {
+  Timestamp a = Clock::Now();
+  Timestamp b = Clock::Now();
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_EQ(a, a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ClockTest, ConcurrentCallsNeverCollide) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<uint64_t>> seqs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seqs, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        seqs[t].push_back(Clock::Now().seq);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::vector<uint64_t> all;
+  for (const auto& s : seqs) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate sequence numbers issued";
+}
+
+TEST(ClockTest, ToStringMentionsBothFields) {
+  Timestamp ts{123, 456};
+  EXPECT_EQ(ts.ToString(), "ts{123,456}");
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,91 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Value::Type::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(7).is_int());
+  EXPECT_TRUE(Value(int64_t{7}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(std::string("hi")).is_string());
+  EXPECT_TRUE(Value::MakeOid(12).is_oid());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value::MakeOid(99).AsOid(), 99u);
+}
+
+TEST(ValueTest, IntWidensToDouble) {
+  EXPECT_DOUBLE_EQ(Value(4).AsDouble(), 4.0);
+  EXPECT_TRUE(Value(4).is_numeric());
+  EXPECT_TRUE(Value(4.0).is_numeric());
+  EXPECT_FALSE(Value("4").is_numeric());
+}
+
+TEST(ValueTest, NumericEqualityCrossesTypes) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_EQ(Value(3.0), Value(3));
+  EXPECT_NE(Value(3), Value(3.5));
+}
+
+TEST(ValueTest, EqualitySameType) {
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(true), Value(true));
+  EXPECT_NE(Value(true), Value(false));
+  EXPECT_EQ(Value::MakeOid(5), Value::MakeOid(5));
+  EXPECT_NE(Value::MakeOid(5), Value::MakeOid(6));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, CrossTypeInequality) {
+  EXPECT_NE(Value("3"), Value(3));
+  EXPECT_NE(Value(), Value(0));
+  // An oid is not a plain integer.
+  EXPECT_NE(Value::MakeOid(3), Value(3));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1), Value(1.5));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_TRUE(Value(2) > Value(1));
+  EXPECT_TRUE(Value(2) >= Value(2));
+  EXPECT_TRUE(Value(2) <= Value(2));
+  // Incomparable pairs are not ordered.
+  EXPECT_FALSE(Value("a") < Value(1));
+  EXPECT_FALSE(Value(1) < Value("a"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(7).ToString(), "7");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value::MakeOid(3).ToString(), "oid:3");
+}
+
+TEST(ValueListTest, ToStringFormatsTuple) {
+  ValueList vs = {Value(1), Value("a")};
+  EXPECT_EQ(ToString(vs), "(1, \"a\")");
+  EXPECT_EQ(ToString(ValueList{}), "()");
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,241 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Parameter-context semantics (Recent / Chronicle / Continuous /
+// Cumulative), exercised through the Sequence and Conjunction operators and
+// directly on the PairingBuffer.
+
+#include "events/context.h"
+
+#include <gtest/gtest.h>
+
+#include "events/operators.h"
+#include "events/primitive_event.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::MakeOccurrence;
+
+class Collector : public EventListener {
+ public:
+  void OnEvent(Event*, const EventDetection& det) override {
+    detections.push_back(det);
+  }
+  std::vector<EventDetection> detections;
+};
+
+EventPtr Prim(const std::string& text) {
+  auto result = PrimitiveEvent::Create(text);
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+/// Oids of the A-side constituents of a detection, in time order.
+std::vector<Oid> InitiatorOids(const EventDetection& det) {
+  std::vector<Oid> oids;
+  for (const EventOccurrence& occ : det.constituents) {
+    if (occ.class_name == "A") oids.push_back(occ.oid);
+  }
+  return oids;
+}
+
+class ContextSequenceTest
+    : public ::testing::TestWithParam<ParameterContext> {};
+
+// Scenario for Seq(A, B): A#1, A#2, A#3, then B#10 and B#11.
+TEST_P(ContextSequenceTest, PairingFollowsContext) {
+  ParameterContext ctx = GetParam();
+  EventPtr seq = Seq(Prim("end A::M"), Prim("end B::N"), ctx);
+  Collector collector;
+  seq->AddListener(&collector);
+
+  seq->Notify(MakeOccurrence(1, "A", "M"));
+  seq->Notify(MakeOccurrence(2, "A", "M"));
+  seq->Notify(MakeOccurrence(3, "A", "M"));
+  seq->Notify(MakeOccurrence(10, "B", "N"));
+
+  switch (ctx) {
+    case ParameterContext::kRecent:
+      // Newest initiator (A#3) pairs and is retained for reuse.
+      ASSERT_EQ(collector.detections.size(), 1u);
+      EXPECT_EQ(InitiatorOids(collector.detections[0]),
+                (std::vector<Oid>{3}));
+      break;
+    case ParameterContext::kChronicle:
+      // Oldest initiator (A#1) pairs and is consumed.
+      ASSERT_EQ(collector.detections.size(), 1u);
+      EXPECT_EQ(InitiatorOids(collector.detections[0]),
+                (std::vector<Oid>{1}));
+      break;
+    case ParameterContext::kContinuous:
+      // Every open window closes: three detections.
+      ASSERT_EQ(collector.detections.size(), 3u);
+      EXPECT_EQ(InitiatorOids(collector.detections[0]),
+                (std::vector<Oid>{1}));
+      EXPECT_EQ(InitiatorOids(collector.detections[2]),
+                (std::vector<Oid>{3}));
+      break;
+    case ParameterContext::kCumulative:
+      // One detection carrying all three initiators.
+      ASSERT_EQ(collector.detections.size(), 1u);
+      EXPECT_EQ(InitiatorOids(collector.detections[0]),
+                (std::vector<Oid>{1, 2, 3}));
+      break;
+  }
+
+  size_t before = collector.detections.size();
+  seq->Notify(MakeOccurrence(11, "B", "N"));
+  switch (ctx) {
+    case ParameterContext::kRecent:
+      // A#3 is reused by the second terminator.
+      ASSERT_EQ(collector.detections.size(), before + 1);
+      EXPECT_EQ(InitiatorOids(collector.detections.back()),
+                (std::vector<Oid>{3}));
+      break;
+    case ParameterContext::kChronicle:
+      // Next-oldest (A#2) pairs.
+      ASSERT_EQ(collector.detections.size(), before + 1);
+      EXPECT_EQ(InitiatorOids(collector.detections.back()),
+                (std::vector<Oid>{2}));
+      break;
+    case ParameterContext::kContinuous:
+    case ParameterContext::kCumulative:
+      // All initiators were consumed by the first terminator.
+      EXPECT_EQ(collector.detections.size(), before);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllContexts, ContextSequenceTest,
+    ::testing::Values(ParameterContext::kRecent, ParameterContext::kChronicle,
+                      ParameterContext::kContinuous,
+                      ParameterContext::kCumulative),
+    [](const ::testing::TestParamInfo<ParameterContext>& info) {
+      return ToString(info.param);
+    });
+
+class ContextConjunctionTest
+    : public ::testing::TestWithParam<ParameterContext> {};
+
+// Scenario for And(A, B): A#1, A#2, then B#10, B#11.
+TEST_P(ContextConjunctionTest, PairingFollowsContext) {
+  ParameterContext ctx = GetParam();
+  EventPtr both = And(Prim("end A::M"), Prim("end B::N"), ctx);
+  Collector collector;
+  both->AddListener(&collector);
+
+  both->Notify(MakeOccurrence(1, "A", "M"));
+  both->Notify(MakeOccurrence(2, "A", "M"));
+  both->Notify(MakeOccurrence(10, "B", "N"));
+
+  switch (ctx) {
+    case ParameterContext::kRecent:
+      ASSERT_EQ(collector.detections.size(), 1u);
+      EXPECT_EQ(InitiatorOids(collector.detections[0]),
+                (std::vector<Oid>{2}));
+      break;
+    case ParameterContext::kChronicle:
+      ASSERT_EQ(collector.detections.size(), 1u);
+      EXPECT_EQ(InitiatorOids(collector.detections[0]),
+                (std::vector<Oid>{1}));
+      break;
+    case ParameterContext::kContinuous:
+      ASSERT_EQ(collector.detections.size(), 2u);
+      break;
+    case ParameterContext::kCumulative:
+      ASSERT_EQ(collector.detections.size(), 1u);
+      EXPECT_EQ(InitiatorOids(collector.detections[0]),
+                (std::vector<Oid>{1, 2}));
+      break;
+  }
+
+  size_t before = collector.detections.size();
+  both->Notify(MakeOccurrence(11, "B", "N"));
+  switch (ctx) {
+    case ParameterContext::kRecent:
+      // The retained A#2 pairs again with the new B.
+      ASSERT_EQ(collector.detections.size(), before + 1);
+      EXPECT_EQ(InitiatorOids(collector.detections.back()),
+                (std::vector<Oid>{2}));
+      break;
+    case ParameterContext::kChronicle:
+      ASSERT_EQ(collector.detections.size(), before + 1);
+      EXPECT_EQ(InitiatorOids(collector.detections.back()),
+                (std::vector<Oid>{2}));
+      break;
+    case ParameterContext::kContinuous:
+    case ParameterContext::kCumulative:
+      // Nothing left on the A side: B#11 buffers instead.
+      EXPECT_EQ(collector.detections.size(), before);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllContexts, ContextConjunctionTest,
+    ::testing::Values(ParameterContext::kRecent, ParameterContext::kChronicle,
+                      ParameterContext::kContinuous,
+                      ParameterContext::kCumulative),
+    [](const ::testing::TestParamInfo<ParameterContext>& info) {
+      return ToString(info.param);
+    });
+
+// --- Direct PairingBuffer behaviour -----------------------------------------
+
+EventDetection Det(Oid oid) {
+  return EventDetection::FromOccurrence(MakeOccurrence(oid, "A", "M"));
+}
+
+TEST(PairingBufferTest, RecentKeepsOnlyNewestInitiator) {
+  PairingBuffer buf(ParameterContext::kRecent);
+  buf.AddInitiator(Det(1));
+  buf.AddInitiator(Det(2));
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.pending().front().first().oid, 2u);
+}
+
+TEST(PairingBufferTest, ChronicleKeepsAllInFifoOrder) {
+  PairingBuffer buf(ParameterContext::kChronicle);
+  buf.AddInitiator(Det(1));
+  buf.AddInitiator(Det(2));
+  EXPECT_EQ(buf.size(), 2u);
+  auto groups = buf.PairWithTerminator(Det(10), nullptr);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0][0].first().oid, 1u);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(PairingBufferTest, EligibilityFilterApplies) {
+  PairingBuffer buf(ParameterContext::kChronicle);
+  buf.AddInitiator(Det(1));
+  buf.AddInitiator(Det(2));
+  auto groups = buf.PairWithTerminator(
+      Det(10),
+      [](const EventDetection& d) { return d.first().oid == 2; });
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0][0].first().oid, 2u);
+  EXPECT_EQ(buf.size(), 1u);  // Only the eligible one was consumed.
+  EXPECT_EQ(buf.pending().front().first().oid, 1u);
+}
+
+TEST(PairingBufferTest, NoEligibleInitiatorYieldsNothing) {
+  PairingBuffer buf(ParameterContext::kContinuous);
+  buf.AddInitiator(Det(1));
+  auto groups = buf.PairWithTerminator(
+      Det(10), [](const EventDetection&) { return false; });
+  EXPECT_TRUE(groups.empty());
+  EXPECT_EQ(buf.size(), 1u);  // Untouched.
+}
+
+TEST(PairingBufferTest, ClearEmptiesBuffer) {
+  PairingBuffer buf(ParameterContext::kCumulative);
+  buf.AddInitiator(Det(1));
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+}  // namespace
+}  // namespace sentinel

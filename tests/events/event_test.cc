@@ -1,0 +1,173 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Event base-class behaviour: listener management during delivery, signal
+// bookkeeping, detection merging, and the two occurrence-routing modes.
+
+#include "events/event.h"
+
+#include <gtest/gtest.h>
+
+#include "events/operators.h"
+#include "events/primitive_event.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::MakeOccurrence;
+
+class Collector : public EventListener {
+ public:
+  void OnEvent(Event* source, const EventDetection& det) override {
+    sources.push_back(source);
+    detections.push_back(det);
+    if (on_event) on_event();
+  }
+  std::vector<Event*> sources;
+  std::vector<EventDetection> detections;
+  std::function<void()> on_event;
+};
+
+EventPtr Prim(const std::string& text) {
+  auto result = PrimitiveEvent::Create(text);
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+TEST(EventDetectionTest, FromOccurrenceWrapsSingle) {
+  EventOccurrence occ = MakeOccurrence(7, "A", "M");
+  EventDetection det = EventDetection::FromOccurrence(occ);
+  ASSERT_EQ(det.constituents.size(), 1u);
+  EXPECT_EQ(det.start_ts, occ.timestamp);
+  EXPECT_EQ(det.end_ts, occ.timestamp);
+}
+
+TEST(EventDetectionTest, MergeSortsByTimeAndSpans) {
+  EventOccurrence first = MakeOccurrence(1, "A", "M");
+  EventOccurrence second = MakeOccurrence(2, "B", "N");
+  EventOccurrence third = MakeOccurrence(3, "C", "P");
+  // Merge out of order.
+  EventDetection det = EventDetection::Merge(
+      {EventDetection::FromOccurrence(third),
+       EventDetection::FromOccurrence(first),
+       EventDetection::FromOccurrence(second)});
+  ASSERT_EQ(det.constituents.size(), 3u);
+  EXPECT_EQ(det.constituents[0].oid, 1u);
+  EXPECT_EQ(det.constituents[2].oid, 3u);
+  EXPECT_EQ(det.start_ts, first.timestamp);
+  EXPECT_EQ(det.end_ts, third.timestamp);
+}
+
+TEST(EventTest, SignalBookkeeping) {
+  EventPtr event = Prim("end A::M");
+  EXPECT_FALSE(event->raised());
+  EXPECT_EQ(event->signal_count(), 0u);
+  event->Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_TRUE(event->raised());
+  EXPECT_EQ(event->signal_count(), 1u);
+  EXPECT_EQ(event->last_detection().constituents.size(), 1u);
+}
+
+TEST(EventTest, ListenerRemovingItselfDuringSignalIsSafe) {
+  EventPtr event = Prim("end A::M");
+  Collector a, b;
+  event->AddListener(&a);
+  event->AddListener(&b);
+  a.on_event = [&]() { event->RemoveListener(&a); };
+  event->Notify(MakeOccurrence(1, "A", "M"));
+  event->Notify(MakeOccurrence(2, "A", "M"));
+  EXPECT_EQ(a.detections.size(), 1u);  // Only the first round.
+  EXPECT_EQ(b.detections.size(), 2u);
+}
+
+TEST(EventTest, ListenerRemovingLaterListenerSkipsIt) {
+  EventPtr event = Prim("end A::M");
+  Collector a, b;
+  event->AddListener(&a);
+  event->AddListener(&b);
+  a.on_event = [&]() { event->RemoveListener(&b); };
+  event->Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(a.detections.size(), 1u);
+  EXPECT_EQ(b.detections.size(), 0u);  // Removed before its turn.
+}
+
+class RoutingModeTest : public ::testing::TestWithParam<EventRouting> {
+ protected:
+  void SetUp() override { Event::SetRouting(GetParam()); }
+  void TearDown() override { Event::SetRouting(EventRouting::kIndexed); }
+};
+
+TEST_P(RoutingModeTest, BothModesDeliverIdentically) {
+  EventPtr tree = Seq(And(Prim("end A::M"), Prim("end B::N")),
+                      Prim("end C::P"));
+  Collector collector;
+  tree->AddListener(&collector);
+  tree->Notify(MakeOccurrence(1, "A", "M"));
+  tree->Notify(MakeOccurrence(2, "B", "N"));
+  tree->Notify(MakeOccurrence(3, "X", "Unrelated"));
+  tree->Notify(MakeOccurrence(4, "C", "P"));
+  ASSERT_EQ(collector.detections.size(), 1u);
+  EXPECT_EQ(collector.detections[0].constituents.size(), 3u);
+}
+
+TEST_P(RoutingModeTest, GraphRewiringIsPickedUp) {
+  // Build Or(a, b); deliver; then rewire to Or(a, c) and verify the new
+  // leaf is reachable and the old one is not (the indexed mode must
+  // invalidate its cache).
+  EventPtr a = Prim("end A::M");
+  EventPtr b = Prim("end B::N");
+  EventPtr c = Prim("end C::P");
+  auto tree = std::make_shared<Disjunction>(a, b);
+  Collector collector;
+  tree->AddListener(&collector);
+  tree->Notify(MakeOccurrence(1, "B", "N"));
+  EXPECT_EQ(collector.detections.size(), 1u);
+
+  tree->SetChildren(a, c);
+  tree->Notify(MakeOccurrence(2, "B", "N"));  // Old leaf: detached.
+  EXPECT_EQ(collector.detections.size(), 1u);
+  tree->Notify(MakeOccurrence(3, "C", "P"));  // New leaf: wired.
+  EXPECT_EQ(collector.detections.size(), 2u);
+}
+
+TEST_P(RoutingModeTest, SignatureChangeAfterDeserializeIsPickedUp) {
+  auto prim = std::make_shared<PrimitiveEvent>(
+      EventSignature::Parse("end A::M").value());
+  Collector collector;
+  prim->AddListener(&collector);
+  prim->Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(collector.detections.size(), 1u);
+  // Overwrite the signature via the persistence path.
+  auto other = std::make_shared<PrimitiveEvent>(
+      EventSignature::Parse("end Z::Q").value());
+  Encoder enc;
+  other->SerializeState(&enc);
+  Decoder dec(enc.buffer());
+  ASSERT_TRUE(prim->DeserializeState(&dec).ok());
+  prim->Notify(MakeOccurrence(2, "A", "M"));  // Old key: no match.
+  EXPECT_EQ(collector.detections.size(), 1u);
+  prim->Notify(MakeOccurrence(3, "Z", "Q"));  // New key.
+  EXPECT_EQ(collector.detections.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, RoutingModeTest,
+    ::testing::Values(EventRouting::kScan, EventRouting::kIndexed),
+    [](const ::testing::TestParamInfo<EventRouting>& info) {
+      return info.param == EventRouting::kScan ? "scan" : "indexed";
+    });
+
+TEST(EventTest, RecordWindowRespectsCapacity) {
+  EventPtr event = Prim("end A::M");
+  event->set_record_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    event->Notify(MakeOccurrence(static_cast<Oid>(i), "A", "M"));
+  }
+  EXPECT_EQ(event->recorded().size(), 2u);
+  EXPECT_EQ(event->recorded_total(), 5u);
+  EXPECT_EQ(event->recorded().back().oid, 4u);
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,224 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Semantics of the paper's three operators (§4.3).
+
+#include "events/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "events/primitive_event.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::MakeOccurrence;
+
+class Collector : public EventListener {
+ public:
+  void OnEvent(Event*, const EventDetection& det) override {
+    detections.push_back(det);
+  }
+  std::vector<EventDetection> detections;
+};
+
+EventPtr Prim(const std::string& text) {
+  auto result = PrimitiveEvent::Create(text);
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+class OperatorsTest : public ::testing::Test {
+ protected:
+  OperatorsTest()
+      : e1_(Prim("end A::M")), e2_(Prim("end B::N")), e3_(Prim("end C::P")) {}
+
+  void Feed(Event* root, const std::string& cls, const std::string& method) {
+    root->Notify(MakeOccurrence(next_oid_++, cls, method));
+  }
+
+  EventPtr e1_, e2_, e3_;
+  Collector collector_;
+  Oid next_oid_ = 1;
+};
+
+// --- Conjunction -------------------------------------------------------------
+
+TEST_F(OperatorsTest, ConjunctionSignalsWhenBothOccurred) {
+  EventPtr both = And(e1_, e2_);
+  both->AddListener(&collector_);
+  Feed(both.get(), "A", "M");
+  EXPECT_TRUE(collector_.detections.empty());  // Only one side so far.
+  Feed(both.get(), "B", "N");
+  ASSERT_EQ(collector_.detections.size(), 1u);
+  EXPECT_EQ(collector_.detections[0].constituents.size(), 2u);
+}
+
+TEST_F(OperatorsTest, ConjunctionOrderIrrelevant) {
+  EventPtr both = And(e1_, e2_);
+  both->AddListener(&collector_);
+  Feed(both.get(), "B", "N");  // Right side first.
+  Feed(both.get(), "A", "M");
+  ASSERT_EQ(collector_.detections.size(), 1u);
+  // Constituents sorted by time regardless of side order.
+  EXPECT_TRUE(collector_.detections[0].constituents[0].timestamp <
+              collector_.detections[0].constituents[1].timestamp);
+}
+
+TEST_F(OperatorsTest, ConjunctionConsumesConstituents) {
+  EventPtr both = And(e1_, e2_);
+  both->AddListener(&collector_);
+  Feed(both.get(), "A", "M");
+  Feed(both.get(), "B", "N");  // Pair 1.
+  Feed(both.get(), "B", "N");  // No new A: must wait.
+  EXPECT_EQ(collector_.detections.size(), 1u);
+  Feed(both.get(), "A", "M");  // Pair 2.
+  EXPECT_EQ(collector_.detections.size(), 2u);
+}
+
+TEST_F(OperatorsTest, ConjunctionUnrelatedEventsIgnored) {
+  EventPtr both = And(e1_, e2_);
+  both->AddListener(&collector_);
+  Feed(both.get(), "X", "Y");
+  Feed(both.get(), "A", "M");
+  Feed(both.get(), "X", "Y");
+  EXPECT_TRUE(collector_.detections.empty());
+}
+
+// --- Disjunction -------------------------------------------------------------
+
+TEST_F(OperatorsTest, DisjunctionSignalsOnEither) {
+  EventPtr either = Or(e1_, e2_);
+  either->AddListener(&collector_);
+  Feed(either.get(), "A", "M");
+  ASSERT_EQ(collector_.detections.size(), 1u);
+  EXPECT_EQ(collector_.detections[0].constituents[0].class_name, "A");
+  Feed(either.get(), "B", "N");
+  ASSERT_EQ(collector_.detections.size(), 2u);
+  EXPECT_EQ(collector_.detections[1].constituents[0].class_name, "B");
+}
+
+TEST_F(OperatorsTest, DisjunctionIsStateless) {
+  EventPtr either = Or(e1_, e2_);
+  either->AddListener(&collector_);
+  for (int i = 0; i < 5; ++i) Feed(either.get(), "A", "M");
+  EXPECT_EQ(collector_.detections.size(), 5u);
+}
+
+// --- Sequence ----------------------------------------------------------------
+
+TEST_F(OperatorsTest, SequenceRequiresOrder) {
+  EventPtr seq = Seq(e1_, e2_);
+  seq->AddListener(&collector_);
+  Feed(seq.get(), "B", "N");  // Terminator with no initiator: nothing.
+  EXPECT_TRUE(collector_.detections.empty());
+  Feed(seq.get(), "A", "M");
+  EXPECT_TRUE(collector_.detections.empty());  // Initiator alone: nothing.
+  Feed(seq.get(), "B", "N");
+  ASSERT_EQ(collector_.detections.size(), 1u);
+  EXPECT_EQ(collector_.detections[0].constituents.size(), 2u);
+  EXPECT_EQ(collector_.detections[0].first().class_name, "A");
+  EXPECT_EQ(collector_.detections[0].last().class_name, "B");
+}
+
+TEST_F(OperatorsTest, SequenceConsumesInitiator) {
+  EventPtr seq = Seq(e1_, e2_);
+  seq->AddListener(&collector_);
+  Feed(seq.get(), "A", "M");
+  Feed(seq.get(), "B", "N");
+  Feed(seq.get(), "B", "N");  // Initiator consumed: no second detection.
+  EXPECT_EQ(collector_.detections.size(), 1u);
+}
+
+TEST_F(OperatorsTest, SequenceOfSameEventTypeNeedsTwo) {
+  // Seq(E, E): one occurrence must not pair with itself.
+  EventPtr e = Prim("end A::M");
+  auto seq = std::make_shared<Sequence>(e, e);
+  seq->AddListener(&collector_);
+  seq->Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_TRUE(collector_.detections.empty());
+  seq->Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(collector_.detections.size(), 1u);
+}
+
+// --- Composition ----------------------------------------------------------------
+
+TEST_F(OperatorsTest, CompositeOfComposites) {
+  // Seq(And(e1, e2), e3): paper semantics — signaled when e3 occurs
+  // provided all components of the conjunction occurred earlier.
+  EventPtr inner = And(e1_, e2_);
+  EventPtr outer = Seq(inner, e3_);
+  outer->AddListener(&collector_);
+  Feed(outer.get(), "C", "P");  // e3 before the conjunction: no detection.
+  Feed(outer.get(), "A", "M");
+  Feed(outer.get(), "B", "N");  // Conjunction completes here.
+  EXPECT_TRUE(collector_.detections.empty());
+  Feed(outer.get(), "C", "P");
+  ASSERT_EQ(collector_.detections.size(), 1u);
+  EXPECT_EQ(collector_.detections[0].constituents.size(), 3u);
+}
+
+TEST_F(OperatorsTest, SharedSubEventFeedsTwoParents) {
+  // e1 participates in two different composites; one occurrence must reach
+  // both (events are first-class shared objects).
+  EventPtr c1 = And(e1_, e2_);
+  EventPtr c2 = Seq(e1_, e3_);
+  Collector col1, col2;
+  c1->AddListener(&col1);
+  c2->AddListener(&col2);
+  Feed(c1.get(), "A", "M");  // Routed via c1's tree; e1 signals to both.
+  Feed(c1.get(), "B", "N");
+  Feed(c2.get(), "C", "P");
+  EXPECT_EQ(col1.detections.size(), 1u);
+  EXPECT_EQ(col2.detections.size(), 1u);
+}
+
+TEST_F(OperatorsTest, DiamondGraphDeliversOnce) {
+  // Or(e1, e1) — same child on both sides: an occurrence signals once per
+  // side-dispatch but the leaf consumes it once.
+  auto either = std::make_shared<Disjunction>(e1_, e1_);
+  either->AddListener(&collector_);
+  Feed(either.get(), "A", "M");
+  EXPECT_EQ(collector_.detections.size(), 1u);
+}
+
+TEST_F(OperatorsTest, ResetStateClearsPartialDetections) {
+  auto both = std::make_shared<Conjunction>(e1_, e2_);
+  both->AddListener(&collector_);
+  Feed(both.get(), "A", "M");
+  EXPECT_EQ(both->pending_left(), 1u);
+  both->ResetState();
+  EXPECT_EQ(both->pending_left(), 0u);
+  Feed(both.get(), "B", "N");  // The cleared A must not pair.
+  EXPECT_TRUE(collector_.detections.empty());
+}
+
+TEST_F(OperatorsTest, DescribeRendersTree) {
+  EventPtr tree = Seq(And(e1_, e2_), e3_);
+  EXPECT_EQ(tree->Describe(),
+            "Seq(And(end A::M, end B::N), end C::P)");
+}
+
+TEST_F(OperatorsTest, ChildrenExposeGraph) {
+  EventPtr tree = And(e1_, e2_);
+  auto children = tree->Children();
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0], e1_.get());
+  EXPECT_EQ(children[1], e2_.get());
+}
+
+TEST_F(OperatorsTest, DetectionTimestampsSpanConstituents) {
+  EventPtr seq = Seq(e1_, e2_);
+  seq->AddListener(&collector_);
+  EventOccurrence first = MakeOccurrence(1, "A", "M");
+  EventOccurrence second = MakeOccurrence(2, "B", "N");
+  seq->Notify(first);
+  seq->Notify(second);
+  ASSERT_EQ(collector_.detections.size(), 1u);
+  EXPECT_EQ(collector_.detections[0].start_ts, first.timestamp);
+  EXPECT_EQ(collector_.detections[0].end_ts, second.timestamp);
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,198 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "events/primitive_event.h"
+
+#include <gtest/gtest.h>
+
+#include "oodb/class_catalog.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::MakeOccurrence;
+
+/// Collects signaled detections.
+class Collector : public EventListener {
+ public:
+  void OnEvent(Event* source, const EventDetection& det) override {
+    sources.push_back(source);
+    detections.push_back(det);
+  }
+
+  std::vector<Event*> sources;
+  std::vector<EventDetection> detections;
+};
+
+std::shared_ptr<PrimitiveEvent> MakePrimitive(const std::string& text) {
+  auto result = PrimitiveEvent::Create(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+TEST(PrimitiveEventTest, MatchingOccurrenceSignals) {
+  auto event = MakePrimitive("end Employee::SetSalary");
+  Collector collector;
+  event->AddListener(&collector);
+  event->Notify(MakeOccurrence(1, "Employee", "SetSalary"));
+  ASSERT_EQ(collector.detections.size(), 1u);
+  EXPECT_EQ(collector.sources[0], event.get());
+  EXPECT_EQ(collector.detections[0].constituents.size(), 1u);
+  EXPECT_TRUE(event->raised());
+  EXPECT_EQ(event->signal_count(), 1u);
+}
+
+TEST(PrimitiveEventTest, ModifierMismatchIgnored) {
+  auto event = MakePrimitive("end Employee::SetSalary");
+  Collector collector;
+  event->AddListener(&collector);
+  event->Notify(
+      MakeOccurrence(1, "Employee", "SetSalary", EventModifier::kBegin));
+  EXPECT_TRUE(collector.detections.empty());
+  EXPECT_FALSE(event->raised());
+}
+
+TEST(PrimitiveEventTest, MethodAndClassMismatchIgnored) {
+  auto event = MakePrimitive("end Employee::SetSalary");
+  Collector collector;
+  event->AddListener(&collector);
+  event->Notify(MakeOccurrence(1, "Employee", "GetSalary"));
+  event->Notify(MakeOccurrence(1, "Stock", "SetSalary"));
+  EXPECT_TRUE(collector.detections.empty());
+}
+
+TEST(PrimitiveEventTest, InstanceFilterRestrictsMatching) {
+  auto event = MakePrimitive("end Stock::SetPrice");
+  event->RestrictToInstance(42);
+  Collector collector;
+  event->AddListener(&collector);
+  event->Notify(MakeOccurrence(41, "Stock", "SetPrice"));
+  EXPECT_TRUE(collector.detections.empty());
+  event->Notify(MakeOccurrence(42, "Stock", "SetPrice"));
+  EXPECT_EQ(collector.detections.size(), 1u);
+  // Clearing the filter widens matching again.
+  event->RestrictToInstance(kInvalidOid);
+  event->Notify(MakeOccurrence(7, "Stock", "SetPrice"));
+  EXPECT_EQ(collector.detections.size(), 2u);
+}
+
+TEST(PrimitiveEventTest, SubclassInstancesMatchWithCatalog) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(
+      ClassBuilder("Employee").Reactive()
+          .Method("SetSalary", {.end = true}).Build()).ok());
+  ASSERT_TRUE(catalog.RegisterClass(
+      ClassBuilder("Manager").Extends("Employee").Build()).ok());
+  auto result = PrimitiveEvent::Create("end Employee::SetSalary", &catalog);
+  ASSERT_TRUE(result.ok());
+  auto event = result.value();
+  Collector collector;
+  event->AddListener(&collector);
+  event->Notify(MakeOccurrence(1, "Manager", "SetSalary"));
+  EXPECT_EQ(collector.detections.size(), 1u);
+  // exact_class turns subclass matching off.
+  event->set_exact_class(true);
+  event->Notify(MakeOccurrence(2, "Manager", "SetSalary"));
+  EXPECT_EQ(collector.detections.size(), 1u);
+  event->Notify(MakeOccurrence(3, "Employee", "SetSalary"));
+  EXPECT_EQ(collector.detections.size(), 2u);
+}
+
+TEST(PrimitiveEventTest, WithoutCatalogSubclassDoesNotMatch) {
+  auto event = MakePrimitive("end Employee::SetSalary");
+  Collector collector;
+  event->AddListener(&collector);
+  event->Notify(MakeOccurrence(1, "Manager", "SetSalary"));
+  EXPECT_TRUE(collector.detections.empty());
+}
+
+TEST(PrimitiveEventTest, CatalogValidationRejectsBadSignatures) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(
+      ClassBuilder("Employee").Reactive()
+          .Method("SetSalary", {.end = true})
+          .Method("GetName").Build()).ok());
+  ASSERT_TRUE(catalog.RegisterClass(ClassBuilder("Passive").Build()).ok());
+
+  // Unknown class.
+  EXPECT_TRUE(PrimitiveEvent::Create("end Ghost::M", &catalog)
+                  .status().IsInvalidArgument());
+  // Non-reactive class.
+  EXPECT_TRUE(PrimitiveEvent::Create("end Passive::M", &catalog)
+                  .status().IsInvalidArgument());
+  // Method not designated for this modifier.
+  EXPECT_TRUE(PrimitiveEvent::Create("begin Employee::SetSalary", &catalog)
+                  .status().IsInvalidArgument());
+  // Method not designated at all.
+  EXPECT_TRUE(PrimitiveEvent::Create("end Employee::GetName", &catalog)
+                  .status().IsInvalidArgument());
+  // Valid one passes.
+  EXPECT_TRUE(PrimitiveEvent::Create("end Employee::SetSalary", &catalog).ok());
+}
+
+TEST(PrimitiveEventTest, SharedLeafDeduplicatesSameOccurrence) {
+  auto event = MakePrimitive("end A::M");
+  Collector collector;
+  event->AddListener(&collector);
+  EventOccurrence occ = MakeOccurrence(1, "A", "M");
+  event->Notify(occ);
+  event->Notify(occ);  // Same occurrence routed twice (two rules sharing it).
+  EXPECT_EQ(collector.detections.size(), 1u);
+  // A genuinely new occurrence still signals.
+  event->Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(collector.detections.size(), 2u);
+}
+
+TEST(PrimitiveEventTest, ListenerManagement) {
+  auto event = MakePrimitive("end A::M");
+  Collector a, b;
+  event->AddListener(&a);
+  event->AddListener(&a);  // Idempotent.
+  event->AddListener(&b);
+  EXPECT_EQ(event->listener_count(), 2u);
+  event->Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(a.detections.size(), 1u);
+  EXPECT_EQ(b.detections.size(), 1u);
+  event->RemoveListener(&a);
+  event->Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(a.detections.size(), 1u);
+  EXPECT_EQ(b.detections.size(), 2u);
+}
+
+TEST(PrimitiveEventTest, RecordKeepsOccurrences) {
+  auto event = MakePrimitive("end A::M");
+  event->Notify(MakeOccurrence(1, "A", "M", EventModifier::kEnd,
+                               {Value(5)}));
+  event->Notify(MakeOccurrence(2, "B", "N"));  // Recorded even if unmatched.
+  EXPECT_EQ(event->recorded().size(), 2u);
+  EXPECT_EQ(event->recorded_total(), 2u);
+  EXPECT_EQ(event->recorded().front().params[0], Value(5));
+}
+
+TEST(PrimitiveEventTest, DescribeIsTheKey) {
+  auto event = MakePrimitive("end Employee::SetSalary(float x)");
+  EXPECT_EQ(event->Describe(), "end Employee::SetSalary");
+}
+
+TEST(PrimitiveEventTest, SerializeRoundTrip) {
+  auto event = MakePrimitive("begin Stock::SetPrice(float p)");
+  event->RestrictToInstance(77);
+  event->set_exact_class(true);
+  Encoder enc;
+  event->SerializeState(&enc);
+
+  PrimitiveEvent restored{EventSignature{}};
+  Decoder dec(enc.buffer());
+  ASSERT_TRUE(restored.DeserializeState(&dec).ok());
+  EXPECT_EQ(restored.signature().Key(), "begin Stock::SetPrice");
+  EXPECT_EQ(restored.instance_filter(), 77u);
+  Collector collector;
+  restored.AddListener(&collector);
+  restored.Notify(
+      MakeOccurrence(77, "Stock", "SetPrice", EventModifier::kBegin));
+  EXPECT_EQ(collector.detections.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,259 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "events/snoop_operators.h"
+
+#include <gtest/gtest.h>
+
+#include "events/primitive_event.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::MakeOccurrence;
+
+class Collector : public EventListener {
+ public:
+  void OnEvent(Event*, const EventDetection& det) override {
+    detections.push_back(det);
+  }
+  std::vector<EventDetection> detections;
+};
+
+EventPtr Prim(const std::string& text) {
+  auto result = PrimitiveEvent::Create(text);
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+// --- Any ----------------------------------------------------------------------
+
+TEST(AnyEventTest, SignalsWhenMOfNOccurred) {
+  EventPtr any = Any(2, {Prim("end A::M"), Prim("end B::N"),
+                         Prim("end C::P")});
+  Collector collector;
+  any->AddListener(&collector);
+  any->Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_TRUE(collector.detections.empty());
+  any->Notify(MakeOccurrence(2, "C", "P"));
+  ASSERT_EQ(collector.detections.size(), 1u);
+  EXPECT_EQ(collector.detections[0].constituents.size(), 2u);
+}
+
+TEST(AnyEventTest, RepeatsOfTheSameChildDoNotComplete) {
+  EventPtr any = Any(2, {Prim("end A::M"), Prim("end B::N")});
+  Collector collector;
+  any->AddListener(&collector);
+  any->Notify(MakeOccurrence(1, "A", "M"));
+  any->Notify(MakeOccurrence(2, "A", "M"));
+  any->Notify(MakeOccurrence(3, "A", "M"));
+  EXPECT_TRUE(collector.detections.empty());  // Needs a distinct child.
+  any->Notify(MakeOccurrence(4, "B", "N"));
+  ASSERT_EQ(collector.detections.size(), 1u);
+}
+
+TEST(AnyEventTest, ConsumesOnePerChildAndContinues) {
+  EventPtr any = Any(2, {Prim("end A::M"), Prim("end B::N")});
+  Collector collector;
+  any->AddListener(&collector);
+  any->Notify(MakeOccurrence(1, "A", "M"));
+  any->Notify(MakeOccurrence(2, "A", "M"));
+  any->Notify(MakeOccurrence(3, "B", "N"));  // Pairs A#1 + B#3.
+  ASSERT_EQ(collector.detections.size(), 1u);
+  any->Notify(MakeOccurrence(4, "B", "N"));  // Pairs A#2 + B#4.
+  ASSERT_EQ(collector.detections.size(), 2u);
+}
+
+TEST(AnyEventTest, MEqualsNIsConjunctionOverAll) {
+  EventPtr any = Any(3, {Prim("end A::M"), Prim("end B::N"),
+                         Prim("end C::P")});
+  Collector collector;
+  any->AddListener(&collector);
+  any->Notify(MakeOccurrence(1, "C", "P"));
+  any->Notify(MakeOccurrence(2, "A", "M"));
+  EXPECT_TRUE(collector.detections.empty());
+  any->Notify(MakeOccurrence(3, "B", "N"));
+  ASSERT_EQ(collector.detections.size(), 1u);
+  EXPECT_EQ(collector.detections[0].constituents.size(), 3u);
+}
+
+// --- Not ---------------------------------------------------------------------
+
+TEST(NotEventTest, SignalsWhenNoForbiddenEventIntervened) {
+  EventPtr notev = Not(Prim("end A::M"), Prim("end X::F"), Prim("end B::N"));
+  Collector collector;
+  notev->AddListener(&collector);
+  notev->Notify(MakeOccurrence(1, "A", "M"));
+  notev->Notify(MakeOccurrence(2, "B", "N"));
+  ASSERT_EQ(collector.detections.size(), 1u);
+  EXPECT_EQ(collector.detections[0].constituents.size(), 2u);
+}
+
+TEST(NotEventTest, ForbiddenEventKillsWindow) {
+  EventPtr notev = Not(Prim("end A::M"), Prim("end X::F"), Prim("end B::N"));
+  Collector collector;
+  notev->AddListener(&collector);
+  notev->Notify(MakeOccurrence(1, "A", "M"));
+  notev->Notify(MakeOccurrence(2, "X", "F"));  // Kills the open window.
+  notev->Notify(MakeOccurrence(3, "B", "N"));
+  EXPECT_TRUE(collector.detections.empty());
+  // A fresh window after the forbidden event works again.
+  notev->Notify(MakeOccurrence(4, "A", "M"));
+  notev->Notify(MakeOccurrence(5, "B", "N"));
+  EXPECT_EQ(collector.detections.size(), 1u);
+}
+
+TEST(NotEventTest, ForbiddenBeforeWindowDoesNotKill) {
+  EventPtr notev = Not(Prim("end A::M"), Prim("end X::F"), Prim("end B::N"));
+  Collector collector;
+  notev->AddListener(&collector);
+  notev->Notify(MakeOccurrence(1, "X", "F"));  // Before any window: harmless.
+  notev->Notify(MakeOccurrence(2, "A", "M"));
+  notev->Notify(MakeOccurrence(3, "B", "N"));
+  EXPECT_EQ(collector.detections.size(), 1u);
+}
+
+TEST(NotEventTest, TerminatorWithoutWindowIsIgnored) {
+  EventPtr notev = Not(Prim("end A::M"), Prim("end X::F"), Prim("end B::N"));
+  Collector collector;
+  notev->AddListener(&collector);
+  notev->Notify(MakeOccurrence(1, "B", "N"));
+  EXPECT_TRUE(collector.detections.empty());
+}
+
+// --- Aperiodic ------------------------------------------------------------------
+
+TEST(AperiodicEventTest, TracksOnlyInsideWindow) {
+  EventPtr ap = Aperiodic(Prim("end A::Open"), Prim("end T::Tick"),
+                          Prim("end A::Close"));
+  Collector collector;
+  ap->AddListener(&collector);
+  ap->Notify(MakeOccurrence(1, "T", "Tick"));  // No window: ignored.
+  EXPECT_TRUE(collector.detections.empty());
+  ap->Notify(MakeOccurrence(2, "A", "Open"));
+  ap->Notify(MakeOccurrence(3, "T", "Tick"));
+  ap->Notify(MakeOccurrence(4, "T", "Tick"));
+  EXPECT_EQ(collector.detections.size(), 2u);  // One per tracked occurrence.
+  ap->Notify(MakeOccurrence(5, "A", "Close"));
+  ap->Notify(MakeOccurrence(6, "T", "Tick"));  // Window closed.
+  EXPECT_EQ(collector.detections.size(), 2u);
+}
+
+TEST(AperiodicEventTest, CloseOnlyAffectsOpenWindows) {
+  EventPtr ap = Aperiodic(Prim("end A::Open"), Prim("end T::Tick"),
+                          Prim("end A::Close"));
+  auto* raw = static_cast<AperiodicEvent*>(ap.get());
+  ap->Notify(MakeOccurrence(1, "A", "Close"));  // Nothing open.
+  EXPECT_EQ(raw->open_windows(), 0u);
+  ap->Notify(MakeOccurrence(2, "A", "Open"));
+  ap->Notify(MakeOccurrence(3, "A", "Open"));
+  EXPECT_EQ(raw->open_windows(), 2u);
+  ap->Notify(MakeOccurrence(4, "A", "Close"));
+  EXPECT_EQ(raw->open_windows(), 0u);
+}
+
+// --- Periodic --------------------------------------------------------------------
+
+TEST(PeriodicEventTest, FiresOnPeriodGridInsideWindow) {
+  EventPtr periodic =
+      Periodic(Prim("end A::Open"), 100, Prim("end A::Close"));
+  Collector collector;
+  periodic->AddListener(&collector);
+
+  EventOccurrence open = MakeOccurrence(1, "A", "Open");
+  open.timestamp.micros = 1000;
+  periodic->Notify(open);
+
+  Timestamp now{1050, 0};
+  periodic->AdvanceTime(now);  // Before the first grid point.
+  EXPECT_TRUE(collector.detections.empty());
+
+  now.micros = 1100;
+  periodic->AdvanceTime(now);  // Exactly one period after open.
+  EXPECT_EQ(collector.detections.size(), 1u);
+
+  now.micros = 1399;
+  periodic->AdvanceTime(now);  // Two more grid points (1200, 1300).
+  EXPECT_EQ(collector.detections.size(), 3u);
+
+  periodic->Notify(MakeOccurrence(2, "A", "Close"));
+  now.micros = 2000;
+  periodic->AdvanceTime(now);  // Window closed: no more fires.
+  EXPECT_EQ(collector.detections.size(), 3u);
+}
+
+TEST(PeriodicEventTest, MultipleWindowsFireIndependently) {
+  EventPtr periodic =
+      Periodic(Prim("end A::Open"), 100, Prim("end A::Close"));
+  Collector collector;
+  periodic->AddListener(&collector);
+  EventOccurrence w1 = MakeOccurrence(1, "A", "Open");
+  w1.timestamp.micros = 1000;
+  periodic->Notify(w1);
+  EventOccurrence w2 = MakeOccurrence(2, "A", "Open");
+  w2.timestamp.micros = 1050;
+  periodic->Notify(w2);
+  periodic->AdvanceTime(Timestamp{1160, 0});
+  // w1 fired at 1100, w2 fired at 1150.
+  EXPECT_EQ(collector.detections.size(), 2u);
+}
+
+// --- Plus -----------------------------------------------------------------------
+
+TEST(PlusEventTest, FiresOnceAfterDelta) {
+  EventPtr plus = Plus(Prim("end A::M"), 500);
+  Collector collector;
+  plus->AddListener(&collector);
+  EventOccurrence occ = MakeOccurrence(1, "A", "M");
+  occ.timestamp.micros = 1000;
+  plus->Notify(occ);
+  plus->AdvanceTime(Timestamp{1499, 0});
+  EXPECT_TRUE(collector.detections.empty());
+  plus->AdvanceTime(Timestamp{1500, 0});
+  ASSERT_EQ(collector.detections.size(), 1u);
+  // Fires once only.
+  plus->AdvanceTime(Timestamp{99999, 0});
+  EXPECT_EQ(collector.detections.size(), 1u);
+  EXPECT_EQ(static_cast<PlusEvent*>(plus.get())->pending(), 0u);
+}
+
+TEST(PlusEventTest, EachBaseOccurrenceGetsItsOwnTimer) {
+  EventPtr plus = Plus(Prim("end A::M"), 500);
+  Collector collector;
+  plus->AddListener(&collector);
+  EventOccurrence a = MakeOccurrence(1, "A", "M");
+  a.timestamp.micros = 1000;
+  EventOccurrence b = MakeOccurrence(2, "A", "M");
+  b.timestamp.micros = 1200;
+  plus->Notify(a);
+  plus->Notify(b);
+  plus->AdvanceTime(Timestamp{1600, 0});
+  EXPECT_EQ(collector.detections.size(), 1u);  // Only the first is due.
+  plus->AdvanceTime(Timestamp{1700, 0});
+  EXPECT_EQ(collector.detections.size(), 2u);
+}
+
+// --- Composition with core operators ---------------------------------------------
+
+TEST(SnoopOperatorsTest, DescribeStrings) {
+  EventPtr any = Any(2, {Prim("end A::M"), Prim("end B::N")});
+  EXPECT_EQ(any->Describe(), "Any(2, end A::M, end B::N)");
+  EventPtr notev = Not(Prim("end A::M"), Prim("end X::F"), Prim("end B::N"));
+  EXPECT_EQ(notev->Describe(), "Not(end A::M, !end X::F, end B::N)");
+  EventPtr plus = Plus(Prim("end A::M"), 250);
+  EXPECT_EQ(plus->Describe(), "Plus(end A::M, 250us)");
+}
+
+TEST(SnoopOperatorsTest, ResetStateClearsBuffers) {
+  EventPtr any = Any(2, {Prim("end A::M"), Prim("end B::N")});
+  any->Notify(MakeOccurrence(1, "A", "M"));
+  any->ResetState();
+  Collector collector;
+  any->AddListener(&collector);
+  any->Notify(MakeOccurrence(2, "B", "N"));
+  EXPECT_TRUE(collector.detections.empty());  // The A was cleared.
+}
+
+}  // namespace
+}  // namespace sentinel

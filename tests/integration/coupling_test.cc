@@ -1,0 +1,173 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Coupling-mode semantics through the full Database stack (E11).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::TempDir;
+
+class CouplingTest : public ::testing::Test {
+ protected:
+  CouplingTest() : dir_("coupling") {
+    auto opened = Database::Open({.dir = dir_.path()});
+    EXPECT_TRUE(opened.ok());
+    db_ = std::move(opened).value();
+    EXPECT_TRUE(db_->RegisterClass(
+        ClassBuilder("Counter").Reactive()
+            .Method("Bump", {.end = true}).Build()).ok());
+    EXPECT_TRUE(db_->RegisterLiveObject(&counter_).ok());
+  }
+
+  /// Creates a rule with the given coupling that appends `tag` to log_.
+  RulePtr MakeRule(const std::string& tag, CouplingMode mode) {
+    auto event = db_->CreatePrimitiveEvent("end Counter::Bump");
+    EXPECT_TRUE(event.ok());
+    RuleSpec spec;
+    spec.name = tag;
+    spec.event = event.value();
+    spec.coupling = mode;
+    spec.action = [this, tag](RuleContext&) {
+      log_.push_back(tag);
+      return Status::OK();
+    };
+    auto rule = db_->DeclareClassRule("Counter", spec);
+    EXPECT_TRUE(rule.ok());
+    return rule.value();
+  }
+
+  void Bump(Transaction* txn) {
+    MethodEventScope scope(&counter_, "Bump", {});
+    counter_.SetAttr(txn, "n",
+                     Value(counter_.GetAttr("n").is_null()
+                               ? int64_t{1}
+                               : counter_.GetAttr("n").AsInt() + 1));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  ReactiveObject counter_{"Counter"};
+  std::vector<std::string> log_;
+};
+
+TEST_F(CouplingTest, ImmediateRunsInsideMethodCall) {
+  MakeRule("imm", CouplingMode::kImmediate);
+  ASSERT_TRUE(db_->WithTransaction([&](Transaction* txn) {
+    Bump(txn);
+    EXPECT_EQ(log_, (std::vector<std::string>{"imm"}));  // Already ran.
+    return Status::OK();
+  }).ok());
+}
+
+TEST_F(CouplingTest, DeferredRunsAtCommitPoint) {
+  MakeRule("def", CouplingMode::kDeferred);
+  ASSERT_TRUE(db_->WithTransaction([&](Transaction* txn) {
+    Bump(txn);
+    Bump(txn);
+    EXPECT_TRUE(log_.empty());  // Nothing until commit.
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(log_, (std::vector<std::string>{"def", "def"}));
+}
+
+TEST_F(CouplingTest, DeferredSkippedOnAbort) {
+  MakeRule("def", CouplingMode::kDeferred);
+  Status s = db_->WithTransaction([&](Transaction* txn) {
+    Bump(txn);
+    return Status::Internal("user abort");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(log_.empty());
+}
+
+TEST_F(CouplingTest, DetachedRunsAfterCommitInNewTransaction) {
+  auto event = db_->CreatePrimitiveEvent("end Counter::Bump");
+  ASSERT_TRUE(event.ok());
+  Transaction* triggering = nullptr;
+  Transaction* detached_txn = nullptr;
+  bool ran_after_commit = false;
+  RuleSpec spec;
+  spec.name = "det";
+  spec.event = event.value();
+  spec.coupling = CouplingMode::kDetached;
+  spec.action = [&](RuleContext& ctx) {
+    detached_txn = ctx.txn;
+    ran_after_commit = triggering != nullptr && !triggering->active();
+    return Status::OK();
+  };
+  ASSERT_TRUE(db_->DeclareClassRule("Counter", spec).ok());
+
+  ASSERT_TRUE(db_->WithTransaction([&](Transaction* txn) {
+    triggering = txn;
+    Bump(txn);
+    EXPECT_EQ(detached_txn, nullptr);
+    return Status::OK();
+  }).ok());
+  ASSERT_NE(detached_txn, nullptr);
+  EXPECT_NE(detached_txn, triggering);
+  EXPECT_TRUE(ran_after_commit);
+}
+
+TEST_F(CouplingTest, DetachedSurvivesTriggeringAbortOnlyIfCommitted) {
+  MakeRule("det", CouplingMode::kDetached);
+  Status s = db_->WithTransaction([&](Transaction* txn) {
+    Bump(txn);
+    txn->RequestAbort("veto");
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_TRUE(log_.empty());  // Detached work dropped with the abort.
+}
+
+TEST_F(CouplingTest, MixedCouplingsOrderCorrectly) {
+  MakeRule("imm", CouplingMode::kImmediate);
+  MakeRule("def", CouplingMode::kDeferred);
+  MakeRule("det", CouplingMode::kDetached);
+  ASSERT_TRUE(db_->WithTransaction([&](Transaction* txn) {
+    Bump(txn);
+    return Status::OK();
+  }).ok());
+  // Immediate inside the call, deferred at commit, detached after commit.
+  EXPECT_EQ(log_, (std::vector<std::string>{"imm", "def", "det"}));
+}
+
+TEST_F(CouplingTest, OutsideTransactionAllModesRunImmediately) {
+  MakeRule("imm", CouplingMode::kImmediate);
+  MakeRule("def", CouplingMode::kDeferred);
+  MakeRule("det", CouplingMode::kDetached);
+  // Raise without any enclosing transaction.
+  counter_.RaiseEvent("Bump", EventModifier::kEnd, {});
+  // All three ran; detached got its own fresh transaction via the runner.
+  ASSERT_EQ(log_.size(), 3u);
+  EXPECT_EQ(log_[0], "imm");
+}
+
+TEST_F(CouplingTest, PriorityOrdersSameEventRules) {
+  auto make_prio = [&](const std::string& tag, int priority) {
+    auto event = db_->CreatePrimitiveEvent("end Counter::Bump");
+    ASSERT_TRUE(event.ok());
+    RuleSpec spec;
+    spec.name = tag;
+    spec.event = event.value();
+    spec.priority = priority;
+    spec.action = [this, tag](RuleContext&) {
+      log_.push_back(tag);
+      return Status::OK();
+    };
+    ASSERT_TRUE(db_->DeclareClassRule("Counter", spec).ok());
+  };
+  make_prio("low", 1);
+  make_prio("high", 9);
+  make_prio("mid", 5);
+  counter_.RaiseEvent("Bump", EventModifier::kEnd, {});
+  EXPECT_EQ(log_, (std::vector<std::string>{"high", "mid", "low"}));
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,206 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Attribute indexes through the full database stack: transactional
+// maintenance (commit installs, abort leaves the index untouched),
+// subclass coverage, persistence of index definitions across reopen, and
+// rules using indexed queries in their conditions.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::TempDir;
+
+class IndexIntegrationTest : public ::testing::Test {
+ protected:
+  IndexIntegrationTest() : dir_("index") {
+    auto opened = Database::Open({.dir = dir_.path()});
+    EXPECT_TRUE(opened.ok());
+    db_ = std::move(opened).value();
+    EXPECT_TRUE(db_->RegisterClass(
+        ClassBuilder("Employee").Reactive()
+            .Method("SetSalary", {.end = true}).Build()).ok());
+    EXPECT_TRUE(db_->RegisterClass(
+        ClassBuilder("Manager").Extends("Employee").Build()).ok());
+  }
+
+  /// Creates, registers, and persists an employee.
+  Oid AddEmployee(const std::string& cls, const std::string& name,
+                  double salary) {
+    auto obj = std::make_unique<ReactiveObject>(cls);
+    obj->SetAttrRaw("name", Value(name));
+    obj->SetAttrRaw("salary", Value(salary));
+    EXPECT_TRUE(db_->RegisterLiveObject(obj.get()).ok());
+    EXPECT_TRUE(db_->WithTransaction([&](Transaction* txn) {
+      return db_->Persist(txn, obj.get());
+    }).ok());
+    Oid oid = obj->oid();
+    owned_.push_back(std::move(obj));
+    return oid;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  std::vector<std::unique_ptr<ReactiveObject>> owned_;
+};
+
+TEST_F(IndexIntegrationTest, CreateIndexBackfillsExistingObjects) {
+  Oid fred = AddEmployee("Employee", "Fred", 50000);
+  Oid mary = AddEmployee("Employee", "Mary", 60000);
+  ASSERT_TRUE(db_->CreateIndex("Employee", "salary").ok());
+  auto hits = db_->FindInstances("Employee", "salary", Value(50000.0));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value(), std::vector<Oid>{fred});
+  auto range = db_->FindInstancesInRange("Employee", "salary",
+                                         Value(55000.0), Value());
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range.value(), std::vector<Oid>{mary});
+}
+
+TEST_F(IndexIntegrationTest, CommittedUpdatesMaintainIndex) {
+  ASSERT_TRUE(db_->CreateIndex("Employee", "salary").ok());
+  Oid fred = AddEmployee("Employee", "Fred", 50000);
+  // Committed update moves the index entry.
+  ReactiveObject* obj = db_->FindLiveObject(fred);
+  obj->SetAttrRaw("salary", Value(75000.0));
+  ASSERT_TRUE(db_->WithTransaction([&](Transaction* txn) {
+    return db_->Persist(txn, obj);
+  }).ok());
+  EXPECT_TRUE(db_->FindInstances("Employee", "salary",
+                                 Value(50000.0))->empty());
+  EXPECT_EQ(db_->FindInstances("Employee", "salary",
+                               Value(75000.0)).value(),
+            std::vector<Oid>{fred});
+}
+
+TEST_F(IndexIntegrationTest, AbortedTransactionLeavesIndexUntouched) {
+  ASSERT_TRUE(db_->CreateIndex("Employee", "salary").ok());
+  Oid fred = AddEmployee("Employee", "Fred", 50000);
+  ReactiveObject* obj = db_->FindLiveObject(fred);
+  Status s = db_->WithTransaction([&](Transaction* txn) {
+    obj->SetAttr(txn, "salary", Value(99999.0));
+    SENTINEL_RETURN_IF_ERROR(db_->Persist(txn, obj));
+    return Status::Internal("abort it");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(db_->FindInstances("Employee", "salary",
+                               Value(50000.0)).value(),
+            std::vector<Oid>{fred});
+  EXPECT_TRUE(db_->FindInstances("Employee", "salary",
+                                 Value(99999.0))->empty());
+}
+
+TEST_F(IndexIntegrationTest, DeleteRemovesFromIndex) {
+  ASSERT_TRUE(db_->CreateIndex("Employee", "salary").ok());
+  Oid fred = AddEmployee("Employee", "Fred", 50000);
+  ASSERT_TRUE(db_->WithTransaction([&](Transaction* txn) {
+    return db_->store()->Delete(txn, fred);
+  }).ok());
+  EXPECT_TRUE(db_->FindInstances("Employee", "salary",
+                                 Value(50000.0))->empty());
+}
+
+TEST_F(IndexIntegrationTest, SubclassInstancesCoveredByDeepIndex) {
+  ASSERT_TRUE(db_->CreateIndex("Employee", "salary").ok());  // Deep default.
+  Oid fred = AddEmployee("Employee", "Fred", 50000);
+  Oid mike = AddEmployee("Manager", "Mike", 90000);
+  auto all = db_->FindInstancesInRange("Employee", "salary", Value(),
+                                       Value());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), (std::vector<Oid>{fred, mike}));
+  // Shallow query sees only exact-class instances.
+  auto shallow = db_->FindInstancesInRange("Employee", "salary", Value(),
+                                           Value(), false);
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_EQ(shallow.value(), std::vector<Oid>{fred});
+}
+
+TEST_F(IndexIntegrationTest, QueryWithoutIndexIsNotFound) {
+  EXPECT_TRUE(db_->FindInstances("Employee", "salary", Value(1.0))
+                  .status().IsNotFound());
+}
+
+TEST_F(IndexIntegrationTest, IndexDefinitionsSurviveReopen) {
+  ASSERT_TRUE(db_->CreateIndex("Employee", "salary").ok());
+  Oid fred = AddEmployee("Employee", "Fred", 50000);
+  owned_.clear();  // Objects must not dangle past Close.
+  ASSERT_TRUE(db_->Close().ok());
+
+  auto reopened = Database::Open({.dir = dir_.path()});
+  ASSERT_TRUE(reopened.ok());
+  // Definition restored AND entries rebuilt from the heap.
+  auto hits = reopened.value()->FindInstances("Employee", "salary",
+                                              Value(50000.0));
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  EXPECT_EQ(hits.value(), std::vector<Oid>{fred});
+  db_ = std::move(reopened).value();  // Fixture closes it.
+}
+
+TEST_F(IndexIntegrationTest, DropIndexStopsQueries) {
+  ASSERT_TRUE(db_->CreateIndex("Employee", "salary").ok());
+  ASSERT_TRUE(db_->DropIndex("Employee", "salary").ok());
+  EXPECT_TRUE(db_->FindInstances("Employee", "salary", Value(1.0))
+                  .status().IsNotFound());
+  EXPECT_TRUE(db_->DropIndex("Employee", "salary").IsNotFound());
+}
+
+TEST_F(IndexIntegrationTest, RuleConditionUsesIndexedQuery) {
+  // The paper's manager constraint, expressed with an indexed query: when
+  // any employee's salary changes, check whether anyone out-earns the
+  // manager cap.
+  ASSERT_TRUE(db_->CreateIndex("Employee", "salary").ok());
+  AddEmployee("Employee", "Fred", 50000);
+  AddEmployee("Employee", "Mary", 60000);
+
+  int violations = 0;
+  auto event = db_->CreatePrimitiveEvent("end Employee::SetSalary");
+  ASSERT_TRUE(event.ok());
+  RuleSpec spec;
+  spec.name = "SalaryCap";
+  spec.event = event.value();
+  spec.condition = [this](const RuleContext&) {
+    auto over = db_->FindInstancesInRange("Employee", "salary",
+                                          Value(100000.0), Value());
+    return over.ok() && !over.value().empty();
+  };
+  spec.action = [&violations](RuleContext& ctx) {
+    ++violations;
+    if (ctx.txn != nullptr) ctx.txn->RequestAbort("salary cap exceeded");
+    return Status::OK();
+  };
+  ASSERT_TRUE(db_->DeclareClassRule("Employee", spec).ok());
+
+  ReactiveObject* fred = db_->FindLiveObject(owned_[0]->oid());
+  ASSERT_NE(fred, nullptr);
+  // Within cap: commits.
+  Status s = db_->WithTransaction([&](Transaction* txn) {
+    MethodEventScope scope(fred, "SetSalary", {Value(80000.0)});
+    fred->SetAttr(txn, "salary", Value(80000.0));
+    return db_->Persist(txn, fred);
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(violations, 0);
+
+  // Over cap: the condition sees the indexed committed state only AFTER
+  // commit, so the veto arrives on the next update — demonstrate instead
+  // with a pre-seeded violation.
+  ASSERT_TRUE(db_->WithTransaction([&](Transaction* txn) {
+    fred->SetAttr(txn, "salary", Value(150000.0));
+    return db_->Persist(txn, fred);
+  }).ok());  // No event raised here (no MethodEventScope): committed quietly.
+  s = db_->WithTransaction([&](Transaction* txn) {
+    MethodEventScope scope(fred, "SetSalary", {Value(150000.0)});
+    fred->SetAttr(txn, "salary", Value(150000.0));
+    return db_->Persist(txn, fred);
+  });
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(violations, 1);
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,254 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// End-to-end reproductions of the paper's worked examples:
+//   E1 (§2.1)  Purchase rule spanning Stock + FinancialInfo instances.
+//   E2 (Fig.9) Class-level Marriage rule aborting the transaction.
+//   E3 (Fig.10) Instance-level IncomeLevel rule across Employee/Manager.
+//   E4 (§4.6)  Sequence event: Deposit followed by Withdraw.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "events/operators.h"
+#include "events/primitive_event.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::TempDir;
+
+class PaperScenariosTest : public ::testing::Test {
+ protected:
+  PaperScenariosTest() : dir_("paper") {
+    auto opened = Database::Open({.dir = dir_.path()});
+    EXPECT_TRUE(opened.ok());
+    db_ = std::move(opened).value();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+// --- E1: inter-object rule over two classes (§2.1) ---------------------------
+
+TEST_F(PaperScenariosTest, PurchaseRuleSpansTwoClasses) {
+  ASSERT_TRUE(db_->RegisterClass(
+      ClassBuilder("Stock").Reactive()
+          .Method("SetPrice", {.end = true}).Build()).ok());
+  ASSERT_TRUE(db_->RegisterClass(
+      ClassBuilder("FinancialInfo").Reactive()
+          .Method("SetValue", {.end = true}).Build()).ok());
+
+  ReactiveObject ibm("Stock"), hp("Stock"), dow("FinancialInfo");
+  ASSERT_TRUE(db_->RegisterLiveObject(&ibm).ok());
+  ASSERT_TRUE(db_->RegisterLiveObject(&hp).ok());
+  ASSERT_TRUE(db_->RegisterLiveObject(&dow).ok());
+
+  // WHEN IBM!SetPrice And DowJones!SetValue
+  auto set_price = db_->CreatePrimitiveEvent("end Stock::SetPrice");
+  auto set_value = db_->CreatePrimitiveEvent("end FinancialInfo::SetValue");
+  ASSERT_TRUE(set_price.ok() && set_value.ok());
+  static_cast<PrimitiveEvent*>(set_price.value().get())
+      ->RestrictToInstance(ibm.oid());
+  EventPtr when = And(set_price.value(), set_value.value());
+
+  int purchases = 0;
+  RuleSpec spec;
+  spec.name = "Purchase";
+  spec.event = when;
+  spec.condition = [&](const RuleContext&) {
+    return ibm.GetAttr("price") < Value(80.0) &&
+           dow.GetAttr("change") < Value(3.4);
+  };
+  spec.action = [&](RuleContext&) {
+    ++purchases;
+    return Status::OK();
+  };
+  auto rule = db_->CreateRule(spec);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(db_->ApplyRuleToInstance(rule.value(), &ibm).ok());
+  ASSERT_TRUE(db_->ApplyRuleToInstance(rule.value(), &dow).ok());
+
+  auto set_stock = [&](ReactiveObject& s, double price) {
+    s.SetAttrRaw("price", Value(price));
+    s.RaiseEvent("SetPrice", EventModifier::kEnd, {Value(price)});
+  };
+  auto set_dow = [&](double change) {
+    dow.SetAttrRaw("change", Value(change));
+    dow.RaiseEvent("SetValue", EventModifier::kEnd, {Value(change)});
+  };
+
+  // HP is not monitored: its events reach nobody.
+  set_stock(hp, 50.0);
+  EXPECT_EQ(rule.value()->triggered_count(), 0u);
+
+  // Condition false: price too high.
+  set_stock(ibm, 91.0);
+  set_dow(1.0);
+  EXPECT_EQ(rule.value()->triggered_count(), 1u);
+  EXPECT_EQ(purchases, 0);
+
+  // Both conditions hold.
+  set_stock(ibm, 78.0);
+  set_dow(2.0);
+  EXPECT_EQ(rule.value()->triggered_count(), 2u);
+  EXPECT_EQ(purchases, 1);
+}
+
+// --- E2: class-level rule with abort action (Fig. 9) --------------------------
+
+class Person : public ReactiveObject {
+ public:
+  Person(std::string name, std::string sex) : ReactiveObject("Person") {
+    SetAttrRaw("name", Value(std::move(name)));
+    SetAttrRaw("sex", Value(std::move(sex)));
+  }
+  void Marry(Transaction* txn, Person* spouse) {
+    MethodEventScope scope(this, "Marry", {Value::MakeOid(spouse->oid())});
+    SetAttr(txn, "spouse", Value::MakeOid(spouse->oid()));
+  }
+};
+
+TEST_F(PaperScenariosTest, MarriageRuleAbortsTriggeringTransaction) {
+  ASSERT_TRUE(db_->RegisterClass(
+      ClassBuilder("Person").Reactive()
+          .Method("Marry", {.begin = true}).Build()).ok());
+
+  auto marry = db_->CreatePrimitiveEvent("begin Person::Marry");
+  ASSERT_TRUE(marry.ok());
+  RuleSpec spec;
+  spec.name = "Marriage";
+  spec.event = marry.value();
+  spec.condition = [this](const RuleContext& ctx) {
+    auto* self = db_->FindLiveObject(ctx.detection->last().oid);
+    auto* spouse =
+        db_->FindLiveObject(ctx.detection->last().params[0].AsOid());
+    return self != nullptr && spouse != nullptr &&
+           self->GetAttr("sex") == spouse->GetAttr("sex");
+  };
+  spec.action = [](RuleContext& ctx) {
+    if (ctx.txn != nullptr) ctx.txn->RequestAbort("same sex");
+    return Status::OK();
+  };
+  ASSERT_TRUE(db_->DeclareClassRule("Person", spec).ok());
+
+  Person alice("Alice", "F"), bob("Bob", "M"), carol("Carol", "F");
+  for (Person* p : {&alice, &bob, &carol}) {
+    ASSERT_TRUE(db_->RegisterLiveObject(p).ok());
+  }
+
+  // Violating marriage: transaction aborts and the attribute is undone.
+  Status s = db_->WithTransaction([&](Transaction* txn) {
+    alice.Marry(txn, &carol);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_TRUE(alice.GetAttr("spouse").is_null());
+
+  // Conforming marriage commits.
+  s = db_->WithTransaction([&](Transaction* txn) {
+    alice.Marry(txn, &bob);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(alice.GetAttr("spouse"), Value::MakeOid(bob.oid()));
+}
+
+// --- E3: instance-level rule across classes (Fig. 10) --------------------------
+
+TEST_F(PaperScenariosTest, IncomeLevelRuleKeepsSalariesEqual) {
+  ASSERT_TRUE(db_->RegisterClass(
+      ClassBuilder("Employee").Reactive()
+          .Method("ChangeIncome", {.end = true}).Build()).ok());
+  ASSERT_TRUE(db_->RegisterClass(
+      ClassBuilder("Manager").Extends("Employee").Build()).ok());
+
+  ReactiveObject fred("Employee"), mike("Manager"), other("Employee");
+  for (ReactiveObject* o : {&fred, &mike, &other}) {
+    o->SetAttrRaw("income", Value(0.0));
+    ASSERT_TRUE(db_->RegisterLiveObject(o).ok());
+  }
+
+  // Event* equal = new Disjunction(emp, mang)
+  auto emp = db_->CreatePrimitiveEvent("end Employee::ChangeIncome");
+  auto mang = db_->CreatePrimitiveEvent("end Manager::ChangeIncome");
+  ASSERT_TRUE(emp.ok() && mang.ok());
+  static_cast<PrimitiveEvent*>(emp.value().get())->set_exact_class(true);
+  EventPtr equal = Or(emp.value(), mang.value());
+
+  RuleSpec spec;
+  spec.name = "IncomeLevel";
+  spec.event = equal;
+  spec.action = [&](RuleContext& ctx) {
+    Value amount = ctx.params()[0];
+    fred.SetAttr(ctx.txn, "income", amount);
+    mike.SetAttr(ctx.txn, "income", amount);
+    return Status::OK();
+  };
+  auto rule = db_->CreateRule(spec);
+  ASSERT_TRUE(rule.ok());
+  // Fred.Subscribe(IncomeLevel); Mike.Subscribe(IncomeLevel);
+  ASSERT_TRUE(db_->ApplyRuleToInstance(rule.value(), &fred).ok());
+  ASSERT_TRUE(db_->ApplyRuleToInstance(rule.value(), &mike).ok());
+
+  auto change_income = [&](ReactiveObject& who, double amount) {
+    return db_->WithTransaction([&](Transaction* txn) {
+      MethodEventScope scope(&who, "ChangeIncome", {Value(amount)});
+      who.SetAttr(txn, "income", Value(amount));
+      return Status::OK();
+    });
+  };
+
+  ASSERT_TRUE(change_income(fred, 50000).ok());
+  EXPECT_EQ(mike.GetAttr("income"), Value(50000.0));
+  ASSERT_TRUE(change_income(mike, 65000).ok());
+  EXPECT_EQ(fred.GetAttr("income"), Value(65000.0));
+  // A third, unmonitored employee does not trigger the rule.
+  ASSERT_TRUE(change_income(other, 1.0).ok());
+  EXPECT_EQ(fred.GetAttr("income"), Value(65000.0));
+  EXPECT_EQ(rule.value()->triggered_count(), 2u);
+}
+
+// --- E4: sequence event (§4.6) ---------------------------------------------------
+
+TEST_F(PaperScenariosTest, DepositThenWithdrawSequence) {
+  ASSERT_TRUE(db_->RegisterClass(
+      ClassBuilder("Account").Reactive()
+          .Method("Deposit", {.end = true})
+          .Method("Withdraw", {.begin = true}).Build()).ok());
+  ReactiveObject account("Account");
+  ASSERT_TRUE(db_->RegisterLiveObject(&account).ok());
+
+  auto deposit = db_->CreatePrimitiveEvent("end Account::Deposit");
+  auto withdraw = db_->CreatePrimitiveEvent("before Account::Withdraw");
+  ASSERT_TRUE(deposit.ok() && withdraw.ok());
+  EventPtr dep_wit = Seq(deposit.value(), withdraw.value());
+
+  int detections = 0;
+  RuleSpec spec;
+  spec.name = "DepWit";
+  spec.event = dep_wit;
+  spec.action = [&](RuleContext& ctx) {
+    ++detections;
+    EXPECT_EQ(ctx.constituents().size(), 2u);
+    EXPECT_EQ(ctx.constituents()[0].method, "Deposit");
+    EXPECT_EQ(ctx.constituents()[1].method, "Withdraw");
+    return Status::OK();
+  };
+  auto rule = db_->CreateRule(spec);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(db_->ApplyRuleToInstance(rule.value(), &account).ok());
+
+  // Withdraw before any deposit: no detection.
+  account.RaiseEvent("Withdraw", EventModifier::kBegin, {Value(10.0)});
+  EXPECT_EQ(detections, 0);
+  // Deposit then withdraw: detection.
+  account.RaiseEvent("Deposit", EventModifier::kEnd, {Value(100.0)});
+  account.RaiseEvent("Withdraw", EventModifier::kBegin, {Value(10.0)});
+  EXPECT_EQ(detections, 1);
+}
+
+}  // namespace
+}  // namespace sentinel

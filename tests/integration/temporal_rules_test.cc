@@ -1,0 +1,160 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Temporal and counting operators driven through the full Database stack:
+// Periodic/Plus fired by Database::AdvanceTime, Every(n) batching rules.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "events/snoop_operators.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::TempDir;
+
+class TemporalRulesTest : public ::testing::Test {
+ protected:
+  TemporalRulesTest() : dir_("temporal") {
+    auto opened = Database::Open({.dir = dir_.path()});
+    EXPECT_TRUE(opened.ok());
+    db_ = std::move(opened).value();
+    EXPECT_TRUE(db_->RegisterClass(
+        ClassBuilder("Sensor").Reactive()
+            .Method("StartWatch", {.end = true})
+            .Method("StopWatch", {.end = true})
+            .Method("Report", {.end = true}).Build()).ok());
+    EXPECT_TRUE(db_->RegisterLiveObject(&sensor_).ok());
+  }
+
+  void Raise(const std::string& method, int64_t at_micros,
+             ValueList params = {}) {
+    // Raise with a pinned wall-clock time so temporal grids are
+    // deterministic (the seq still comes from the global clock).
+    EventOccurrence occ;
+    occ.oid = sensor_.oid();
+    occ.class_name = "Sensor";
+    occ.method = method;
+    occ.modifier = EventModifier::kEnd;
+    occ.params = std::move(params);
+    occ.timestamp = Clock::Now();
+    occ.timestamp.micros = at_micros;
+    db_->PreRaise(occ);
+    sensor_.NotifyConsumers(occ);
+    db_->PostRaise(occ);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  ReactiveObject sensor_{"Sensor"};
+};
+
+TEST_F(TemporalRulesTest, PeriodicRuleFiresOnGridViaAdvanceTime) {
+  auto start = db_->CreatePrimitiveEvent("end Sensor::StartWatch");
+  auto stop = db_->CreatePrimitiveEvent("end Sensor::StopWatch");
+  ASSERT_TRUE(start.ok() && stop.ok());
+  EventPtr heartbeat = Periodic(start.value(), 1000, stop.value());
+  ASSERT_TRUE(db_->detector()->RegisterEvent("heartbeat", heartbeat).ok());
+
+  int beats = 0;
+  RuleSpec spec;
+  spec.name = "Heartbeat";
+  spec.event_name = "heartbeat";
+  spec.action = [&beats](RuleContext&) {
+    ++beats;
+    return Status::OK();
+  };
+  auto rule = db_->CreateRule(spec);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(db_->ApplyRuleToInstance(rule.value(), &sensor_).ok());
+
+  Raise("StartWatch", 10000);
+  db_->AdvanceTime(Timestamp{10500, 0});
+  EXPECT_EQ(beats, 0);
+  db_->AdvanceTime(Timestamp{13100, 0});  // Grid points 11000, 12000, 13000.
+  EXPECT_EQ(beats, 3);
+  Raise("StopWatch", 13200);
+  db_->AdvanceTime(Timestamp{20000, 0});
+  EXPECT_EQ(beats, 3);  // Window closed.
+}
+
+TEST_F(TemporalRulesTest, PlusRuleFiresAfterDelay) {
+  auto report = db_->CreatePrimitiveEvent("end Sensor::Report");
+  ASSERT_TRUE(report.ok());
+  EventPtr follow_up = Plus(report.value(), 5000);
+  ASSERT_TRUE(db_->detector()->RegisterEvent("follow-up", follow_up).ok());
+
+  int reminders = 0;
+  RuleSpec spec;
+  spec.name = "FollowUp";
+  spec.event_name = "follow-up";
+  spec.action = [&reminders](RuleContext&) {
+    ++reminders;
+    return Status::OK();
+  };
+  auto rule = db_->CreateRule(spec);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(db_->ApplyRuleToInstance(rule.value(), &sensor_).ok());
+
+  Raise("Report", 1000);
+  db_->AdvanceTime(Timestamp{5999, 0});
+  EXPECT_EQ(reminders, 0);
+  db_->AdvanceTime(Timestamp{6000, 0});
+  EXPECT_EQ(reminders, 1);
+  db_->AdvanceTime(Timestamp{60000, 0});
+  EXPECT_EQ(reminders, 1);  // Once per base occurrence.
+}
+
+TEST_F(TemporalRulesTest, EveryNBatchesDetections) {
+  auto report = db_->CreatePrimitiveEvent("end Sensor::Report");
+  ASSERT_TRUE(report.ok());
+  EventPtr every3 = Every(3, report.value());
+  EXPECT_EQ(every3->Describe(), "Every(3, end Sensor::Report)");
+
+  std::vector<size_t> batch_sizes;
+  RuleSpec spec;
+  spec.name = "Batch";
+  spec.event = every3;
+  spec.action = [&batch_sizes](RuleContext& ctx) {
+    batch_sizes.push_back(ctx.constituents().size());
+    return Status::OK();
+  };
+  auto rule = db_->CreateRule(spec);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(db_->ApplyRuleToInstance(rule.value(), &sensor_).ok());
+
+  for (int i = 1; i <= 7; ++i) {
+    Raise("Report", 1000 * i, {Value(i)});
+  }
+  // 7 reports -> fires after #3 and #6, one report pending.
+  ASSERT_EQ(batch_sizes.size(), 2u);
+  EXPECT_EQ(batch_sizes[0], 3u);
+  EXPECT_EQ(batch_sizes[1], 3u);
+  auto* raw = static_cast<EveryEvent*>(every3.get());
+  EXPECT_EQ(raw->pending(), 1u);
+  raw->ResetState();
+  EXPECT_EQ(raw->pending(), 0u);
+}
+
+TEST_F(TemporalRulesTest, EveryEventPersistsAndRelinks) {
+  auto report = db_->CreatePrimitiveEvent("end Sensor::Report");
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(db_->detector()->RegisterEvent("batched",
+                                             Every(5, report.value())).ok());
+  ASSERT_TRUE(db_->SaveRulesAndEvents().ok());
+  ASSERT_TRUE(db_->UnregisterLiveObject(&sensor_).ok());
+  ASSERT_TRUE(db_->Close().ok());
+
+  auto reopened = Database::Open({.dir = dir_.path()});
+  ASSERT_TRUE(reopened.ok());
+  auto restored = reopened.value()->detector()->GetEvent("batched");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value()->Describe(),
+            "Every(5, end Sensor::Report)");
+  db_ = std::move(reopened).value();
+}
+
+}  // namespace
+}  // namespace sentinel

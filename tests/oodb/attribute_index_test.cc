@@ -1,0 +1,160 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "oodb/attribute_index.h"
+
+#include <gtest/gtest.h>
+
+#include "oodb/object.h"
+
+namespace sentinel {
+namespace {
+
+std::string SerializeAttrs(
+    const std::vector<std::pair<std::string, Value>>& attrs) {
+  PersistentObject obj("C");
+  for (const auto& [name, value] : attrs) obj.SetAttrRaw(name, value);
+  Encoder enc;
+  obj.SerializeState(&enc);
+  return enc.Release();
+}
+
+TEST(ValueLessTest, TotalOrderAcrossTypes) {
+  ValueLess less;
+  // Types rank: null < bool < numeric < string < oid.
+  EXPECT_TRUE(less(Value(), Value(false)));
+  EXPECT_TRUE(less(Value(true), Value(0)));
+  EXPECT_TRUE(less(Value(99), Value("a")));
+  EXPECT_TRUE(less(Value("z"), Value::MakeOid(1)));
+  // Within types.
+  EXPECT_TRUE(less(Value(false), Value(true)));
+  EXPECT_TRUE(less(Value(1), Value(2)));
+  EXPECT_TRUE(less(Value(1), Value(1.5)));  // Numerics interleave.
+  EXPECT_TRUE(less(Value("a"), Value("b")));
+  EXPECT_TRUE(less(Value::MakeOid(1), Value::MakeOid(2)));
+  // Irreflexive.
+  EXPECT_FALSE(less(Value(5), Value(5)));
+  EXPECT_FALSE(less(Value(5), Value(5.0)));
+  EXPECT_FALSE(less(Value(5.0), Value(5)));
+}
+
+class AttributeIndexTest : public ::testing::Test {
+ protected:
+  AttributeIndexTest() {
+    EXPECT_TRUE(index_.CreateIndex({"Stock", "price"}).ok());
+  }
+
+  void Put(Oid oid, double price) {
+    index_.OnCommittedPut(oid, "Stock",
+                          SerializeAttrs({{"price", Value(price)}}));
+  }
+
+  AttributeIndex index_;
+};
+
+TEST_F(AttributeIndexTest, CreateDuplicateAndDrop) {
+  EXPECT_TRUE(index_.HasIndex({"Stock", "price"}));
+  EXPECT_TRUE(index_.CreateIndex({"Stock", "price"}).IsAlreadyExists());
+  EXPECT_TRUE(index_.CreateIndex({"", "x"}).IsInvalidArgument());
+  EXPECT_TRUE(index_.DropIndex({"Stock", "price"}).ok());
+  EXPECT_FALSE(index_.HasIndex({"Stock", "price"}));
+  EXPECT_TRUE(index_.DropIndex({"Stock", "price"}).IsNotFound());
+}
+
+TEST_F(AttributeIndexTest, LookupFindsCommittedValues) {
+  Put(1, 10.0);
+  Put(2, 20.0);
+  Put(3, 10.0);
+  auto hits = index_.Lookup({"Stock", "price"}, Value(10.0));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value(), (std::vector<Oid>{1, 3}));
+  hits = index_.Lookup({"Stock", "price"}, Value(99.0));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits.value().empty());
+  EXPECT_TRUE(
+      index_.Lookup({"Stock", "ticker"}, Value("x")).status().IsNotFound());
+}
+
+TEST_F(AttributeIndexTest, UpdateMovesEntry) {
+  Put(1, 10.0);
+  Put(1, 30.0);  // Update replaces the old entry.
+  EXPECT_TRUE(index_.Lookup({"Stock", "price"}, Value(10.0))->empty());
+  EXPECT_EQ(index_.Lookup({"Stock", "price"}, Value(30.0)).value(),
+            std::vector<Oid>{1});
+}
+
+TEST_F(AttributeIndexTest, DeleteRemovesEntry) {
+  Put(1, 10.0);
+  index_.OnCommittedDelete(1);
+  EXPECT_TRUE(index_.Lookup({"Stock", "price"}, Value(10.0))->empty());
+  // Idempotent.
+  index_.OnCommittedDelete(1);
+}
+
+TEST_F(AttributeIndexTest, RangeQueries) {
+  for (int i = 1; i <= 10; ++i) Put(static_cast<Oid>(i), i * 10.0);
+  auto mid = index_.Range({"Stock", "price"}, Value(25.0), Value(55.0));
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid.value(), (std::vector<Oid>{3, 4, 5}));
+  // Inclusive bounds.
+  auto exact = index_.Range({"Stock", "price"}, Value(30.0), Value(30.0));
+  EXPECT_EQ(exact.value(), std::vector<Oid>{3});
+  // Open bounds.
+  auto below = index_.Range({"Stock", "price"}, Value(), Value(30.0));
+  EXPECT_EQ(below.value(), (std::vector<Oid>{1, 2, 3}));
+  auto above = index_.Range({"Stock", "price"}, Value(80.0), Value());
+  EXPECT_EQ(above.value(), (std::vector<Oid>{8, 9, 10}));
+  auto all = index_.Range({"Stock", "price"}, Value(), Value());
+  EXPECT_EQ(all.value().size(), 10u);
+}
+
+TEST_F(AttributeIndexTest, MissingAttributeIsNotIndexed) {
+  index_.OnCommittedPut(7, "Stock",
+                        SerializeAttrs({{"ticker", Value("IBM")}}));
+  EXPECT_TRUE(index_.Range({"Stock", "price"}, Value(), Value())->empty());
+}
+
+TEST_F(AttributeIndexTest, OtherClassesIgnored) {
+  index_.OnCommittedPut(7, "Bond", SerializeAttrs({{"price", Value(5.0)}}));
+  EXPECT_TRUE(index_.Lookup({"Stock", "price"}, Value(5.0))->empty());
+}
+
+TEST_F(AttributeIndexTest, UndecodableStateCounted) {
+  index_.OnCommittedPut(7, "Stock", "\xFF\xFF not an attribute map");
+  EXPECT_EQ(index_.unindexable_count(), 1u);
+  EXPECT_TRUE(index_.Range({"Stock", "price"}, Value(), Value())->empty());
+}
+
+TEST_F(AttributeIndexTest, MultipleIndexesPerObject) {
+  ASSERT_TRUE(index_.CreateIndex({"Stock", "ticker"}).ok());
+  index_.OnCommittedPut(1, "Stock",
+                        SerializeAttrs({{"price", Value(10.0)},
+                                        {"ticker", Value("IBM")}}));
+  EXPECT_EQ(index_.Lookup({"Stock", "price"}, Value(10.0)).value(),
+            std::vector<Oid>{1});
+  EXPECT_EQ(index_.Lookup({"Stock", "ticker"}, Value("IBM")).value(),
+            std::vector<Oid>{1});
+  index_.OnCommittedDelete(1);
+  EXPECT_TRUE(index_.Lookup({"Stock", "ticker"}, Value("IBM"))->empty());
+}
+
+TEST_F(AttributeIndexTest, SpecsEncodeDecodeRoundTrip) {
+  ASSERT_TRUE(index_.CreateIndex({"Stock", "ticker"}).ok());
+  Encoder enc;
+  index_.EncodeSpecs(&enc);
+  AttributeIndex restored;
+  Decoder dec(enc.buffer());
+  ASSERT_TRUE(restored.DecodeSpecs(&dec).ok());
+  EXPECT_TRUE(restored.HasIndex({"Stock", "price"}));
+  EXPECT_TRUE(restored.HasIndex({"Stock", "ticker"}));
+  EXPECT_EQ(restored.Specs().size(), 2u);
+}
+
+TEST_F(AttributeIndexTest, ClearDropsEntriesKeepsDefinitions) {
+  Put(1, 10.0);
+  index_.Clear();
+  EXPECT_TRUE(index_.HasIndex({"Stock", "price"}));
+  EXPECT_TRUE(index_.Lookup({"Stock", "price"}, Value(10.0))->empty());
+}
+
+}  // namespace
+}  // namespace sentinel

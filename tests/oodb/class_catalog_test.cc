@@ -1,0 +1,187 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "oodb/class_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+ClassDescriptor EmployeeClass() {
+  return ClassBuilder("Employee")
+      .Reactive()
+      .Method("SetSalary", {.begin = true, .end = true})
+      .Method("GetSalary", {.begin = false, .end = true})
+      .Method("GetName")
+      .Build();
+}
+
+TEST(ClassCatalogTest, RegisterAndLookup) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(EmployeeClass()).ok());
+  auto cls = catalog.GetClass("Employee");
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls->name, "Employee");
+  EXPECT_TRUE(cls->reactive);
+  EXPECT_EQ(cls->methods.size(), 3u);
+  EXPECT_TRUE(catalog.HasClass("Employee"));
+  EXPECT_FALSE(catalog.HasClass("Ghost"));
+  EXPECT_TRUE(catalog.GetClass("Ghost").status().IsNotFound());
+}
+
+TEST(ClassCatalogTest, DuplicateAndEmptyNamesRejected) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(EmployeeClass()).ok());
+  EXPECT_TRUE(catalog.RegisterClass(EmployeeClass()).IsAlreadyExists());
+  EXPECT_TRUE(
+      catalog.RegisterClass(ClassBuilder("").Build()).IsInvalidArgument());
+}
+
+TEST(ClassCatalogTest, UnknownSuperclassRejected) {
+  ClassCatalog catalog;
+  EXPECT_TRUE(catalog
+                  .RegisterClass(
+                      ClassBuilder("Manager").Extends("Employee").Build())
+                  .IsInvalidArgument());
+}
+
+TEST(ClassCatalogTest, EventInterfaceRequiresReactive) {
+  ClassCatalog catalog;
+  Status s = catalog.RegisterClass(
+      ClassBuilder("Passive")
+          .Method("Update", {.begin = true, .end = false})
+          .Build());
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(ClassCatalogTest, SubclassInheritsReactivity) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(EmployeeClass()).ok());
+  // Manager declares no reactive flag but inherits it.
+  ASSERT_TRUE(catalog
+                  .RegisterClass(ClassBuilder("Manager")
+                                     .Extends("Employee")
+                                     .Method("Promote", {.end = true})
+                                     .Build())
+                  .ok());
+  EXPECT_TRUE(catalog.IsReactive("Manager"));
+}
+
+TEST(ClassCatalogTest, IsSubclassOfIsTransitive) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(ClassBuilder("A").Build()).ok());
+  ASSERT_TRUE(
+      catalog.RegisterClass(ClassBuilder("B").Extends("A").Build()).ok());
+  ASSERT_TRUE(
+      catalog.RegisterClass(ClassBuilder("C").Extends("B").Build()).ok());
+  EXPECT_TRUE(catalog.IsSubclassOf("C", "A"));
+  EXPECT_TRUE(catalog.IsSubclassOf("C", "C"));
+  EXPECT_TRUE(catalog.IsSubclassOf("B", "A"));
+  EXPECT_FALSE(catalog.IsSubclassOf("A", "C"));
+  EXPECT_FALSE(catalog.IsSubclassOf("Ghost", "A"));
+}
+
+TEST(ClassCatalogTest, MultipleInheritance) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(ClassBuilder("Persistent").Build()).ok());
+  ASSERT_TRUE(
+      catalog.RegisterClass(ClassBuilder("Reactive").Reactive().Build()).ok());
+  ASSERT_TRUE(catalog
+                  .RegisterClass(ClassBuilder("Widget")
+                                     .Extends("Persistent")
+                                     .Extends("Reactive")
+                                     .Build())
+                  .ok());
+  EXPECT_TRUE(catalog.IsSubclassOf("Widget", "Persistent"));
+  EXPECT_TRUE(catalog.IsSubclassOf("Widget", "Reactive"));
+  EXPECT_TRUE(catalog.IsReactive("Widget"));
+}
+
+TEST(ClassCatalogTest, EventSpecForDesignatedMethods) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(EmployeeClass()).ok());
+  EventSpec set_salary = catalog.EventSpecFor("Employee", "SetSalary");
+  EXPECT_TRUE(set_salary.begin);
+  EXPECT_TRUE(set_salary.end);
+  EventSpec get_salary = catalog.EventSpecFor("Employee", "GetSalary");
+  EXPECT_FALSE(get_salary.begin);
+  EXPECT_TRUE(get_salary.end);
+  // Undesignated / unknown methods raise nothing.
+  EXPECT_FALSE(catalog.EventSpecFor("Employee", "GetName").any());
+  EXPECT_FALSE(catalog.EventSpecFor("Employee", "Ghost").any());
+  EXPECT_FALSE(catalog.EventSpecFor("Ghost", "SetSalary").any());
+}
+
+TEST(ClassCatalogTest, EventSpecInheritsFromSuperclass) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(EmployeeClass()).ok());
+  ASSERT_TRUE(
+      catalog.RegisterClass(ClassBuilder("Manager").Extends("Employee")
+                                .Build())
+          .ok());
+  // Manager inherits SetSalary's designation.
+  EventSpec spec = catalog.EventSpecFor("Manager", "SetSalary");
+  EXPECT_TRUE(spec.begin);
+  EXPECT_TRUE(spec.end);
+}
+
+TEST(ClassCatalogTest, SubclassOverridesEventSpec) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(EmployeeClass()).ok());
+  ASSERT_TRUE(catalog
+                  .RegisterClass(ClassBuilder("Quiet")
+                                     .Extends("Employee")
+                                     .Method("SetSalary", {})  // Silenced.
+                                     .Build())
+                  .ok());
+  EXPECT_FALSE(catalog.EventSpecFor("Quiet", "SetSalary").any());
+}
+
+TEST(ClassCatalogTest, SubclassesOfListsDescendants) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(ClassBuilder("A").Build()).ok());
+  ASSERT_TRUE(
+      catalog.RegisterClass(ClassBuilder("B").Extends("A").Build()).ok());
+  ASSERT_TRUE(
+      catalog.RegisterClass(ClassBuilder("C").Extends("B").Build()).ok());
+  ASSERT_TRUE(catalog.RegisterClass(ClassBuilder("X").Build()).ok());
+  EXPECT_EQ(catalog.SubclassesOf("A"),
+            (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(catalog.SubclassesOf("X"), (std::vector<std::string>{"X"}));
+}
+
+TEST(ClassCatalogTest, EncodeDecodeRoundTrip) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(EmployeeClass()).ok());
+  ASSERT_TRUE(catalog
+                  .RegisterClass(ClassBuilder("Manager")
+                                     .Extends("Employee")
+                                     .Notifiable()
+                                     .Method("Promote", {.end = true})
+                                     .Build())
+                  .ok());
+  Encoder enc;
+  catalog.Encode(&enc);
+  ClassCatalog restored;
+  Decoder dec(enc.buffer());
+  ASSERT_TRUE(restored.Decode(&dec).ok());
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_TRUE(restored.IsSubclassOf("Manager", "Employee"));
+  EXPECT_TRUE(restored.IsReactive("Manager"));
+  EXPECT_TRUE(restored.EventSpecFor("Manager", "Promote").end);
+  EXPECT_TRUE(restored.EventSpecFor("Manager", "SetSalary").begin);
+  auto cls = restored.GetClass("Manager");
+  ASSERT_TRUE(cls.ok());
+  EXPECT_TRUE(cls->notifiable);
+}
+
+TEST(ClassCatalogTest, ClassNamesSorted) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(ClassBuilder("Zebra").Build()).ok());
+  ASSERT_TRUE(catalog.RegisterClass(ClassBuilder("Apple").Build()).ok());
+  EXPECT_EQ(catalog.ClassNames(),
+            (std::vector<std::string>{"Apple", "Zebra"}));
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,320 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "oodb/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "oodb/object.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::TempDir;
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStoreTest() : dir_("store") {
+    EXPECT_TRUE(store_.Open(dir_.path()).ok());
+  }
+
+  /// Puts (oid, class, state) in its own committed transaction.
+  Status CommitPut(Oid oid, const std::string& cls,
+                   const std::string& state) {
+    auto txn = store_.txns()->Begin();
+    SENTINEL_RETURN_IF_ERROR(store_.Put(txn.get(), oid, cls, state));
+    return store_.txns()->Commit(txn.get());
+  }
+
+  TempDir dir_;
+  ObjectStore store_;
+};
+
+TEST_F(ObjectStoreTest, NewOidsAreUniqueAndUserRange) {
+  Oid a = store_.NewOid();
+  Oid b = store_.NewOid();
+  EXPECT_GE(a, kFirstUserOid);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(ObjectStoreTest, PutGetRoundTrip) {
+  Oid oid = store_.NewOid();
+  ASSERT_TRUE(CommitPut(oid, "Employee", "state-bytes").ok());
+  std::string cls, state;
+  auto txn = store_.txns()->Begin();
+  ASSERT_TRUE(store_.Get(txn.get(), oid, &cls, &state).ok());
+  EXPECT_EQ(cls, "Employee");
+  EXPECT_EQ(state, "state-bytes");
+  ASSERT_TRUE(store_.txns()->Commit(txn.get()).ok());
+}
+
+TEST_F(ObjectStoreTest, GetWithoutTransactionReadsCommitted) {
+  Oid oid = store_.NewOid();
+  ASSERT_TRUE(CommitPut(oid, "C", "v").ok());
+  std::string cls, state;
+  ASSERT_TRUE(store_.Get(nullptr, oid, &cls, &state).ok());
+  EXPECT_EQ(state, "v");
+}
+
+TEST_F(ObjectStoreTest, TransactionSeesOwnWrites) {
+  Oid oid = store_.NewOid();
+  auto txn = store_.txns()->Begin();
+  ASSERT_TRUE(store_.Put(txn.get(), oid, "C", "uncommitted").ok());
+  std::string cls, state;
+  ASSERT_TRUE(store_.Get(txn.get(), oid, &cls, &state).ok());
+  EXPECT_EQ(state, "uncommitted");
+  // Not visible outside the transaction before commit.
+  EXPECT_FALSE(store_.Exists(oid));
+  ASSERT_TRUE(store_.txns()->Commit(txn.get()).ok());
+  EXPECT_TRUE(store_.Exists(oid));
+}
+
+TEST_F(ObjectStoreTest, AbortDiscardsWrites) {
+  Oid oid = store_.NewOid();
+  auto txn = store_.txns()->Begin();
+  ASSERT_TRUE(store_.Put(txn.get(), oid, "C", "x").ok());
+  ASSERT_TRUE(store_.txns()->Abort(txn.get()).ok());
+  EXPECT_FALSE(store_.Exists(oid));
+  EXPECT_EQ(store_.ObjectCount(), 0u);
+}
+
+TEST_F(ObjectStoreTest, UpdateReplacesState) {
+  Oid oid = store_.NewOid();
+  ASSERT_TRUE(CommitPut(oid, "C", "v1").ok());
+  ASSERT_TRUE(CommitPut(oid, "C", "v2-is-a-bit-longer").ok());
+  std::string cls, state;
+  ASSERT_TRUE(store_.Get(nullptr, oid, &cls, &state).ok());
+  EXPECT_EQ(state, "v2-is-a-bit-longer");
+  EXPECT_EQ(store_.ObjectCount(), 1u);
+}
+
+TEST_F(ObjectStoreTest, DeleteRemovesObjectAndExtentEntry) {
+  Oid oid = store_.NewOid();
+  ASSERT_TRUE(CommitPut(oid, "C", "v").ok());
+  auto txn = store_.txns()->Begin();
+  ASSERT_TRUE(store_.Delete(txn.get(), oid).ok());
+  ASSERT_TRUE(store_.txns()->Commit(txn.get()).ok());
+  EXPECT_FALSE(store_.Exists(oid));
+  EXPECT_TRUE(store_.Extent("C").empty());
+  std::string cls, state;
+  EXPECT_TRUE(store_.Get(nullptr, oid, &cls, &state).IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, DeleteOfMissingObjectIsNotFound) {
+  auto txn = store_.txns()->Begin();
+  EXPECT_TRUE(store_.Delete(txn.get(), 9999).IsNotFound());
+  ASSERT_TRUE(store_.txns()->Abort(txn.get()).ok());
+}
+
+TEST_F(ObjectStoreTest, GetAfterDeleteInSameTxnIsNotFound) {
+  Oid oid = store_.NewOid();
+  ASSERT_TRUE(CommitPut(oid, "C", "v").ok());
+  auto txn = store_.txns()->Begin();
+  ASSERT_TRUE(store_.Delete(txn.get(), oid).ok());
+  std::string cls, state;
+  EXPECT_TRUE(store_.Get(txn.get(), oid, &cls, &state).IsNotFound());
+  ASSERT_TRUE(store_.txns()->Abort(txn.get()).ok());
+  // Abort restores visibility.
+  EXPECT_TRUE(store_.Exists(oid));
+}
+
+TEST_F(ObjectStoreTest, ExtentsTrackClasses) {
+  Oid e1 = store_.NewOid(), e2 = store_.NewOid(), m1 = store_.NewOid();
+  ASSERT_TRUE(CommitPut(e1, "Employee", "a").ok());
+  ASSERT_TRUE(CommitPut(e2, "Employee", "b").ok());
+  ASSERT_TRUE(CommitPut(m1, "Manager", "c").ok());
+  EXPECT_EQ(store_.Extent("Employee"), (std::vector<Oid>{e1, e2}));
+  EXPECT_EQ(store_.Extent("Manager"), (std::vector<Oid>{m1}));
+  EXPECT_TRUE(store_.Extent("Ghost").empty());
+  EXPECT_EQ(store_.ObjectCount(), 3u);
+}
+
+TEST_F(ObjectStoreTest, DeepExtentFollowsSubclasses) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(
+      ClassBuilder("Employee").Reactive().Build()).ok());
+  ASSERT_TRUE(catalog.RegisterClass(
+      ClassBuilder("Manager").Extends("Employee").Build()).ok());
+  Oid e1 = store_.NewOid(), m1 = store_.NewOid();
+  ASSERT_TRUE(CommitPut(e1, "Employee", "a").ok());
+  ASSERT_TRUE(CommitPut(m1, "Manager", "b").ok());
+  EXPECT_EQ(store_.DeepExtent("Employee", catalog),
+            (std::vector<Oid>{e1, m1}));
+  EXPECT_EQ(store_.DeepExtent("Manager", catalog), (std::vector<Oid>{m1}));
+}
+
+TEST_F(ObjectStoreTest, StateSurvivesReopen) {
+  Oid oid = store_.NewOid();
+  ASSERT_TRUE(CommitPut(oid, "Employee", "durable").ok());
+  ASSERT_TRUE(store_.Close().ok());
+
+  ObjectStore reopened;
+  ASSERT_TRUE(reopened.Open(dir_.path()).ok());
+  std::string cls, state;
+  ASSERT_TRUE(reopened.Get(nullptr, oid, &cls, &state).ok());
+  EXPECT_EQ(cls, "Employee");
+  EXPECT_EQ(state, "durable");
+  EXPECT_EQ(reopened.Extent("Employee"), std::vector<Oid>{oid});
+  // Oid generation resumes above existing ids.
+  EXPECT_GT(reopened.NewOid(), oid);
+}
+
+TEST_F(ObjectStoreTest, RecoveryReplaysCommittedWal) {
+  // Write straight into the WAL (simulating a crash after commit record but
+  // before the heap was updated), then reopen.
+  Oid oid = store_.NewOid();
+  std::string framed = ObjectStore::FrameRecord(oid, "C", "recovered");
+  ASSERT_TRUE(store_.Close().ok());
+  {
+    WalManager wal;
+    ASSERT_TRUE(wal.Open(dir_.path() + "/wal.log").ok());
+    ASSERT_TRUE(wal.Append({WalRecordType::kBegin, 42, 0, ""}).ok());
+    ASSERT_TRUE(wal.Append({WalRecordType::kPut, 42, oid, framed}).ok());
+    ASSERT_TRUE(wal.Append({WalRecordType::kCommit, 42, 0, ""}).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  ObjectStore reopened;
+  ASSERT_TRUE(reopened.Open(dir_.path()).ok());
+  std::string cls, state;
+  ASSERT_TRUE(reopened.Get(nullptr, oid, &cls, &state).ok());
+  EXPECT_EQ(state, "recovered");
+}
+
+TEST_F(ObjectStoreTest, RecoveryIgnoresUncommittedWal) {
+  Oid oid = store_.NewOid();
+  std::string framed = ObjectStore::FrameRecord(oid, "C", "ghost");
+  ASSERT_TRUE(store_.Close().ok());
+  {
+    WalManager wal;
+    ASSERT_TRUE(wal.Open(dir_.path() + "/wal.log").ok());
+    ASSERT_TRUE(wal.Append({WalRecordType::kBegin, 42, 0, ""}).ok());
+    ASSERT_TRUE(wal.Append({WalRecordType::kPut, 42, oid, framed}).ok());
+    // No commit record: the transaction never finished.
+    ASSERT_TRUE(wal.Sync().ok());
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  ObjectStore reopened;
+  ASSERT_TRUE(reopened.Open(dir_.path()).ok());
+  EXPECT_FALSE(reopened.Exists(oid));
+}
+
+TEST_F(ObjectStoreTest, ManyObjectsSpanPages) {
+  std::string big_state(800, 'x');
+  std::vector<Oid> oids;
+  for (int i = 0; i < 50; ++i) {
+    Oid oid = store_.NewOid();
+    oids.push_back(oid);
+    ASSERT_TRUE(CommitPut(oid, "Bulk", big_state + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(store_.ObjectCount(), 50u);
+  // Spot-check across page boundaries.
+  std::string cls, state;
+  ASSERT_TRUE(store_.Get(nullptr, oids[0], &cls, &state).ok());
+  EXPECT_EQ(state, big_state + "0");
+  ASSERT_TRUE(store_.Get(nullptr, oids[49], &cls, &state).ok());
+  EXPECT_EQ(state, big_state + "49");
+}
+
+TEST_F(ObjectStoreTest, GrownRecordMovesAcrossPages) {
+  Oid oid = store_.NewOid();
+  ASSERT_TRUE(CommitPut(oid, "C", "small").ok());
+  // Fill the page so the grown record cannot stay.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(CommitPut(store_.NewOid(), "C", std::string(350, 'f')).ok());
+  }
+  std::string grown(2000, 'G');
+  ASSERT_TRUE(CommitPut(oid, "C", grown).ok());
+  std::string cls, state;
+  ASSERT_TRUE(store_.Get(nullptr, oid, &cls, &state).ok());
+  EXPECT_EQ(state, grown);
+}
+
+TEST_F(ObjectStoreTest, ObjectLargerThanPageIsChunked) {
+  Oid oid = store_.NewOid();
+  std::string huge;
+  for (int i = 0; i < 3000; ++i) {
+    huge += "chunk payload " + std::to_string(i) + ";";
+  }
+  ASSERT_GT(huge.size(), kPageSize * 10);
+  ASSERT_TRUE(CommitPut(oid, "Big", huge).ok());
+  std::string cls, state;
+  ASSERT_TRUE(store_.Get(nullptr, oid, &cls, &state).ok());
+  EXPECT_EQ(cls, "Big");
+  EXPECT_EQ(state, huge);
+  EXPECT_EQ(store_.Extent("Big"), std::vector<Oid>{oid});
+}
+
+TEST_F(ObjectStoreTest, ChunkedObjectSurvivesReopenAndUpdateAndDelete) {
+  Oid oid = store_.NewOid();
+  std::string huge(kPageSize * 3, 'H');
+  ASSERT_TRUE(CommitPut(oid, "Big", huge).ok());
+  // Shrink it to a single-chunk image.
+  ASSERT_TRUE(CommitPut(oid, "Big", "now small").ok());
+  std::string cls, state;
+  ASSERT_TRUE(store_.Get(nullptr, oid, &cls, &state).ok());
+  EXPECT_EQ(state, "now small");
+  // Grow again, reopen, verify.
+  std::string huge2(kPageSize * 2, 'G');
+  ASSERT_TRUE(CommitPut(oid, "Big", huge2).ok());
+  ASSERT_TRUE(store_.Close().ok());
+  ObjectStore reopened;
+  ASSERT_TRUE(reopened.Open(dir_.path()).ok());
+  ASSERT_TRUE(reopened.Get(nullptr, oid, &cls, &state).ok());
+  EXPECT_EQ(state, huge2);
+  // Delete removes all chunks.
+  auto txn = reopened.txns()->Begin();
+  ASSERT_TRUE(reopened.Delete(txn.get(), oid).ok());
+  ASSERT_TRUE(reopened.txns()->Commit(txn.get()).ok());
+  EXPECT_FALSE(reopened.Exists(oid));
+  EXPECT_TRUE(reopened.Extent("Big").empty());
+}
+
+TEST_F(ObjectStoreTest, CatalogSaveLoadRoundTrip) {
+  ClassCatalog catalog;
+  ASSERT_TRUE(catalog.RegisterClass(
+      ClassBuilder("Stock").Reactive().Method("SetPrice", {.end = true})
+          .Build()).ok());
+  ASSERT_TRUE(store_.SaveCatalog(catalog).ok());
+  ClassCatalog restored;
+  ASSERT_TRUE(store_.LoadCatalog(&restored).ok());
+  EXPECT_TRUE(restored.HasClass("Stock"));
+  EXPECT_TRUE(restored.EventSpecFor("Stock", "SetPrice").end);
+  // The catalog record is a system record: not in any extent.
+  EXPECT_EQ(store_.ObjectCount(), 0u);
+}
+
+TEST_F(ObjectStoreTest, LoadCatalogWithoutSaveIsNotFound) {
+  ClassCatalog catalog;
+  EXPECT_TRUE(store_.LoadCatalog(&catalog).IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, WriteConflictWaitDie) {
+  Oid oid = store_.NewOid();
+  ASSERT_TRUE(CommitPut(oid, "C", "v").ok());
+  auto older = store_.txns()->Begin();
+  auto younger = store_.txns()->Begin();
+  ASSERT_TRUE(store_.Put(older.get(), oid, "C", "older").ok());
+  // Younger conflicting writer dies immediately.
+  EXPECT_TRUE(store_.Put(younger.get(), oid, "C", "younger").IsAborted());
+  ASSERT_TRUE(store_.txns()->Abort(younger.get()).ok());
+  ASSERT_TRUE(store_.txns()->Commit(older.get()).ok());
+  std::string cls, state;
+  ASSERT_TRUE(store_.Get(nullptr, oid, &cls, &state).ok());
+  EXPECT_EQ(state, "older");
+}
+
+TEST_F(ObjectStoreTest, CheckpointTruncatesWal) {
+  Oid oid = store_.NewOid();
+  ASSERT_TRUE(CommitPut(oid, "C", "v").ok());
+  ASSERT_TRUE(store_.Checkpoint().ok());
+  // After checkpoint + reopen the data is still there (from the heap).
+  ASSERT_TRUE(store_.Close().ok());
+  ObjectStore reopened;
+  ASSERT_TRUE(reopened.Open(dir_.path()).ok());
+  EXPECT_TRUE(reopened.Exists(oid));
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "oodb/object.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+TEST(PersistentObjectTest, IdentityAndClass) {
+  PersistentObject obj("Employee");
+  EXPECT_EQ(obj.class_name(), "Employee");
+  EXPECT_EQ(obj.oid(), kInvalidOid);
+  obj.set_oid(1234);
+  EXPECT_EQ(obj.oid(), 1234u);
+}
+
+TEST(PersistentObjectTest, AttrAccess) {
+  PersistentObject obj("C");
+  EXPECT_TRUE(obj.GetAttr("missing").is_null());
+  EXPECT_FALSE(obj.HasAttr("x"));
+  Value old = obj.SetAttrRaw("x", Value(5));
+  EXPECT_TRUE(old.is_null());
+  EXPECT_TRUE(obj.HasAttr("x"));
+  EXPECT_EQ(obj.GetAttr("x"), Value(5));
+  old = obj.SetAttrRaw("x", Value("now a string"));
+  EXPECT_EQ(old, Value(5));
+  EXPECT_EQ(obj.GetAttr("x"), Value("now a string"));
+}
+
+TEST(PersistentObjectTest, SerializeRoundTrip) {
+  PersistentObject obj("C");
+  obj.SetAttrRaw("name", Value("fred"));
+  obj.SetAttrRaw("age", Value(30));
+  obj.SetAttrRaw("salary", Value(55000.5));
+  obj.SetAttrRaw("active", Value(true));
+  obj.SetAttrRaw("boss", Value::MakeOid(77));
+
+  Encoder enc;
+  obj.SerializeState(&enc);
+  PersistentObject restored("C");
+  Decoder dec(enc.buffer());
+  ASSERT_TRUE(restored.DeserializeState(&dec).ok());
+  EXPECT_EQ(restored.attrs().size(), 5u);
+  EXPECT_EQ(restored.GetAttr("name"), Value("fred"));
+  EXPECT_EQ(restored.GetAttr("age"), Value(30));
+  EXPECT_EQ(restored.GetAttr("salary"), Value(55000.5));
+  EXPECT_EQ(restored.GetAttr("active"), Value(true));
+  EXPECT_EQ(restored.GetAttr("boss"), Value::MakeOid(77));
+}
+
+TEST(PersistentObjectTest, DeserializeReplacesState) {
+  PersistentObject source("C");
+  source.SetAttrRaw("only", Value(1));
+  Encoder enc;
+  source.SerializeState(&enc);
+
+  PersistentObject target("C");
+  target.SetAttrRaw("stale", Value(99));
+  Decoder dec(enc.buffer());
+  ASSERT_TRUE(target.DeserializeState(&dec).ok());
+  EXPECT_FALSE(target.HasAttr("stale"));
+  EXPECT_TRUE(target.HasAttr("only"));
+}
+
+TEST(PersistentObjectTest, DeserializeCorruptBytesFails) {
+  PersistentObject obj("C");
+  std::string garbage = "\xFF\xFF\xFF\xFF";
+  Decoder dec(garbage);
+  EXPECT_FALSE(obj.DeserializeState(&dec).ok());
+}
+
+}  // namespace
+}  // namespace sentinel

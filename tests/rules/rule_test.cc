@@ -1,0 +1,233 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "rules/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "events/operators.h"
+#include "events/primitive_event.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::MakeOccurrence;
+
+EventPtr Prim(const std::string& text) {
+  auto result = PrimitiveEvent::Create(text);
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+TEST(RuleTest, EcaFlowConditionTrueRunsAction) {
+  int actions = 0;
+  Rule rule("r", Prim("end A::M"),
+            [](const RuleContext&) { return true; },
+            [&](RuleContext&) {
+              ++actions;
+              return Status::OK();
+            });
+  rule.Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(actions, 1);
+  EXPECT_EQ(rule.triggered_count(), 1u);
+  EXPECT_EQ(rule.fired_count(), 1u);
+  EXPECT_EQ(rule.error_count(), 0u);
+}
+
+TEST(RuleTest, ConditionFalseSkipsAction) {
+  int actions = 0;
+  Rule rule("r", Prim("end A::M"),
+            [](const RuleContext&) { return false; },
+            [&](RuleContext&) {
+              ++actions;
+              return Status::OK();
+            });
+  rule.Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(actions, 0);
+  EXPECT_EQ(rule.triggered_count(), 1u);
+  EXPECT_EQ(rule.fired_count(), 0u);
+}
+
+TEST(RuleTest, NullConditionMeansAlwaysTrue) {
+  int actions = 0;
+  Rule rule("r", Prim("end A::M"), nullptr, [&](RuleContext&) {
+    ++actions;
+    return Status::OK();
+  });
+  rule.Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(actions, 1);
+}
+
+TEST(RuleTest, NonMatchingEventDoesNotTrigger) {
+  Rule rule("r", Prim("end A::M"), nullptr, nullptr);
+  rule.Notify(MakeOccurrence(1, "B", "X"));
+  EXPECT_EQ(rule.triggered_count(), 0u);
+  EXPECT_EQ(rule.recorded_total(), 1u);  // Still recorded (paper §4.2).
+}
+
+TEST(RuleTest, DisabledRuleIgnoresEvents) {
+  int actions = 0;
+  Rule rule("r", Prim("end A::M"), nullptr, [&](RuleContext&) {
+    ++actions;
+    return Status::OK();
+  });
+  rule.Disable();
+  EXPECT_FALSE(rule.enabled());
+  rule.Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(actions, 0);
+  EXPECT_EQ(rule.triggered_count(), 0u);
+  rule.Enable();
+  rule.Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(actions, 1);
+}
+
+TEST(RuleTest, ActionErrorCountsAndPropagates) {
+  Rule rule("r", Prim("end A::M"), nullptr,
+            [](RuleContext&) { return Status::Internal("boom"); });
+  rule.Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(rule.error_count(), 1u);
+  // Direct execution surfaces the status.
+  RuleContext ctx;
+  EventDetection det =
+      EventDetection::FromOccurrence(MakeOccurrence(1, "A", "M"));
+  ctx.detection = &det;
+  EXPECT_TRUE(rule.Execute(ctx).IsInternal());
+}
+
+TEST(RuleTest, CompositeEventTriggersRule) {
+  int actions = 0;
+  Rule rule("r", And(Prim("end A::M"), Prim("end B::N")), nullptr,
+            [&](RuleContext& ctx) {
+              EXPECT_EQ(ctx.constituents().size(), 2u);
+              ++actions;
+              return Status::OK();
+            });
+  rule.Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(actions, 0);
+  rule.Notify(MakeOccurrence(2, "B", "N"));
+  EXPECT_EQ(actions, 1);
+}
+
+TEST(RuleTest, ContextExposesTerminatorParams) {
+  ValueList seen;
+  Rule rule("r", Prim("end A::M"), nullptr, [&](RuleContext& ctx) {
+    seen = ctx.params();
+    return Status::OK();
+  });
+  rule.Notify(MakeOccurrence(1, "A", "M", EventModifier::kEnd,
+                             {Value(3), Value("x")}));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], Value(3));
+  EXPECT_EQ(seen[1], Value("x"));
+}
+
+TEST(RuleTest, SetEventRebindsListening) {
+  int actions = 0;
+  Rule rule("r", Prim("end A::M"), nullptr, [&](RuleContext&) {
+    ++actions;
+    return Status::OK();
+  });
+  EventPtr other = Prim("end B::N");
+  rule.SetEvent(other);
+  rule.Notify(MakeOccurrence(1, "A", "M"));  // Old event: no trigger.
+  EXPECT_EQ(actions, 0);
+  rule.Notify(MakeOccurrence(2, "B", "N"));
+  EXPECT_EQ(actions, 1);
+}
+
+TEST(RuleTest, SharedEventTriggersAllItsRules) {
+  EventPtr shared = Prim("end A::M");
+  int a = 0, b = 0;
+  Rule ra("a", shared, nullptr, [&](RuleContext&) {
+    ++a;
+    return Status::OK();
+  });
+  Rule rb("b", shared, nullptr, [&](RuleContext&) {
+    ++b;
+    return Status::OK();
+  });
+  // One delivery through one rule's Notify reaches both rules via the
+  // shared event object (the occurrence is deduplicated at the leaf).
+  ra.Notify(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(RuleTest, RuleLifecycleEventsReachSubscribers) {
+  // Rules are reactive: another rule can monitor Enable/Disable/Fire.
+  Rule monitored("m", Prim("end A::M"), nullptr, nullptr);
+  monitored.set_oid(500);
+
+  std::vector<std::string> seen;
+  class Watcher : public Notifiable {
+   public:
+    explicit Watcher(std::vector<std::string>* seen) : seen_(seen) {}
+    void Notify(const EventOccurrence& occ) override {
+      seen_->push_back(occ.Key());
+    }
+    std::vector<std::string>* seen_;
+  } watcher(&seen);
+
+  ASSERT_TRUE(monitored.Subscribe(&watcher).ok());
+  monitored.Disable();
+  monitored.Enable();
+  monitored.Notify(MakeOccurrence(1, "A", "M"));  // Triggers Fire events.
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], "end Rule::Disable");
+  EXPECT_EQ(seen[1], "end Rule::Enable");
+  EXPECT_EQ(seen[2], "begin Rule::Fire");
+  EXPECT_EQ(seen[3], "end Rule::Fire");
+}
+
+TEST(RuleTest, SerializeRoundTripPreservesConfiguration) {
+  EventPtr event = Prim("end A::M");
+  event->set_oid(900);
+  Rule rule("salary-check", event, nullptr, nullptr,
+            CouplingMode::kDeferred, 7);
+  rule.SetCondition([](const RuleContext&) { return true; }, "cond-name");
+  rule.SetAction([](RuleContext&) { return Status::OK(); }, "act-name");
+  rule.monitored_instances() = {11, 22};
+  rule.target_classes() = {"Employee"};
+  rule.Disable();
+
+  Encoder enc;
+  rule.SerializeState(&enc);
+  Rule restored("", nullptr, nullptr, nullptr);
+  Decoder dec(enc.buffer());
+  ASSERT_TRUE(restored.DeserializeState(&dec).ok());
+  EXPECT_EQ(restored.name(), "salary-check");
+  EXPECT_EQ(restored.persisted_event_oid(), 900u);
+  EXPECT_EQ(restored.condition_name(), "cond-name");
+  EXPECT_EQ(restored.action_name(), "act-name");
+  EXPECT_EQ(restored.coupling(), CouplingMode::kDeferred);
+  EXPECT_EQ(restored.priority(), 7);
+  EXPECT_FALSE(restored.enabled());
+  EXPECT_EQ(restored.monitored_instances(), (std::vector<Oid>{11, 22}));
+  EXPECT_EQ(restored.target_classes(),
+            (std::vector<std::string>{"Employee"}));
+  EXPECT_FALSE(restored.had_anonymous_condition());  // Named bindings.
+  EXPECT_FALSE(restored.had_anonymous_action());
+}
+
+TEST(RuleTest, AnonymousClosuresAreFlaggedInSerialization) {
+  Rule rule("r", Prim("end A::M"),
+            [](const RuleContext&) { return true; },
+            [](RuleContext&) { return Status::OK(); });
+  Encoder enc;
+  rule.SerializeState(&enc);
+  Rule restored("", nullptr, nullptr, nullptr);
+  Decoder dec(enc.buffer());
+  ASSERT_TRUE(restored.DeserializeState(&dec).ok());
+  EXPECT_TRUE(restored.had_anonymous_condition());
+  EXPECT_TRUE(restored.had_anonymous_action());
+}
+
+TEST(RuleTest, CouplingModeToString) {
+  EXPECT_STREQ(ToString(CouplingMode::kImmediate), "immediate");
+  EXPECT_STREQ(ToString(CouplingMode::kDeferred), "deferred");
+  EXPECT_STREQ(ToString(CouplingMode::kDetached), "detached");
+}
+
+}  // namespace
+}  // namespace sentinel

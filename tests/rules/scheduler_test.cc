@@ -1,0 +1,212 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "rules/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "events/primitive_event.h"
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::MakeOccurrence;
+
+EventPtr Prim(const std::string& text) {
+  auto result = PrimitiveEvent::Create(text);
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+EventDetection Det(Transaction* txn = nullptr) {
+  EventOccurrence occ = MakeOccurrence(1, "A", "M");
+  occ.txn = txn;
+  return EventDetection::FromOccurrence(occ);
+}
+
+/// Builds a rule appending its name to `order` when it executes.
+std::unique_ptr<Rule> MakeTracer(const std::string& name,
+                                 std::vector<std::string>* order,
+                                 CouplingMode mode = CouplingMode::kImmediate,
+                                 int priority = 0) {
+  auto rule = std::make_unique<Rule>(
+      name, Prim("end A::M"), nullptr,
+      [name, order](RuleContext&) {
+        order->push_back(name);
+        return Status::OK();
+      },
+      mode, priority);
+  return rule;
+}
+
+TEST(SchedulerTest, TriggerWithoutRoundExecutesImmediately) {
+  RuleScheduler scheduler;
+  std::vector<std::string> order;
+  auto rule = MakeTracer("r", &order);
+  scheduler.Trigger(rule.get(), Det());
+  EXPECT_EQ(order, (std::vector<std::string>{"r"}));
+  EXPECT_EQ(scheduler.executed_count(), 1u);
+}
+
+TEST(SchedulerTest, RoundBatchesAndExecutesOnEnd) {
+  RuleScheduler scheduler;
+  std::vector<std::string> order;
+  auto r1 = MakeTracer("r1", &order);
+  auto r2 = MakeTracer("r2", &order);
+  scheduler.BeginRound();
+  scheduler.Trigger(r1.get(), Det());
+  scheduler.Trigger(r2.get(), Det());
+  EXPECT_TRUE(order.empty());  // Nothing runs mid-round.
+  ASSERT_TRUE(scheduler.EndRound(nullptr).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"r1", "r2"}));
+}
+
+TEST(SchedulerTest, PriorityOrdersBatch) {
+  RuleScheduler scheduler;
+  std::vector<std::string> order;
+  auto low = MakeTracer("low", &order, CouplingMode::kImmediate, 1);
+  auto high = MakeTracer("high", &order, CouplingMode::kImmediate, 10);
+  auto mid = MakeTracer("mid", &order, CouplingMode::kImmediate, 5);
+  scheduler.BeginRound();
+  scheduler.Trigger(low.get(), Det());
+  scheduler.Trigger(high.get(), Det());
+  scheduler.Trigger(mid.get(), Det());
+  ASSERT_TRUE(scheduler.EndRound(nullptr).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"high", "mid", "low"}));
+}
+
+TEST(SchedulerTest, EqualPriorityPreservesTriggerOrder) {
+  RuleScheduler scheduler;
+  std::vector<std::string> order;
+  auto a = MakeTracer("a", &order);
+  auto b = MakeTracer("b", &order);
+  scheduler.BeginRound();
+  scheduler.Trigger(a.get(), Det());
+  scheduler.Trigger(b.get(), Det());
+  ASSERT_TRUE(scheduler.EndRound(nullptr).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SchedulerTest, CustomConflictResolverReplacesDefault) {
+  RuleScheduler scheduler;
+  // Reverse trigger order, ignoring priorities entirely.
+  scheduler.set_conflict_resolver([](std::vector<RuleScheduler::Triggered>* b) {
+    std::reverse(b->begin(), b->end());
+  });
+  std::vector<std::string> order;
+  auto a = MakeTracer("a", &order, CouplingMode::kImmediate, 100);
+  auto b = MakeTracer("b", &order, CouplingMode::kImmediate, 0);
+  scheduler.BeginRound();
+  scheduler.Trigger(a.get(), Det());
+  scheduler.Trigger(b.get(), Det());
+  ASSERT_TRUE(scheduler.EndRound(nullptr).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(SchedulerTest, NestedRoundsExecuteIndependently) {
+  RuleScheduler scheduler;
+  std::vector<std::string> order;
+  auto outer = MakeTracer("outer", &order);
+  auto inner = MakeTracer("inner", &order);
+  scheduler.BeginRound();
+  scheduler.Trigger(outer.get(), Det());
+  scheduler.BeginRound();  // Nested raise.
+  scheduler.Trigger(inner.get(), Det());
+  ASSERT_TRUE(scheduler.EndRound(nullptr).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"inner"}));
+  ASSERT_TRUE(scheduler.EndRound(nullptr).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"inner", "outer"}));
+}
+
+TEST(SchedulerTest, EndRoundWithoutBeginFails) {
+  RuleScheduler scheduler;
+  EXPECT_TRUE(scheduler.EndRound(nullptr).IsFailedPrecondition());
+}
+
+TEST(SchedulerTest, DeferredQueuesOnTransaction) {
+  RuleScheduler scheduler;
+  LockManager locks;
+  Transaction txn(1, &locks);
+  std::vector<std::string> order;
+  auto rule = MakeTracer("d", &order, CouplingMode::kDeferred);
+  scheduler.BeginRound();
+  scheduler.Trigger(rule.get(), Det(&txn));
+  ASSERT_TRUE(scheduler.EndRound(&txn).ok());
+  EXPECT_TRUE(order.empty());  // Deferred until commit point.
+  EXPECT_EQ(scheduler.deferred_scheduled(), 1u);
+  ASSERT_TRUE(txn.RunDeferred().ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"d"}));
+}
+
+TEST(SchedulerTest, DeferredWithoutTransactionRunsNow) {
+  RuleScheduler scheduler;
+  std::vector<std::string> order;
+  auto rule = MakeTracer("d", &order, CouplingMode::kDeferred);
+  scheduler.BeginRound();
+  scheduler.Trigger(rule.get(), Det());
+  ASSERT_TRUE(scheduler.EndRound(nullptr).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"d"}));
+}
+
+TEST(SchedulerTest, DetachedUsesRunner) {
+  RuleScheduler scheduler;
+  int runner_calls = 0;
+  scheduler.set_detached_runner(
+      [&](std::function<Status(Transaction*)> body) {
+        ++runner_calls;
+        return body(nullptr);
+      });
+  LockManager locks;
+  Transaction txn(1, &locks);
+  std::vector<std::string> order;
+  auto rule = MakeTracer("det", &order, CouplingMode::kDetached);
+  scheduler.BeginRound();
+  scheduler.Trigger(rule.get(), Det(&txn));
+  ASSERT_TRUE(scheduler.EndRound(&txn).ok());
+  EXPECT_TRUE(order.empty());
+  // Detached work rides on the transaction until post-commit.
+  auto detached = txn.TakeDetached();
+  ASSERT_EQ(detached.size(), 1u);
+  ASSERT_TRUE(detached[0]().ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"det"}));
+  EXPECT_EQ(runner_calls, 1);
+}
+
+TEST(SchedulerTest, CascadeDepthGuardAborts) {
+  RuleScheduler scheduler;
+  scheduler.set_max_cascade_depth(5);
+  // A rule whose action re-triggers itself: unbounded without the guard.
+  EventPtr event = Prim("end A::M");
+  Rule rule("looper", event, nullptr, nullptr);
+  rule.SetAction([&](RuleContext&) {
+    scheduler.Trigger(&rule, Det());
+    return Status::OK();
+  });
+  Status s = scheduler.ExecuteNow(&rule, Det(), nullptr);
+  // The recursion bottoms out at the guard instead of overflowing.
+  EXPECT_EQ(scheduler.max_observed_depth(), 5);
+  EXPECT_LE(scheduler.executed_count(), 5u);
+  (void)s;  // Outermost call returns OK (inner abort surfaced via counter).
+}
+
+TEST(SchedulerTest, CascadeGuardDoomsTransaction) {
+  RuleScheduler scheduler;
+  scheduler.set_max_cascade_depth(3);
+  LockManager locks;
+  Transaction txn(1, &locks);
+  EventPtr event = Prim("end A::M");
+  Rule rule("looper", event, nullptr, nullptr);
+  bool saw_abort = false;
+  rule.SetAction([&](RuleContext& ctx) {
+    Status s = scheduler.ExecuteNow(&rule, Det(ctx.txn), ctx.txn);
+    saw_abort = saw_abort || s.IsAborted();
+    return Status::OK();
+  });
+  scheduler.ExecuteNow(&rule, Det(&txn), &txn).ok();
+  EXPECT_TRUE(txn.abort_requested());
+  EXPECT_TRUE(saw_abort);  // The innermost call hit the guard.
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,105 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "../test_util.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::TempDir;
+
+TEST(DiskManagerTest, OpenCreatesFile) {
+  TempDir dir("disk");
+  DiskManager dm;
+  ASSERT_TRUE(dm.Open(dir.path() + "/db").ok());
+  EXPECT_TRUE(dm.is_open());
+  EXPECT_EQ(dm.page_count(), 0u);
+  EXPECT_TRUE(dm.Close().ok());
+  EXPECT_FALSE(dm.is_open());
+}
+
+TEST(DiskManagerTest, DoubleOpenFails) {
+  TempDir dir("disk");
+  DiskManager dm;
+  ASSERT_TRUE(dm.Open(dir.path() + "/db").ok());
+  EXPECT_TRUE(dm.Open(dir.path() + "/db2").IsFailedPrecondition());
+}
+
+TEST(DiskManagerTest, AllocateGrowsFile) {
+  TempDir dir("disk");
+  DiskManager dm;
+  ASSERT_TRUE(dm.Open(dir.path() + "/db").ok());
+  auto p0 = dm.AllocatePage();
+  auto p1 = dm.AllocatePage();
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  EXPECT_EQ(p0.value(), 0u);
+  EXPECT_EQ(p1.value(), 1u);
+  EXPECT_EQ(dm.page_count(), 2u);
+}
+
+TEST(DiskManagerTest, WriteReadRoundTrip) {
+  TempDir dir("disk");
+  DiskManager dm;
+  ASSERT_TRUE(dm.Open(dir.path() + "/db").ok());
+  auto pid = dm.AllocatePage();
+  ASSERT_TRUE(pid.ok());
+  char out[kPageSize];
+  std::memset(out, 0x5A, kPageSize);
+  ASSERT_TRUE(dm.WritePage(pid.value(), out).ok());
+  char in[kPageSize] = {};
+  ASSERT_TRUE(dm.ReadPage(pid.value(), in).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST(DiskManagerTest, UnallocatedAccessIsRejected) {
+  TempDir dir("disk");
+  DiskManager dm;
+  ASSERT_TRUE(dm.Open(dir.path() + "/db").ok());
+  char buf[kPageSize];
+  EXPECT_TRUE(dm.ReadPage(0, buf).IsInvalidArgument());
+  EXPECT_TRUE(dm.WritePage(5, buf).IsInvalidArgument());
+}
+
+TEST(DiskManagerTest, DataSurvivesReopen) {
+  TempDir dir("disk");
+  std::string path = dir.path() + "/db";
+  char out[kPageSize];
+  std::memset(out, 0x33, kPageSize);
+  {
+    DiskManager dm;
+    ASSERT_TRUE(dm.Open(path).ok());
+    auto pid = dm.AllocatePage();
+    ASSERT_TRUE(pid.ok());
+    ASSERT_TRUE(dm.WritePage(pid.value(), out).ok());
+    ASSERT_TRUE(dm.Sync().ok());
+    ASSERT_TRUE(dm.Close().ok());
+  }
+  DiskManager dm;
+  ASSERT_TRUE(dm.Open(path).ok());
+  EXPECT_EQ(dm.page_count(), 1u);
+  char in[kPageSize] = {};
+  ASSERT_TRUE(dm.ReadPage(0, in).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST(DiskManagerTest, OperationsOnClosedManagerFail) {
+  DiskManager dm;
+  char buf[kPageSize];
+  EXPECT_TRUE(dm.ReadPage(0, buf).IsFailedPrecondition());
+  EXPECT_TRUE(dm.WritePage(0, buf).IsFailedPrecondition());
+  EXPECT_TRUE(dm.AllocatePage().status().IsFailedPrecondition());
+  EXPECT_TRUE(dm.Sync().IsFailedPrecondition());
+}
+
+TEST(DiskManagerTest, OpenOnUnwritableDirectoryFails) {
+  DiskManager dm;
+  EXPECT_TRUE(dm.Open("/nonexistent_dir_xyz/db").IsIOError());
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Shared test helpers.
+
+#ifndef SENTINEL_TESTS_TEST_UTIL_H_
+#define SENTINEL_TESTS_TEST_UTIL_H_
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "common/clock.h"
+#include "events/occurrence.h"
+
+namespace sentinel {
+namespace testing_util {
+
+/// Creates a unique scratch directory and removes it on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    std::random_device rd;
+    path_ = std::filesystem::temp_directory_path() /
+            ("sentinel_test_" + tag + "_" + std::to_string(rd()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Builds a primitive occurrence with a fresh timestamp.
+inline EventOccurrence MakeOccurrence(
+    Oid oid, const std::string& class_name, const std::string& method,
+    EventModifier modifier = EventModifier::kEnd, ValueList params = {}) {
+  EventOccurrence occ;
+  occ.oid = oid;
+  occ.class_name = class_name;
+  occ.method = method;
+  occ.modifier = modifier;
+  occ.params = std::move(params);
+  occ.timestamp = Clock::Now();
+  return occ;
+}
+
+}  // namespace testing_util
+}  // namespace sentinel
+
+#endif  // SENTINEL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,118 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace sentinel {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Lock(2, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, 100, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, 100, LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveExcludesYounger) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, 100, LockMode::kExclusive).ok());
+  // Txn 2 is younger than holder 1: wait-die kills it immediately.
+  EXPECT_TRUE(lm.Lock(2, 100, LockMode::kExclusive).IsAborted());
+  EXPECT_TRUE(lm.Lock(2, 100, LockMode::kShared).IsAborted());
+}
+
+TEST(LockManagerTest, ReentrantLockIsOk) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Lock(1, 100, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Lock(1, 100, LockMode::kExclusive).ok());  // Upgrade.
+  EXPECT_TRUE(lm.Holds(1, 100, LockMode::kExclusive));
+  EXPECT_TRUE(lm.Lock(1, 100, LockMode::kShared).ok());  // X covers S.
+  EXPECT_TRUE(lm.Holds(1, 100, LockMode::kExclusive));   // Not downgraded.
+}
+
+TEST(LockManagerTest, ReleaseAllFreesResources) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, 100, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Lock(1, 200, LockMode::kShared).ok());
+  EXPECT_EQ(lm.LockedResourceCount(), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.LockedResourceCount(), 0u);
+  EXPECT_FALSE(lm.Holds(1, 100, LockMode::kShared));
+  // A younger txn can now lock freely.
+  EXPECT_TRUE(lm.Lock(5, 100, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, HoldsDistinguishesModes) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, 100, LockMode::kShared));
+  EXPECT_FALSE(lm.Holds(1, 100, LockMode::kExclusive));
+  EXPECT_FALSE(lm.Holds(2, 100, LockMode::kShared));
+}
+
+TEST(LockManagerTest, OlderTransactionWaitsForYoungerHolder) {
+  LockManager lm;
+  // Txn 5 (younger) holds X; txn 3 (older) must wait, not die.
+  ASSERT_TRUE(lm.Lock(5, 100, LockMode::kExclusive).ok());
+
+  std::atomic<bool> acquired{false};
+  std::thread older([&]() {
+    Status s = lm.Lock(3, 100, LockMode::kExclusive);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    acquired.store(true);
+  });
+  // Give the older txn a moment to block.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(5);
+  older.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_TRUE(lm.Holds(3, 100, LockMode::kExclusive));
+  lm.ReleaseAll(3);
+}
+
+TEST(LockManagerTest, SharedUpgradeConflictDiesWhenYounger) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, 100, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Lock(2, 100, LockMode::kShared).ok());
+  // Txn 2 (younger) tries to upgrade while older txn 1 also holds S: dies.
+  EXPECT_TRUE(lm.Lock(2, 100, LockMode::kExclusive).IsAborted());
+}
+
+TEST(LockManagerTest, ConcurrentIncrementsAreSerialized) {
+  LockManager lm;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 200;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> next_txn{1};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kIncrements; ++i) {
+        // Retry with a fresh (younger) txn id on wait-die aborts.
+        for (;;) {
+          TxnId id = next_txn.fetch_add(1);
+          Status s = lm.Lock(id, 42, LockMode::kExclusive);
+          if (s.ok()) {
+            ++counter;  // Protected by the exclusive lock.
+            lm.ReleaseAll(id);
+            break;
+          }
+          ASSERT_TRUE(s.IsAborted());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+  EXPECT_EQ(lm.LockedResourceCount(), 0u);
+}
+
+}  // namespace
+}  // namespace sentinel
