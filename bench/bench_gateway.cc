@@ -1,0 +1,197 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Gateway cost model: what does putting the event interface behind a TCP
+// gateway cost versus calling the Database facade in-process?
+//
+//   1. direct       — in-process RaiseEvent through WithTransaction
+//   2. rpc          — one client, one synchronous RaiseEvent RPC at a time
+//   3. pipelined xN — N producer connections streaming batched raises
+//                     through the bounded ingress queue
+//   4. raise→notify — end-to-end latency from a producer's raise to a
+//                     subscribed consumer holding the notification
+//
+// Plain main() (bench_three_way.cc precedent): the interesting numbers are
+// a table, not a google-benchmark timing loop.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace sentinel {
+namespace {
+
+using net::GatewayClient;
+using net::GatewayServer;
+
+constexpr int kDirectOps = 20000;
+constexpr int kRpcOps = 5000;
+constexpr int kPipelinedPerProducer = 5000;
+constexpr int kPipelineBatch = 250;
+constexpr int kLatencySamples = 2000;
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::unique_ptr<GatewayClient> Connect(uint16_t port) {
+  return std::move(GatewayClient::Connect("127.0.0.1", port)).value();
+}
+
+struct Row {
+  std::string mode;
+  double events_per_sec;
+  double ns_per_event;
+};
+
+double Quantile(std::vector<int64_t>& samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(q * (samples.size() - 1));
+  return static_cast<double>(samples[idx]);
+}
+
+}  // namespace
+
+int RunBench(int producers) {
+  auto dir = std::filesystem::temp_directory_path() / "sentinel_bench_gw";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto db = std::move(Database::Open({.dir = dir.string()})).value();
+  db->RegisterClass(ClassBuilder("Sensor")
+                        .Reactive()
+                        .Method("Report", {.begin = true, .end = true})
+                        .Build())
+      .ok();
+
+  std::vector<Row> rows;
+
+  // --- 1. Direct in-process baseline (no gateway running yet). -----------
+  {
+    ReactiveObject sensor("Sensor");
+    db->RegisterLiveObject(&sensor).ok();
+    int64_t t0 = NowNs();
+    for (int i = 0; i < kDirectOps; ++i) {
+      db->WithTransaction([&](Transaction*) {
+        sensor.RaiseEvent("Report", EventModifier::kEnd,
+                          {Value(static_cast<double>(i))});
+        return Status::OK();
+      }).ok();
+    }
+    int64_t t1 = NowNs();
+    double ns = static_cast<double>(t1 - t0) / kDirectOps;
+    rows.push_back({"direct in-process", 1e9 / ns, ns});
+    db->UnregisterLiveObject(&sensor).ok();
+  }
+
+  net::GatewayOptions options;
+  options.ingress_capacity = 4096;
+  GatewayServer server(db.get(), options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // --- 2. Single connection, synchronous RPC per raise. ------------------
+  {
+    auto client = Connect(server.port());
+    int64_t t0 = NowNs();
+    for (int i = 0; i < kRpcOps; ++i) {
+      client->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                         {Value(static_cast<double>(i))})
+          .ok();
+    }
+    int64_t t1 = NowNs();
+    double ns = static_cast<double>(t1 - t0) / kRpcOps;
+    rows.push_back({"gateway rpc x1", 1e9 / ns, ns});
+  }
+
+  // --- 3. Pipelined batches over N concurrent producer connections. ------
+  uint64_t total_rejected = 0;
+  {
+    std::vector<std::thread> threads;
+    std::vector<uint64_t> rejected(static_cast<size_t>(producers), 0);
+    int64_t t0 = NowNs();
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        auto client = Connect(server.port());
+        std::vector<net::RaiseEventMsg> batch(kPipelineBatch);
+        for (auto& msg : batch) {
+          msg.class_name = "Sensor";
+          msg.method = "Report";
+          msg.modifier = EventModifier::kEnd;
+          msg.params = {Value(static_cast<int64_t>(p))};
+        }
+        for (int done = 0; done < kPipelinedPerProducer;
+             done += kPipelineBatch) {
+          uint64_t r = 0;
+          client->RaisePipelined(batch, &r);
+          rejected[static_cast<size_t>(p)] += r;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    int64_t t1 = NowNs();
+    for (uint64_t r : rejected) total_rejected += r;
+    double total = static_cast<double>(producers) * kPipelinedPerProducer;
+    double ns = static_cast<double>(t1 - t0) / total;
+    rows.push_back({"gateway pipelined x" + std::to_string(producers),
+                    1e9 / ns, ns});
+  }
+
+  // --- 4. Raise-to-notify latency through a parked long-poll. ------------
+  std::vector<int64_t> latencies;
+  {
+    auto consumer = Connect(server.port());
+    consumer->Subscribe("end Sensor::Report").ok();
+    auto producer = Connect(server.port());
+    latencies.reserve(kLatencySamples);
+    for (int i = 0; i < kLatencySamples; ++i) {
+      int64_t t0 = NowNs();
+      producer->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                           {Value(static_cast<double>(i))})
+          .ok();
+      auto batch = consumer->Fetch(4, 1000);
+      int64_t t1 = NowNs();
+      if (batch.ok() && !batch->empty()) latencies.push_back(t1 - t0);
+    }
+  }
+
+  std::printf("gateway throughput (%d producer connections)\n", producers);
+  std::printf("  %-26s %14s %14s\n", "mode", "events/sec", "ns/event");
+  for (const Row& row : rows) {
+    std::printf("  %-26s %14.0f %14.0f\n", row.mode.c_str(),
+                row.events_per_sec, row.ns_per_event);
+  }
+  std::printf("  backpressure rejections: %llu\n",
+              static_cast<unsigned long long>(total_rejected));
+  if (!latencies.empty()) {
+    double p50 = Quantile(latencies, 0.50);
+    double p99 = Quantile(latencies, 0.99);
+    std::printf(
+        "raise-to-notify latency (%zu samples): p50=%.1fus p99=%.1fus\n",
+        latencies.size(), p50 / 1e3, p99 / 1e3);
+  }
+
+  server.Stop();
+  db->Close().ok();
+  db.reset();
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace sentinel
+
+int main(int argc, char** argv) {
+  int producers = 4;
+  if (argc > 1) producers = std::max(1, std::atoi(argv[1]));
+  return sentinel::RunBench(producers);
+}

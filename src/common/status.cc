@@ -30,6 +30,8 @@ const char* CodeName(Status::Code code) {
       return "FailedPrecondition";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -30,6 +30,7 @@ class Status {
     kNotSupported,
     kFailedPrecondition,
     kInternal,
+    kResourceExhausted,  ///< A bounded resource (queue, buffer) is full.
   };
 
   /// Creates an OK status.
@@ -66,6 +67,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -80,6 +84,9 @@ class Status {
     return code_ == Code::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
 
   Code code() const { return code_; }
 

@@ -22,6 +22,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   SENTINEL_RETURN_IF_ERROR(db->RegisterBuiltinClasses());
 
   db->detector_ = std::make_unique<EventDetector>(&db->catalog_);
+  db->detector_->set_log_capacity(options.occurrence_log_capacity);
   db->scheduler_ = std::make_unique<RuleScheduler>(db.get());
   db->scheduler_->set_max_cascade_depth(options.max_cascade_depth);
   db->rule_manager_ = std::make_unique<RuleManager>(
@@ -413,6 +414,24 @@ void Database::PostRaise(const EventOccurrence& occ) {
       txn->RequestAbort(s.message());
     }
   }
+  // Remote fan-out happens after the rule round so observers see the
+  // occurrence with its local reactions already applied. Expired handles
+  // are pruned in place.
+  for (size_t i = 0; i < occurrence_observers_.size();) {
+    if (ObserverHandle observer = occurrence_observers_[i].lock()) {
+      (*observer)(occ);
+      ++i;
+    } else {
+      occurrence_observers_.erase(occurrence_observers_.begin() + i);
+    }
+  }
+}
+
+Database::ObserverHandle Database::AddOccurrenceObserver(
+    OccurrenceObserver observer) {
+  auto handle = std::make_shared<OccurrenceObserver>(std::move(observer));
+  occurrence_observers_.push_back(handle);
+  return handle;
 }
 
 }  // namespace sentinel

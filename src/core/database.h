@@ -39,6 +39,9 @@ class Database : public RaiseContext, public CommitObserver {
     std::string dir;            ///< Directory for heap.db / wal.log.
     size_t buffer_pages = 256;  ///< Buffer-pool frames.
     int max_cascade_depth = 32; ///< Immediate-rule cascade guard.
+    /// Cap on the detector's global occurrence log (FIFO-trimmed beyond it)
+    /// so long-running gateway workloads stay bounded.
+    size_t occurrence_log_capacity = 4096;
   };
 
   /// Opens (creating if needed) the database: replays the WAL, loads the
@@ -185,6 +188,16 @@ class Database : public RaiseContext, public CommitObserver {
     scheduler_->set_tracer(tracer);
   }
 
+  /// Observer of every raised occurrence, invoked on the mutator thread in
+  /// PostRaise (after the rule round). This is the fan-out point for remote
+  /// notifiables: the event gateway registers one to forward occurrences to
+  /// subscribed network sessions. Observers must not mutate the database.
+  /// The observer stays active while the returned handle is alive; dropping
+  /// the handle deregisters it (the next PostRaise prunes the slot).
+  using OccurrenceObserver = std::function<void(const EventOccurrence&)>;
+  using ObserverHandle = std::shared_ptr<OccurrenceObserver>;
+  ObserverHandle AddOccurrenceObserver(OccurrenceObserver observer);
+
   // --- RaiseContext -----------------------------------------------------------------------------
 
   const ClassCatalog* catalog() const override { return &catalog_; }
@@ -229,6 +242,7 @@ class Database : public RaiseContext, public CommitObserver {
   std::unique_ptr<RuleManager> rule_manager_;
   std::map<Oid, ReactiveObject*> live_;
   std::map<std::string, ObjectFactory> factories_;
+  std::vector<std::weak_ptr<OccurrenceObserver>> occurrence_observers_;
   Transaction* current_txn_ = nullptr;
   Tracer* tracer_ = nullptr;
   bool open_ = false;

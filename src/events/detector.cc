@@ -54,7 +54,19 @@ void EventDetector::RecordOccurrence(const EventOccurrence& occ) {
   log_.push_back(occ);
   ++occurrence_total_;
   ++key_counts_[occ.Key()];
-  while (log_.size() > log_capacity_) log_.pop_front();
+  TrimLog();
+}
+
+void EventDetector::set_log_capacity(size_t capacity) {
+  log_capacity_ = capacity;
+  TrimLog();
+}
+
+void EventDetector::TrimLog() {
+  while (log_.size() > log_capacity_) {
+    log_.pop_front();
+    ++trimmed_total_;
+  }
 }
 
 uint64_t EventDetector::CountForKey(const std::string& key) const {

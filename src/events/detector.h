@@ -68,7 +68,15 @@ class EventDetector {
 
   uint64_t occurrence_total() const { return occurrence_total_; }
   const std::deque<EventOccurrence>& occurrence_log() const { return log_; }
-  void set_log_capacity(size_t capacity) { log_capacity_ = capacity; }
+
+  /// Caps the global log; overflow trims oldest-first so long-running
+  /// (gateway) workloads don't grow memory without limit. Applies
+  /// immediately when the log is already over the new cap.
+  void set_log_capacity(size_t capacity);
+  size_t log_capacity() const { return log_capacity_; }
+
+  /// Occurrences dropped from the log by FIFO trimming since construction.
+  uint64_t occurrence_trimmed_total() const { return trimmed_total_; }
 
   /// Occurrences logged for one signature key ("end Employee::SetSalary").
   uint64_t CountForKey(const std::string& key) const;
@@ -94,6 +102,9 @@ class EventDetector {
   /// All nodes reachable from the named roots (deduplicated).
   std::vector<Event*> ReachableNodes() const;
 
+  /// Drops oldest log entries until the log fits the capacity.
+  void TrimLog();
+
   const ClassCatalog* catalog_;
   std::map<std::string, EventPtr> named_;
   /// Keeps loaded anonymous nodes alive alongside their parents.
@@ -102,6 +113,7 @@ class EventDetector {
   std::deque<EventOccurrence> log_;
   size_t log_capacity_ = 4096;
   uint64_t occurrence_total_ = 0;
+  uint64_t trimmed_total_ = 0;
   std::map<std::string, uint64_t> key_counts_;
 };
 

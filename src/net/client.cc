@@ -1,0 +1,245 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sentinel {
+namespace net {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Result<std::unique_ptr<GatewayClient>> GatewayClient::Connect(
+    const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status err = Status::IOError("connect " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<GatewayClient>(new GatewayClient(fd));
+}
+
+GatewayClient::~GatewayClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status GatewayClient::SendFrame(FrameType type, const std::string& body) {
+  std::string wire;
+  EncodeFrame(type, body, &wire);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status GatewayClient::ReadFrame(Frame* frame) {
+  while (true) {
+    size_t consumed = 0;
+    Status error;
+    DecodeProgress progress = TryDecodeFrame(inbuf_, kDefaultMaxFrameBody,
+                                             frame, &consumed, &error);
+    if (progress == DecodeProgress::kFrame) {
+      inbuf_.erase(0, consumed);
+      return Status::OK();
+    }
+    if (progress == DecodeProgress::kError) return error;
+
+    char chunk[kReadChunk];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv: " + std::string(std::strerror(errno)));
+    }
+    inbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status GatewayClient::Call(FrameType type, const std::string& body,
+                           Frame* reply) {
+  SENTINEL_RETURN_IF_ERROR(SendFrame(type, body));
+  return ReadFrame(reply);
+}
+
+Status GatewayClient::ExpectStatusReply(const Frame& reply,
+                                        uint64_t* payload) {
+  if (reply.type != FrameType::kStatusReply) {
+    return Status::Internal("expected StatusReply, got frame type " +
+                            std::to_string(static_cast<int>(reply.type)));
+  }
+  SENTINEL_ASSIGN_OR_RETURN(StatusReplyMsg msg,
+                            StatusReplyMsg::Decode(reply.body));
+  if (payload != nullptr) *payload = msg.payload;
+  return msg.ToStatus();
+}
+
+Status GatewayClient::Ping() {
+  PingMsg msg;
+  msg.token = 0x53454e54;  // Arbitrary; verified in the echo.
+  Encoder enc;
+  msg.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(Call(FrameType::kPing, enc.buffer(), &reply));
+  if (reply.type == FrameType::kStatusReply) {
+    return ExpectStatusReply(reply, nullptr);  // Server-side decode error.
+  }
+  if (reply.type != FrameType::kPong) {
+    return Status::Internal("expected Pong");
+  }
+  SENTINEL_ASSIGN_OR_RETURN(PongMsg pong, PongMsg::Decode(reply.body));
+  if (pong.token != msg.token) return Status::Internal("pong token mismatch");
+  return Status::OK();
+}
+
+Result<uint64_t> GatewayClient::RaiseEvent(const std::string& class_name,
+                                           const std::string& method,
+                                           EventModifier modifier,
+                                           const ValueList& params,
+                                           uint64_t oid) {
+  RaiseEventMsg msg;
+  msg.oid = oid;
+  msg.class_name = class_name;
+  msg.method = method;
+  msg.modifier = modifier;
+  msg.params = params;
+  Encoder enc;
+  msg.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(
+      Call(FrameType::kRaiseEvent, enc.buffer(), &reply));
+  uint64_t payload = 0;
+  SENTINEL_RETURN_IF_ERROR(ExpectStatusReply(reply, &payload));
+  return payload;
+}
+
+Status GatewayClient::RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
+                                     uint64_t* rejected) {
+  if (rejected != nullptr) *rejected = 0;
+  // One big write keeps the ingress queue fed; replies are drained after.
+  std::string wire;
+  for (const RaiseEventMsg& msg : msgs) {
+    Encoder enc;
+    msg.Encode(&enc);
+    EncodeFrame(FrameType::kRaiseEvent, enc.buffer(), &wire);
+  }
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    Frame reply;
+    SENTINEL_RETURN_IF_ERROR(ReadFrame(&reply));
+    Status s = ExpectStatusReply(reply, nullptr);
+    if (s.IsResourceExhausted() && rejected != nullptr) ++*rejected;
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+Status GatewayClient::CreateRule(const CreateRuleMsg& spec) {
+  Encoder enc;
+  spec.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(
+      Call(FrameType::kCreateRule, enc.buffer(), &reply));
+  return ExpectStatusReply(reply, nullptr);
+}
+
+Status GatewayClient::EnableRule(const std::string& name) {
+  RuleNameMsg msg;
+  msg.name = name;
+  Encoder enc;
+  msg.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(
+      Call(FrameType::kEnableRule, enc.buffer(), &reply));
+  return ExpectStatusReply(reply, nullptr);
+}
+
+Status GatewayClient::DisableRule(const std::string& name) {
+  RuleNameMsg msg;
+  msg.name = name;
+  Encoder enc;
+  msg.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(
+      Call(FrameType::kDisableRule, enc.buffer(), &reply));
+  return ExpectStatusReply(reply, nullptr);
+}
+
+Status GatewayClient::Subscribe(const std::string& key) {
+  SubscribeMsg msg;
+  msg.key = key;
+  Encoder enc;
+  msg.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(Call(FrameType::kSubscribe, enc.buffer(), &reply));
+  return ExpectStatusReply(reply, nullptr);
+}
+
+Result<std::vector<Notification>> GatewayClient::Fetch(uint32_t max,
+                                                       uint32_t wait_ms) {
+  FetchMsg msg;
+  msg.max = max;
+  msg.wait_ms = wait_ms;
+  Encoder enc;
+  msg.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(
+      Call(FrameType::kFetchNotifications, enc.buffer(), &reply));
+  if (reply.type == FrameType::kStatusReply) {
+    Status s = ExpectStatusReply(reply, nullptr);
+    if (s.ok()) s = Status::Internal("expected a notification batch");
+    return s;
+  }
+  if (reply.type != FrameType::kNotificationBatch) {
+    return Status::Internal("expected NotificationBatch");
+  }
+  SENTINEL_ASSIGN_OR_RETURN(NotificationBatchMsg batch,
+                            NotificationBatchMsg::Decode(reply.body));
+  return std::move(batch.items);
+}
+
+}  // namespace net
+}  // namespace sentinel

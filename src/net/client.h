@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// GatewayClient: blocking client library for the Sentinel event gateway.
+//
+// One connection carries strictly sequential request/response exchanges
+// (plus the optional pipelined raise path for throughput). Producers and
+// consumers typically use separate connections so a consumer's long-poll
+// never blocks a producer's raises — mirroring the paper's separation of
+// the synchronous call interface from asynchronous event propagation.
+
+#ifndef SENTINEL_NET_CLIENT_H_
+#define SENTINEL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace sentinel {
+namespace net {
+
+/// Blocking TCP client of a GatewayServer. Not thread safe; use one
+/// instance per thread/connection.
+class GatewayClient {
+ public:
+  /// Connects to host:port (IPv4 dotted quad).
+  static Result<std::unique_ptr<GatewayClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~GatewayClient();
+
+  GatewayClient(const GatewayClient&) = delete;
+  GatewayClient& operator=(const GatewayClient&) = delete;
+
+  /// Round-trips a token through the server.
+  Status Ping();
+
+  /// Raises a primitive event remotely. `oid` 0 targets the server's
+  /// default relay object for the class; returns the relay's oid so later
+  /// raises can address the same instance.
+  Result<uint64_t> RaiseEvent(const std::string& class_name,
+                              const std::string& method,
+                              EventModifier modifier, const ValueList& params,
+                              uint64_t oid = 0);
+
+  /// Sends `msgs` back to back, then collects one reply per message —
+  /// keeping the ingress pipeline full instead of paying a round trip per
+  /// raise. Returns OK when every raise was applied; otherwise the first
+  /// non-OK reply (ResourceExhausted indicates backpressure). `*rejected`
+  /// (optional) counts backpressure rejections.
+  Status RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
+                        uint64_t* rejected = nullptr);
+
+  /// Creates an ECA rule server-side. Empty action name = the gateway's
+  /// subscriber-notify action; empty condition name = always true.
+  Status CreateRule(const CreateRuleMsg& spec);
+
+  Status EnableRule(const std::string& name);
+  Status DisableRule(const std::string& name);
+
+  /// Subscribes this connection to a notification key: an occurrence key
+  /// ("end Employee::ChangeIncome") or a rule key ("rule:<name>").
+  Status Subscribe(const std::string& key);
+
+  /// Fetches up to `max` notifications, waiting up to `wait_ms` for the
+  /// first (long-poll on the server; 0 returns immediately).
+  Result<std::vector<Notification>> Fetch(uint32_t max, uint32_t wait_ms);
+
+ private:
+  explicit GatewayClient(int fd) : fd_(fd) {}
+
+  /// Writes one request frame and reads the next response frame.
+  Status Call(FrameType type, const std::string& body, Frame* reply);
+  Status SendFrame(FrameType type, const std::string& body);
+  Status ReadFrame(Frame* frame);
+  /// Interprets a kStatusReply frame (error on other frame types).
+  Status ExpectStatusReply(const Frame& reply, uint64_t* payload);
+
+  int fd_ = -1;
+  std::string inbuf_;  ///< Bytes read past the last complete frame.
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINEL_NET_CLIENT_H_

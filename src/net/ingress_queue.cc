@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "net/ingress_queue.h"
+
+#include <algorithm>
+
+namespace sentinel {
+namespace net {
+
+IngressQueue::IngressQueue(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+Status IngressQueue::TryPush(IngressItem item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("ingress queue is shut down");
+    }
+    if (items_.size() >= capacity_) {
+      ++rejected_total_;
+      return Status::ResourceExhausted("ingress queue full (" +
+                                       std::to_string(capacity_) + ")");
+    }
+    items_.push_back(std::move(item));
+    ++pushed_total_;
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+size_t IngressQueue::PopBatch(size_t max_batch, std::chrono::milliseconds wait,
+                              std::vector<IngressItem>* out) {
+  if (max_batch == 0) return 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait_for(lock, wait,
+                      [this] { return !items_.empty() || shutdown_; });
+  size_t n = std::min(max_batch, items_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return n;
+}
+
+void IngressQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+bool IngressQueue::shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+size_t IngressQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+uint64_t IngressQueue::pushed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_total_;
+}
+
+uint64_t IngressQueue::rejected_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_total_;
+}
+
+}  // namespace net
+}  // namespace sentinel

@@ -1,0 +1,82 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// IngressQueue: the bounded multi-producer / single-consumer funnel between
+// the gateway's socket side and the Database facade.
+//
+// The paper's system (and this reproduction's core) assumes a single mutator
+// thread; the gateway keeps that model intact by letting N socket threads
+// enqueue decoded request frames here while exactly one mutator thread
+// drains them in batches. Capacity is bounded: when the mutator falls
+// behind, TryPush fails with ResourceExhausted and the caller answers the
+// client with backpressure instead of growing memory without limit.
+//
+// Ordering guarantee: global FIFO, which implies FIFO per producer — a
+// producer's second request is never applied before its first.
+
+#ifndef SENTINEL_NET_INGRESS_QUEUE_H_
+#define SENTINEL_NET_INGRESS_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace sentinel {
+namespace net {
+
+/// One queued request: which session sent it plus the decoded frame.
+struct IngressItem {
+  uint64_t session_id = 0;
+  Frame frame;
+};
+
+/// Bounded MPSC queue of gateway requests. All methods are thread safe.
+class IngressQueue {
+ public:
+  explicit IngressQueue(size_t capacity);
+
+  IngressQueue(const IngressQueue&) = delete;
+  IngressQueue& operator=(const IngressQueue&) = delete;
+
+  /// Enqueues without blocking. ResourceExhausted when the queue is at
+  /// capacity (the backpressure signal), FailedPrecondition after Shutdown.
+  Status TryPush(IngressItem item);
+
+  /// Pops up to `max_batch` items into `*out` (appended), blocking up to
+  /// `wait` for the first one. Returns the number popped; 0 means the wait
+  /// timed out or the queue is shut down *and* fully drained. Items already
+  /// in flight at Shutdown are still delivered, so the consumer can finish
+  /// cleanly: loop until Shutdown has been called and PopBatch returns 0.
+  size_t PopBatch(size_t max_batch, std::chrono::milliseconds wait,
+                  std::vector<IngressItem>* out);
+
+  /// Stops accepting pushes and wakes blocked consumers. Idempotent.
+  void Shutdown();
+
+  bool shutdown() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Total items accepted / rejected for backpressure since construction.
+  uint64_t pushed_total() const;
+  uint64_t rejected_total() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<IngressItem> items_;
+  bool shutdown_ = false;
+  uint64_t pushed_total_ = 0;
+  uint64_t rejected_total_ = 0;
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINEL_NET_INGRESS_QUEUE_H_

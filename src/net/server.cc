@@ -1,0 +1,576 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sentinel {
+namespace net {
+
+const char kNotifySubscribersAction[] = "gateway.notify";
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr auto kMutatorIdleWait = std::chrono::milliseconds(50);
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl(O_NONBLOCK): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Notification FromOccurrence(const std::string& key,
+                            const EventOccurrence& occ) {
+  Notification n;
+  n.key = key;
+  n.oid = occ.oid;
+  n.class_name = occ.class_name;
+  n.method = occ.method;
+  n.modifier = occ.modifier;
+  n.params = occ.params;
+  n.timestamp = occ.timestamp;
+  return n;
+}
+
+}  // namespace
+
+GatewayServer::GatewayServer(Database* db, GatewayOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      hub_(std::make_shared<NotificationHub>()),
+      queue_(std::make_unique<IngressQueue>(options_.ingress_capacity)) {}
+
+GatewayServer::~GatewayServer() { Stop(); }
+
+Status GatewayServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("gateway already running");
+  }
+
+  // The rule action broadcasting to "rule:<name>" subscribers. It captures
+  // the hub (shared), not the server: a rule firing after Stop() lands in
+  // an empty hub instead of freed memory. AlreadyExists just means another
+  // (earlier) gateway on this database registered it.
+  std::shared_ptr<NotificationHub> hub = hub_;
+  size_t max_pending = options_.max_pending_notifications;
+  Status s = db_->functions()->RegisterAction(
+      kNotifySubscribersAction, [hub, max_pending](RuleContext& ctx) {
+        if (ctx.rule == nullptr || ctx.detection == nullptr) {
+          return Status::OK();
+        }
+        hub->Broadcast("rule:" + ctx.rule->name(),
+                       FromOccurrence("rule:" + ctx.rule->name(),
+                                      ctx.detection->last()),
+                       max_pending);
+        return Status::OK();
+      });
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+
+  // Occurrence fan-out: every raise reaching PostRaise is offered to
+  // sessions subscribed to its key.
+  observer_ = db_->AddOccurrenceObserver([hub,
+                                          max_pending](const EventOccurrence&
+                                                           occ) {
+    hub->Broadcast(occ.Key(), FromOccurrence(occ.Key(), occ), max_pending);
+  });
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    Stop();
+    return Status::InvalidArgument("bad listen host " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status err = Status::IOError("bind " + options_.host + ":" +
+                                 std::to_string(options_.port) + ": " +
+                                 std::strerror(errno));
+    Stop();
+    return err;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status err =
+        Status::IOError("listen: " + std::string(std::strerror(errno)));
+    Stop();
+    return err;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  SENTINEL_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  if (::pipe(wake_fds_) < 0) {
+    Status err =
+        Status::IOError("pipe: " + std::string(std::strerror(errno)));
+    Stop();
+    return err;
+  }
+  SENTINEL_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[0]));
+  SENTINEL_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[1]));
+
+  int wake_fd = wake_fds_[1];
+  hub_->SetWake([wake_fd] {
+    char byte = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wake_fd, &byte, 1);
+  });
+
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  mutator_thread_ = std::thread([this] { MutatorLoop(); });
+  SENTINEL_INFO << "gateway listening on " << options_.host << ":" << port_;
+  return Status::OK();
+}
+
+void GatewayServer::Stop() {
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (was_running) {
+    hub_->Wake();
+    queue_->Shutdown();
+    if (io_thread_.joinable()) io_thread_.join();
+    if (mutator_thread_.joinable()) mutator_thread_.join();
+  }
+  hub_->SetWake(nullptr);
+  hub_->Clear();
+  observer_.reset();
+  // Relay objects were registered live with the database; detach them so
+  // the database never dereferences freed objects after we are gone.
+  for (auto& [key, relay] : relays_) {
+    db_->UnregisterLiveObject(relay.get()).ok();
+  }
+  relays_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_fds_[i] >= 0) {
+      ::close(wake_fds_[i]);
+      wake_fds_[i] = -1;
+    }
+  }
+}
+
+GatewayStats GatewayServer::stats() const {
+  GatewayStats s;
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.requests_processed = requests_processed_.load(std::memory_order_relaxed);
+  s.backpressure_rejections =
+      backpressure_rejections_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.notifications_enqueued = hub_->notifications_enqueued();
+  s.notifications_dropped = hub_->notifications_dropped();
+  s.sessions_accepted = sessions_accepted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- IO thread ---------------------------------------------------------------
+
+void GatewayServer::IoLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    std::vector<uint64_t> ids;  // parallel to fds from index 2 on
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const auto& [id, session] : io_sessions_) {
+      short events = POLLIN;
+      if (!session->unsent.empty() || session->HasOutput()) events |= POLLOUT;
+      fds.push_back({session->fd, events, 0});
+      ids.push_back(id);
+    }
+
+    int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      SENTINEL_WARN << "gateway poll: " << std::strerror(errno);
+      break;
+    }
+
+    if (fds[1].revents & POLLIN) DrainWakePipe();
+    if (fds[0].revents & POLLIN) AcceptPending();
+
+    for (size_t i = 2; i < fds.size(); ++i) {
+      uint64_t id = ids[i - 2];
+      auto it = io_sessions_.find(id);
+      if (it == io_sessions_.end()) continue;
+      Session* session = it->second.get();
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        CloseSession(id);
+        continue;
+      }
+      if ((fds[i].revents & POLLIN) && !DrainSocket(session)) {
+        CloseSession(id);
+        continue;
+      }
+      // Flush opportunistically: replies queued since the poll returned
+      // would otherwise wait a whole poll cycle.
+      if (!FlushSocket(session)) {
+        CloseSession(id);
+        continue;
+      }
+      if (session->drop_after_flush && session->unsent.empty() &&
+          !session->HasOutput()) {
+        CloseSession(id);
+      }
+    }
+  }
+
+  // Teardown on the IO thread, which owns the fds.
+  for (auto& [id, session] : io_sessions_) {
+    if (session->fd >= 0) ::close(session->fd);
+    session->fd = -1;
+    hub_->Remove(id);
+  }
+  io_sessions_.clear();
+}
+
+void GatewayServer::AcceptPending() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      SENTINEL_WARN << "gateway accept: " << std::strerror(errno);
+      return;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_shared<Session>(next_session_id_++, fd);
+    io_sessions_[session->id()] = session;
+    hub_->Add(session);
+    sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool GatewayServer::DrainSocket(Session* session) {
+  char chunk[kReadChunk];
+  while (true) {
+    ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // Peer closed.
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    session->inbuf.append(chunk, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(chunk)) break;
+  }
+
+  // Split complete frames off the accumulation buffer.
+  size_t offset = 0;
+  while (true) {
+    Frame frame;
+    size_t consumed = 0;
+    Status error;
+    std::string_view view(session->inbuf.data() + offset,
+                          session->inbuf.size() - offset);
+    DecodeProgress progress = TryDecodeFrame(view, options_.max_frame_body,
+                                             &frame, &consumed, &error);
+    if (progress == DecodeProgress::kNeedMore) break;
+    if (progress == DecodeProgress::kError) {
+      // Malformed stream: report once, flush, drop the connection — there
+      // is no way to resynchronize a corrupt length-prefixed stream.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      session->Reply(FrameType::kStatusReply,
+                     StatusReplyMsg::FromStatus(error));
+      session->drop_after_flush = true;
+      session->inbuf.clear();
+      return true;
+    }
+    offset += consumed;
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+
+    IngressItem item;
+    item.session_id = session->id();
+    item.frame = std::move(frame);
+    Status push = queue_->TryPush(std::move(item));
+    if (!push.ok()) {
+      // Backpressure (or shutdown): answer immediately from the IO thread
+      // rather than buffering without bound.
+      backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+      session->Reply(FrameType::kStatusReply,
+                     StatusReplyMsg::FromStatus(push));
+    }
+  }
+  if (offset > 0) session->inbuf.erase(0, offset);
+  return true;
+}
+
+bool GatewayServer::FlushSocket(Session* session) {
+  while (true) {
+    if (session->unsent.empty()) {
+      session->unsent = session->TakeOutput();
+      if (session->unsent.empty()) return true;
+    }
+    ssize_t n = ::send(session->fd, session->unsent.data(),
+                       session->unsent.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    session->unsent.erase(0, static_cast<size_t>(n));
+  }
+}
+
+void GatewayServer::CloseSession(uint64_t id) {
+  auto it = io_sessions_.find(id);
+  if (it == io_sessions_.end()) return;
+  if (it->second->fd >= 0) ::close(it->second->fd);
+  it->second->fd = -1;
+  io_sessions_.erase(it);
+  hub_->Remove(id);
+}
+
+void GatewayServer::DrainWakePipe() {
+  char buf[256];
+  while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+// --- Mutator thread ----------------------------------------------------------
+
+void GatewayServer::MutatorLoop() {
+  std::vector<IngressItem> batch;
+  while (true) {
+    batch.clear();
+    auto now = std::chrono::steady_clock::now();
+    auto deadline = hub_->NextDeadline(now + kMutatorIdleWait);
+    auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    if (wait < std::chrono::milliseconds(1)) {
+      wait = std::chrono::milliseconds(1);
+    }
+    size_t n = queue_->PopBatch(options_.max_batch, wait, &batch);
+    for (size_t i = 0; i < n; ++i) ProcessItem(batch[i]);
+    hub_->ExpireParkedFetches(std::chrono::steady_clock::now());
+    if (n > 0) hub_->Wake();  // Replies are queued; let the IO thread write.
+    if (n == 0 && queue_->shutdown()) break;
+  }
+}
+
+void GatewayServer::ProcessItem(const IngressItem& item) {
+  std::shared_ptr<Session> session = hub_->Find(item.session_id);
+  if (session == nullptr) return;  // Disconnected while queued.
+  requests_processed_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::string& body = item.frame.body;
+  switch (item.frame.type) {
+    case FrameType::kPing: {
+      Result<PingMsg> msg = PingMsg::Decode(body);
+      if (!msg.ok()) {
+        session->Reply(FrameType::kStatusReply,
+                       StatusReplyMsg::FromStatus(msg.status()));
+        return;
+      }
+      PongMsg pong;
+      pong.token = msg->token;
+      session->Reply(FrameType::kPong, pong);
+      return;
+    }
+    case FrameType::kRaiseEvent: {
+      Result<RaiseEventMsg> msg = RaiseEventMsg::Decode(body);
+      session->Reply(FrameType::kStatusReply,
+                     msg.ok() ? HandleRaiseEvent(*msg)
+                              : StatusReplyMsg::FromStatus(msg.status()));
+      return;
+    }
+    case FrameType::kCreateRule: {
+      Result<CreateRuleMsg> msg = CreateRuleMsg::Decode(body);
+      session->Reply(FrameType::kStatusReply,
+                     msg.ok() ? HandleCreateRule(*msg)
+                              : StatusReplyMsg::FromStatus(msg.status()));
+      return;
+    }
+    case FrameType::kEnableRule:
+    case FrameType::kDisableRule: {
+      Result<RuleNameMsg> msg = RuleNameMsg::Decode(body);
+      session->Reply(
+          FrameType::kStatusReply,
+          msg.ok() ? HandleRuleToggle(
+                         *msg, item.frame.type == FrameType::kEnableRule)
+                   : StatusReplyMsg::FromStatus(msg.status()));
+      return;
+    }
+    case FrameType::kSubscribe: {
+      Result<SubscribeMsg> msg = SubscribeMsg::Decode(body);
+      session->Reply(FrameType::kStatusReply,
+                     msg.ok() ? HandleSubscribe(session.get(), *msg)
+                              : StatusReplyMsg::FromStatus(msg.status()));
+      return;
+    }
+    case FrameType::kFetchNotifications: {
+      Result<FetchMsg> msg = FetchMsg::Decode(body);
+      if (!msg.ok()) {
+        session->Reply(FrameType::kStatusReply,
+                       StatusReplyMsg::FromStatus(msg.status()));
+        return;
+      }
+      HandleFetch(session.get(), *msg);
+      return;
+    }
+    default:
+      session->Reply(FrameType::kStatusReply,
+                     StatusReplyMsg::FromStatus(Status::InvalidArgument(
+                         "frame type is not a request")));
+      return;
+  }
+}
+
+Result<ReactiveObject*> GatewayServer::RelayFor(const std::string& class_name,
+                                                const std::string& method,
+                                                uint64_t oid) {
+  // An application-registered live object wins: remote raises address the
+  // same instance local code sees.
+  if (oid != 0) {
+    if (ReactiveObject* live = db_->FindLiveObject(oid)) {
+      if (live->class_name() != class_name) {
+        return Status::InvalidArgument(
+            "oid " + std::to_string(oid) + " is a " + live->class_name() +
+            ", not a " + class_name);
+      }
+      return live;
+    }
+  }
+
+  auto key = std::make_pair(class_name, oid);
+  auto it = relays_.find(key);
+  if (it != relays_.end()) return it->second.get();
+
+  if (!db_->catalog()->HasClass(class_name)) {
+    if (!options_.auto_register_classes) {
+      return Status::NotFound("unknown class " + class_name);
+    }
+    SENTINEL_RETURN_IF_ERROR(db_->RegisterClass(
+        ClassBuilder(class_name)
+            .Reactive()
+            .Method(method, {.begin = true, .end = true})
+            .Build()));
+  }
+
+  auto relay = std::make_unique<ReactiveObject>(
+      class_name, oid == 0 ? kInvalidOid : static_cast<Oid>(oid));
+  SENTINEL_RETURN_IF_ERROR(db_->RegisterLiveObject(relay.get()));
+  ReactiveObject* raw = relay.get();
+  relays_.emplace(std::move(key), std::move(relay));
+  return raw;
+}
+
+StatusReplyMsg GatewayServer::HandleRaiseEvent(const RaiseEventMsg& msg) {
+  Result<ReactiveObject*> relay =
+      RelayFor(msg.class_name, msg.method, msg.oid);
+  if (!relay.ok()) return StatusReplyMsg::FromStatus(relay.status());
+
+  ReactiveObject* object = *relay;
+  Status s = db_->WithTransaction([&](Transaction*) {
+    object->RaiseEvent(msg.method, msg.modifier, msg.params);
+    return Status::OK();
+  });
+  return StatusReplyMsg::FromStatus(s, static_cast<uint64_t>(object->oid()));
+}
+
+StatusReplyMsg GatewayServer::HandleCreateRule(const CreateRuleMsg& msg) {
+  Result<EventSignature> sig = EventSignature::Parse(msg.event_signature);
+  if (!sig.ok()) return StatusReplyMsg::FromStatus(sig.status());
+
+  // The triggering class must exist so the rule has an extent to watch.
+  if (!db_->catalog()->HasClass(sig->class_name)) {
+    if (!options_.auto_register_classes) {
+      return StatusReplyMsg::FromStatus(
+          Status::NotFound("unknown class " + sig->class_name));
+    }
+    Status reg = db_->RegisterClass(
+        ClassBuilder(sig->class_name)
+            .Reactive()
+            .Method(sig->method, {.begin = true, .end = true})
+            .Build());
+    if (!reg.ok()) return StatusReplyMsg::FromStatus(reg);
+  }
+
+  Result<EventPtr> event = db_->CreatePrimitiveEvent(msg.event_signature);
+  if (!event.ok()) return StatusReplyMsg::FromStatus(event.status());
+
+  RuleSpec spec;
+  spec.name = msg.name;
+  spec.event = *event;
+  spec.condition_name = msg.condition_name;
+  spec.action_name =
+      msg.action_name.empty() ? kNotifySubscribersAction : msg.action_name;
+  spec.coupling = static_cast<CouplingMode>(msg.coupling);
+  spec.priority = static_cast<int>(msg.priority);
+  spec.enabled = msg.enabled;
+
+  Result<RulePtr> rule = db_->DeclareClassRule(sig->class_name, spec);
+  if (!rule.ok()) return StatusReplyMsg::FromStatus(rule.status());
+  return StatusReplyMsg::FromStatus(Status::OK(),
+                                    static_cast<uint64_t>((*rule)->oid()));
+}
+
+StatusReplyMsg GatewayServer::HandleRuleToggle(const RuleNameMsg& msg,
+                                               bool enable) {
+  Result<RulePtr> rule = db_->rules()->GetRule(msg.name);
+  if (!rule.ok()) return StatusReplyMsg::FromStatus(rule.status());
+  if (enable) {
+    (*rule)->Enable();
+  } else {
+    (*rule)->Disable();
+  }
+  return StatusReplyMsg::FromStatus(Status::OK());
+}
+
+StatusReplyMsg GatewayServer::HandleSubscribe(Session* session,
+                                              const SubscribeMsg& msg) {
+  session->subscriptions.insert(msg.key);
+  return StatusReplyMsg::FromStatus(Status::OK());
+}
+
+void GatewayServer::HandleFetch(Session* session, const FetchMsg& msg) {
+  if (!session->pending.empty() || msg.wait_ms == 0) {
+    ReplyWithBatch(session, msg.max);
+    return;
+  }
+  if (session->fetch_parked) {
+    // One long-poll per session: the blocking client never overlaps them.
+    session->Reply(FrameType::kStatusReply,
+                   StatusReplyMsg::FromStatus(Status::FailedPrecondition(
+                       "a fetch is already parked on this session")));
+    return;
+  }
+  session->fetch_parked = true;
+  session->fetch_max = msg.max;
+  session->fetch_deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(msg.wait_ms);
+}
+
+}  // namespace net
+}  // namespace sentinel

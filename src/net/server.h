@@ -1,0 +1,160 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// GatewayServer: the Sentinel event gateway.
+//
+// The paper's reactive objects expose two interfaces: a conventional
+// synchronous one and an event interface whose occurrences propagate
+// asynchronously to consumers. The gateway extends both across process
+// boundaries while preserving the core's threading model:
+//
+//   socket threads (poll loop) --> bounded ingress queue --> one mutator
+//
+// The IO thread accepts connections, splits length-prefixed frames, and
+// enqueues decoded requests; the mutator thread drains them in batches and
+// is the *only* thread that touches the Database facade (exactly the
+// single-mutator assumption documented in core/database.h, now enforced at
+// the gateway boundary). When the mutator falls behind, the ingress queue
+// rejects with ResourceExhausted and the IO thread answers the client with
+// that backpressure signal immediately.
+//
+// Remote producers RaiseEvent on server-side relay reactive objects; remote
+// consumers Subscribe to occurrence keys ("end Employee::ChangeIncome") or
+// rule-firing keys ("rule:<name>") and pull batches with FetchNotifications
+// (long-poll: a parked fetch completes the moment a matching occurrence is
+// raised). Rules created over the wire reference registry-named conditions
+// and actions; the built-in "gateway.notify" action broadcasts a rule's
+// firing to its "rule:<name>" subscribers.
+
+#ifndef SENTINEL_NET_SERVER_H_
+#define SENTINEL_NET_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/database.h"
+#include "net/ingress_queue.h"
+#include "net/session.h"
+#include "net/wire.h"
+
+namespace sentinel {
+namespace net {
+
+/// FunctionRegistry name of the built-in rule action that notifies
+/// "rule:<name>" subscribers (the default for remotely created rules).
+extern const char kNotifySubscribersAction[];
+
+/// Tuning knobs of the gateway.
+struct GatewayOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;             ///< 0 picks an ephemeral port.
+  size_t ingress_capacity = 1024;
+  size_t max_batch = 64;         ///< Requests drained per mutator wakeup.
+  uint32_t max_frame_body = kDefaultMaxFrameBody;
+  size_t max_pending_notifications = 1024;  ///< Per-session, FIFO-trimmed.
+  /// Register unknown classes on first RaiseEvent (reactive, with the
+  /// raised method designated begin+end). Off: such raises fail NotFound.
+  bool auto_register_classes = true;
+};
+
+/// Counters exposed for benchmarks and tests (all monotone).
+struct GatewayStats {
+  uint64_t frames_received = 0;
+  uint64_t requests_processed = 0;
+  uint64_t backpressure_rejections = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t notifications_enqueued = 0;
+  uint64_t notifications_dropped = 0;
+  uint64_t sessions_accepted = 0;
+};
+
+/// TCP front end for one Database. The caller must keep `db` alive until
+/// Stop()/destruction, and after Start() must not mutate `db` from other
+/// threads (the gateway's mutator thread owns the facade).
+class GatewayServer {
+ public:
+  GatewayServer(Database* db, GatewayOptions options = {});
+  ~GatewayServer();
+
+  GatewayServer(const GatewayServer&) = delete;
+  GatewayServer& operator=(const GatewayServer&) = delete;
+
+  /// Binds, registers the notify action + occurrence observer, and spawns
+  /// the IO and mutator threads.
+  Status Start();
+
+  /// Drains in-flight requests, closes every session, joins both threads.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound port (useful with port 0).
+  uint16_t port() const { return port_; }
+
+  size_t session_count() const { return hub_->size(); }
+  const IngressQueue* ingress() const { return queue_.get(); }
+  GatewayStats stats() const;
+
+ private:
+  void IoLoop();
+  void MutatorLoop();
+
+  // --- IO thread helpers ------------------------------------------------------
+  void AcceptPending();
+  /// Reads, splits frames, enqueues; returns false when the session died.
+  bool DrainSocket(Session* session);
+  /// Flushes queued output; returns false when the session died.
+  bool FlushSocket(Session* session);
+  void CloseSession(uint64_t id);
+  void DrainWakePipe();
+
+  // --- Mutator thread helpers -------------------------------------------------
+  void ProcessItem(const IngressItem& item);
+  StatusReplyMsg HandleRaiseEvent(const RaiseEventMsg& msg);
+  StatusReplyMsg HandleCreateRule(const CreateRuleMsg& msg);
+  StatusReplyMsg HandleRuleToggle(const RuleNameMsg& msg, bool enable);
+  StatusReplyMsg HandleSubscribe(Session* session, const SubscribeMsg& msg);
+  void HandleFetch(Session* session, const FetchMsg& msg);
+  /// Finds or creates the relay reactive object remote raises act on.
+  Result<ReactiveObject*> RelayFor(const std::string& class_name,
+                                   const std::string& method, uint64_t oid);
+
+  Database* db_;
+  GatewayOptions options_;
+  std::shared_ptr<NotificationHub> hub_;
+  std::unique_ptr<IngressQueue> queue_;
+  Database::ObserverHandle observer_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< Self-pipe waking the poll loop.
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+  std::thread mutator_thread_;
+
+  /// IO-thread view of sessions (fd -> session). The hub owns the shared
+  /// registry; this map only drives the poll set.
+  std::map<uint64_t, std::shared_ptr<Session>> io_sessions_;
+  uint64_t next_session_id_ = 1;
+
+  /// Relay objects the mutator materialized for remote raises, keyed by
+  /// (class, requested oid; 0 = the class's default relay). Mutator only.
+  std::map<std::pair<std::string, uint64_t>, std::unique_ptr<ReactiveObject>>
+      relays_;
+
+  // Stats counters; IO and mutator threads bump disjoint subsets.
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> requests_processed_{0};
+  std::atomic<uint64_t> backpressure_rejections_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> sessions_accepted_{0};
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINEL_NET_SERVER_H_

@@ -1,0 +1,149 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "net/session.h"
+
+#include <algorithm>
+
+namespace sentinel {
+namespace net {
+
+void Session::QueueReply(FrameType type, const std::string& body) {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  EncodeFrame(type, body, &outbox_);
+}
+
+std::string Session::TakeOutput() {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  return std::move(outbox_);
+}
+
+bool Session::HasOutput() const {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  return !outbox_.empty();
+}
+
+// --- NotificationHub ---------------------------------------------------------
+
+void NotificationHub::Add(std::shared_ptr<Session> session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_[session->id()] = std::move(session);
+}
+
+std::shared_ptr<Session> NotificationHub::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void NotificationHub::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(id);
+}
+
+void NotificationHub::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.clear();
+}
+
+size_t NotificationHub::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::vector<std::shared_ptr<Session>> NotificationHub::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+void NotificationHub::SetWake(std::function<void()> wake) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wake_ = std::move(wake);
+}
+
+void NotificationHub::WakeLocked() {
+  std::function<void()> wake;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wake = wake_;
+  }
+  if (wake) wake();
+}
+
+void ReplyWithBatch(Session* session, uint32_t max) {
+  NotificationBatchMsg batch;
+  size_t n = std::min<size_t>(max, session->pending.size());
+  for (size_t i = 0; i < n; ++i) {
+    batch.items.push_back(std::move(session->pending.front()));
+    session->pending.pop_front();
+  }
+  session->Reply(FrameType::kNotificationBatch, batch);
+}
+
+size_t NotificationHub::Broadcast(const std::string& key,
+                                  const Notification& n, size_t max_pending) {
+  size_t reached = 0;
+  uint64_t dropped = 0;
+  bool replied = false;
+  for (const std::shared_ptr<Session>& session : Snapshot()) {
+    if (session->subscriptions.count(key) == 0) continue;
+    ++reached;
+    session->pending.push_back(n);
+    while (session->pending.size() > std::max<size_t>(max_pending, 1)) {
+      session->pending.pop_front();
+      ++session->dropped_notifications;
+      ++dropped;
+    }
+    if (session->fetch_parked) {
+      session->fetch_parked = false;
+      ReplyWithBatch(session.get(), session->fetch_max);
+      replied = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    enqueued_total_ += reached;
+    dropped_total_ += dropped;
+  }
+  if (replied) WakeLocked();
+  return reached;
+}
+
+size_t NotificationHub::ExpireParkedFetches(
+    std::chrono::steady_clock::time_point now) {
+  size_t expired = 0;
+  for (const std::shared_ptr<Session>& session : Snapshot()) {
+    if (!session->fetch_parked || session->fetch_deadline > now) continue;
+    session->fetch_parked = false;
+    ReplyWithBatch(session.get(), session->fetch_max);
+    ++expired;
+  }
+  if (expired > 0) WakeLocked();
+  return expired;
+}
+
+std::chrono::steady_clock::time_point NotificationHub::NextDeadline(
+    std::chrono::steady_clock::time_point fallback) const {
+  std::chrono::steady_clock::time_point next = fallback;
+  for (const std::shared_ptr<Session>& session : Snapshot()) {
+    if (session->fetch_parked && session->fetch_deadline < next) {
+      next = session->fetch_deadline;
+    }
+  }
+  return next;
+}
+
+uint64_t NotificationHub::notifications_enqueued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enqueued_total_;
+}
+
+uint64_t NotificationHub::notifications_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_total_;
+}
+
+}  // namespace net
+}  // namespace sentinel

@@ -1,0 +1,140 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Session: per-connection state of the event gateway, and NotificationHub:
+// the registry that fans occurrences out to subscribed sessions.
+//
+// Thread ownership is strict (TSan-checked):
+//   * fd / inbuf / unsent write chunk — IO thread only.
+//   * subscriptions / pending notifications / parked fetch — mutator thread
+//     only (requests reach it serialized through the ingress queue).
+//   * the encoded outbox — shared; guarded by a per-session mutex, because
+//     the mutator queues replies while the IO thread drains bytes, and a
+//     backpressure rejection is queued directly from the IO thread.
+
+#ifndef SENTINEL_NET_SESSION_H_
+#define SENTINEL_NET_SESSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace sentinel {
+namespace net {
+
+/// One accepted gateway connection.
+class Session {
+ public:
+  Session(uint64_t id, int fd) : fd(fd), id_(id) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Encodes (type, body) into a frame and appends it to the outbox.
+  void QueueReply(FrameType type, const std::string& body);
+
+  /// Encodes `msg` into `type` and queues it.
+  template <typename Msg>
+  void Reply(FrameType type, const Msg& msg) {
+    Encoder enc;
+    msg.Encode(&enc);
+    QueueReply(type, enc.buffer());
+  }
+
+  /// Moves all queued outbox bytes to the caller (IO thread), preserving
+  /// order with any chunk the caller still holds from a partial write.
+  std::string TakeOutput();
+
+  bool HasOutput() const;
+
+  // --- IO-thread state --------------------------------------------------------
+
+  int fd = -1;               ///< Socket; -1 once closed.
+  std::string inbuf;         ///< Unparsed received bytes.
+  std::string unsent;        ///< Partial-write remainder, flushed first.
+  bool drop_after_flush = false;  ///< Close once the outbox drains
+                                  ///< (set after a protocol error).
+
+  // --- Mutator-thread state ---------------------------------------------------
+
+  std::set<std::string> subscriptions;
+  std::deque<Notification> pending;   ///< Undelivered notifications.
+  uint64_t dropped_notifications = 0; ///< Trimmed past the per-session cap.
+  bool fetch_parked = false;          ///< A FetchNotifications waits here.
+  uint32_t fetch_max = 0;
+  std::chrono::steady_clock::time_point fetch_deadline{};
+
+ private:
+  const uint64_t id_;
+  mutable std::mutex out_mu_;
+  std::string outbox_;
+};
+
+/// Registry of live sessions plus the subscription fan-out. Owned via
+/// shared_ptr by the server *and* by the gateway's rule-action closure, so
+/// a rule firing after the server stopped broadcasts into an empty hub
+/// instead of a dangling pointer.
+class NotificationHub {
+ public:
+  void Add(std::shared_ptr<Session> session);
+  std::shared_ptr<Session> Find(uint64_t id) const;
+  void Remove(uint64_t id);
+  void Clear();
+  size_t size() const;
+  std::vector<std::shared_ptr<Session>> Snapshot() const;
+
+  /// IO-thread waker invoked after replies are queued from the mutator
+  /// thread (an empty function disables waking).
+  void SetWake(std::function<void()> wake);
+
+  /// Invokes the waker explicitly (batch-end flush, shutdown).
+  void Wake() { WakeLocked(); }
+
+  /// Delivers `n` to every session subscribed to `key` (mutator thread):
+  /// appends to the session's pending queue (FIFO-trimmed at
+  /// `max_pending`) and completes a parked fetch right away. Returns the
+  /// number of sessions reached; wakes the IO thread when a reply was
+  /// queued.
+  size_t Broadcast(const std::string& key, const Notification& n,
+                   size_t max_pending);
+
+  /// Answers a parked fetch whose deadline passed with whatever is pending
+  /// (possibly an empty batch). Returns expired-fetch count; wakes the IO
+  /// thread when any reply was queued.
+  size_t ExpireParkedFetches(std::chrono::steady_clock::time_point now);
+
+  /// Earliest parked-fetch deadline, or `fallback` when none is parked.
+  std::chrono::steady_clock::time_point NextDeadline(
+      std::chrono::steady_clock::time_point fallback) const;
+
+  uint64_t notifications_enqueued() const;
+  uint64_t notifications_dropped() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::function<void()> wake_;
+  uint64_t enqueued_total_ = 0;
+  uint64_t dropped_total_ = 0;
+
+  void WakeLocked();  // Copies the waker out of the lock before calling.
+};
+
+/// Drains up to `max` pending notifications into a batch reply and queues
+/// it on the session (mutator thread).
+void ReplyWithBatch(Session* session, uint32_t max);
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINEL_NET_SESSION_H_

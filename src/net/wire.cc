@@ -1,0 +1,331 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "net/wire.h"
+
+#include <algorithm>
+
+namespace sentinel {
+namespace net {
+
+namespace {
+
+/// Rejects trailing bytes after a fully parsed body: a well-formed peer
+/// never pads, so leftovers mean a framing bug or a hostile stream.
+Status ExpectEnd(const Decoder& dec) {
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after message body");
+  }
+  return Status::OK();
+}
+
+Status DecodeModifier(Decoder* dec, EventModifier* out) {
+  uint8_t raw = 0;
+  SENTINEL_RETURN_IF_ERROR(dec->GetU8(&raw));
+  if (raw > static_cast<uint8_t>(EventModifier::kEnd)) {
+    return Status::InvalidArgument("bad event modifier " +
+                                   std::to_string(raw));
+  }
+  *out = static_cast<EventModifier>(raw);
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kPing:
+    case FrameType::kRaiseEvent:
+    case FrameType::kCreateRule:
+    case FrameType::kEnableRule:
+    case FrameType::kDisableRule:
+    case FrameType::kSubscribe:
+    case FrameType::kFetchNotifications:
+    case FrameType::kPong:
+    case FrameType::kStatusReply:
+    case FrameType::kNotificationBatch:
+      return true;
+  }
+  return false;
+}
+
+void EncodeFrame(FrameType type, const std::string& body, std::string* out) {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(body.size()));
+  enc.PutU8(static_cast<uint8_t>(type));
+  out->append(enc.buffer());
+  out->append(body);
+}
+
+DecodeProgress TryDecodeFrame(std::string_view buf, uint32_t max_body,
+                              Frame* frame, size_t* consumed, Status* error) {
+  *consumed = 0;
+  if (buf.size() < kFrameHeaderSize) return DecodeProgress::kNeedMore;
+
+  Decoder header(buf.data(), kFrameHeaderSize);
+  uint32_t body_len = 0;
+  uint8_t raw_type = 0;
+  header.GetU32(&body_len).ok();
+  header.GetU8(&raw_type).ok();
+
+  // Validate the header before waiting for the body: an oversized length or
+  // unknown type can never become a good frame, so fail fast.
+  if (body_len > max_body) {
+    *error = Status::ResourceExhausted(
+        "frame body of " + std::to_string(body_len) + " bytes exceeds cap " +
+        std::to_string(max_body));
+    return DecodeProgress::kError;
+  }
+  if (!IsKnownFrameType(raw_type)) {
+    *error = Status::InvalidArgument("unknown frame type " +
+                                     std::to_string(raw_type));
+    return DecodeProgress::kError;
+  }
+  if (buf.size() < kFrameHeaderSize + body_len) return DecodeProgress::kNeedMore;
+
+  frame->type = static_cast<FrameType>(raw_type);
+  frame->body.assign(buf.substr(kFrameHeaderSize, body_len));
+  *consumed = kFrameHeaderSize + body_len;
+  return DecodeProgress::kFrame;
+}
+
+// --- PingMsg ----------------------------------------------------------------
+
+void PingMsg::Encode(Encoder* enc) const { enc->PutU64(token); }
+
+Result<PingMsg> PingMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  PingMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.token));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  return msg;
+}
+
+// --- RaiseEventMsg -----------------------------------------------------------
+
+void RaiseEventMsg::Encode(Encoder* enc) const {
+  enc->PutU64(oid);
+  enc->PutString(class_name);
+  enc->PutString(method);
+  enc->PutU8(static_cast<uint8_t>(modifier));
+  enc->PutValueList(params);
+}
+
+Result<RaiseEventMsg> RaiseEventMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  RaiseEventMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.oid));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.class_name));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.method));
+  SENTINEL_RETURN_IF_ERROR(DecodeModifier(&dec, &msg.modifier));
+  SENTINEL_RETURN_IF_ERROR(dec.GetValueList(&msg.params));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.class_name.empty() || msg.method.empty()) {
+    return Status::InvalidArgument("RaiseEvent needs class and method");
+  }
+  return msg;
+}
+
+// --- CreateRuleMsg -----------------------------------------------------------
+
+void CreateRuleMsg::Encode(Encoder* enc) const {
+  enc->PutString(name);
+  enc->PutString(event_signature);
+  enc->PutString(condition_name);
+  enc->PutString(action_name);
+  enc->PutU8(coupling);
+  enc->PutI64(priority);
+  enc->PutBool(enabled);
+}
+
+Result<CreateRuleMsg> CreateRuleMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  CreateRuleMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.name));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.event_signature));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.condition_name));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.action_name));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.coupling));
+  SENTINEL_RETURN_IF_ERROR(dec.GetI64(&msg.priority));
+  SENTINEL_RETURN_IF_ERROR(dec.GetBool(&msg.enabled));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.name.empty()) {
+    return Status::InvalidArgument("CreateRule needs a rule name");
+  }
+  if (msg.coupling > 2) {
+    return Status::InvalidArgument("bad coupling mode " +
+                                   std::to_string(msg.coupling));
+  }
+  return msg;
+}
+
+// --- RuleNameMsg -------------------------------------------------------------
+
+void RuleNameMsg::Encode(Encoder* enc) const { enc->PutString(name); }
+
+Result<RuleNameMsg> RuleNameMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  RuleNameMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.name));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.name.empty()) {
+    return Status::InvalidArgument("rule name must not be empty");
+  }
+  return msg;
+}
+
+// --- SubscribeMsg ------------------------------------------------------------
+
+void SubscribeMsg::Encode(Encoder* enc) const { enc->PutString(key); }
+
+Result<SubscribeMsg> SubscribeMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  SubscribeMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.key));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.key.empty()) {
+    return Status::InvalidArgument("subscription key must not be empty");
+  }
+  return msg;
+}
+
+// --- FetchMsg ----------------------------------------------------------------
+
+void FetchMsg::Encode(Encoder* enc) const {
+  enc->PutU32(max);
+  enc->PutU32(wait_ms);
+}
+
+Result<FetchMsg> FetchMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  FetchMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.max));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.wait_ms));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.max == 0) {
+    return Status::InvalidArgument("fetch max must be positive");
+  }
+  return msg;
+}
+
+// --- StatusReplyMsg ----------------------------------------------------------
+
+Status StatusReplyMsg::ToStatus() const {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(message);
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case Status::Code::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case Status::Code::kCorruption:
+      return Status::Corruption(message);
+    case Status::Code::kIOError:
+      return Status::IOError(message);
+    case Status::Code::kAborted:
+      return Status::Aborted(message);
+    case Status::Code::kBusy:
+      return Status::Busy(message);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(message);
+    case Status::Code::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case Status::Code::kInternal:
+      return Status::Internal(message);
+    case Status::Code::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+  }
+  return Status::Internal("unknown status code " + std::to_string(code));
+}
+
+StatusReplyMsg StatusReplyMsg::FromStatus(const Status& s, uint64_t payload) {
+  StatusReplyMsg msg;
+  msg.code = static_cast<uint8_t>(s.code());
+  msg.message = s.message();
+  msg.payload = payload;
+  return msg;
+}
+
+void StatusReplyMsg::Encode(Encoder* enc) const {
+  enc->PutU8(code);
+  enc->PutString(message);
+  enc->PutU64(payload);
+}
+
+Result<StatusReplyMsg> StatusReplyMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  StatusReplyMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.code));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.message));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.payload));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.code > static_cast<uint8_t>(Status::Code::kResourceExhausted)) {
+    return Status::InvalidArgument("bad status code " +
+                                   std::to_string(msg.code));
+  }
+  return msg;
+}
+
+// --- Notification / NotificationBatchMsg ------------------------------------
+
+void Notification::Encode(Encoder* enc) const {
+  enc->PutString(key);
+  enc->PutU64(oid);
+  enc->PutString(class_name);
+  enc->PutString(method);
+  enc->PutU8(static_cast<uint8_t>(modifier));
+  enc->PutValueList(params);
+  enc->PutI64(timestamp.micros);
+  enc->PutU64(timestamp.seq);
+}
+
+Status Notification::DecodeInto(Decoder* dec, Notification* out) {
+  SENTINEL_RETURN_IF_ERROR(dec->GetString(&out->key));
+  SENTINEL_RETURN_IF_ERROR(dec->GetU64(&out->oid));
+  SENTINEL_RETURN_IF_ERROR(dec->GetString(&out->class_name));
+  SENTINEL_RETURN_IF_ERROR(dec->GetString(&out->method));
+  SENTINEL_RETURN_IF_ERROR(DecodeModifier(dec, &out->modifier));
+  SENTINEL_RETURN_IF_ERROR(dec->GetValueList(&out->params));
+  SENTINEL_RETURN_IF_ERROR(dec->GetI64(&out->timestamp.micros));
+  SENTINEL_RETURN_IF_ERROR(dec->GetU64(&out->timestamp.seq));
+  return Status::OK();
+}
+
+void NotificationBatchMsg::Encode(Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(items.size()));
+  for (const Notification& n : items) n.Encode(enc);
+}
+
+Result<NotificationBatchMsg> NotificationBatchMsg::Decode(
+    const std::string& body) {
+  Decoder dec(body);
+  uint32_t count = 0;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&count));
+  NotificationBatchMsg msg;
+  // Reserve conservatively: `count` is attacker-controlled, the remaining
+  // bytes are not, and each notification needs well over one byte.
+  msg.items.reserve(std::min<size_t>(count, dec.remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    Notification n;
+    SENTINEL_RETURN_IF_ERROR(Notification::DecodeInto(&dec, &n));
+    msg.items.push_back(std::move(n));
+  }
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  return msg;
+}
+
+// --- PongMsg -----------------------------------------------------------------
+
+void PongMsg::Encode(Encoder* enc) const { enc->PutU64(token); }
+
+Result<PongMsg> PongMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  PongMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.token));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  return msg;
+}
+
+}  // namespace net
+}  // namespace sentinel

@@ -1,0 +1,203 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Wire protocol of the Sentinel event gateway.
+//
+// The paper's event interface propagates primitive events asynchronously of
+// the synchronous call interface; the gateway extends that propagation across
+// process boundaries. Every message travels in a length-prefixed frame
+//
+//   u32 body-length (little endian) | u8 frame type | body
+//
+// with bodies encoded by common/codec (the same Encoder/Decoder the object
+// store and WAL use). Decoding never trusts the peer: truncated, oversized,
+// unknown-type, and trailing-garbage frames all surface as Status errors
+// instead of crashes, because framed bytes come from the network.
+
+#ifndef SENTINEL_NET_WIRE_H_
+#define SENTINEL_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/codec.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "events/signature.h"
+
+namespace sentinel {
+namespace net {
+
+/// Frame discriminator. Requests are < 64, responses >= 64.
+enum class FrameType : uint8_t {
+  // Requests (client -> server).
+  kPing = 1,
+  kRaiseEvent = 2,
+  kCreateRule = 3,
+  kEnableRule = 4,
+  kDisableRule = 5,
+  kSubscribe = 6,
+  kFetchNotifications = 7,
+
+  // Responses (server -> client).
+  kPong = 64,
+  kStatusReply = 65,
+  kNotificationBatch = 66,
+};
+
+/// True when `raw` names a defined FrameType.
+bool IsKnownFrameType(uint8_t raw);
+
+/// Default ceiling on a frame body. Anything larger is rejected before
+/// buffering so a hostile peer cannot balloon server memory.
+constexpr uint32_t kDefaultMaxFrameBody = 4u << 20;  // 4 MiB
+
+/// Bytes of frame header preceding the body.
+constexpr size_t kFrameHeaderSize = 5;  // u32 length + u8 type
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string body;
+};
+
+/// Appends the framed encoding of (type, body) to `out`.
+void EncodeFrame(FrameType type, const std::string& body, std::string* out);
+
+/// Outcome of TryDecodeFrame.
+enum class DecodeProgress {
+  kNeedMore,  ///< Buffer holds a valid prefix; read more bytes.
+  kFrame,     ///< One frame decoded; `*consumed` bytes were used.
+  kError,     ///< Malformed stream; the connection should be dropped.
+};
+
+/// Attempts to split one frame off the front of `buf` (an accumulation
+/// buffer of raw socket bytes). On kFrame, `*frame` holds the result and
+/// `*consumed` the bytes to discard. On kError, `*error` says why (an
+/// oversized length prefix or an unknown frame type).
+DecodeProgress TryDecodeFrame(std::string_view buf, uint32_t max_body,
+                              Frame* frame, size_t* consumed, Status* error);
+
+// --- Request messages -----------------------------------------------------
+
+/// Liveness probe; the server echoes `token` in a Pong.
+struct PingMsg {
+  uint64_t token = 0;
+
+  void Encode(Encoder* enc) const;
+  static Result<PingMsg> Decode(const std::string& body);
+};
+
+/// Raise a primitive event on the server: the remote analog of calling a
+/// designated method on a reactive object. `oid` selects the server-side
+/// relay object (0 lets the server pick one per class).
+struct RaiseEventMsg {
+  uint64_t oid = 0;
+  std::string class_name;
+  std::string method;
+  EventModifier modifier = EventModifier::kEnd;
+  ValueList params;
+
+  void Encode(Encoder* enc) const;
+  static Result<RaiseEventMsg> Decode(const std::string& body);
+};
+
+/// Create an ECA rule remotely. Conditions and actions are C++ closures and
+/// cannot cross the wire, so they are referenced by FunctionRegistry name —
+/// exactly how persisted rules rebind (an empty condition name means
+/// "always true"; an empty action name defaults to the gateway's built-in
+/// subscriber-notify action).
+struct CreateRuleMsg {
+  std::string name;
+  std::string event_signature;  ///< e.g. "end Employee::ChangeIncome".
+  std::string condition_name;
+  std::string action_name;
+  uint8_t coupling = 0;  ///< CouplingMode under the hood.
+  int64_t priority = 0;
+  bool enabled = true;
+
+  void Encode(Encoder* enc) const;
+  static Result<CreateRuleMsg> Decode(const std::string& body);
+};
+
+/// Enable/Disable an existing rule by name (frame type carries the verb).
+struct RuleNameMsg {
+  std::string name;
+
+  void Encode(Encoder* enc) const;
+  static Result<RuleNameMsg> Decode(const std::string& body);
+};
+
+/// Subscribe this session to a notification key: either an occurrence key
+/// ("end Employee::ChangeIncome") or a rule-firing key ("rule:RuleName").
+struct SubscribeMsg {
+  std::string key;
+
+  void Encode(Encoder* enc) const;
+  static Result<SubscribeMsg> Decode(const std::string& body);
+};
+
+/// Fetch up to `max` queued notifications, waiting up to `wait_ms` for the
+/// first one (0 = return immediately, possibly empty).
+struct FetchMsg {
+  uint32_t max = 64;
+  uint32_t wait_ms = 0;
+
+  void Encode(Encoder* enc) const;
+  static Result<FetchMsg> Decode(const std::string& body);
+};
+
+// --- Response messages ----------------------------------------------------
+
+/// Generic request outcome. `payload` carries a small result where one
+/// exists (RaiseEvent: the relay oid raises were applied to).
+struct StatusReplyMsg {
+  uint8_t code = 0;  ///< Status::Code cast to its underlying value.
+  std::string message;
+  uint64_t payload = 0;
+
+  /// Rebuilds the Status this reply transports.
+  Status ToStatus() const;
+  static StatusReplyMsg FromStatus(const Status& s, uint64_t payload = 0);
+
+  void Encode(Encoder* enc) const;
+  static Result<StatusReplyMsg> Decode(const std::string& body);
+};
+
+/// One delivered notification: the subscription key it matched plus the
+/// occurrence fields of the paper's generated primitive event.
+struct Notification {
+  std::string key;
+  uint64_t oid = 0;
+  std::string class_name;
+  std::string method;
+  EventModifier modifier = EventModifier::kEnd;
+  ValueList params;
+  Timestamp timestamp;
+
+  void Encode(Encoder* enc) const;
+  static Status DecodeInto(Decoder* dec, Notification* out);
+};
+
+/// Reply to FetchNotifications.
+struct NotificationBatchMsg {
+  std::vector<Notification> items;
+
+  void Encode(Encoder* enc) const;
+  static Result<NotificationBatchMsg> Decode(const std::string& body);
+};
+
+/// Reply to Ping.
+struct PongMsg {
+  uint64_t token = 0;
+
+  void Encode(Encoder* enc) const;
+  static Result<PongMsg> Decode(const std::string& body);
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINEL_NET_WIRE_H_

@@ -26,6 +26,7 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
 }
 
 TEST(StatusTest, NonOkStatusIsNotOtherCodes) {
@@ -38,6 +39,8 @@ TEST(StatusTest, NonOkStatusIsNotOtherCodes) {
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("the thing").ToString(), "NotFound: the thing");
   EXPECT_EQ(Status::Aborted("deadlock").ToString(), "Aborted: deadlock");
+  EXPECT_EQ(Status::ResourceExhausted("queue full").ToString(),
+            "ResourceExhausted: queue full");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -47,6 +47,25 @@ TEST(DetectorTest, OccurrenceLogTracksCountsAndCaps) {
   EXPECT_EQ(detector.CountForKey("end C::X"), 0u);
 }
 
+TEST(DetectorTest, TrimmedCounterTracksEvictions) {
+  EventDetector detector;
+  detector.set_log_capacity(3);
+  EXPECT_EQ(detector.log_capacity(), 3u);
+  EXPECT_EQ(detector.occurrence_trimmed_total(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    detector.RecordOccurrence(MakeOccurrence(1, "A", "M"));
+  }
+  EXPECT_EQ(detector.occurrence_trimmed_total(), 2u);
+  // Shrinking the cap trims immediately, oldest first.
+  detector.set_log_capacity(1);
+  EXPECT_EQ(detector.occurrence_log().size(), 1u);
+  EXPECT_EQ(detector.occurrence_trimmed_total(), 4u);
+  // Growing it never resurrects anything.
+  detector.set_log_capacity(100);
+  EXPECT_EQ(detector.occurrence_log().size(), 1u);
+  EXPECT_EQ(detector.occurrence_trimmed_total(), 4u);
+}
+
 TEST(DetectorTest, AdvanceTimeReachesRegisteredRoots) {
   EventDetector detector;
   EventPtr plus = Plus(Prim("end A::M"), 100);

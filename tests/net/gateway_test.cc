@@ -1,0 +1,319 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// End-to-end gateway tests over loopback TCP: a remote RaiseEvent triggers
+// rules and reaches another connection's subscription, long-polls complete
+// on raise, and malformed streams are rejected without taking the server
+// down.
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "net/client.h"
+#include "test_util.h"
+
+namespace sentinel {
+namespace net {
+namespace {
+
+using std::chrono::milliseconds;
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tmp_ = std::make_unique<testing_util::TempDir>("gateway");
+    auto opened = Database::Open({.dir = tmp_->path()});
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    db_ = std::move(opened).value();
+
+    // Server-side schema: all mutations after Start() must flow through
+    // the gateway's mutator thread.
+    ASSERT_TRUE(db_->RegisterClass(ClassBuilder("Sensor")
+                                       .Reactive()
+                                       .Method("Report", {.begin = true,
+                                                          .end = true})
+                                       .Build())
+                    .ok());
+
+    server_ = std::make_unique<GatewayServer>(db_.get(), options_);
+    Status s = server_->Start();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    server_.reset();
+    db_->Close().ok();
+    db_.reset();
+    tmp_.reset();
+  }
+
+  std::unique_ptr<GatewayClient> Client() {
+    auto c = GatewayClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(c).value();
+  }
+
+  GatewayOptions options_;
+  std::unique_ptr<testing_util::TempDir> tmp_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<GatewayServer> server_;
+};
+
+TEST_F(GatewayTest, PingRoundTrips) {
+  auto client = Client();
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(GatewayTest, RaiseReachesAnotherSessionsSubscription) {
+  auto consumer = Client();
+  auto producer = Client();
+
+  ASSERT_TRUE(consumer->Subscribe("end Sensor::Report").ok());
+
+  auto oid = producer->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                                  {Value(21.5), Value("lab")});
+  ASSERT_TRUE(oid.ok()) << oid.status().ToString();
+  EXPECT_NE(*oid, 0u);
+
+  auto batch = consumer->Fetch(16, 2000);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  // A begin and an end shade both reach PostRaise; the subscription only
+  // matches the end key.
+  ASSERT_EQ(batch->size(), 1u);
+  const Notification& n = (*batch)[0];
+  EXPECT_EQ(n.key, "end Sensor::Report");
+  EXPECT_EQ(n.class_name, "Sensor");
+  EXPECT_EQ(n.method, "Report");
+  EXPECT_EQ(n.oid, *oid);
+  ASSERT_EQ(n.params.size(), 2u);
+  EXPECT_EQ(n.params[0], Value(21.5));
+  EXPECT_EQ(n.params[1], Value("lab"));
+}
+
+TEST_F(GatewayTest, ParkedFetchCompletesOnRaise) {
+  auto consumer = Client();
+  ASSERT_TRUE(consumer->Subscribe("end Sensor::Report").ok());
+
+  std::thread producer_thread([this] {
+    std::this_thread::sleep_for(milliseconds(100));
+    auto producer = Client();
+    producer->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                         {Value(1.0)})
+        .ok();
+  });
+
+  auto start = std::chrono::steady_clock::now();
+  auto batch = consumer->Fetch(4, 5000);  // Parks server-side.
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  producer_thread.join();
+
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 1u);
+  // The long-poll returned on delivery, well before its 5 s deadline.
+  EXPECT_LT(elapsed, milliseconds(4000));
+}
+
+TEST_F(GatewayTest, ParkedFetchExpiresEmpty) {
+  auto consumer = Client();
+  ASSERT_TRUE(consumer->Subscribe("end Sensor::Report").ok());
+  auto start = std::chrono::steady_clock::now();
+  auto batch = consumer->Fetch(4, 150);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_TRUE(batch->empty());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, milliseconds(100));
+}
+
+TEST_F(GatewayTest, RemoteRuleFiresAndNotifiesRuleSubscribers) {
+  auto consumer = Client();
+  auto producer = Client();
+
+  CreateRuleMsg rule;
+  rule.name = "AnyReport";
+  rule.event_signature = "end Sensor::Report";
+  ASSERT_TRUE(producer->CreateRule(rule).ok());
+
+  ASSERT_TRUE(consumer->Subscribe("rule:AnyReport").ok());
+
+  ASSERT_TRUE(producer
+                  ->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                               {Value(2.0)})
+                  .ok());
+  auto batch = consumer->Fetch(16, 2000);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ((*batch)[0].key, "rule:AnyReport");
+  EXPECT_EQ((*batch)[0].method, "Report");
+
+  // Disable stops the rule (and thus its notifications); enable restores.
+  ASSERT_TRUE(producer->DisableRule("AnyReport").ok());
+  ASSERT_TRUE(producer
+                  ->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                               {Value(3.0)})
+                  .ok());
+  auto empty = consumer->Fetch(16, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  ASSERT_TRUE(producer->EnableRule("AnyReport").ok());
+  ASSERT_TRUE(producer
+                  ->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                               {Value(4.0)})
+                  .ok());
+  auto again = consumer->Fetch(16, 2000);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), 1u);
+  ASSERT_EQ((*again)[0].params.size(), 1u);
+  EXPECT_EQ((*again)[0].params[0], Value(4.0));
+}
+
+TEST_F(GatewayTest, UnknownRuleToggleFailsNotFound) {
+  auto client = Client();
+  Status s = client->EnableRule("NoSuchRule");
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+}
+
+TEST_F(GatewayTest, AutoRegistersUnknownClassOnRaise) {
+  auto client = Client();
+  auto oid = client->RaiseEvent("Turbine", "SpinUp", EventModifier::kEnd,
+                                {Value(int64_t{9000})});
+  ASSERT_TRUE(oid.ok()) << oid.status().ToString();
+  // Raising again addresses the same relay object.
+  auto oid2 = client->RaiseEvent("Turbine", "SpinUp", EventModifier::kEnd,
+                                 {Value(int64_t{9001})});
+  ASSERT_TRUE(oid2.ok());
+  EXPECT_EQ(*oid, *oid2);
+}
+
+TEST_F(GatewayTest, PipelinedRaisesAllSucceedOrReportBackpressure) {
+  auto consumer = Client();
+  ASSERT_TRUE(consumer->Subscribe("end Sensor::Report").ok());
+
+  auto producer = Client();
+  std::vector<RaiseEventMsg> msgs(100);
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    msgs[i].class_name = "Sensor";
+    msgs[i].method = "Report";
+    msgs[i].modifier = EventModifier::kEnd;
+    msgs[i].params = {Value(static_cast<int64_t>(i))};
+  }
+  uint64_t rejected = 0;
+  Status s = producer->RaisePipelined(msgs, &rejected);
+  // With a large default ingress queue nothing should bounce, but a loaded
+  // CI machine may still see ResourceExhausted — both are valid protocol
+  // outcomes; crashes/misorders are not.
+  EXPECT_TRUE(s.ok() || s.IsResourceExhausted()) << s.ToString();
+
+  // Everything that was accepted must arrive, in producer order.
+  size_t expected = msgs.size() - static_cast<size_t>(rejected);
+  std::vector<Notification> got;
+  while (got.size() < expected) {
+    auto batch = consumer->Fetch(64, 2000);
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    got.insert(got.end(), batch->begin(), batch->end());
+  }
+  EXPECT_EQ(got.size(), expected);
+}
+
+TEST_F(GatewayTest, GarbageBytesGetErrorReplyThenDisconnect) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // An unknown frame type right in the header.
+  Encoder enc;
+  enc.PutU32(3);
+  enc.PutU8(200);
+  enc.PutRaw("abc", 3);
+  ASSERT_EQ(::send(fd, enc.buffer().data(), enc.size(), 0),
+            static_cast<ssize_t>(enc.size()));
+
+  // The server answers with a StatusReply frame, then closes.
+  std::string got;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    got.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(TryDecodeFrame(got, kDefaultMaxFrameBody, &frame, &consumed,
+                           &error),
+            DecodeProgress::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kStatusReply);
+  auto reply = StatusReplyMsg::Decode(frame.body);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ToStatus().ok());
+
+  // The server survived: a fresh client still works.
+  auto client = Client();
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(GatewayTest, OversizedFrameIsRejected) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  Encoder enc;
+  enc.PutU32(kDefaultMaxFrameBody + 1);
+  enc.PutU8(static_cast<uint8_t>(FrameType::kPing));
+  ASSERT_EQ(::send(fd, enc.buffer().data(), enc.size(), 0),
+            static_cast<ssize_t>(enc.size()));
+
+  std::string got;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    got.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(TryDecodeFrame(got, kDefaultMaxFrameBody, &frame, &consumed,
+                           &error),
+            DecodeProgress::kFrame);
+  auto reply = StatusReplyMsg::Decode(frame.body);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->ToStatus().IsResourceExhausted());
+  EXPECT_GE(server_->stats().protocol_errors, 1u);
+}
+
+TEST_F(GatewayTest, StopIsIdempotentAndRejectsLateClients) {
+  auto client = Client();
+  ASSERT_TRUE(client->Ping().ok());
+  server_->Stop();
+  server_->Stop();
+  // The old connection is gone.
+  EXPECT_FALSE(client->Ping().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sentinel
