@@ -101,6 +101,7 @@ int main() {
     auto batch = monitor->Fetch(16, 2000);  // Long-poll: parks server-side.
     if (!batch.ok()) {
       std::fprintf(stderr, "fetch: %s\n", batch.status().ToString().c_str());
+      producer_thread.join();  // Never return past a joinable thread.
       return 1;
     }
     if (batch->empty()) break;

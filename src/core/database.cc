@@ -2,6 +2,7 @@
 
 #include "core/database.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace sentinel {
@@ -13,6 +14,11 @@ Database::~Database() { Close().ok(); }
 
 Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   std::unique_ptr<Database> db(new Database(options));
+  if (!options.failpoints.empty()) {
+    // Armed before the store opens so recovery itself is injectable.
+    SENTINEL_RETURN_IF_ERROR(
+        FailPoints::Instance().EnableFromSpec(options.failpoints));
+  }
   SENTINEL_RETURN_IF_ERROR(db->store_.Open(options.dir));
 
   // Schema: load the persisted catalog if present, then make sure the
@@ -23,6 +29,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
 
   db->detector_ = std::make_unique<EventDetector>(&db->catalog_);
   db->detector_->set_log_capacity(options.occurrence_log_capacity);
+  db->detector_->set_key_count_capacity(options.key_count_capacity);
   db->scheduler_ = std::make_unique<RuleScheduler>(db.get());
   db->scheduler_->set_max_cascade_depth(options.max_cascade_depth);
   db->rule_manager_ = std::make_unique<RuleManager>(
@@ -168,9 +175,12 @@ Result<std::vector<Oid>> Database::FindInstancesInRange(
 Status Database::Close() {
   if (!open_) return Status::OK();
   open_ = false;
-  // Best-effort persistence of rule/event definitions at close.
-  Status s = SaveRulesAndEvents();
-  if (!s.ok()) SENTINEL_WARN << "saving rules at close: " << s.ToString();
+  // Best-effort persistence of rule/event definitions at close — skipped
+  // under a simulated crash, where nothing may reach the disk anymore.
+  if (!(FailPoints::AnyActive() && FailPoints::Instance().crashed())) {
+    Status s = SaveRulesAndEvents();
+    if (!s.ok()) SENTINEL_WARN << "saving rules at close: " << s.ToString();
+  }
   // Registered objects are caller-owned and may already be gone by now, so
   // Close must not dereference them; objects that outlive the database must
   // not raise events afterwards (their RaiseContext is dead).

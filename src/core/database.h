@@ -42,6 +42,13 @@ class Database : public RaiseContext, public CommitObserver {
     /// Cap on the detector's global occurrence log (FIFO-trimmed beyond it)
     /// so long-running gateway workloads stay bounded.
     size_t occurrence_log_capacity = 4096;
+    /// Cap on the detector's per-key occurrence counters (same growth
+    /// concern as the log: keys are unbounded under generated workloads).
+    size_t key_count_capacity = 4096;
+    /// Failpoint spec applied before the store opens, same grammar as the
+    /// SENTINEL_FAILPOINTS env var (see common/failpoint.h). Tests use this
+    /// to inject faults/crashes without touching the process environment.
+    std::string failpoints;
   };
 
   /// Opens (creating if needed) the database: replays the WAL, loads the

@@ -18,6 +18,7 @@ Status EventDetector::RegisterEvent(const std::string& name,
   if (named_.count(name) != 0) {
     return Status::AlreadyExists("event " + name);
   }
+  if (event->oid() != kInvalidOid) oid_index_[event->oid()] = event;
   named_.emplace(name, std::move(event));
   return Status::OK();
 }
@@ -29,7 +30,22 @@ Result<EventPtr> EventDetector::GetEvent(const std::string& name) const {
 }
 
 Status EventDetector::UnregisterEvent(const std::string& name) {
-  if (named_.erase(name) == 0) return Status::NotFound("event " + name);
+  auto it = named_.find(name);
+  if (it == named_.end()) return Status::NotFound("event " + name);
+  Oid oid = it->second->oid();
+  named_.erase(it);
+  // Evict from the oid index unless something else still registers the
+  // node (an alias name, or the loaded_ cache from LoadAll).
+  if (oid != kInvalidOid && loaded_.count(oid) == 0) {
+    bool aliased = false;
+    for (const auto& [other_name, event] : named_) {
+      if (event->oid() == oid) {
+        aliased = true;
+        break;
+      }
+    }
+    if (!aliased) oid_index_.erase(oid);
+  }
   return Status::OK();
 }
 
@@ -42,18 +58,27 @@ std::vector<std::string> EventDetector::EventNames() const {
 
 Result<EventPtr> EventDetector::FindByOid(Oid oid) const {
   if (oid == kInvalidOid) return Status::InvalidArgument("invalid oid");
-  auto it = loaded_.find(oid);
-  if (it != loaded_.end()) return it->second;
-  for (const auto& [name, event] : named_) {
-    if (event->oid() == oid) return event;
-  }
+  auto it = oid_index_.find(oid);
+  if (it != oid_index_.end()) return it->second;
   return Status::NotFound("no event with " + OidToString(oid));
 }
 
 void EventDetector::RecordOccurrence(const EventOccurrence& occ) {
   log_.push_back(occ);
   ++occurrence_total_;
-  ++key_counts_[occ.Key()];
+  // Per-key counters are admission-capped: keys come from the workload
+  // (class::method strings), so an open-ended stream of fresh signatures
+  // must not grow the map without bound. Admitted keys keep counting;
+  // overflow keys are tallied in aggregate instead.
+  std::string key = occ.Key();
+  auto it = key_counts_.find(key);
+  if (it != key_counts_.end()) {
+    ++it->second;
+  } else if (key_counts_.size() < key_count_capacity_) {
+    key_counts_.emplace(std::move(key), 1);
+  } else {
+    ++key_counts_untracked_;
+  }
   TrimLog();
 }
 
@@ -99,6 +124,10 @@ Status EventDetector::SaveAll(ObjectStore* store, Transaction* txn) {
   for (Event* node : nodes) {
     if (node->oid() == kInvalidOid) node->set_oid(store->NewOid());
   }
+  // Roots registered before they had oids become findable by oid now.
+  for (const auto& [name, event] : named_) {
+    oid_index_[event->oid()] = event;
+  }
   // Phase 2: serialize each node (child oids are now stable).
   for (Event* node : nodes) {
     Encoder enc;
@@ -119,6 +148,7 @@ Status EventDetector::SaveAll(ObjectStore* store, Transaction* txn) {
 Status EventDetector::LoadAll(ObjectStore* store) {
   named_.clear();
   loaded_.clear();
+  oid_index_.clear();
 
   // Phase 1: instantiate every persisted event node.
   static const char* kEventClasses[] = {
@@ -160,6 +190,7 @@ Status EventDetector::LoadAll(ObjectStore* store) {
       Decoder dec(state);
       SENTINEL_RETURN_IF_ERROR(node->DeserializeState(&dec));
       node->set_oid(oid);
+      oid_index_[oid] = node;
       loaded_[oid] = std::move(node);
     }
   }
@@ -232,6 +263,14 @@ Status EventDetector::LoadAll(ObjectStore* store) {
                                 OidToString(oid));
     }
     named_[name] = std::move(root);
+  }
+  if (dec.remaining() != 0) {
+    // The count said we were done but bytes follow — a truncated count or
+    // spliced record. Accepting it would silently drop whatever the extra
+    // bytes encoded.
+    return Status::Corruption(
+        "event name index has " + std::to_string(dec.remaining()) +
+        " trailing bytes after " + std::to_string(count) + " entries");
   }
   SENTINEL_INFO << "restored " << named_.size() << " named events ("
                 << loaded_.size() << " nodes)";

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "events/event.h"
@@ -57,8 +58,9 @@ class EventDetector {
   std::vector<std::string> EventNames() const;
   size_t event_count() const { return named_.size(); }
 
-  /// Finds an event node by its persistent oid (searches named roots, their
-  /// subtrees, and nodes restored by LoadAll). NotFound otherwise.
+  /// Finds an event node by its persistent oid (named roots with assigned
+  /// oids and nodes restored by LoadAll). O(1) via the oid index, which
+  /// Register/Unregister/SaveAll/LoadAll keep in sync. NotFound otherwise.
   Result<EventPtr> FindByOid(Oid oid) const;
 
   // --- Occurrence log ---------------------------------------------------------
@@ -80,6 +82,21 @@ class EventDetector {
 
   /// Occurrences logged for one signature key ("end Employee::SetSalary").
   uint64_t CountForKey(const std::string& key) const;
+
+  /// Caps the number of distinct per-key counters. Keys are workload-
+  /// controlled (class::method strings), so without a bound a generated
+  /// workload grows this map forever; beyond the cap new keys are counted
+  /// only in key_counts_untracked_total(). Existing keys keep counting.
+  void set_key_count_capacity(size_t capacity) {
+    key_count_capacity_ = capacity;
+  }
+  size_t key_count_capacity() const { return key_count_capacity_; }
+  size_t key_count_size() const { return key_counts_.size(); }
+
+  /// Occurrences whose key was not admitted to the counter map.
+  uint64_t key_counts_untracked_total() const {
+    return key_counts_untracked_;
+  }
 
   // --- Time pump (Periodic/Plus) ----------------------------------------------
 
@@ -109,12 +126,18 @@ class EventDetector {
   std::map<std::string, EventPtr> named_;
   /// Keeps loaded anonymous nodes alive alongside their parents.
   std::map<Oid, EventPtr> loaded_;
+  /// oid -> node for FindByOid (replaces a linear registry scan). Entries
+  /// are erased in lockstep with named_/loaded_ so the index never extends
+  /// a node's lifetime past its registry entry.
+  std::unordered_map<Oid, EventPtr> oid_index_;
 
   std::deque<EventOccurrence> log_;
   size_t log_capacity_ = 4096;
   uint64_t occurrence_total_ = 0;
   uint64_t trimmed_total_ = 0;
   std::map<std::string, uint64_t> key_counts_;
+  size_t key_count_capacity_ = 4096;
+  uint64_t key_counts_untracked_ = 0;
 };
 
 }  // namespace sentinel

@@ -8,8 +8,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace sentinel {
 namespace net {
@@ -106,6 +109,11 @@ Status GatewayClient::ExpectStatusReply(const Frame& reply,
   return msg.ToStatus();
 }
 
+void GatewayClient::Backoff(uint32_t* backoff_ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(*backoff_ms));
+  *backoff_ms = std::min(*backoff_ms * 2, retry_policy_.max_backoff_ms);
+}
+
 Status GatewayClient::Ping() {
   PingMsg msg;
   msg.token = 0x53454e54;  // Arbitrary; verified in the echo.
@@ -137,44 +145,79 @@ Result<uint64_t> GatewayClient::RaiseEvent(const std::string& class_name,
   msg.params = params;
   Encoder enc;
   msg.Encode(&enc);
-  Frame reply;
-  SENTINEL_RETURN_IF_ERROR(
-      Call(FrameType::kRaiseEvent, enc.buffer(), &reply));
-  uint64_t payload = 0;
-  SENTINEL_RETURN_IF_ERROR(ExpectStatusReply(reply, &payload));
-  return payload;
+  uint32_t backoff = retry_policy_.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    Frame reply;
+    SENTINEL_RETURN_IF_ERROR(
+        Call(FrameType::kRaiseEvent, enc.buffer(), &reply));
+    uint64_t payload = 0;
+    Status s = ExpectStatusReply(reply, &payload);
+    if (s.ok()) return payload;
+    if (!IsTransient(s) || attempt >= retry_policy_.max_attempts) return s;
+    ++retries_total_;
+    Backoff(&backoff);
+  }
 }
 
 Status GatewayClient::RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
                                      uint64_t* rejected) {
   if (rejected != nullptr) *rejected = 0;
-  // One big write keeps the ingress queue fed; replies are drained after.
-  std::string wire;
-  for (const RaiseEventMsg& msg : msgs) {
-    Encoder enc;
-    msg.Encode(&enc);
-    EncodeFrame(FrameType::kRaiseEvent, enc.buffer(), &wire);
-  }
-  size_t sent = 0;
-  while (sent < wire.size()) {
-    ssize_t n =
-        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("send: " + std::string(std::strerror(errno)));
-    }
-    sent += static_cast<size_t>(n);
-  }
+  std::vector<const RaiseEventMsg*> pending;
+  pending.reserve(msgs.size());
+  for (const RaiseEventMsg& msg : msgs) pending.push_back(&msg);
 
   Status first_error = Status::OK();
-  for (size_t i = 0; i < msgs.size(); ++i) {
-    Frame reply;
-    SENTINEL_RETURN_IF_ERROR(ReadFrame(&reply));
-    Status s = ExpectStatusReply(reply, nullptr);
-    if (s.IsResourceExhausted() && rejected != nullptr) ++*rejected;
-    if (!s.ok() && first_error.ok()) first_error = s;
+  Status first_transient = Status::OK();
+  uint32_t backoff = retry_policy_.initial_backoff_ms;
+  for (int attempt = 1; !pending.empty(); ++attempt) {
+    // One big write keeps the ingress queue fed; replies are drained
+    // after. Replies come back in request order, so reply i belongs to
+    // pending[i] — which is what lets a retry re-send exactly the
+    // rejected subset.
+    std::string wire;
+    for (const RaiseEventMsg* msg : pending) {
+      Encoder enc;
+      msg->Encode(&enc);
+      EncodeFrame(FrameType::kRaiseEvent, enc.buffer(), &wire);
+    }
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      ssize_t n =
+          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("send: " + std::string(std::strerror(errno)));
+      }
+      sent += static_cast<size_t>(n);
+    }
+
+    std::vector<const RaiseEventMsg*> retry;
+    first_transient = Status::OK();
+    for (const RaiseEventMsg* msg : pending) {
+      Frame reply;
+      SENTINEL_RETURN_IF_ERROR(ReadFrame(&reply));
+      Status s = ExpectStatusReply(reply, nullptr);
+      if (s.ok()) continue;
+      if (IsTransient(s)) {
+        retry.push_back(msg);
+        if (first_transient.ok()) first_transient = s;
+      } else if (first_error.ok()) {
+        first_error = s;
+      }
+    }
+    if (retry.empty() || attempt >= retry_policy_.max_attempts) {
+      pending = std::move(retry);
+      break;
+    }
+    retries_total_ += retry.size();
+    pending = std::move(retry);
+    Backoff(&backoff);
   }
-  return first_error;
+
+  if (rejected != nullptr) *rejected = pending.size();
+  if (!first_error.ok()) return first_error;
+  if (!pending.empty()) return first_transient;
+  return Status::OK();
 }
 
 Status GatewayClient::CreateRule(const CreateRuleMsg& spec) {

@@ -35,6 +35,22 @@ class GatewayClient {
   GatewayClient(const GatewayClient&) = delete;
   GatewayClient& operator=(const GatewayClient&) = delete;
 
+  /// Retry policy for transient server rejections (ResourceExhausted from
+  /// ingress backpressure, Busy from lock contention). Transport errors are
+  /// never retried — after a failed send/recv the connection state is
+  /// unknown. Default: no retries.
+  struct RetryPolicy {
+    int max_attempts = 1;           ///< Total tries; 1 disables retry.
+    uint32_t initial_backoff_ms = 1;
+    uint32_t max_backoff_ms = 64;   ///< Backoff doubles up to this cap.
+  };
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Transient-rejection retries performed across all calls (for tests).
+  uint64_t retries_total() const { return retries_total_; }
+
   /// Round-trips a token through the server.
   Status Ping();
 
@@ -49,8 +65,10 @@ class GatewayClient {
   /// Sends `msgs` back to back, then collects one reply per message —
   /// keeping the ingress pipeline full instead of paying a round trip per
   /// raise. Returns OK when every raise was applied; otherwise the first
-  /// non-OK reply (ResourceExhausted indicates backpressure). `*rejected`
-  /// (optional) counts backpressure rejections.
+  /// non-OK reply (ResourceExhausted indicates backpressure). Under a
+  /// retry policy, the rejected subset is re-sent (with backoff) until it
+  /// drains or attempts run out. `*rejected` (optional) counts raises
+  /// still rejected for backpressure after all retries.
   Status RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
                         uint64_t* rejected = nullptr);
 
@@ -79,8 +97,18 @@ class GatewayClient {
   /// Interprets a kStatusReply frame (error on other frame types).
   Status ExpectStatusReply(const Frame& reply, uint64_t* payload);
 
+  /// True for statuses worth retrying: the server rejected the request
+  /// transiently but the connection itself is healthy.
+  static bool IsTransient(const Status& s) {
+    return s.IsResourceExhausted() || s.IsBusy();
+  }
+  /// Sleeps for the current backoff and advances it (doubling to the cap).
+  void Backoff(uint32_t* backoff_ms);
+
   int fd_ = -1;
   std::string inbuf_;  ///< Bytes read past the last complete frame.
+  RetryPolicy retry_policy_;
+  uint64_t retries_total_ = 0;
 };
 
 }  // namespace net

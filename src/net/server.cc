@@ -15,6 +15,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace sentinel {
@@ -313,7 +314,11 @@ bool GatewayServer::DrainSocket(Session* session) {
     IngressItem item;
     item.session_id = session->id();
     item.frame = std::move(frame);
-    Status push = queue_->TryPush(std::move(item));
+    Status push = Status::OK();
+    if (FailPoints::AnyActive()) {
+      push = FailPoints::Instance().Check("gateway.ingress");
+    }
+    if (push.ok()) push = queue_->TryPush(std::move(item));
     if (!push.ok()) {
       // Backpressure (or shutdown): answer immediately from the IO thread
       // rather than buffering without bound.
@@ -487,6 +492,10 @@ Result<ReactiveObject*> GatewayServer::RelayFor(const std::string& class_name,
 }
 
 StatusReplyMsg GatewayServer::HandleRaiseEvent(const RaiseEventMsg& msg) {
+  if (FailPoints::AnyActive()) {
+    Status fp = FailPoints::Instance().Check("gateway.raise");
+    if (!fp.ok()) return StatusReplyMsg::FromStatus(fp);
+  }
   Result<ReactiveObject*> relay =
       RelayFor(msg.class_name, msg.method, msg.oid);
   if (!relay.ok()) return StatusReplyMsg::FromStatus(relay.status());

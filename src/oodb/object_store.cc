@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/codec.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace sentinel {
@@ -109,9 +110,18 @@ Status ObjectStore::Open(const std::string& dir) {
 
 Status ObjectStore::Close() {
   if (!open_) return Status::OK();
-  SENTINEL_RETURN_IF_ERROR(Checkpoint());
-  SENTINEL_RETURN_IF_ERROR(wal_.Close());
-  SENTINEL_RETURN_IF_ERROR(disk_.Close());
+  // Best effort: a failed checkpoint (e.g. under failure injection) must
+  // not strand open file handles — the WAL still holds everything the
+  // heap is missing, so recovery at the next open makes the heap current.
+  Status first_error = Status::OK();
+  bool crashed = FailPoints::AnyActive() && FailPoints::Instance().crashed();
+  if (!crashed) {
+    first_error = Checkpoint();
+  }
+  Status s = wal_.Close();
+  if (!s.ok() && first_error.ok()) first_error = s;
+  s = disk_.Close();
+  if (!s.ok() && first_error.ok()) first_error = s;
   pool_.reset();
   txn_manager_.reset();
   {
@@ -121,7 +131,7 @@ Status ObjectStore::Close() {
     data_pages_.clear();
   }
   open_ = false;
-  return Status::OK();
+  return first_error;
 }
 
 Status ObjectStore::RebuildDirectory() {
@@ -173,12 +183,19 @@ Status ObjectStore::Recover() {
   std::vector<WalRecord> records;
   SENTINEL_RETURN_IF_ERROR(wal_.ReadAll(&records));
   if (records.empty()) return Status::OK();
+  SENTINEL_FAILPOINT("store.recover");
 
-  // Pass 1: which transactions committed?
-  std::set<TxnId> committed;
+  // Pass 1: which transactions committed? An abort record anywhere in the
+  // log overrides a commit record for the same txn — it is written (and
+  // synced) when a commit failed mid-WAL, neutralizing a commit record
+  // that may have become durable for a transaction whose caller was told
+  // it aborted.
+  std::set<TxnId> committed, aborted;
   for (const WalRecord& rec : records) {
     if (rec.type == WalRecordType::kCommit) committed.insert(rec.txn);
+    if (rec.type == WalRecordType::kAbort) aborted.insert(rec.txn);
   }
+  for (TxnId txn : aborted) committed.erase(txn);
   // Pass 2: redo committed operations in log order (idempotent).
   size_t redone = 0;
   for (const WalRecord& rec : records) {
@@ -371,6 +388,7 @@ Status ObjectStore::EraseChunksLocked(Oid oid) {
 }
 
 Status ObjectStore::ApplyPut(uint64_t oid, const std::string& payload) {
+  SENTINEL_FAILPOINT("store.apply_put");
   Oid decoded_oid;
   std::string class_name, state;
   SENTINEL_RETURN_IF_ERROR(
@@ -438,6 +456,7 @@ Status ObjectStore::ApplyPut(uint64_t oid, const std::string& payload) {
 }
 
 Status ObjectStore::ApplyDelete(uint64_t oid) {
+  SENTINEL_FAILPOINT("store.apply_delete");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     SENTINEL_RETURN_IF_ERROR(EraseChunksLocked(oid));
@@ -449,12 +468,16 @@ Status ObjectStore::ApplyDelete(uint64_t oid) {
 Status ObjectStore::SystemPut(Oid oid, const std::string& class_name,
                               const std::string& state) {
   if (!open_) return Status::FailedPrecondition("store not open");
+  SENTINEL_FAILPOINT("store.system_put");
   std::string framed = FrameRecord(oid, class_name, state);
-  // System mini-transaction (txn id 0) so the write is durable in the WAL
-  // before it lands on the heap.
-  WalRecord begin{WalRecordType::kBegin, 0, 0, {}};
-  WalRecord put{WalRecordType::kPut, 0, oid, framed};
-  WalRecord commit{WalRecordType::kCommit, 0, 0, {}};
+  // System mini-transaction so the write is durable in the WAL before it
+  // lands on the heap. Every mini-txn gets a distinct id from a reserved
+  // range: a shared id would let recovery replay a torn mini-txn's Put on
+  // the strength of an earlier mini-txn's commit record.
+  TxnId id = kSystemTxnBase + system_txn_seq_.fetch_add(1);
+  WalRecord begin{WalRecordType::kBegin, id, 0, {}};
+  WalRecord put{WalRecordType::kPut, id, oid, framed};
+  WalRecord commit{WalRecordType::kCommit, id, 0, {}};
   SENTINEL_RETURN_IF_ERROR(wal_.Append(begin));
   SENTINEL_RETURN_IF_ERROR(wal_.Append(put));
   SENTINEL_RETURN_IF_ERROR(wal_.Append(commit));

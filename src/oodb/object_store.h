@@ -17,6 +17,7 @@
 #ifndef SENTINEL_OODB_OBJECT_STORE_H_
 #define SENTINEL_OODB_OBJECT_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -34,6 +35,12 @@
 #include "txn/wal.h"
 
 namespace sentinel {
+
+/// System mini-transactions (SystemPut) draw WAL txn ids from this base so
+/// they never collide with user transactions — and, crucially, with each
+/// other: sharing one id would let recovery replay a torn mini-txn's
+/// records on the strength of an unrelated mini-txn's commit record.
+constexpr TxnId kSystemTxnBase = 1ull << 63;
 
 /// Observes committed installs (post-WAL, post-heap). The attribute index
 /// and similar derived structures hang off this; observers see committed
@@ -167,6 +174,7 @@ class ObjectStore : public HeapApplier {
   LockManager lock_manager_;
   std::unique_ptr<TransactionManager> txn_manager_;
   OidGenerator oids_;
+  std::atomic<uint64_t> system_txn_seq_{0};  ///< SystemPut id allocator.
 
   mutable std::mutex mutex_;  // Guards directory_, extents_, insert path.
   std::unordered_map<Oid, std::vector<RecordId>> directory_;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace sentinel {
@@ -19,7 +20,22 @@ void RuleScheduler::Trigger(Rule* rule, const EventDetection& det) {
   }
   if (round_stack_.empty()) {
     // No open round (event raised outside database plumbing): run now.
-    Dispatch(Triggered{rule, det, trigger_seq_++}, det.txn).ok();
+    // There is no caller to hand a failure back to, so record it — an
+    // earlier version discarded the status here and rule failures
+    // vanished without a trace.
+    Status s = Dispatch(Triggered{rule, det, trigger_seq_++}, det.txn);
+    if (!s.ok()) {
+      ++trigger_errors_;
+      last_trigger_error_ = s;
+      SENTINEL_WARN << "out-of-round dispatch of rule " << rule->name()
+                    << " failed: " << s.ToString();
+      if (tracer_ != nullptr) {
+        tracer_->Trace(TraceEntry{
+            TraceEntry::Kind::kDispatchError, Clock::Now(), rule->name(),
+            s.ToString(), exec_depth_,
+            det.txn != nullptr ? det.txn->id() : 0});
+      }
+    }
     return;
   }
   round_stack_.back().push_back(Triggered{rule, det, trigger_seq_++});
@@ -75,7 +91,8 @@ Status RuleScheduler::Dispatch(const Triggered& entry, Transaction* txn) {
       }
       Rule* rule = entry.rule;
       EventDetection det = entry.detection;
-      effective->AddDeferred([this, rule, det, effective]() {
+      effective->AddDeferred([this, rule, det, effective]() -> Status {
+        SENTINEL_FAILPOINT("scheduler.deferred");
         return ExecuteNow(rule, det, effective);
       });
       return Status::OK();
@@ -84,7 +101,8 @@ Status RuleScheduler::Dispatch(const Triggered& entry, Transaction* txn) {
     case CouplingMode::kDetached: {
       Rule* rule = entry.rule;
       EventDetection det = entry.detection;
-      auto body = [this, rule, det](Transaction* fresh) {
+      auto body = [this, rule, det](Transaction* fresh) -> Status {
+        SENTINEL_FAILPOINT("scheduler.detached");
         return ExecuteNow(rule, det, fresh);
       };
       if (effective == nullptr || !effective->active()) {
@@ -114,13 +132,20 @@ Status RuleScheduler::Dispatch(const Triggered& entry, Transaction* txn) {
 Status RuleScheduler::ExecuteNow(Rule* rule, const EventDetection& det,
                                  Transaction* txn) {
   if (exec_depth_ >= max_cascade_depth_) {
+    std::string why = "rule cascade exceeded depth " +
+                      std::to_string(max_cascade_depth_) + " at rule " +
+                      rule->name();
     if (txn != nullptr) {
-      txn->RequestAbort("rule cascade exceeded depth " +
-                        std::to_string(max_cascade_depth_));
+      txn->RequestAbort(why);
     }
-    return Status::Aborted("rule cascade exceeded depth " +
-                           std::to_string(max_cascade_depth_) + " at rule " +
-                           rule->name());
+    // Trace the abort: a runaway cascade that dies silently is exactly the
+    // situation the tracer exists for.
+    if (tracer_ != nullptr) {
+      tracer_->Trace(TraceEntry{TraceEntry::Kind::kCascadeAbort, Clock::Now(),
+                                rule->name(), why, exec_depth_,
+                                txn != nullptr ? txn->id() : 0});
+    }
+    return Status::Aborted(why);
   }
   ++exec_depth_;
   max_observed_depth_ = std::max(max_observed_depth_, exec_depth_);

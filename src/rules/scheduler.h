@@ -93,6 +93,12 @@ class RuleScheduler {
   uint64_t detached_scheduled() const { return detached_scheduled_; }
   int max_observed_depth() const { return max_observed_depth_; }
 
+  /// Failures from out-of-round Trigger dispatches (which have no caller to
+  /// return to): count and last status, so they are observable rather than
+  /// silently dropped.
+  uint64_t trigger_error_count() const { return trigger_errors_; }
+  const Status& last_trigger_error() const { return last_trigger_error_; }
+
  private:
   /// Dispatches one triggered entry per its rule's coupling mode.
   Status Dispatch(const Triggered& entry, Transaction* txn);
@@ -109,6 +115,8 @@ class RuleScheduler {
   uint64_t executed_ = 0;
   uint64_t deferred_scheduled_ = 0;
   uint64_t detached_scheduled_ = 0;
+  uint64_t trigger_errors_ = 0;
+  Status last_trigger_error_ = Status::OK();
 };
 
 }  // namespace sentinel

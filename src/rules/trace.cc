@@ -20,6 +20,10 @@ const char* ToString(TraceEntry::Kind kind) {
       return "deferred";
     case TraceEntry::Kind::kDetached:
       return "detached";
+    case TraceEntry::Kind::kDispatchError:
+      return "dispatch-error";
+    case TraceEntry::Kind::kCascadeAbort:
+      return "cascade-abort";
   }
   return "?";
 }

@@ -35,6 +35,9 @@ struct TraceEntry {
     kActionError,     ///< Condition held; action returned non-OK.
     kDeferred,        ///< Execution queued to the commit point.
     kDetached,        ///< Execution queued to a post-commit transaction.
+    kDispatchError,   ///< Out-of-round dispatch failed (error would
+                      ///< otherwise be silently dropped).
+    kCascadeAbort,    ///< Execution refused: cascade depth limit hit.
   };
 
   Kind kind;

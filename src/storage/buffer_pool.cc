@@ -4,6 +4,8 @@
 
 #include <cassert>
 
+#include "common/failpoint.h"
+
 namespace sentinel {
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
@@ -126,6 +128,7 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  SENTINEL_FAILPOINT("bufferpool.flush_all");
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [page_id, frame] : page_table_) {
     Page* page = frames_[frame].get();

@@ -3,9 +3,12 @@
 #include "storage/disk_manager.h"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "common/failpoint.h"
 
 namespace sentinel {
 
@@ -44,6 +47,15 @@ Status DiskManager::Open(const std::string& path) {
 Status DiskManager::Close() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::OK();
+  if (FailPoints::AnyActive() && FailPoints::Instance().crashed()) {
+    // Simulated crash: the process never got to flush. Closing the
+    // underlying descriptor first makes fclose's implicit flush fail, so
+    // buffered-but-unsynced page writes are genuinely lost.
+    ::close(fileno(file_));
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::OK();
+  }
   std::fflush(file_);
   std::fclose(file_);
   file_ = nullptr;
@@ -51,6 +63,7 @@ Status DiskManager::Close() {
 }
 
 Result<PageId> DiskManager::AllocatePage() {
+  SENTINEL_FAILPOINT("disk.allocate_page");
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("not open");
   PageId id = page_count_;
@@ -80,6 +93,7 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status DiskManager::WritePage(PageId page_id, const char* data) {
+  SENTINEL_FAILPOINT("disk.write_page");
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("not open");
   if (page_id >= page_count_) {
@@ -96,6 +110,7 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 Status DiskManager::Sync() {
+  SENTINEL_FAILPOINT("disk.sync");
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("not open");
   if (std::fflush(file_) != 0) return Status::IOError("fflush failed");

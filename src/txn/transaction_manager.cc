@@ -2,6 +2,7 @@
 
 #include "txn/transaction_manager.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace sentinel {
@@ -11,7 +12,8 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
   return std::make_unique<Transaction>(id, locks_);
 }
 
-Status TransactionManager::DoAbort(Transaction* txn, const std::string& why) {
+Status TransactionManager::DoAbort(Transaction* txn, const std::string& why,
+                                   bool sync_abort) {
   txn->RunUndos();
   txn->writes_.clear();
   txn->deferred_.clear();
@@ -20,7 +22,13 @@ Status TransactionManager::DoAbort(Transaction* txn, const std::string& why) {
     WalRecord rec;
     rec.type = WalRecordType::kAbort;
     rec.txn = txn->id();
-    wal_->Append(rec).ok();  // Abort records are advisory under redo-only.
+    // Best effort: the abort record neutralizes any commit record this txn
+    // may already have appended before its commit failed mid-WAL (recovery
+    // treats commit+abort as aborted). `sync_abort` is set on that path so
+    // the neutralization is as durable as the stray commit could be; if
+    // appending or syncing fails too, the outcome is crash-indeterminate —
+    // which is what the caller was already told.
+    if (wal_->Append(rec).ok() && sync_abort) wal_->Sync().ok();
   }
   locks_->ReleaseAll(txn->id());
   txn->state_ = TxnState::kAborted;
@@ -40,6 +48,16 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (!txn->active()) {
     return Status::FailedPrecondition("commit of finished transaction");
   }
+  {
+    Status fp = Status::OK();
+    if (FailPoints::AnyActive()) {
+      fp = FailPoints::Instance().Check("txn.commit.begin");
+    }
+    if (!fp.ok()) {
+      DoAbort(txn, "commit failed at entry: " + fp.ToString());
+      return fp;
+    }
+  }
 
   // (1) Deferred rule work runs at the commit point, still inside the txn.
   Status deferred = txn->RunDeferred();
@@ -58,37 +76,51 @@ Status TransactionManager::Commit(Transaction* txn) {
     return Status::Aborted(reason);
   }
 
-  // (3) Make the write set durable before touching the heap.
+  // (3) Make the write set durable before touching the heap. Any WAL
+  // failure here aborts the transaction — returning with the txn still
+  // active would leak its locks and strand the caller (a bug the crash-
+  // torture harness flushed out). The abort path appends a synced abort
+  // record so a commit record that did reach the log cannot be replayed.
   if (wal_ != nullptr && !txn->write_set().empty()) {
-    WalRecord rec;
-    rec.type = WalRecordType::kBegin;
-    rec.txn = txn->id();
-    SENTINEL_RETURN_IF_ERROR(wal_->Append(rec));
-    for (const auto& [oid, write] : txn->write_set()) {
-      WalRecord op;
-      op.txn = txn->id();
-      op.oid = oid;
-      if (write.op == PendingWrite::Op::kPut) {
-        op.type = WalRecordType::kPut;
-        op.payload = write.payload;
-      } else {
-        op.type = WalRecordType::kDelete;
+    Status wal_status = [&]() -> Status {
+      WalRecord rec;
+      rec.type = WalRecordType::kBegin;
+      rec.txn = txn->id();
+      SENTINEL_RETURN_IF_ERROR(wal_->Append(rec));
+      for (const auto& [oid, write] : txn->write_set()) {
+        WalRecord op;
+        op.txn = txn->id();
+        op.oid = oid;
+        if (write.op == PendingWrite::Op::kPut) {
+          op.type = WalRecordType::kPut;
+          op.payload = write.payload;
+        } else {
+          op.type = WalRecordType::kDelete;
+        }
+        SENTINEL_RETURN_IF_ERROR(wal_->Append(op));
       }
-      SENTINEL_RETURN_IF_ERROR(wal_->Append(op));
+      WalRecord commit;
+      commit.type = WalRecordType::kCommit;
+      commit.txn = txn->id();
+      SENTINEL_RETURN_IF_ERROR(wal_->Append(commit));
+      return wal_->Sync();
+    }();
+    if (!wal_status.ok()) {
+      DoAbort(txn, "commit WAL write failed: " + wal_status.ToString(),
+              /*sync_abort=*/true);
+      return wal_status;
     }
-    WalRecord commit;
-    commit.type = WalRecordType::kCommit;
-    commit.txn = txn->id();
-    SENTINEL_RETURN_IF_ERROR(wal_->Append(commit));
-    SENTINEL_RETURN_IF_ERROR(wal_->Sync());
+  }
+  // The commit record is durable past this point: whatever fails from here
+  // on, the transaction is logically committed — recovery will redo it.
+  Status apply_error = Status::OK();
+  if (FailPoints::AnyActive()) {
+    apply_error = FailPoints::Instance().Check("txn.commit.durable");
   }
 
-  // (4) Install the writes. The commit record is already durable, so the
-  // transaction is logically committed even if an apply fails (recovery
-  // redoes it); surface the first error but still finish the commit — in
-  // particular the locks MUST be released either way.
-  Status apply_error = Status::OK();
-  if (heap_ != nullptr) {
+  // (4) Install the writes. Surface the first error but still finish the
+  // commit — in particular the locks MUST be released either way.
+  if (apply_error.ok() && heap_ != nullptr) {
     for (const auto& [oid, write] : txn->write_set()) {
       Status s = write.op == PendingWrite::Op::kPut
                      ? heap_->ApplyPut(oid, write.payload)

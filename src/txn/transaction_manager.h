@@ -5,8 +5,12 @@
 //
 //   1. run deferred rule work (Deferred coupling); any failure aborts,
 //   2. refuse if a rule action requested abort,
-//   3. WAL: Begin + one Put/Delete per buffered write + Commit, then fsync,
-//   4. apply the write set to the heap (via HeapApplier),
+//   3. WAL: Begin + one Put/Delete per buffered write + Commit, then fsync
+//      (any WAL failure aborts the txn, appending a synced abort record so
+//      a stray commit record cannot be replayed),
+//   4. apply the write set to the heap (via HeapApplier); the txn is
+//      logically committed once step 3 finished, apply failures are
+//      surfaced but recovery redoes the writes,
 //   5. release locks, mark committed,
 //   6. run detached rule work, each closure in its own new transaction.
 
@@ -65,8 +69,12 @@ class TransactionManager {
   LockManager* locks() { return locks_; }
 
  private:
-  /// Abort without consuming abort_requested (shared by Commit failure path).
-  Status DoAbort(Transaction* txn, const std::string& why);
+  /// Abort without consuming abort_requested (shared by Commit failure
+  /// path). `sync_abort` forces the abort record to disk — used when a
+  /// commit record may already have reached the log and must be durably
+  /// neutralized.
+  Status DoAbort(Transaction* txn, const std::string& why,
+                 bool sync_abort = false);
 
   WalManager* wal_;
   LockManager* locks_;

@@ -2,10 +2,14 @@
 
 #include "txn/wal.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "common/codec.h"
+#include "common/failpoint.h"
 
 namespace sentinel {
 
@@ -33,6 +37,14 @@ Status WalManager::Open(const std::string& path) {
 Status WalManager::Close() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::OK();
+  if (FailPoints::AnyActive() && FailPoints::Instance().crashed()) {
+    // Simulated crash: drop buffered-but-unsynced appends instead of
+    // letting fclose flush them (see DiskManager::Close).
+    ::close(fileno(file_));
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::OK();
+  }
   std::fflush(file_);
   std::fclose(file_);
   file_ = nullptr;
@@ -52,6 +64,20 @@ Status WalManager::Append(const WalRecord& record) {
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  if (FailPoints::AnyActive()) {
+    size_t partial = 0;
+    Status fp = FailPoints::Instance().Check("wal.append", &partial);
+    if (!fp.ok()) {
+      if (partial > 0) {
+        // Torn write: the first `partial` bytes of the framed record reach
+        // the file (and the OS — the crash, not the buffer, ate the rest).
+        std::fwrite(framed.buffer().data(), 1,
+                    std::min(partial, framed.size()), file_);
+        std::fflush(file_);
+      }
+      return fp;
+    }
+  }
   if (std::fwrite(framed.buffer().data(), 1, framed.size(), file_) !=
       framed.size()) {
     return Status::IOError("wal append failed");
@@ -60,6 +86,7 @@ Status WalManager::Append(const WalRecord& record) {
 }
 
 Status WalManager::Sync() {
+  SENTINEL_FAILPOINT("wal.sync");
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
   if (std::fflush(file_) != 0) return Status::IOError("wal flush failed");
@@ -97,6 +124,7 @@ Status WalManager::ReadAll(std::vector<WalRecord>* out) {
 }
 
 Status WalManager::Reset() {
+  SENTINEL_FAILPOINT("wal.reset");
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
   std::fclose(file_);

@@ -1,0 +1,229 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Unit tests for the failpoint registry: trigger policies, actions, the
+// spec-string grammar, the simulated-crash flag, and introspection.
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace sentinel {
+namespace {
+
+// The registry is a process-wide singleton; every test starts clean.
+class FailPointTest : public ::testing::Test {
+ protected:
+  FailPointTest() { FailPoints::Instance().Reset(); }
+  ~FailPointTest() override { FailPoints::Instance().Reset(); }
+
+  FailPoints& fp() { return FailPoints::Instance(); }
+};
+
+TEST_F(FailPointTest, InactiveByDefault) {
+  EXPECT_FALSE(FailPoints::AnyActive());
+  EXPECT_TRUE(fp().Check("storage.anything").ok());
+  EXPECT_TRUE(fp().armed().empty());
+}
+
+TEST_F(FailPointTest, AlwaysFiresAndDisableStops) {
+  FailPoints::Config config;
+  config.status = Status::IOError("boom");
+  ASSERT_TRUE(fp().Enable("a.b", config).ok());
+  EXPECT_TRUE(FailPoints::AnyActive());
+
+  EXPECT_TRUE(fp().Check("a.b").IsIOError());
+  EXPECT_TRUE(fp().Check("a.b").IsIOError());
+  EXPECT_TRUE(fp().Check("other.point").ok());  // Unarmed points pass.
+
+  fp().Disable("a.b");
+  EXPECT_FALSE(FailPoints::AnyActive());
+  EXPECT_TRUE(fp().Check("a.b").ok());
+}
+
+TEST_F(FailPointTest, OnHitFiresExactlyOnNthHit) {
+  FailPoints::Config config;
+  config.trigger = FailPoints::Config::Trigger::kOnHit;
+  config.n = 3;
+  config.status = Status::Internal("third");
+  ASSERT_TRUE(fp().Enable("p", config).ok());
+
+  EXPECT_TRUE(fp().Check("p").ok());
+  EXPECT_TRUE(fp().Check("p").ok());
+  EXPECT_TRUE(fp().Check("p").IsInternal());
+  EXPECT_TRUE(fp().Check("p").ok());  // Only the Nth, not every later hit.
+  EXPECT_EQ(fp().hits("p"), 4u);
+  EXPECT_EQ(fp().fired("p"), 1u);
+}
+
+TEST_F(FailPointTest, EveryNFiresPeriodically) {
+  FailPoints::Config config;
+  config.trigger = FailPoints::Config::Trigger::kEveryN;
+  config.n = 2;
+  config.status = Status::Busy("even");
+  ASSERT_TRUE(fp().Enable("p", config).ok());
+
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (!fp().Check("p").ok()) ++fired;
+  }
+  EXPECT_EQ(fired, 3);  // Hits 2, 4, 6.
+}
+
+TEST_F(FailPointTest, OnceFiresOnlyOnFirstHit) {
+  FailPoints::Config config;
+  config.trigger = FailPoints::Config::Trigger::kOnce;
+  config.status = Status::Aborted("once");
+  ASSERT_TRUE(fp().Enable("p", config).ok());
+
+  EXPECT_TRUE(fp().Check("p").IsAborted());
+  EXPECT_TRUE(fp().Check("p").ok());
+  EXPECT_TRUE(fp().Check("p").ok());
+}
+
+TEST_F(FailPointTest, ProbabilityExtremesAreDeterministic) {
+  FailPoints::Config never;
+  never.trigger = FailPoints::Config::Trigger::kProbability;
+  never.probability = 0.0;
+  never.seed = 7;
+  never.status = Status::IOError("never");
+  ASSERT_TRUE(fp().Enable("never", never).ok());
+
+  FailPoints::Config always;
+  always.trigger = FailPoints::Config::Trigger::kProbability;
+  always.probability = 1.0;
+  always.seed = 7;
+  always.status = Status::IOError("always");
+  ASSERT_TRUE(fp().Enable("always", always).ok());
+
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(fp().Check("never").ok());
+    EXPECT_FALSE(fp().Check("always").ok());
+  }
+}
+
+TEST_F(FailPointTest, ProbabilityIsSeedStable) {
+  // The same seed must reproduce the same fire pattern run to run — the
+  // whole point of seeded torture workloads.
+  auto pattern = [this](uint64_t seed) {
+    fp().Reset();
+    FailPoints::Config config;
+    config.trigger = FailPoints::Config::Trigger::kProbability;
+    config.probability = 0.5;
+    config.seed = seed;
+    config.status = Status::IOError("p");
+    EXPECT_TRUE(fp().Enable("p", config).ok());
+    std::string bits;
+    for (int i = 0; i < 64; ++i) {
+      bits += fp().Check("p").ok() ? '0' : '1';
+    }
+    return bits;
+  };
+  std::string a = pattern(42);
+  std::string b = pattern(42);
+  std::string c = pattern(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // Astronomically unlikely to collide.
+}
+
+TEST_F(FailPointTest, CrashActionSetsFlagAndFailsEverything) {
+  FailPoints::Config config;
+  config.action = FailPoints::Config::Action::kCrash;
+  config.status = Status::IOError("simulated crash at wal.sync");
+  ASSERT_TRUE(fp().Enable("wal.sync", config).ok());
+
+  EXPECT_FALSE(fp().crashed());
+  EXPECT_TRUE(fp().Check("wal.sync").IsIOError());
+  EXPECT_TRUE(fp().crashed());
+  EXPECT_EQ(fp().crash_point(), "wal.sync");
+
+  // While "down", every hooked operation fails — even unarmed ones.
+  EXPECT_FALSE(fp().Check("disk.write_page").ok());
+  EXPECT_FALSE(fp().Check("unrelated.point").ok());
+
+  fp().ClearCrash();
+  EXPECT_FALSE(fp().crashed());
+  EXPECT_TRUE(fp().Check("disk.write_page").ok());
+}
+
+TEST_F(FailPointTest, PartialWriteReportsBytesAndImpliesCrash) {
+  FailPoints::Config config;
+  config.action = FailPoints::Config::Action::kPartialWrite;
+  config.partial_bytes = 6;
+  config.status = Status::IOError("torn");
+  ASSERT_TRUE(fp().Enable("wal.append", config).ok());
+
+  size_t partial = 0;
+  EXPECT_FALSE(fp().Check("wal.append", &partial).ok());
+  EXPECT_EQ(partial, 6u);
+  // A torn write is only observable because the process died mid-write.
+  EXPECT_TRUE(fp().crashed());
+}
+
+TEST_F(FailPointTest, SpecStringArmsMultiplePoints) {
+  Status s = fp().EnableFromSpec(
+      "wal.sync=crash@hit(3);disk.write_page=ioerror;"
+      "txn.commit.begin=aborted@once;gateway.ingress=resource_exhausted");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(fp().armed().size(), 4u);
+
+  EXPECT_TRUE(fp().Check("disk.write_page").IsIOError());
+  EXPECT_TRUE(fp().Check("txn.commit.begin").IsAborted());
+  EXPECT_TRUE(fp().Check("txn.commit.begin").ok());  // once.
+  EXPECT_TRUE(fp().Check("gateway.ingress").IsResourceExhausted());
+  EXPECT_TRUE(fp().Check("wal.sync").ok());
+  EXPECT_TRUE(fp().Check("wal.sync").ok());
+  EXPECT_TRUE(fp().Check("wal.sync").IsIOError());  // hit(3) fired...
+  EXPECT_TRUE(fp().crashed());                      // ...as a crash.
+}
+
+TEST_F(FailPointTest, SpecStringPartialAction) {
+  ASSERT_TRUE(fp().EnableFromSpec("wal.append=partial(10)@hit(2)").ok());
+  size_t partial = 0;
+  EXPECT_TRUE(fp().Check("wal.append", &partial).ok());
+  EXPECT_EQ(partial, 0u);
+  EXPECT_FALSE(fp().Check("wal.append", &partial).ok());
+  EXPECT_EQ(partial, 10u);
+}
+
+TEST_F(FailPointTest, MalformedSpecsAreRejected) {
+  EXPECT_TRUE(fp().EnableFromSpec("no-equals-sign").IsInvalidArgument());
+  EXPECT_TRUE(fp().EnableFromSpec("p=frobnicate").IsInvalidArgument());
+  EXPECT_TRUE(fp().EnableFromSpec("p=ioerror@sometimes").IsInvalidArgument());
+  EXPECT_TRUE(fp().EnableFromSpec("p=ioerror@hit(0)").IsInvalidArgument());
+  EXPECT_TRUE(fp().EnableFromSpec("p=partial(x)").IsInvalidArgument());
+  EXPECT_TRUE(fp().EnableFromSpec("p=ioerror@prob(0.5)").IsInvalidArgument());
+  EXPECT_TRUE(fp().EnableFromSpec("=ioerror").IsInvalidArgument());
+}
+
+TEST_F(FailPointTest, EnableRejectsOkStatus) {
+  FailPoints::Config config;
+  config.status = Status::OK();
+  EXPECT_TRUE(fp().Enable("p", config).IsInvalidArgument());
+}
+
+TEST_F(FailPointTest, ResetClearsEverything) {
+  ASSERT_TRUE(fp().EnableFromSpec("a=ioerror;b=crash").ok());
+  EXPECT_FALSE(fp().Check("b").ok());
+  EXPECT_TRUE(fp().crashed());
+  EXPECT_GT(fp().fired_total(), 0u);
+
+  fp().Reset();
+  EXPECT_FALSE(FailPoints::AnyActive());
+  EXPECT_FALSE(fp().crashed());
+  EXPECT_EQ(fp().fired_total(), 0u);
+  EXPECT_TRUE(fp().Check("a").ok());
+  EXPECT_TRUE(fp().Check("b").ok());
+}
+
+TEST_F(FailPointTest, MacroReturnsInjectedStatus) {
+  auto hooked = []() -> Status {
+    SENTINEL_FAILPOINT("macro.test");
+    return Status::OK();
+  };
+  EXPECT_TRUE(hooked().ok());
+  ASSERT_TRUE(fp().EnableFromSpec("macro.test=corruption").ok());
+  EXPECT_TRUE(hooked().IsCorruption());
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -97,6 +97,47 @@ TEST(DetectorTest, FindByOidSearchesNamedTrees) {
   EXPECT_TRUE(detector.FindByOid(kInvalidOid).status().IsInvalidArgument());
 }
 
+TEST(DetectorTest, UnregisterEvictsOidIndex) {
+  EventDetector detector;
+  EventPtr e = Prim("end A::M");
+  e->set_oid(77);
+  ASSERT_TRUE(detector.RegisterEvent("e", e).ok());
+  ASSERT_TRUE(detector.FindByOid(77).ok());
+  ASSERT_TRUE(detector.UnregisterEvent("e").ok());
+  // The index entry must not outlive the registry entry, or FindByOid
+  // would resurrect events the user deleted.
+  EXPECT_TRUE(detector.FindByOid(77).status().IsNotFound());
+}
+
+TEST(DetectorTest, UnregisterKeepsAliasedOidIndexed) {
+  EventDetector detector;
+  EventPtr e = Prim("end A::M");
+  e->set_oid(77);
+  ASSERT_TRUE(detector.RegisterEvent("a", e).ok());
+  ASSERT_TRUE(detector.RegisterEvent("b", e).ok());
+  ASSERT_TRUE(detector.UnregisterEvent("a").ok());
+  EXPECT_TRUE(detector.FindByOid(77).ok());  // "b" still names it.
+  ASSERT_TRUE(detector.UnregisterEvent("b").ok());
+  EXPECT_TRUE(detector.FindByOid(77).status().IsNotFound());
+}
+
+TEST(DetectorTest, KeyCounterCapIsEnforced) {
+  EventDetector detector;
+  detector.set_key_count_capacity(2);
+  detector.RecordOccurrence(MakeOccurrence(1, "A", "M"));
+  detector.RecordOccurrence(MakeOccurrence(1, "B", "N"));
+  detector.RecordOccurrence(MakeOccurrence(1, "C", "P"));  // Over the cap.
+  detector.RecordOccurrence(MakeOccurrence(1, "D", "Q"));
+  EXPECT_EQ(detector.key_count_size(), 2u);
+  EXPECT_EQ(detector.key_counts_untracked_total(), 2u);
+  EXPECT_EQ(detector.CountForKey("end C::P"), 0u);
+  // Admitted keys keep counting past the cap.
+  detector.RecordOccurrence(MakeOccurrence(1, "A", "M"));
+  EXPECT_EQ(detector.CountForKey("end A::M"), 2u);
+  // The occurrence log itself is unaffected by the counter cap.
+  EXPECT_EQ(detector.occurrence_total(), 5u);
+}
+
 class DetectorPersistenceTest : public ::testing::Test {
  protected:
   DetectorPersistenceTest() : dir_("detector") {
@@ -204,6 +245,48 @@ TEST_F(DetectorPersistenceTest, LoadOnEmptyStoreIsOk) {
   EventDetector detector;
   ASSERT_TRUE(detector.LoadAll(&store_).ok());
   EXPECT_EQ(detector.event_count(), 0u);
+}
+
+TEST_F(DetectorPersistenceTest, LoadAllRebuildsOidIndex) {
+  EventDetector detector;
+  EventPtr left = Prim("end A::M");
+  EventPtr right = Prim("end B::N");
+  ASSERT_TRUE(detector.RegisterEvent("seq", Seq(left, right)).ok());
+  ASSERT_TRUE(SaveInTxn(&detector).ok());
+  Oid leaf_oid = left->oid();
+  ASSERT_NE(leaf_oid, kInvalidOid);
+
+  EventDetector restored;
+  ASSERT_TRUE(restored.LoadAll(&store_).ok());
+  // Interior (non-root) nodes are findable by oid too — rules persist
+  // child-event references as oids and resolve them through this path.
+  auto found = restored.FindByOid(leaf_oid);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value()->Describe(), "end A::M");
+}
+
+TEST_F(DetectorPersistenceTest, LoadAllRejectsTrailingIndexGarbage) {
+  EventDetector detector;
+  EventPtr e = Prim("end A::M");
+  ASSERT_TRUE(detector.RegisterEvent("e", e).ok());
+  ASSERT_TRUE(SaveInTxn(&detector).ok());
+
+  // Rewrite the name index: valid content followed by stray bytes, as a
+  // truncated count or spliced record would leave behind.
+  Encoder index;
+  index.PutU32(1);
+  index.PutString("e");
+  index.PutU64(e->oid());
+  std::string bytes = index.Release();
+  bytes += "\x07garbage";
+  auto txn = store_.txns()->Begin();
+  ASSERT_TRUE(
+      store_.Put(txn.get(), kEventIndexOid, "__event_index__", bytes).ok());
+  ASSERT_TRUE(store_.txns()->Commit(txn.get()).ok());
+
+  EventDetector restored;
+  Status s = restored.LoadAll(&store_);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <fstream>
 
+#include "common/failpoint.h"
 #include "core/database.h"
 
 #include "../test_util.h"
@@ -124,6 +125,10 @@ TEST_F(FailureInjectionTest, ActionUnsubscribingItsOwnRuleIsSafe) {
   node_.RaiseEvent("Touch", EventModifier::kEnd, {});
   node_.RaiseEvent("Touch", EventModifier::kEnd, {});
   EXPECT_EQ(fired, 1);  // One-shot semantics achieved safely.
+
+  // The action captures the holder that owns the rule — a cycle the rule's
+  // destructor can never break. Sever it so the rule is actually freed.
+  rule_holder->reset();
 }
 
 TEST_F(FailureInjectionTest, TornWalTailDoesNotPreventReopen) {
@@ -146,6 +151,57 @@ TEST_F(FailureInjectionTest, TornWalTailDoesNotPreventReopen) {
   auto reopened = Database::Open({.dir = dir_.path()});
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_TRUE(reopened.value()->store()->Exists(oid));
+}
+
+TEST_F(FailureInjectionTest, WalSyncErrorAbortsCommitAndReleasesLocks) {
+  FailPoints::Instance().Reset();
+  ASSERT_TRUE(
+      FailPoints::Instance().EnableFromSpec("wal.sync=ioerror@hit(1)").ok());
+  Status s = db_->WithTransaction([&](Transaction* txn) {
+    node_.SetAttr(txn, "touched", Value(true));
+    return db_->Persist(txn, &node_);
+  });
+  FailPoints::Instance().Reset();
+  EXPECT_FALSE(s.ok()) << s.ToString();
+  EXPECT_TRUE(node_.GetAttr("touched").is_null());  // Rolled back.
+
+  // The failed commit must not strand its locks: a second transaction on
+  // the same object completes instead of deadlocking.
+  Status s2 = db_->WithTransaction([&](Transaction* txn) {
+    node_.SetAttr(txn, "retried", Value(true));
+    return db_->Persist(txn, &node_);
+  });
+  EXPECT_TRUE(s2.ok()) << s2.ToString();
+  EXPECT_EQ(node_.GetAttr("retried"), Value(true));
+}
+
+TEST_F(FailureInjectionTest, FailedCommitIsNeutralizedAcrossReopen) {
+  // The commit record reaches the log, but its sync fails; DoAbort then
+  // appends (and syncs) an abort record. If the process dies right there,
+  // recovery sees commit-then-abort and must replay nothing.
+  FailPoints::Instance().Reset();
+  ASSERT_TRUE(
+      FailPoints::Instance().EnableFromSpec("wal.sync=ioerror@hit(1)").ok());
+  Status s = db_->WithTransaction([&](Transaction* txn) {
+    node_.SetAttr(txn, "touched", Value(true));
+    return db_->Persist(txn, &node_);
+  });
+  EXPECT_FALSE(s.ok()) << s.ToString();
+  Oid oid = node_.oid();
+  ASSERT_NE(oid, kInvalidOid);
+
+  // Manufacture the crash flag so Close preserves the log exactly as the
+  // failed commit left it (no checkpoint, no WAL reset).
+  ASSERT_TRUE(FailPoints::Instance().EnableFromSpec("test.crash=crash").ok());
+  FailPoints::Instance().Check("test.crash").ok();
+  ASSERT_TRUE(db_->UnregisterLiveObject(&node_).ok());
+  db_->Close().ok();
+  FailPoints::Instance().Reset();
+
+  auto reopened = Database::Open({.dir = dir_.path()});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(reopened.value()->store()->Exists(oid));
+  EXPECT_TRUE(reopened.value()->Close().ok());
 }
 
 TEST_F(FailureInjectionTest, AbortRestoresMultipleObjectsInReverseOrder) {

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "net/client.h"
 #include "test_util.h"
 
@@ -222,6 +223,69 @@ TEST_F(GatewayTest, PipelinedRaisesAllSucceedOrReportBackpressure) {
     got.insert(got.end(), batch->begin(), batch->end());
   }
   EXPECT_EQ(got.size(), expected);
+}
+
+TEST_F(GatewayTest, RaiseEventRetriesTransientRejection) {
+  FailPoints::Instance().Reset();
+  auto client = Client();
+  GatewayClient::RetryPolicy policy;
+  policy.max_attempts = 4;
+  client->set_retry_policy(policy);
+
+  // The first raise the server handles is rejected as transient
+  // backpressure; the client must resend rather than surface it.
+  ASSERT_TRUE(FailPoints::Instance()
+                  .EnableFromSpec("gateway.raise=resource_exhausted@hit(1)")
+                  .ok());
+  auto oid = client->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                                {Value(1.0)});
+  FailPoints::Instance().Reset();
+  ASSERT_TRUE(oid.ok()) << oid.status().ToString();
+  EXPECT_EQ(client->retries_total(), 1u);
+}
+
+TEST_F(GatewayTest, DefaultPolicySurfacesTransientRejection) {
+  FailPoints::Instance().Reset();
+  auto client = Client();  // Default policy: one attempt, no retries.
+  ASSERT_TRUE(FailPoints::Instance()
+                  .EnableFromSpec("gateway.raise=resource_exhausted@hit(1)")
+                  .ok());
+  auto oid = client->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                                {Value(1.0)});
+  FailPoints::Instance().Reset();
+  EXPECT_TRUE(oid.status().IsResourceExhausted()) << oid.status().ToString();
+  EXPECT_EQ(client->retries_total(), 0u);
+}
+
+TEST_F(GatewayTest, PipelinedRetryResendsOnlyRejectedSubset) {
+  auto client = Client();
+  GatewayClient::RetryPolicy policy;
+  policy.max_attempts = 4;
+  client->set_retry_policy(policy);
+
+  std::vector<RaiseEventMsg> msgs(6);
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    msgs[i].class_name = "Sensor";
+    msgs[i].method = "Report";
+    msgs[i].modifier = EventModifier::kEnd;
+    msgs[i].params = {Value(static_cast<int64_t>(i))};
+  }
+
+  // Every third inbound frame bounces at the ingress queue. Armed only
+  // now, after setup, so the six raises are hits 1-6: the first attempt
+  // rejects two of them (hits 3 and 6), the retry of those two (hits 7-8)
+  // sails through.
+  FailPoints::Instance().Reset();
+  ASSERT_TRUE(FailPoints::Instance()
+                  .EnableFromSpec("gateway.ingress=resource_exhausted@every(3)")
+                  .ok());
+  uint64_t rejected = 0;
+  Status s = client->RaisePipelined(msgs, &rejected);
+  FailPoints::Instance().Reset();
+
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(rejected, 0u);
+  EXPECT_EQ(client->retries_total(), 2u);
 }
 
 TEST_F(GatewayTest, GarbageBytesGetErrorReplyThenDisconnect) {

@@ -208,5 +208,66 @@ TEST(SchedulerTest, CascadeGuardDoomsTransaction) {
   EXPECT_TRUE(saw_abort);  // The innermost call hit the guard.
 }
 
+TEST(SchedulerTest, OutOfRoundDispatchErrorIsRecorded) {
+  // An out-of-round Trigger has no caller to hand a failure to; it used to
+  // discard the status outright. It must land in the error counter, the
+  // last-error slot, and the trace.
+  RuleScheduler scheduler;
+  TraceRecorder recorder;
+  scheduler.set_tracer(&recorder);
+  EventPtr event = Prim("end A::M");
+  Rule rule("broken", event, nullptr,
+            [](RuleContext&) { return Status::Internal("action bug"); });
+
+  EXPECT_EQ(scheduler.trigger_error_count(), 0u);
+  scheduler.Trigger(&rule, Det());  // No round open: dispatches inline.
+
+  EXPECT_EQ(scheduler.trigger_error_count(), 1u);
+  EXPECT_TRUE(scheduler.last_trigger_error().IsInternal());
+  auto traces =
+      recorder.EntriesOfKind(TraceEntry::Kind::kDispatchError);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].subject, "broken");
+
+  // A successful dispatch leaves the counter alone.
+  Rule fine("fine", event, nullptr,
+            [](RuleContext&) { return Status::OK(); });
+  scheduler.Trigger(&fine, Det());
+  EXPECT_EQ(scheduler.trigger_error_count(), 1u);
+}
+
+TEST(SchedulerTest, InRoundDispatchErrorStillSurfacesThroughEndRound) {
+  // Errors inside a round are returned by EndRound, not the counter.
+  RuleScheduler scheduler;
+  EventPtr event = Prim("end A::M");
+  Rule rule("broken", event, nullptr,
+            [](RuleContext&) { return Status::Internal("action bug"); });
+  scheduler.BeginRound();
+  scheduler.Trigger(&rule, Det());
+  EXPECT_TRUE(scheduler.EndRound(nullptr).IsInternal());
+  EXPECT_EQ(scheduler.trigger_error_count(), 0u);
+}
+
+TEST(SchedulerTest, CascadeDepthAbortIsTraced) {
+  RuleScheduler scheduler;
+  TraceRecorder recorder;
+  scheduler.set_tracer(&recorder);
+  scheduler.set_max_cascade_depth(2);
+  EventPtr event = Prim("end A::M");
+  Rule rule("looper", event, nullptr, nullptr);
+  rule.SetAction([&](RuleContext&) {
+    scheduler.ExecuteNow(&rule, Det(), nullptr).ok();
+    return Status::OK();
+  });
+  scheduler.ExecuteNow(&rule, Det(), nullptr).ok();
+
+  // The depth-guard refusal shows up in the trace — a runaway cascade that
+  // dies silently is exactly what the tracer exists to expose.
+  auto aborts = recorder.EntriesOfKind(TraceEntry::Kind::kCascadeAbort);
+  ASSERT_EQ(aborts.size(), 1u);
+  EXPECT_EQ(aborts[0].subject, "looper");
+  EXPECT_EQ(aborts[0].depth, 2);
+}
+
 }  // namespace
 }  // namespace sentinel
