@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "core/reactive.h"
 #include "events/operators.h"
 #include "events/primitive_event.h"
@@ -127,4 +129,4 @@ BENCHMARK(BM_NonMatchingIndexed)->Arg(16)->Arg(256);
 }  // namespace
 }  // namespace sentinel
 
-BENCHMARK_MAIN();
+SENTINEL_BENCHMARK_MAIN();

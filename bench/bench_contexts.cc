@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "events/operators.h"
 #include "events/primitive_event.h"
 
@@ -81,4 +83,4 @@ BENCHMARK(BM_SequenceSkewed)
 }  // namespace
 }  // namespace sentinel
 
-BENCHMARK_MAIN();
+SENTINEL_BENCHMARK_MAIN();

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <filesystem>
 
 #include "core/database.h"
@@ -117,4 +119,4 @@ BENCHMARK(BM_TxnDetachedRule)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace sentinel
 
-BENCHMARK_MAIN();
+SENTINEL_BENCHMARK_MAIN();

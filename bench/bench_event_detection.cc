@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "events/operators.h"
 #include "events/primitive_event.h"
 #include "events/snoop_operators.h"
@@ -160,4 +162,4 @@ BENCHMARK(BM_PendingBufferGrowth)
 }  // namespace
 }  // namespace sentinel
 
-BENCHMARK_MAIN();
+SENTINEL_BENCHMARK_MAIN();

@@ -14,6 +14,8 @@
 
 #include "baselines/adam_engine.h"
 #include "baselines/ode_engine.h"
+#include "bench_cli.h"
+#include "common/bench_report.h"
 #include "core/database.h"
 #include "events/operators.h"
 
@@ -453,7 +455,9 @@ Feature ProbeAbortSemantics() {
 }  // namespace
 }  // namespace sentinel
 
-int main() {
+int main(int argc, char** argv) {
+  sentinel::bench_main::BenchCli cli =
+      sentinel::bench_main::BenchCli::Parse(argc, argv);
   std::printf("E13: feature matrix, Sentinel vs Ode vs ADAM (paper SS6)\n");
   std::printf("every cell is the outcome of an executable probe against the\n"
               "engine (Ode/ADAM cells exercise our models of those systems)\n\n");
@@ -468,10 +472,18 @@ int main() {
       sentinel::ProbeAbortSemantics(),
   };
   std::printf("%-40s %6s %6s %10s\n", "feature", "Ode", "ADAM", "Sentinel");
+  sentinel::BenchReport report("bench_feature_matrix");
   for (const sentinel::Feature& f : features) {
     std::printf("%-40s %6s %6s %10s\n", f.name.c_str(),
                 f.ode ? "yes" : "no", f.adam ? "yes" : "no",
                 f.sentinel ? "yes" : "no");
+    sentinel::BenchResult result;
+    result.name = "feature/" + f.name;
+    result.iterations = 1;
+    result.counters["ode"] = f.ode ? 1 : 0;
+    result.counters["adam"] = f.adam ? 1 : 0;
+    result.counters["sentinel"] = f.sentinel ? 1 : 0;
+    report.Add(result);
   }
   // The paper's claim: Sentinel subsumes both comparators' capabilities.
   bool sentinel_all = true;
@@ -480,5 +492,6 @@ int main() {
   }
   std::printf("\nSentinel supports all probed features: %s\n",
               sentinel_all ? "yes" : "NO (regression!)");
-  return sentinel_all ? 0 : 1;
+  if (!sentinel_all) return 1;
+  return cli.WriteReport(report);
 }

@@ -14,13 +14,15 @@
 // a table, not a google-benchmark timing loop.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <thread>
 #include <vector>
 
+#include "bench_cli.h"
+#include "common/bench_report.h"
+#include "common/clock.h"
 #include "core/database.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -31,17 +33,13 @@ namespace {
 using net::GatewayClient;
 using net::GatewayServer;
 
-constexpr int kDirectOps = 20000;
-constexpr int kRpcOps = 5000;
-constexpr int kPipelinedPerProducer = 5000;
-constexpr int kPipelineBatch = 250;
-constexpr int kLatencySamples = 2000;
-
-int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+// Timed work per section; --quick shrinks them for CI smoke runs.
+int g_direct_ops = 20000;
+int g_rpc_ops = 5000;
+int g_pipelined_per_producer = 5000;
+int g_pipeline_batch = 250;
+int g_latency_samples = 2000;
+constexpr int kWarmup = 200;  ///< Untimed ops before each timed section.
 
 std::unique_ptr<GatewayClient> Connect(uint16_t port) {
   return std::move(GatewayClient::Connect("127.0.0.1", port)).value();
@@ -49,6 +47,8 @@ std::unique_ptr<GatewayClient> Connect(uint16_t port) {
 
 struct Row {
   std::string mode;
+  std::string slug;  ///< JSON result name component.
+  int64_t ops;
   double events_per_sec;
   double ns_per_event;
 };
@@ -61,7 +61,7 @@ double Quantile(std::vector<int64_t>& samples, double q) {
 
 }  // namespace
 
-int RunBench(int producers) {
+int RunBench(int producers, const bench_main::BenchCli& cli) {
   auto dir = std::filesystem::temp_directory_path() / "sentinel_bench_gw";
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
@@ -78,17 +78,20 @@ int RunBench(int producers) {
   {
     ReactiveObject sensor("Sensor");
     db->RegisterLiveObject(&sensor).ok();
-    int64_t t0 = NowNs();
-    for (int i = 0; i < kDirectOps; ++i) {
+    auto raise_one = [&](int i) {
       db->WithTransaction([&](Transaction*) {
         sensor.RaiseEvent("Report", EventModifier::kEnd,
                           {Value(static_cast<double>(i))});
         return Status::OK();
       }).ok();
-    }
-    int64_t t1 = NowNs();
-    double ns = static_cast<double>(t1 - t0) / kDirectOps;
-    rows.push_back({"direct in-process", 1e9 / ns, ns});
+    };
+    for (int i = 0; i < kWarmup; ++i) raise_one(i);  // Untimed warmup.
+    int64_t t0 = SteadyNowNs();
+    for (int i = 0; i < g_direct_ops; ++i) raise_one(i);
+    int64_t t1 = SteadyNowNs();
+    double ns = static_cast<double>(t1 - t0) / g_direct_ops;
+    rows.push_back({"direct in-process", "direct", g_direct_ops, 1e9 / ns,
+                    ns});
     db->UnregisterLiveObject(&sensor).ok();
   }
 
@@ -103,35 +106,45 @@ int RunBench(int producers) {
   // --- 2. Single connection, synchronous RPC per raise. ------------------
   {
     auto client = Connect(server.port());
-    int64_t t0 = NowNs();
-    for (int i = 0; i < kRpcOps; ++i) {
+    auto raise_one = [&](int i) {
       client->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
                          {Value(static_cast<double>(i))})
           .ok();
-    }
-    int64_t t1 = NowNs();
-    double ns = static_cast<double>(t1 - t0) / kRpcOps;
-    rows.push_back({"gateway rpc x1", 1e9 / ns, ns});
+    };
+    for (int i = 0; i < kWarmup; ++i) raise_one(i);  // Untimed warmup.
+    int64_t t0 = SteadyNowNs();
+    for (int i = 0; i < g_rpc_ops; ++i) raise_one(i);
+    int64_t t1 = SteadyNowNs();
+    double ns = static_cast<double>(t1 - t0) / g_rpc_ops;
+    rows.push_back({"gateway rpc x1", "rpc", g_rpc_ops, 1e9 / ns, ns});
   }
 
   // --- 3. Pipelined batches over N concurrent producer connections. ------
   uint64_t total_rejected = 0;
   {
+    // Connections and one untimed warmup batch per producer happen before
+    // the clock starts, so the timed region covers steady-state streaming.
+    std::vector<std::unique_ptr<GatewayClient>> clients;
+    std::vector<net::RaiseEventMsg> batch(
+        static_cast<size_t>(g_pipeline_batch));
+    for (auto& msg : batch) {
+      msg.class_name = "Sensor";
+      msg.method = "Report";
+      msg.modifier = EventModifier::kEnd;
+      msg.params = {Value(static_cast<int64_t>(0))};
+    }
+    for (int p = 0; p < producers; ++p) {
+      clients.push_back(Connect(server.port()));
+      clients.back()->RaisePipelined(batch, nullptr);
+    }
     std::vector<std::thread> threads;
     std::vector<uint64_t> rejected(static_cast<size_t>(producers), 0);
-    int64_t t0 = NowNs();
+    int64_t t0 = SteadyNowNs();
     for (int p = 0; p < producers; ++p) {
       threads.emplace_back([&, p] {
-        auto client = Connect(server.port());
-        std::vector<net::RaiseEventMsg> batch(kPipelineBatch);
-        for (auto& msg : batch) {
-          msg.class_name = "Sensor";
-          msg.method = "Report";
-          msg.modifier = EventModifier::kEnd;
-          msg.params = {Value(static_cast<int64_t>(p))};
-        }
-        for (int done = 0; done < kPipelinedPerProducer;
-             done += kPipelineBatch) {
+        GatewayClient* client = clients[static_cast<size_t>(p)].get();
+        for (int done = 0; done < g_pipelined_per_producer;
+             done += g_pipeline_batch) {
           uint64_t r = 0;
           client->RaisePipelined(batch, &r);
           rejected[static_cast<size_t>(p)] += r;
@@ -139,12 +152,13 @@ int RunBench(int producers) {
       });
     }
     for (std::thread& t : threads) t.join();
-    int64_t t1 = NowNs();
+    int64_t t1 = SteadyNowNs();
     for (uint64_t r : rejected) total_rejected += r;
-    double total = static_cast<double>(producers) * kPipelinedPerProducer;
+    double total =
+        static_cast<double>(producers) * g_pipelined_per_producer;
     double ns = static_cast<double>(t1 - t0) / total;
     rows.push_back({"gateway pipelined x" + std::to_string(producers),
-                    1e9 / ns, ns});
+                    "pipelined", static_cast<int64_t>(total), 1e9 / ns, ns});
   }
 
   // --- 4. Raise-to-notify latency through a parked long-poll. ------------
@@ -153,23 +167,40 @@ int RunBench(int producers) {
     auto consumer = Connect(server.port());
     consumer->Subscribe("end Sensor::Report").ok();
     auto producer = Connect(server.port());
-    latencies.reserve(kLatencySamples);
-    for (int i = 0; i < kLatencySamples; ++i) {
-      int64_t t0 = NowNs();
+    auto sample_one = [&](int i) -> int64_t {
+      int64_t t0 = SteadyNowNs();
       producer->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
                            {Value(static_cast<double>(i))})
           .ok();
       auto batch = consumer->Fetch(4, 1000);
-      int64_t t1 = NowNs();
-      if (batch.ok() && !batch->empty()) latencies.push_back(t1 - t0);
+      int64_t t1 = SteadyNowNs();
+      return (batch.ok() && !batch->empty()) ? t1 - t0 : -1;
+    };
+    for (int i = 0; i < kWarmup; ++i) sample_one(i);  // Untimed warmup.
+    latencies.reserve(static_cast<size_t>(g_latency_samples));
+    for (int i = 0; i < g_latency_samples; ++i) {
+      int64_t ns = sample_one(i);
+      if (ns >= 0) latencies.push_back(ns);
     }
   }
 
   std::printf("gateway throughput (%d producer connections)\n", producers);
   std::printf("  %-26s %14s %14s\n", "mode", "events/sec", "ns/event");
+  BenchReport report("bench_gateway");
   for (const Row& row : rows) {
     std::printf("  %-26s %14.0f %14.0f\n", row.mode.c_str(),
                 row.events_per_sec, row.ns_per_event);
+    BenchResult result;
+    result.name = "gateway/" + row.slug;
+    result.iterations = row.ops;
+    result.real_ns_per_iter = row.ns_per_event;
+    result.counters["events_per_sec"] = row.events_per_sec;
+    if (row.slug == "pipelined") {
+      result.counters["producers"] = static_cast<double>(producers);
+      result.counters["backpressure_rejections"] =
+          static_cast<double>(total_rejected);
+    }
+    report.Add(result);
   }
   std::printf("  backpressure rejections: %llu\n",
               static_cast<unsigned long long>(total_rejected));
@@ -179,19 +210,37 @@ int RunBench(int producers) {
     std::printf(
         "raise-to-notify latency (%zu samples): p50=%.1fus p99=%.1fus\n",
         latencies.size(), p50 / 1e3, p99 / 1e3);
+    BenchResult result;
+    result.name = "gateway/raise_to_notify";
+    result.iterations = static_cast<int64_t>(latencies.size());
+    result.real_ns_per_iter = p50;
+    result.counters["p50_ns"] = p50;
+    result.counters["p99_ns"] = p99;
+    report.Add(result);
   }
 
   server.Stop();
   db->Close().ok();
   db.reset();
   std::filesystem::remove_all(dir);
-  return 0;
+  return cli.WriteReport(report);
 }
 
 }  // namespace sentinel
 
 int main(int argc, char** argv) {
+  sentinel::bench_main::BenchCli cli =
+      sentinel::bench_main::BenchCli::Parse(argc, argv);
+  if (cli.quick) {
+    sentinel::g_direct_ops = 2000;
+    sentinel::g_rpc_ops = 500;
+    sentinel::g_pipelined_per_producer = 500;
+    sentinel::g_pipeline_batch = 100;
+    sentinel::g_latency_samples = 100;
+  }
   int producers = 4;
-  if (argc > 1) producers = std::max(1, std::atoi(argv[1]));
-  return sentinel::RunBench(producers);
+  if (!cli.positional.empty()) {
+    producers = std::max(1, std::atoi(cli.positional[0].c_str()));
+  }
+  return sentinel::RunBench(producers, cli);
 }

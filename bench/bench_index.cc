@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <filesystem>
 
 #include "core/database.h"
@@ -109,4 +111,4 @@ BENCHMARK(BM_CommitWithIndexMaintenance)->Arg(0)->Arg(1)
 }  // namespace
 }  // namespace sentinel
 
-BENCHMARK_MAIN();
+SENTINEL_BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Schema gate for benchmark JSON: validates each argument file as a
+// sentinel-bench-v1 report or sentinel-bench-suite-v1 suite, exiting
+// nonzero on the first malformed document. bench/run_all.sh and CI run it
+// over BENCH_*.json before archiving them.
+
+#include <cstdio>
+#include <string>
+
+#include "common/bench_report.h"
+
+namespace {
+
+int ValidateFile(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return 1;
+  }
+  std::string text;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    text.append(chunk, n);
+  }
+  std::fclose(f);
+  sentinel::Status s = sentinel::ValidateBenchJsonText(text);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path, s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: ok\n", path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <bench-json>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (int rc = ValidateFile(argv[i]); rc != 0) return rc;
+  }
+  return 0;
+}

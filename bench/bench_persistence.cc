@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <filesystem>
 
 #include "core/database.h"
@@ -148,4 +150,4 @@ BENCHMARK(BM_ReopenWithRules)
 }  // namespace
 }  // namespace sentinel
 
-BENCHMARK_MAIN();
+SENTINEL_BENCHMARK_MAIN();

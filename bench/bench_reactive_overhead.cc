@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "core/reactive.h"
 #include "oodb/class_catalog.h"
 
@@ -134,4 +136,4 @@ BENCHMARK(BM_ReactiveDesignatedWithSubscribers)
 }  // namespace
 }  // namespace sentinel
 
-BENCHMARK_MAIN();
+SENTINEL_BENCHMARK_MAIN();

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "baselines/ode_engine.h"
 #include "core/reactive.h"
 #include "events/detector.h"
@@ -129,4 +131,4 @@ BENCHMARK(BM_SentinelRuleChangeWithInstances)
 }  // namespace
 }  // namespace sentinel
 
-BENCHMARK_MAIN();
+SENTINEL_BENCHMARK_MAIN();

@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "baselines/adam_engine.h"
 #include "core/reactive.h"
 #include "events/primitive_event.h"
@@ -136,4 +138,4 @@ BENCHMARK(BM_AdamCentralized)
 }  // namespace
 }  // namespace sentinel
 
-BENCHMARK_MAIN();
+SENTINEL_BENCHMARK_MAIN();

@@ -10,15 +10,16 @@
 // The paper gives this comparison qualitatively ("back-of-the-envelope",
 // §6); this binary regenerates it with numbers.
 
-#include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "baselines/adam_engine.h"
 #include "baselines/ode_engine.h"
+#include "bench_cli.h"
+#include "common/bench_report.h"
+#include "common/clock.h"
 #include "core/database.h"
 #include "events/operators.h"
-
-#include <filesystem>
 
 namespace sentinel {
 namespace {
@@ -32,22 +33,18 @@ using baselines::OdeConstraint;
 using baselines::OdeEngine;
 using baselines::OdeObject;
 
-constexpr int kUpdates = 20000;
+int g_updates = 20000;  ///< Timed updates per system (--quick shrinks it).
+constexpr int kWarmup = 200;  ///< Untimed updates before the clock starts.
 
 struct Row {
   const char* system;
+  const char* slug;  ///< JSON result name component.
   size_t rule_objects;
   double checks_per_update;
   double ns_per_update;
   bool violation_blocked;
   bool update_rolled_back;
 };
-
-int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 Row RunOde() {
   OdeEngine ode;
@@ -87,24 +84,29 @@ Row RunOde() {
   employees = {fred};
   ode.Invoke(mike, [](OdeObject* o) { o->Set("salary", Value(1e9)); }).ok();
 
+  for (int i = 0; i < kWarmup; ++i) {  // Untimed warmup.
+    ode.Invoke(fred, [](OdeObject* o) {
+      o->Set("salary", Value(100.0));
+    }).ok();
+  }
   uint64_t checks0 = ode.checks_performed();
-  int64_t t0 = NowNs();
-  for (int i = 0; i < kUpdates; ++i) {
+  int64_t t0 = SteadyNowNs();
+  for (int i = 0; i < g_updates; ++i) {
     ode.Invoke(fred, [i](OdeObject* o) {
       o->Set("salary", Value(100.0 + i));
     }).ok();
   }
-  int64_t t1 = NowNs();
+  int64_t t1 = SteadyNowNs();
 
   bool blocked = ode.Invoke(fred, [](OdeObject* o) {
     o->Set("salary", Value(2e9));
   }).IsAborted();
-  bool rolled_back = fred->Get("salary") == Value(100.0 + kUpdates - 1);
+  bool rolled_back = fred->Get("salary") == Value(100.0 + g_updates - 1);
 
-  return Row{"Ode (2 constraints)", 2,
+  return Row{"Ode (2 constraints)", "ode", 2,
              static_cast<double>(ode.checks_performed() - checks0) /
-                 kUpdates,
-             static_cast<double>(t1 - t0) / kUpdates, blocked, rolled_back};
+                 g_updates,
+             static_cast<double>(t1 - t0) / g_updates, blocked, rolled_back};
 }
 
 Row RunAdam() {
@@ -148,16 +150,21 @@ Row RunAdam() {
     o->Set("salary", Value(1e9));
   }).ok();
 
+  for (int i = 0; i < kWarmup; ++i) {  // Untimed warmup.
+    adam.Invoke(fred, "Set-Salary", {Value(100.0)}, [](AdamObject* o) {
+      o->Set("salary", Value(100.0));
+    }).ok();
+  }
   uint64_t scans0 = adam.rules_scanned();
-  int64_t t0 = NowNs();
-  for (int i = 0; i < kUpdates; ++i) {
+  int64_t t0 = SteadyNowNs();
+  for (int i = 0; i < g_updates; ++i) {
     double amount = 100.0 + i;
     adam.Invoke(fred, "Set-Salary", {Value(amount)},
                 [amount](AdamObject* o) {
                   o->Set("salary", Value(amount));
                 }).ok();
   }
-  int64_t t1 = NowNs();
+  int64_t t1 = SteadyNowNs();
 
   bool blocked = adam.Invoke(fred, "Set-Salary", {Value(2e9)},
                              [](AdamObject* o) {
@@ -166,11 +173,11 @@ Row RunAdam() {
   // ADAM's `fail` unwinds the resolution; in the model the body already ran,
   // so the update is NOT rolled back — a real behavioural difference the
   // paper's transaction-integrated design fixes.
-  bool rolled_back = fred->Get("salary") == Value(100.0 + kUpdates - 1);
+  bool rolled_back = fred->Get("salary") == Value(100.0 + g_updates - 1);
 
-  return Row{"ADAM (2 rules)", 2,
-             static_cast<double>(adam.rules_scanned() - scans0) / kUpdates,
-             static_cast<double>(t1 - t0) / kUpdates, blocked, rolled_back};
+  return Row{"ADAM (2 rules)", "adam", 2,
+             static_cast<double>(adam.rules_scanned() - scans0) / g_updates,
+             static_cast<double>(t1 - t0) / g_updates, blocked, rolled_back};
 }
 
 Row RunSentinel() {
@@ -218,20 +225,23 @@ Row RunSentinel() {
   };
   set_salary(mike, 1e9).ok();
 
+  for (int i = 0; i < kWarmup; ++i) {  // Untimed warmup.
+    set_salary(fred, 100.0).ok();
+  }
   uint64_t triggered0 = rule->triggered_count();
-  int64_t t0 = NowNs();
-  for (int i = 0; i < kUpdates; ++i) {
+  int64_t t0 = SteadyNowNs();
+  for (int i = 0; i < g_updates; ++i) {
     set_salary(fred, 100.0 + i).ok();
   }
-  int64_t t1 = NowNs();
+  int64_t t1 = SteadyNowNs();
 
   bool blocked = set_salary(fred, 2e9).IsAborted();
-  bool rolled_back = fred.GetAttr("salary") == Value(100.0 + kUpdates - 1);
+  bool rolled_back = fred.GetAttr("salary") == Value(100.0 + g_updates - 1);
 
-  Row row{"Sentinel (1 rule)", db->rules()->rule_count(),
+  Row row{"Sentinel (1 rule)", "sentinel", db->rules()->rule_count(),
           static_cast<double>(rule->triggered_count() - triggered0) /
-              kUpdates,
-          static_cast<double>(t1 - t0) / kUpdates, blocked, rolled_back};
+              g_updates,
+          static_cast<double>(t1 - t0) / g_updates, blocked, rolled_back};
   db->UnregisterLiveObject(&fred).ok();
   db->UnregisterLiveObject(&mike).ok();
   db->Close().ok();
@@ -243,24 +253,39 @@ Row RunSentinel() {
 }  // namespace
 }  // namespace sentinel
 
-int main() {
+int main(int argc, char** argv) {
+  sentinel::bench_main::BenchCli cli =
+      sentinel::bench_main::BenchCli::Parse(argc, argv);
+  if (cli.quick) sentinel::g_updates = 1000;
+
   std::printf("E5: salary-check rule in Ode vs ADAM vs Sentinel "
               "(paper SS5.1, Figs. 11-13)\n");
   std::printf("rule: employee.salary < manager.salary; %d updates\n\n",
-              sentinel::kUpdates);
+              sentinel::g_updates);
   std::printf("%-22s %12s %18s %16s %10s %12s\n", "system", "rule objects",
               "checks/update", "ns/update", "blocked?", "rolled back?");
+  sentinel::BenchReport report("bench_three_way");
   for (const sentinel::Row& row :
        {sentinel::RunOde(), sentinel::RunAdam(), sentinel::RunSentinel()}) {
     std::printf("%-22s %12zu %18.2f %16.1f %10s %12s\n", row.system,
                 row.rule_objects, row.checks_per_update, row.ns_per_update,
                 row.violation_blocked ? "yes" : "NO",
                 row.update_rolled_back ? "yes" : "NO");
+    sentinel::BenchResult result;
+    result.name = std::string("salary_check/") + row.slug;
+    result.iterations = sentinel::g_updates;
+    result.real_ns_per_iter = row.ns_per_update;
+    result.counters["rule_objects"] =
+        static_cast<double>(row.rule_objects);
+    result.counters["checks_per_update"] = row.checks_per_update;
+    result.counters["violation_blocked"] = row.violation_blocked ? 1 : 0;
+    result.counters["update_rolled_back"] = row.update_rolled_back ? 1 : 0;
+    report.Add(result);
   }
   std::printf(
       "\nexpected shape: Ode and ADAM each need 2 rule objects, Sentinel 1;\n"
       "all three block the violation; ADAM's model does not roll the update\n"
       "back (PROLOG fail unwinds resolution, not object state); Sentinel\n"
       "pays transaction overhead per update for full abort semantics.\n");
-  return 0;
+  return cli.WriteReport(report);
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Runs the full bench suite with --json and merges the per-binary reports
+# into two suite documents (schema sentinel-bench-suite-v1):
+#
+#   BENCH_core.json     in-process benches (events, rules, txn, storage)
+#   BENCH_gateway.json  the TCP gateway bench
+#
+# usage: bench/run_all.sh [--quick] [--build-dir DIR] [--out-dir DIR]
+#
+#   --quick      pass --quick to every bench (seconds instead of minutes;
+#                what CI runs)
+#   --build-dir  cmake build tree holding bench/ and tools/ (default: build)
+#   --out-dir    where BENCH_*.json land (default: current directory)
+#
+# Exits nonzero when any bench fails or any merged document does not
+# validate against the schema.
+set -euo pipefail
+
+BUILD_DIR=build
+OUT_DIR=.
+QUICK=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK="--quick"; shift ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+BENCH_DIR="$BUILD_DIR/bench"
+VALIDATOR="$BUILD_DIR/tools/bench_json_validate"
+[[ -d "$BENCH_DIR" ]] || { echo "no such bench dir: $BENCH_DIR" >&2; exit 2; }
+mkdir -p "$OUT_DIR"
+
+CORE_BENCHES=(
+  bench_subscription
+  bench_event_detection
+  bench_reactive_overhead
+  bench_rule_sharing
+  bench_rule_lifecycle
+  bench_coupling_modes
+  bench_persistence
+  bench_contexts
+  bench_three_way
+  bench_feature_matrix
+  bench_ablation_routing
+  bench_index
+  bench_metrics
+)
+GATEWAY_BENCHES=(bench_gateway)
+
+TMP_DIR=$(mktemp -d)
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+# Runs each named bench with --json and writes one suite document.
+run_suite() {
+  local out_file=$1; shift
+  local first=1
+  printf '{"schema":"sentinel-bench-suite-v1","benches":[' > "$out_file"
+  for bench in "$@"; do
+    local bin="$BENCH_DIR/$bench"
+    [[ -x "$bin" ]] || { echo "missing bench binary: $bin" >&2; return 1; }
+    local part="$TMP_DIR/$bench.json"
+    echo "=== $bench ==="
+    "$bin" --json "$part" $QUICK
+    [[ $first -eq 1 ]] || printf ',' >> "$out_file"
+    first=0
+    cat "$part" >> "$out_file"
+  done
+  printf ']}\n' >> "$out_file"
+}
+
+run_suite "$OUT_DIR/BENCH_core.json" "${CORE_BENCHES[@]}"
+run_suite "$OUT_DIR/BENCH_gateway.json" "${GATEWAY_BENCHES[@]}"
+
+if [[ -x "$VALIDATOR" ]]; then
+  "$VALIDATOR" "$OUT_DIR/BENCH_core.json" "$OUT_DIR/BENCH_gateway.json"
+else
+  echo "warning: $VALIDATOR not built; skipping schema validation" >&2
+fi

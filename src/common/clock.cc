@@ -8,6 +8,12 @@ namespace sentinel {
 
 std::atomic<uint64_t> Clock::sequence_{1};
 
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 Timestamp Clock::Now() {
   Timestamp ts;
   ts.micros = std::chrono::duration_cast<std::chrono::microseconds>(

@@ -33,6 +33,12 @@ struct Timestamp {
   std::string ToString() const;
 };
 
+/// Monotonic nanoseconds since an arbitrary epoch (steady clock). This is
+/// the only clock benchmarks and latency metrics may difference: wall time
+/// (Clock::Now().micros) can jump under NTP and makes intervals
+/// incomparable across runs.
+int64_t SteadyNowNs();
+
 /// Issues totally ordered timestamps. Thread safe.
 class Clock {
  public:

@@ -1,0 +1,277 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sentinel {
+
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::fabs(value) < 9.0e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Cursor over the input text; all Parse* helpers advance it.
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  size_t max_depth;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos));
+  }
+
+  Status Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth);
+  Status ParseString(std::string* out);
+  Status ParseNumber(JsonValue* out);
+  Status ParseLiteral(std::string_view word, JsonValue value, JsonValue* out);
+};
+
+Status Parser::ParseString(std::string* out) {
+  SENTINEL_RETURN_IF_ERROR(Expect('"'));
+  out->clear();
+  while (true) {
+    if (AtEnd()) return Fail("unterminated string");
+    char c = text[pos++];
+    if (c == '"') return Status::OK();
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Fail("raw control character in string");
+    }
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (AtEnd()) return Fail("unterminated escape");
+    char esc = text[pos++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+        uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = text[pos++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<uint32_t>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<uint32_t>(h - 'A' + 10);
+          else return Fail("bad \\u escape digit");
+        }
+        // Encode the BMP code point as UTF-8 (surrogate pairs are passed
+        // through as two 3-byte sequences — fine for validation purposes).
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return Fail("bad escape character");
+    }
+  }
+}
+
+Status Parser::ParseNumber(JsonValue* out) {
+  size_t start = pos;
+  if (!AtEnd() && Peek() == '-') ++pos;
+  while (!AtEnd() && ((Peek() >= '0' && Peek() <= '9') || Peek() == '.' ||
+                      Peek() == 'e' || Peek() == 'E' || Peek() == '+' ||
+                      Peek() == '-')) {
+    ++pos;
+  }
+  if (pos == start) return Fail("expected number");
+  std::string token(text.substr(start, pos - start));
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+    return Fail("malformed number '" + token + "'");
+  }
+  out->type = JsonValue::Type::kNumber;
+  out->number_value = value;
+  return Status::OK();
+}
+
+Status Parser::ParseLiteral(std::string_view word, JsonValue value,
+                            JsonValue* out) {
+  if (text.substr(pos, word.size()) != word) {
+    return Fail("bad literal");
+  }
+  pos += word.size();
+  *out = std::move(value);
+  return Status::OK();
+}
+
+Status Parser::ParseValue(JsonValue* out, size_t depth) {
+  if (depth > max_depth) return Fail("nesting too deep");
+  SkipWhitespace();
+  if (AtEnd()) return Fail("unexpected end of input");
+  char c = Peek();
+  switch (c) {
+    case '{': {
+      ++pos;
+      out->type = JsonValue::Type::kObject;
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == '}') {
+        ++pos;
+        return Status::OK();
+      }
+      while (true) {
+        SkipWhitespace();
+        std::string key;
+        SENTINEL_RETURN_IF_ERROR(ParseString(&key));
+        SkipWhitespace();
+        SENTINEL_RETURN_IF_ERROR(Expect(':'));
+        JsonValue member;
+        SENTINEL_RETURN_IF_ERROR(ParseValue(&member, depth + 1));
+        out->object[key] = std::move(member);
+        SkipWhitespace();
+        if (AtEnd()) return Fail("unterminated object");
+        if (Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        return Expect('}');
+      }
+    }
+    case '[': {
+      ++pos;
+      out->type = JsonValue::Type::kArray;
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == ']') {
+        ++pos;
+        return Status::OK();
+      }
+      while (true) {
+        JsonValue element;
+        SENTINEL_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+        out->array.push_back(std::move(element));
+        SkipWhitespace();
+        if (AtEnd()) return Fail("unterminated array");
+        if (Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        return Expect(']');
+      }
+    }
+    case '"': {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    case 't': {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.bool_value = true;
+      return ParseLiteral("true", std::move(v), out);
+    }
+    case 'f': {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.bool_value = false;
+      return ParseLiteral("false", std::move(v), out);
+    }
+    case 'n':
+      return ParseLiteral("null", JsonValue{}, out);
+    default:
+      return ParseNumber(out);
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text, size_t max_depth) {
+  Parser parser{text, 0, max_depth};
+  JsonValue value;
+  SENTINEL_RETURN_IF_ERROR(parser.ParseValue(&value, 0));
+  parser.SkipWhitespace();
+  if (!parser.AtEnd()) {
+    return parser.Fail("trailing bytes after document");
+  }
+  return value;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Minimal JSON support: escaping for the writers (metrics snapshots, bench
+// reports) and a strict recursive-descent parser for the readers (stats
+// consumers, bench-schema validation). Deliberately tiny — Sentinel emits
+// and checks its own machine-readable artifacts; this is not a general
+// serialization framework, and it never trusts its input (depth-limited,
+// error Status instead of crashes on malformed text).
+
+#ifndef SENTINEL_COMMON_JSON_H_
+#define SENTINEL_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sentinel {
+
+/// Appends `text` JSON-escaped (quotes, backslashes, control characters) to
+/// `*out`, without surrounding quotes.
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
+/// Formats a double the way JSON expects: no inf/nan (clamped to 0), no
+/// trailing-garbage locale artifacts, integers without a fraction part.
+std::string JsonNumber(double value);
+
+/// One parsed JSON value (tree-owning).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool IsNull() const { return type == Type::kNull; }
+  bool IsBool() const { return type == Type::kBool; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Parses `text` as exactly one JSON document (trailing garbage is an
+  /// error). Nesting is limited to `max_depth` to bound stack use on
+  /// hostile input.
+  static Result<JsonValue> Parse(std::string_view text,
+                                 size_t max_depth = 64);
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_COMMON_JSON_H_

@@ -19,6 +19,9 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
     SENTINEL_RETURN_IF_ERROR(
         FailPoints::Instance().EnableFromSpec(options.failpoints));
   }
+  // Wired before Open so recovery-time WAL syncs and pool faults are
+  // already counted.
+  db->store_.SetMetrics(&db->metrics_);
   SENTINEL_RETURN_IF_ERROR(db->store_.Open(options.dir));
 
   // Schema: load the persisted catalog if present, then make sure the
@@ -30,8 +33,11 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   db->detector_ = std::make_unique<EventDetector>(&db->catalog_);
   db->detector_->set_log_capacity(options.occurrence_log_capacity);
   db->detector_->set_key_count_capacity(options.key_count_capacity);
+  db->detector_->SetMetrics(&db->metrics_);
   db->scheduler_ = std::make_unique<RuleScheduler>(db.get());
   db->scheduler_->set_max_cascade_depth(options.max_cascade_depth);
+  db->scheduler_->SetMetrics(&db->metrics_);
+  db->m_raise_notify_ns_ = db->metrics_.histogram("events.raise_notify_ns");
   db->rule_manager_ = std::make_unique<RuleManager>(
       db->scheduler_.get(), db->detector_.get(), &db->functions_);
 
@@ -403,6 +409,10 @@ Status Database::SaveRulesAndEvents() {
 }
 
 void Database::PreRaise(const EventOccurrence& occ) {
+  if (++raise_depth_ == 1 &&
+      (raise_seq_++ & options_.metrics_sample_mask) == 0) {
+    raise_start_ns_ = metrics::TimerStart(m_raise_notify_ns_);
+  }
   detector_->RecordOccurrence(occ);
   if (tracer_ != nullptr) {
     tracer_->Trace(TraceEntry{TraceEntry::Kind::kOccurrence, occ.timestamp,
@@ -434,6 +444,10 @@ void Database::PostRaise(const EventOccurrence& occ) {
     } else {
       occurrence_observers_.erase(occurrence_observers_.begin() + i);
     }
+  }
+  if (--raise_depth_ == 0 && raise_start_ns_ != 0) {
+    metrics::RecordSince(m_raise_notify_ns_, raise_start_ns_);
+    raise_start_ns_ = 0;
   }
 }
 

@@ -66,6 +66,7 @@ Result<EventPtr> EventDetector::FindByOid(Oid oid) const {
 void EventDetector::RecordOccurrence(const EventOccurrence& occ) {
   log_.push_back(occ);
   ++occurrence_total_;
+  metrics::Add(m_occurrences_);
   // Per-key counters are admission-capped: keys come from the workload
   // (class::method strings), so an open-ended stream of fresh signatures
   // must not grow the map without bound. Admitted keys keep counting;
@@ -91,6 +92,7 @@ void EventDetector::TrimLog() {
   while (log_.size() > log_capacity_) {
     log_.pop_front();
     ++trimmed_total_;
+    metrics::Add(m_trimmed_);
   }
 }
 

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "events/event.h"
 #include "events/operators.h"
 #include "events/primitive_event.h"
@@ -98,6 +99,13 @@ class EventDetector {
     return key_counts_untracked_;
   }
 
+  /// Wires the detector to a metrics registry: every RecordOccurrence bumps
+  /// events.occurrences, every FIFO trim bumps events.log_trimmed.
+  void SetMetrics(MetricsRegistry* registry) {
+    m_occurrences_ = registry->counter("events.occurrences");
+    m_trimmed_ = registry->counter("events.log_trimmed");
+  }
+
   // --- Time pump (Periodic/Plus) ----------------------------------------------
 
   /// Advances logical time on every registered root (and, through routing,
@@ -138,6 +146,8 @@ class EventDetector {
   std::map<std::string, uint64_t> key_counts_;
   size_t key_count_capacity_ = 4096;
   uint64_t key_counts_untracked_ = 0;
+  Counter* m_occurrences_ = nullptr;
+  Counter* m_trimmed_ = nullptr;
 };
 
 }  // namespace sentinel

@@ -284,5 +284,25 @@ Result<std::vector<Notification>> GatewayClient::Fetch(uint32_t max,
   return std::move(batch.items);
 }
 
+Result<std::string> GatewayClient::GetStats(uint32_t sections) {
+  StatsRequestMsg msg;
+  msg.sections = sections;
+  Encoder enc;
+  msg.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(Call(FrameType::kGetStats, enc.buffer(), &reply));
+  if (reply.type == FrameType::kStatusReply) {
+    Status s = ExpectStatusReply(reply, nullptr);
+    if (s.ok()) s = Status::Internal("expected a stats reply");
+    return s;
+  }
+  if (reply.type != FrameType::kStatsReply) {
+    return Status::Internal("expected StatsReply");
+  }
+  SENTINEL_ASSIGN_OR_RETURN(StatsReplyMsg stats,
+                            StatsReplyMsg::Decode(reply.body));
+  return std::move(stats.json);
+}
+
 }  // namespace net
 }  // namespace sentinel

@@ -87,6 +87,12 @@ class GatewayClient {
   /// first (long-poll on the server; 0 returns immediately).
   Result<std::vector<Notification>> Fetch(uint32_t max, uint32_t wait_ms);
 
+  /// Fetches the server's stats snapshot as a JSON document. `sections`
+  /// selects what it covers (StatsRequestMsg::kDatabase / kGateway bits).
+  Result<std::string> GetStats(
+      uint32_t sections = StatsRequestMsg::kDatabase |
+                          StatsRequestMsg::kGateway);
+
  private:
   explicit GatewayClient(int fd) : fd_(fd) {}
 

@@ -18,11 +18,13 @@ Status IngressQueue::TryPush(IngressItem item) {
     }
     if (items_.size() >= capacity_) {
       ++rejected_total_;
+      metrics::Add(m_rejected_);
       return Status::ResourceExhausted("ingress queue full (" +
                                        std::to_string(capacity_) + ")");
     }
     items_.push_back(std::move(item));
     ++pushed_total_;
+    metrics::Set(m_depth_, static_cast<int64_t>(items_.size()));
   }
   not_empty_.notify_one();
   return Status::OK();
@@ -39,6 +41,7 @@ size_t IngressQueue::PopBatch(size_t max_batch, std::chrono::milliseconds wait,
     out->push_back(std::move(items_.front()));
     items_.pop_front();
   }
+  if (n > 0) metrics::Set(m_depth_, static_cast<int64_t>(items_.size()));
   return n;
 }
 

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/wire.h"
 
@@ -66,6 +67,14 @@ class IngressQueue {
   uint64_t pushed_total() const;
   uint64_t rejected_total() const;
 
+  /// Mirrors the live depth into the net.ingress.depth gauge (updated on
+  /// every push/pop) and rejections into net.ingress.rejected.
+  void SetMetrics(MetricsRegistry* registry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    m_depth_ = registry->gauge("net.ingress.depth");
+    m_rejected_ = registry->counter("net.ingress.rejected");
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -74,6 +83,8 @@ class IngressQueue {
   bool shutdown_ = false;
   uint64_t pushed_total_ = 0;
   uint64_t rejected_total_ = 0;
+  Gauge* m_depth_ = nullptr;
+  Counter* m_rejected_ = nullptr;
 };
 
 }  // namespace net

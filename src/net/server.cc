@@ -69,6 +69,11 @@ Status GatewayServer::Start() {
   // the hub (shared), not the server: a rule firing after Stop() lands in
   // an empty hub instead of freed memory. AlreadyExists just means another
   // (earlier) gateway on this database registered it.
+  // Gateway-side structures report into the database's registry so one
+  // StatsSnapshot covers the whole process.
+  queue_->SetMetrics(db_->metrics());
+  hub_->SetMetrics(db_->metrics());
+
   std::shared_ptr<NotificationHub> hub = hub_;
   size_t max_pending = options_.max_pending_notifications;
   Status s = db_->functions()->RegisterAction(
@@ -444,6 +449,16 @@ void GatewayServer::ProcessItem(const IngressItem& item) {
       HandleFetch(session.get(), *msg);
       return;
     }
+    case FrameType::kGetStats: {
+      Result<StatsRequestMsg> msg = StatsRequestMsg::Decode(body);
+      if (!msg.ok()) {
+        session->Reply(FrameType::kStatusReply,
+                       StatusReplyMsg::FromStatus(msg.status()));
+        return;
+      }
+      HandleGetStats(session.get(), *msg);
+      return;
+    }
     default:
       session->Reply(FrameType::kStatusReply,
                      StatusReplyMsg::FromStatus(Status::InvalidArgument(
@@ -579,6 +594,50 @@ void GatewayServer::HandleFetch(Session* session, const FetchMsg& msg) {
   session->fetch_max = msg.max;
   session->fetch_deadline = std::chrono::steady_clock::now() +
                             std::chrono::milliseconds(msg.wait_ms);
+}
+
+std::string GatewayServer::BuildStatsJson(uint32_t sections) const {
+  std::string out = "{";
+  bool first = true;
+  if (sections & StatsRequestMsg::kDatabase) {
+    out.append("\"db\":");
+    out.append(db_->StatsSnapshot().ToJson());
+    first = false;
+  }
+  if (sections & StatsRequestMsg::kGateway) {
+    if (!first) out.push_back(',');
+    GatewayStats s = stats();
+    out.append("\"gateway\":{\"sessions\":");
+    out.append(std::to_string(hub_->size()));
+    out.append(",\"ingress_depth\":");
+    out.append(std::to_string(queue_->size()));
+    out.append(",\"ingress_capacity\":");
+    out.append(std::to_string(queue_->capacity()));
+    out.append(",\"frames_received\":");
+    out.append(std::to_string(s.frames_received));
+    out.append(",\"requests_processed\":");
+    out.append(std::to_string(s.requests_processed));
+    out.append(",\"backpressure_rejections\":");
+    out.append(std::to_string(s.backpressure_rejections));
+    out.append(",\"protocol_errors\":");
+    out.append(std::to_string(s.protocol_errors));
+    out.append(",\"notifications_enqueued\":");
+    out.append(std::to_string(s.notifications_enqueued));
+    out.append(",\"notifications_dropped\":");
+    out.append(std::to_string(s.notifications_dropped));
+    out.append(",\"sessions_accepted\":");
+    out.append(std::to_string(s.sessions_accepted));
+    out.append("}");
+  }
+  out.push_back('}');
+  return out;
+}
+
+void GatewayServer::HandleGetStats(Session* session,
+                                   const StatsRequestMsg& msg) {
+  StatsReplyMsg reply;
+  reply.json = BuildStatsJson(msg.sections);
+  session->Reply(FrameType::kStatsReply, reply);
 }
 
 }  // namespace net

@@ -119,6 +119,11 @@ class GatewayServer {
   StatusReplyMsg HandleRuleToggle(const RuleNameMsg& msg, bool enable);
   StatusReplyMsg HandleSubscribe(Session* session, const SubscribeMsg& msg);
   void HandleFetch(Session* session, const FetchMsg& msg);
+  void HandleGetStats(Session* session, const StatsRequestMsg& msg);
+  /// Renders the StatsReply JSON for the requested section bits. Runs on
+  /// the mutator thread, so the database snapshot is taken between
+  /// requests, never mid-mutation.
+  std::string BuildStatsJson(uint32_t sections) const;
   /// Finds or creates the relay reactive object remote raises act on.
   Result<ReactiveObject*> RelayFor(const std::string& class_name,
                                    const std::string& method, uint64_t oid);

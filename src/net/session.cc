@@ -96,6 +96,8 @@ size_t NotificationHub::Broadcast(const std::string& key,
       ++session->dropped_notifications;
       ++dropped;
     }
+    metrics::Record(m_backlog_,
+                    static_cast<int64_t>(session->pending.size()));
     if (session->fetch_parked) {
       session->fetch_parked = false;
       ReplyWithBatch(session.get(), session->fetch_max);
@@ -107,6 +109,8 @@ size_t NotificationHub::Broadcast(const std::string& key,
     enqueued_total_ += reached;
     dropped_total_ += dropped;
   }
+  metrics::Add(m_enqueued_, reached);
+  metrics::Add(m_dropped_, dropped);
   if (replied) WakeLocked();
   return reached;
 }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/wire.h"
 
 namespace sentinel {
@@ -120,12 +121,25 @@ class NotificationHub {
   uint64_t notifications_enqueued() const;
   uint64_t notifications_dropped() const;
 
+  /// Wires the hub to the database's registry: Broadcast tallies
+  /// net.notifications.enqueued/.dropped and records each reached session's
+  /// post-enqueue pending-queue depth into net.session.backlog.
+  void SetMetrics(MetricsRegistry* registry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    m_enqueued_ = registry->counter("net.notifications.enqueued");
+    m_dropped_ = registry->counter("net.notifications.dropped");
+    m_backlog_ = registry->histogram("net.session.backlog");
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
   std::function<void()> wake_;
   uint64_t enqueued_total_ = 0;
   uint64_t dropped_total_ = 0;
+  Counter* m_enqueued_ = nullptr;
+  Counter* m_dropped_ = nullptr;
+  Histogram* m_backlog_ = nullptr;
 
   void WakeLocked();  // Copies the waker out of the lock before calling.
 };

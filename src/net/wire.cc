@@ -40,9 +40,11 @@ bool IsKnownFrameType(uint8_t raw) {
     case FrameType::kDisableRule:
     case FrameType::kSubscribe:
     case FrameType::kFetchNotifications:
+    case FrameType::kGetStats:
     case FrameType::kPong:
     case FrameType::kStatusReply:
     case FrameType::kNotificationBatch:
+    case FrameType::kStatsReply:
       return true;
   }
   return false;
@@ -207,6 +209,25 @@ Result<FetchMsg> FetchMsg::Decode(const std::string& body) {
   return msg;
 }
 
+// --- StatsRequestMsg ---------------------------------------------------------
+
+void StatsRequestMsg::Encode(Encoder* enc) const { enc->PutU32(sections); }
+
+Result<StatsRequestMsg> StatsRequestMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  StatsRequestMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.sections));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.sections == 0) {
+    return Status::InvalidArgument("stats request selects no sections");
+  }
+  if ((msg.sections & ~(kDatabase | kGateway)) != 0) {
+    return Status::InvalidArgument("unknown stats section bits " +
+                                   std::to_string(msg.sections));
+  }
+  return msg;
+}
+
 // --- StatusReplyMsg ----------------------------------------------------------
 
 Status StatusReplyMsg::ToStatus() const {
@@ -312,6 +333,21 @@ Result<NotificationBatchMsg> NotificationBatchMsg::Decode(
     msg.items.push_back(std::move(n));
   }
   SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  return msg;
+}
+
+// --- StatsReplyMsg -----------------------------------------------------------
+
+void StatsReplyMsg::Encode(Encoder* enc) const { enc->PutString(json); }
+
+Result<StatsReplyMsg> StatsReplyMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  StatsReplyMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.json));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.json.empty()) {
+    return Status::InvalidArgument("stats reply carries no document");
+  }
   return msg;
 }
 

@@ -40,11 +40,13 @@ enum class FrameType : uint8_t {
   kDisableRule = 5,
   kSubscribe = 6,
   kFetchNotifications = 7,
+  kGetStats = 8,
 
   // Responses (server -> client).
   kPong = 64,
   kStatusReply = 65,
   kNotificationBatch = 66,
+  kStatsReply = 67,
 };
 
 /// True when `raw` names a defined FrameType.
@@ -149,6 +151,19 @@ struct FetchMsg {
   static Result<FetchMsg> Decode(const std::string& body);
 };
 
+/// Request the server's stats snapshot. `sections` is a bitmask choosing
+/// what the reply's JSON covers; unknown bits are rejected so they stay
+/// available for future sections.
+struct StatsRequestMsg {
+  static constexpr uint32_t kDatabase = 1u << 0;  ///< Metrics registry.
+  static constexpr uint32_t kGateway = 1u << 1;   ///< Server/queue counters.
+
+  uint32_t sections = kDatabase | kGateway;
+
+  void Encode(Encoder* enc) const;
+  static Result<StatsRequestMsg> Decode(const std::string& body);
+};
+
 // --- Response messages ----------------------------------------------------
 
 /// Generic request outcome. `payload` carries a small result where one
@@ -195,6 +210,20 @@ struct PongMsg {
 
   void Encode(Encoder* enc) const;
   static Result<PongMsg> Decode(const std::string& body);
+};
+
+/// Reply to GetStats: one JSON document, built on the mutator thread, with
+/// a top-level object per requested section, e.g.
+///   {"db": {"counters": ..., "gauges": ..., "histograms": ...},
+///    "gateway": {"sessions": N, "ingress_depth": N, ...}}
+/// JSON (not codec structs) so the schema can grow section-by-section
+/// without a wire-format change, and so the payload is directly usable by
+/// external tooling.
+struct StatsReplyMsg {
+  std::string json;
+
+  void Encode(Encoder* enc) const;
+  static Result<StatsReplyMsg> Decode(const std::string& body);
 };
 
 }  // namespace net

@@ -91,6 +91,11 @@ Status ObjectStore::Open(const std::string& dir) {
   SENTINEL_RETURN_IF_ERROR(wal_.Open(dir + "/wal.log"));
   txn_manager_ = std::make_unique<TransactionManager>(&wal_, &lock_manager_);
   txn_manager_->SetHeap(this);
+  if (metrics_ != nullptr) {
+    pool_->SetMetrics(metrics_);
+    wal_.SetMetrics(metrics_);
+    txn_manager_->SetMetrics(metrics_);
+  }
 
   SENTINEL_RETURN_IF_ERROR(RebuildDirectory());
   SENTINEL_RETURN_IF_ERROR(Recover());

@@ -130,6 +130,11 @@ class ObjectStore : public HeapApplier {
   /// System-class records do not notify.
   void SetCommitObserver(CommitObserver* observer) { observer_ = observer; }
 
+  /// Wires the storage substrate (buffer pool, WAL, txn manager) to the
+  /// registry. Call before Open so recovery-time activity is counted; the
+  /// components created inside Open pick the registry up from here.
+  void SetMetrics(MetricsRegistry* registry) { metrics_ = registry; }
+
   // --- HeapApplier (committed writes land here) ----------------------------
 
   Status ApplyPut(uint64_t oid, const std::string& payload) override;
@@ -167,6 +172,7 @@ class ObjectStore : public HeapApplier {
   bool open_ = false;
   size_t buffer_pages_hint_ = 256;
   CommitObserver* observer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   std::string dir_;
   DiskManager disk_;
   std::unique_ptr<BufferPool> pool_;

@@ -76,9 +76,11 @@ Status RuleScheduler::Dispatch(const Triggered& entry, Transaction* txn) {
                                : txn;
   switch (entry.rule->coupling()) {
     case CouplingMode::kImmediate:
+      metrics::Add(m_dispatch_immediate_);
       return ExecuteNow(entry.rule, entry.detection, effective);
 
     case CouplingMode::kDeferred: {
+      metrics::Add(m_dispatch_deferred_);
       if (effective == nullptr || !effective->active()) {
         // No commit point to defer to: run now.
         return ExecuteNow(entry.rule, entry.detection, effective);
@@ -99,6 +101,7 @@ Status RuleScheduler::Dispatch(const Triggered& entry, Transaction* txn) {
     }
 
     case CouplingMode::kDetached: {
+      metrics::Add(m_dispatch_detached_);
       Rule* rule = entry.rule;
       EventDetection det = entry.detection;
       auto body = [this, rule, det](Transaction* fresh) -> Status {
@@ -150,6 +153,8 @@ Status RuleScheduler::ExecuteNow(Rule* rule, const EventDetection& det,
   ++exec_depth_;
   max_observed_depth_ = std::max(max_observed_depth_, exec_depth_);
   ++executed_;
+  metrics::Record(m_cascade_depth_, exec_depth_);
+  const int64_t exec_start = metrics::TimerStart(m_dispatch_ns_);
   RuleContext ctx;
   ctx.db = db_;
   ctx.txn = txn;
@@ -172,6 +177,7 @@ Status RuleScheduler::ExecuteNow(Rule* rule, const EventDetection& det,
     tracer_->Trace(TraceEntry{kind, Clock::Now(), rule->name(), detail,
                               exec_depth_, txn != nullptr ? txn->id() : 0});
   }
+  metrics::RecordSince(m_dispatch_ns_, exec_start);
   --exec_depth_;
   return s;
 }

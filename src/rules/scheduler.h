@@ -25,6 +25,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "rules/rule.h"
 #include "rules/trace.h"
@@ -99,6 +100,18 @@ class RuleScheduler {
   uint64_t trigger_error_count() const { return trigger_errors_; }
   const Status& last_trigger_error() const { return last_trigger_error_; }
 
+  /// Wires the scheduler to a metrics registry: Dispatch tallies per-
+  /// coupling-mode counts (rules.dispatch.immediate/.deferred/.detached),
+  /// ExecuteNow records body latency (rules.dispatch_ns) and the nesting
+  /// depth each execution ran at (rules.cascade_depth).
+  void SetMetrics(MetricsRegistry* registry) {
+    m_dispatch_immediate_ = registry->counter("rules.dispatch.immediate");
+    m_dispatch_deferred_ = registry->counter("rules.dispatch.deferred");
+    m_dispatch_detached_ = registry->counter("rules.dispatch.detached");
+    m_dispatch_ns_ = registry->histogram("rules.dispatch_ns");
+    m_cascade_depth_ = registry->histogram("rules.cascade_depth");
+  }
+
  private:
   /// Dispatches one triggered entry per its rule's coupling mode.
   Status Dispatch(const Triggered& entry, Transaction* txn);
@@ -117,6 +130,11 @@ class RuleScheduler {
   uint64_t detached_scheduled_ = 0;
   uint64_t trigger_errors_ = 0;
   Status last_trigger_error_ = Status::OK();
+  Counter* m_dispatch_immediate_ = nullptr;
+  Counter* m_dispatch_deferred_ = nullptr;
+  Counter* m_dispatch_detached_ = nullptr;
+  Histogram* m_dispatch_ns_ = nullptr;
+  Histogram* m_cascade_depth_ = nullptr;
 };
 
 }  // namespace sentinel

@@ -39,6 +39,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     ++hits_;
+    metrics::Add(m_hits_);
     size_t frame = it->second;
     Page* page = frames_[frame].get();
     page->pin_count_++;
@@ -53,6 +54,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     return page;
   }
   ++misses_;
+  metrics::Add(m_misses_);
   SENTINEL_ASSIGN_OR_RETURN(size_t frame, FindVictim());
   Page* page = frames_[frame].get();
   if (page->page_id() != kInvalidPageId) {

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -52,6 +53,12 @@ class BufferPool {
   uint64_t hit_count() const { return hits_; }
   uint64_t miss_count() const { return misses_; }
 
+  /// Mirrors hit/miss counts into storage.pool.hits / storage.pool.misses.
+  void SetMetrics(MetricsRegistry* registry) {
+    m_hits_ = registry->counter("storage.pool.hits");
+    m_misses_ = registry->counter("storage.pool.misses");
+  }
+
  private:
   /// Picks a victim frame (unpinned LRU) or returns Busy.
   Result<size_t> FindVictim();
@@ -65,6 +72,8 @@ class BufferPool {
   std::vector<size_t> free_frames_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  Counter* m_hits_ = nullptr;
+  Counter* m_misses_ = nullptr;
 };
 
 }  // namespace sentinel

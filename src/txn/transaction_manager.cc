@@ -32,6 +32,7 @@ Status TransactionManager::DoAbort(Transaction* txn, const std::string& why,
   }
   locks_->ReleaseAll(txn->id());
   txn->state_ = TxnState::kAborted;
+  metrics::Add(m_aborts_);
   SENTINEL_DEBUG << "txn " << txn->id() << " aborted: " << why;
   return Status::OK();
 }
@@ -135,6 +136,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   // (5) Done: release locks.
   locks_->ReleaseAll(txn->id());
   txn->state_ = TxnState::kCommitted;
+  metrics::Add(m_commits_);
   if (!apply_error.ok()) return apply_error;
 
   // (6) Detached rule work: each closure runs logically in its own

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
@@ -66,6 +67,13 @@ class TransactionManager {
   /// Number of transactions started (for tests/benches).
   uint64_t begun_count() const { return next_id_.load() - 1; }
 
+  /// Tallies every commit into txn.commits and every abort — user aborts
+  /// and commit-path failures alike — into txn.aborts.
+  void SetMetrics(MetricsRegistry* registry) {
+    m_commits_ = registry->counter("txn.commits");
+    m_aborts_ = registry->counter("txn.aborts");
+  }
+
   LockManager* locks() { return locks_; }
 
  private:
@@ -80,6 +88,8 @@ class TransactionManager {
   LockManager* locks_;
   HeapApplier* heap_ = nullptr;
   std::atomic<TxnId> next_id_{1};
+  Counter* m_commits_ = nullptr;
+  Counter* m_aborts_ = nullptr;
 };
 
 }  // namespace sentinel

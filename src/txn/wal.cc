@@ -87,9 +87,11 @@ Status WalManager::Append(const WalRecord& record) {
 
 Status WalManager::Sync() {
   SENTINEL_FAILPOINT("wal.sync");
+  const int64_t start = metrics::TimerStart(m_sync_ns_);
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
   if (std::fflush(file_) != 0) return Status::IOError("wal flush failed");
+  metrics::RecordSince(m_sync_ns_, start);
   return Status::OK();
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "txn/lock_manager.h"
 
@@ -59,6 +60,12 @@ class WalManager {
   /// Forces the log to disk. Called before acking a commit.
   Status Sync();
 
+  /// Records every Sync's latency into txn.wal_sync_ns. Set once at open;
+  /// covers all sync paths (user commits, system mini-txns, abort records).
+  void SetMetrics(MetricsRegistry* registry) {
+    m_sync_ns_ = registry->histogram("txn.wal_sync_ns");
+  }
+
   /// Reads every well-formed record from the start of the log. A torn tail
   /// stops the scan without error (crash semantics).
   Status ReadAll(std::vector<WalRecord>* out);
@@ -73,6 +80,7 @@ class WalManager {
   std::mutex mutex_;
   std::FILE* file_ = nullptr;
   std::string path_;
+  Histogram* m_sync_ns_ = nullptr;
 };
 
 }  // namespace sentinel

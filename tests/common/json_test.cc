@@ -1,0 +1,130 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace sentinel {
+namespace {
+
+// --- Writers -----------------------------------------------------------------
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  std::string out;
+  AppendJsonEscaped(&out, "hello world");
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  std::string out;
+  AppendJsonEscaped(&out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+}
+
+TEST(JsonNumberTest, IntegersHaveNoFraction) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-7.0), "-7");
+}
+
+TEST(JsonNumberTest, NonFiniteClampsToZero) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(JsonNumberTest, FractionsRoundTripThroughParse) {
+  for (double v : {3.5, -0.25, 1e-9, 12345.6789, 9.9e99}) {
+    auto parsed = JsonValue::Parse(JsonNumber(v));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(parsed->number_value, v);
+  }
+}
+
+// --- Parser: scalars ---------------------------------------------------------
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->IsNull());
+  EXPECT_TRUE(JsonValue::Parse("true")->bool_value);
+  EXPECT_FALSE(JsonValue::Parse("false")->bool_value);
+  EXPECT_EQ(JsonValue::Parse("123")->number_value, 123.0);
+  EXPECT_EQ(JsonValue::Parse("-4.5e2")->number_value, -450.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->string_value, "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = JsonValue::Parse(R"("a\"b\\c\/d\n\t\u0041")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonParseTest, UnicodeEscapesBecomeUtf8) {
+  // U+00E9 (é) -> 2-byte UTF-8; U+20AC (€) -> 3-byte UTF-8.
+  auto v = JsonValue::Parse(R"("\u00e9\u20ac")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "\xC3\xA9\xE2\x82\xAC");
+}
+
+// --- Parser: composites ------------------------------------------------------
+
+TEST(JsonParseTest, NestedDocument) {
+  auto v = JsonValue::Parse(
+      R"({"name":"bench","n":3,"ok":true,"tags":[1,2,3],"sub":{"x":null}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("name")->string_value, "bench");
+  EXPECT_EQ(v->Find("n")->number_value, 3.0);
+  EXPECT_TRUE(v->Find("ok")->bool_value);
+  ASSERT_TRUE(v->Find("tags")->IsArray());
+  EXPECT_EQ(v->Find("tags")->array.size(), 3u);
+  EXPECT_EQ(v->Find("tags")->array[1].number_value, 2.0);
+  EXPECT_TRUE(v->Find("sub")->Find("x")->IsNull());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto v = JsonValue::Parse(" {\n\t\"a\" : [ 1 , 2 ] ,\r\"b\": { } } ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a")->array.size(), 2u);
+  EXPECT_TRUE(v->Find("b")->IsObject());
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(JsonValue::Parse("{}")->IsObject());
+  EXPECT_TRUE(JsonValue::Parse("[]")->IsArray());
+  EXPECT_EQ(JsonValue::Parse("[]")->array.size(), 0u);
+}
+
+// --- Parser: rejection paths -------------------------------------------------
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "nul", "\"unterminated",
+        "{\"a\":1,}x", "01a", "\"bad\\escape\"", "\"\\u12g4\"", "\"\\u12\"",
+        "[1 2]", "{1:2}"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << "input: " << bad;
+  }
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("{} {}").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_TRUE(JsonValue::Parse("1 ").ok());  // Trailing whitespace is fine.
+}
+
+TEST(JsonParseTest, RejectsRawControlCharacterInString) {
+  EXPECT_FALSE(JsonValue::Parse("\"a\nb\"").ok());
+}
+
+TEST(JsonParseTest, DepthLimitBoundsNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(JsonValue::Parse(deep, 64).ok());
+  EXPECT_TRUE(JsonValue::Parse(deep, 128).ok());
+}
+
+}  // namespace
+}  // namespace sentinel
