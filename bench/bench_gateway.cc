@@ -6,9 +6,16 @@
 //   1. direct       — in-process RaiseEvent through WithTransaction
 //   2. rpc          — one client, one synchronous RaiseEvent RPC at a time
 //   3. pipelined xN — N producer connections streaming batched raises
-//                     through the bounded ingress queue
-//   4. raise→notify — end-to-end latency from a producer's raise to a
-//                     subscribed consumer holding the notification
+//                     through the bounded ingress queues, swept across
+//                     raise-shard counts (--shards 1,2,4; each point runs
+//                     against a fresh database so shard state is cold)
+//   4. raise→notify — end-to-end latency through a parked long-poll
+//
+// Producers in the pipelined sweep raise on distinct oids so the OID-hash
+// routing actually spreads them across shards; the scaling curve is the
+// whole point of the sweep. On a single-core machine the >1-shard points
+// measure scheduling overhead, not speedup — judge the curve on a
+// multi-core runner.
 //
 // Plain main() (bench_three_way.cc precedent): the interesting numbers are
 // a table, not a google-benchmark timing loop.
@@ -51,6 +58,8 @@ struct Row {
   int64_t ops;
   double events_per_sec;
   double ns_per_event;
+  size_t shards = 0;      ///< Raise shards (pipelined sweep rows only).
+  uint64_t rejected = 0;  ///< Backpressure rejections during the row.
 };
 
 double Quantile(std::vector<int64_t>& samples, double q) {
@@ -59,18 +68,100 @@ double Quantile(std::vector<int64_t>& samples, double q) {
   return static_cast<double>(samples[idx]);
 }
 
-}  // namespace
-
-int RunBench(int producers, const bench_main::BenchCli& cli) {
-  auto dir = std::filesystem::temp_directory_path() / "sentinel_bench_gw";
+std::unique_ptr<Database> OpenFreshDb(const std::filesystem::path& dir,
+                                      size_t raise_shards) {
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
-  auto db = std::move(Database::Open({.dir = dir.string()})).value();
+  Database::Options options;
+  options.dir = dir.string();
+  options.raise_shards = raise_shards;
+  auto db = std::move(Database::Open(options)).value();
   db->RegisterClass(ClassBuilder("Sensor")
                         .Reactive()
                         .Method("Report", {.begin = true, .end = true})
                         .Build())
       .ok();
+  return db;
+}
+
+/// One pipelined-throughput measurement: `producers` connections stream
+/// batches at a gateway over a `raise_shards`-sharded database, each
+/// producer raising on its own oid so routing spreads the load.
+Row RunPipelined(const std::filesystem::path& dir, size_t raise_shards,
+                 int producers) {
+  auto db = OpenFreshDb(dir, raise_shards);
+  net::GatewayOptions options;
+  options.ingress_capacity = 4096;
+  GatewayServer server(db.get(), options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+
+  // Connections and one untimed warmup batch per producer happen before
+  // the clock starts, so the timed region covers steady-state streaming.
+  std::vector<std::unique_ptr<GatewayClient>> clients;
+  std::vector<std::vector<net::RaiseEventMsg>> batches(
+      static_cast<size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    auto& batch = batches[static_cast<size_t>(p)];
+    batch.resize(static_cast<size_t>(g_pipeline_batch));
+    for (auto& msg : batch) {
+      msg.oid = 1000 + static_cast<uint64_t>(p);
+      msg.class_name = "Sensor";
+      msg.method = "Report";
+      msg.modifier = EventModifier::kEnd;
+      msg.params = {Value(static_cast<int64_t>(0))};
+    }
+    clients.push_back(Connect(server.port()));
+    clients.back()->RaisePipelined(batch, nullptr);
+  }
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> rejected(static_cast<size_t>(producers), 0);
+  int64_t t0 = SteadyNowNs();
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      GatewayClient* client = clients[static_cast<size_t>(p)].get();
+      const auto& batch = batches[static_cast<size_t>(p)];
+      for (int done = 0; done < g_pipelined_per_producer;
+           done += g_pipeline_batch) {
+        uint64_t r = 0;
+        client->RaisePipelined(batch, &r);
+        rejected[static_cast<size_t>(p)] += r;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  int64_t t1 = SteadyNowNs();
+  server.Stop();
+  db->Close().ok();
+  db.reset();
+  std::filesystem::remove_all(dir);
+
+  double total = static_cast<double>(producers) * g_pipelined_per_producer;
+  double ns = static_cast<double>(t1 - t0) / total;
+  Row row;
+  row.mode = "gateway pipelined x" + std::to_string(producers) +
+             " shards=" + std::to_string(raise_shards);
+  // Shard count 1 keeps the historical result name so the scaling curve
+  // has its committed baseline to compare against.
+  row.slug = raise_shards == 1
+                 ? "pipelined"
+                 : "pipelined_shards" + std::to_string(raise_shards);
+  row.ops = static_cast<int64_t>(total);
+  row.events_per_sec = 1e9 / ns;
+  row.ns_per_event = ns;
+  row.shards = raise_shards;
+  for (uint64_t r : rejected) row.rejected += r;
+  return row;
+}
+
+}  // namespace
+
+int RunBench(int producers, const std::vector<size_t>& shard_sweep,
+             const bench_main::BenchCli& cli) {
+  auto dir = std::filesystem::temp_directory_path() / "sentinel_bench_gw";
+  auto db = OpenFreshDb(dir, 1);
 
   std::vector<Row> rows;
 
@@ -119,49 +210,7 @@ int RunBench(int producers, const bench_main::BenchCli& cli) {
     rows.push_back({"gateway rpc x1", "rpc", g_rpc_ops, 1e9 / ns, ns});
   }
 
-  // --- 3. Pipelined batches over N concurrent producer connections. ------
-  uint64_t total_rejected = 0;
-  {
-    // Connections and one untimed warmup batch per producer happen before
-    // the clock starts, so the timed region covers steady-state streaming.
-    std::vector<std::unique_ptr<GatewayClient>> clients;
-    std::vector<net::RaiseEventMsg> batch(
-        static_cast<size_t>(g_pipeline_batch));
-    for (auto& msg : batch) {
-      msg.class_name = "Sensor";
-      msg.method = "Report";
-      msg.modifier = EventModifier::kEnd;
-      msg.params = {Value(static_cast<int64_t>(0))};
-    }
-    for (int p = 0; p < producers; ++p) {
-      clients.push_back(Connect(server.port()));
-      clients.back()->RaisePipelined(batch, nullptr);
-    }
-    std::vector<std::thread> threads;
-    std::vector<uint64_t> rejected(static_cast<size_t>(producers), 0);
-    int64_t t0 = SteadyNowNs();
-    for (int p = 0; p < producers; ++p) {
-      threads.emplace_back([&, p] {
-        GatewayClient* client = clients[static_cast<size_t>(p)].get();
-        for (int done = 0; done < g_pipelined_per_producer;
-             done += g_pipeline_batch) {
-          uint64_t r = 0;
-          client->RaisePipelined(batch, &r);
-          rejected[static_cast<size_t>(p)] += r;
-        }
-      });
-    }
-    for (std::thread& t : threads) t.join();
-    int64_t t1 = SteadyNowNs();
-    for (uint64_t r : rejected) total_rejected += r;
-    double total =
-        static_cast<double>(producers) * g_pipelined_per_producer;
-    double ns = static_cast<double>(t1 - t0) / total;
-    rows.push_back({"gateway pipelined x" + std::to_string(producers),
-                    "pipelined", static_cast<int64_t>(total), 1e9 / ns, ns});
-  }
-
-  // --- 4. Raise-to-notify latency through a parked long-poll. ------------
+  // --- 3. Raise-to-notify latency through a parked long-poll. ------------
   std::vector<int64_t> latencies;
   {
     auto consumer = Connect(server.port());
@@ -184,6 +233,20 @@ int RunBench(int producers, const bench_main::BenchCli& cli) {
     }
   }
 
+  server.Stop();
+  db->Close().ok();
+  db.reset();
+  std::filesystem::remove_all(dir);
+
+  // --- 4. Pipelined throughput, swept across raise-shard counts. ---------
+  // Each point gets a fresh database + gateway so no shard configuration
+  // inherits the previous one's relays, logs, or warmed caches.
+  uint64_t total_rejected = 0;
+  for (size_t shards : shard_sweep) {
+    rows.push_back(RunPipelined(dir, shards, producers));
+    total_rejected += rows.back().rejected;
+  }
+
   std::printf("gateway throughput (%d producer connections)\n", producers);
   std::printf("  %-26s %14s %14s\n", "mode", "events/sec", "ns/event");
   BenchReport report("bench_gateway");
@@ -195,10 +258,11 @@ int RunBench(int producers, const bench_main::BenchCli& cli) {
     result.iterations = row.ops;
     result.real_ns_per_iter = row.ns_per_event;
     result.counters["events_per_sec"] = row.events_per_sec;
-    if (row.slug == "pipelined") {
+    if (row.shards > 0) {  // Pipelined sweep rows carry their config.
       result.counters["producers"] = static_cast<double>(producers);
+      result.counters["shards"] = static_cast<double>(row.shards);
       result.counters["backpressure_rejections"] =
-          static_cast<double>(total_rejected);
+          static_cast<double>(row.rejected);
     }
     report.Add(result);
   }
@@ -219,10 +283,6 @@ int RunBench(int producers, const bench_main::BenchCli& cli) {
     report.Add(result);
   }
 
-  server.Stop();
-  db->Close().ok();
-  db.reset();
-  std::filesystem::remove_all(dir);
   return cli.WriteReport(report);
 }
 
@@ -238,9 +298,25 @@ int main(int argc, char** argv) {
     sentinel::g_pipeline_batch = 100;
     sentinel::g_latency_samples = 100;
   }
+  // --shards 1,2,4 picks the raise-shard counts the pipelined section
+  // sweeps; remaining positional arg = producer connection count.
+  std::vector<size_t> shard_sweep = {1, 2, 4};
   int producers = 4;
-  if (!cli.positional.empty()) {
-    producers = std::max(1, std::atoi(cli.positional[0].c_str()));
+  for (size_t i = 0; i < cli.positional.size(); ++i) {
+    if (cli.positional[i] == "--shards" && i + 1 < cli.positional.size()) {
+      shard_sweep.clear();
+      const std::string& list = cli.positional[++i];
+      for (size_t start = 0; start < list.size();) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        int n = std::atoi(list.substr(start, comma - start).c_str());
+        if (n > 0) shard_sweep.push_back(static_cast<size_t>(n));
+        start = comma + 1;
+      }
+      if (shard_sweep.empty()) shard_sweep = {1};
+    } else {
+      producers = std::max(1, std::atoi(cli.positional[i].c_str()));
+    }
   }
-  return sentinel::RunBench(producers, cli);
+  return sentinel::RunBench(producers, shard_sweep, cli);
 }

@@ -2,13 +2,35 @@
 
 #include "core/database.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace sentinel {
 
+namespace {
+/// The shard the calling thread raises on (see Database::BindRaiseShard).
+/// Thread-local rather than per-database: one gateway worker serves one
+/// shard of one database, and unbound threads default to shard 0.
+thread_local size_t tls_raise_shard = 0;
+
+/// Capacity of each cross-shard forwarding ring (triggers in flight from
+/// one source shard to one owner shard). Overflow is handled by the
+/// sender draining its own inbox until space frees up.
+constexpr size_t kForwardRingCapacity = 1024;
+}  // namespace
+
 Database::Database(const Options& options)
     : options_(options), store_(options.buffer_pages) {}
+
+void Database::BindRaiseShard(size_t shard) { tls_raise_shard = shard; }
+
+size_t Database::CurrentShardIndex() const {
+  if (shards_.size() <= 1) return 0;
+  return std::min(tls_raise_shard, shards_.size() - 1);
+}
 
 Database::~Database() { Close().ok(); }
 
@@ -30,23 +52,42 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   if (!s.ok() && !s.IsNotFound()) return s;
   SENTINEL_RETURN_IF_ERROR(db->RegisterBuiltinClasses());
 
+  const size_t nshards = std::min<size_t>(
+      std::max<size_t>(options.raise_shards, 1), 64);
   db->detector_ = std::make_unique<EventDetector>(&db->catalog_);
   db->detector_->set_log_capacity(options.occurrence_log_capacity);
   db->detector_->set_key_count_capacity(options.key_count_capacity);
   db->detector_->SetMetrics(&db->metrics_);
-  db->scheduler_ = std::make_unique<RuleScheduler>(db.get());
-  db->scheduler_->set_max_cascade_depth(options.max_cascade_depth);
-  db->scheduler_->SetMetrics(&db->metrics_);
-  db->m_raise_notify_ns_ = db->metrics_.histogram("events.raise_notify_ns");
-  db->rule_manager_ = std::make_unique<RuleManager>(
-      db->scheduler_.get(), db->detector_.get(), &db->functions_);
+  db->detector_->SetShardCount(nshards);
 
-  // Detached coupling: run the rule body in a fresh transaction.
+  // Detached coupling: run the rule body in a fresh transaction (on the
+  // calling shard — WithTransaction resolves the thread's shard itself).
   Database* raw = db.get();
-  db->scheduler_->set_detached_runner(
-      [raw](std::function<Status(Transaction*)> body) {
-        return raw->WithTransaction(body);
-      });
+  auto detached_runner = [raw](std::function<Status(Transaction*)> body) {
+    return raw->WithTransaction(body);
+  };
+  for (size_t i = 0; i < nshards; ++i) {
+    auto shard = std::make_unique<RaiseShard>(raw);
+    shard->scheduler.set_max_cascade_depth(options.max_cascade_depth);
+    shard->scheduler.SetMetrics(&db->metrics_);
+    shard->scheduler.set_detached_runner(detached_runner);
+    if (nshards > 1) {
+      shard->inbox.resize(nshards);
+      for (size_t src = 0; src < nshards; ++src) {
+        if (src == i) continue;
+        shard->inbox[src] = std::make_unique<SpscRing<ForwardedTrigger>>(
+            kForwardRingCapacity);
+      }
+    }
+    db->shards_.push_back(std::move(shard));
+  }
+  db->m_raise_notify_ns_ = db->metrics_.histogram("events.raise_notify_ns");
+  db->m_forwarded_ = db->metrics_.counter("core.forwarded_triggers");
+  db->m_forward_stalls_ = db->metrics_.counter("core.forward_stalls");
+  metrics::Set(db->metrics_.gauge("core.raise_shards"),
+               static_cast<int64_t>(nshards));
+  db->rule_manager_ = std::make_unique<RuleManager>(
+      &db->shards_[0]->scheduler, db->detector_.get(), &db->functions_);
 
   // Restore persisted event graphs and rules (no-ops on a fresh database).
   SENTINEL_RETURN_IF_ERROR(db->detector_->LoadAll(&db->store_));
@@ -74,10 +115,14 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
 
 void Database::OnCommittedPut(Oid oid, const std::string& class_name,
                               const std::string& state) {
+  // Commits happen on whichever shard thread ran the transaction; the
+  // index structures are not internally synchronized.
+  std::lock_guard<std::mutex> lock(index_mu_);
   index_.OnCommittedPut(oid, class_name, state);
 }
 
 void Database::OnCommittedDelete(Oid oid) {
+  std::lock_guard<std::mutex> lock(index_mu_);
   index_.OnCommittedDelete(oid);
 }
 
@@ -116,6 +161,7 @@ Status Database::CreateIndex(const std::string& class_name,
   if (!catalog_.HasClass(class_name)) {
     return Status::InvalidArgument("unknown class " + class_name);
   }
+  std::lock_guard<std::mutex> lock(index_mu_);
   for (const IndexSpec& spec :
        SpecsFor(class_name, attribute, include_subclasses)) {
     Status s = index_.CreateIndex(spec);
@@ -129,6 +175,7 @@ Status Database::CreateIndex(const std::string& class_name,
 Status Database::DropIndex(const std::string& class_name,
                            const std::string& attribute,
                            bool include_subclasses) {
+  std::lock_guard<std::mutex> lock(index_mu_);
   bool dropped_any = false;
   for (const IndexSpec& spec :
        SpecsFor(class_name, attribute, include_subclasses)) {
@@ -143,6 +190,7 @@ Status Database::DropIndex(const std::string& class_name,
 Result<std::vector<Oid>> Database::FindInstances(
     const std::string& class_name, const std::string& attribute,
     const Value& value, bool include_subclasses) {
+  std::lock_guard<std::mutex> lock(index_mu_);
   std::vector<Oid> out;
   bool any_index = false;
   for (const IndexSpec& spec :
@@ -162,6 +210,7 @@ Result<std::vector<Oid>> Database::FindInstances(
 Result<std::vector<Oid>> Database::FindInstancesInRange(
     const std::string& class_name, const std::string& attribute,
     const Value& lo, const Value& hi, bool include_subclasses) {
+  std::lock_guard<std::mutex> lock(index_mu_);
   std::vector<Oid> out;
   bool any_index = false;
   for (const IndexSpec& spec :
@@ -190,7 +239,10 @@ Status Database::Close() {
   // Registered objects are caller-owned and may already be gone by now, so
   // Close must not dereference them; objects that outlive the database must
   // not raise events afterwards (their RaiseContext is dead).
-  live_.clear();
+  {
+    std::unique_lock<std::shared_mutex> lock(live_mu_);
+    live_.clear();
+  }
   return store_.Close();
 }
 
@@ -226,31 +278,41 @@ Status Database::RegisterBuiltinClasses() {
 }
 
 Status Database::RegisterClass(const ClassDescriptor& desc) {
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   SENTINEL_RETURN_IF_ERROR(catalog_.RegisterClass(desc));
   return store_.SaveCatalog(catalog_);
 }
 
+Transaction* Database::current_txn() { return CurrentShard().current_txn; }
+
+void Database::SetCurrentTxn(Transaction* txn) {
+  CurrentShard().current_txn = txn;
+}
+
 std::unique_ptr<Transaction> Database::Begin() {
   auto txn = store_.txns()->Begin();
-  current_txn_ = txn.get();
+  CurrentShard().current_txn = txn.get();
   return txn;
 }
 
 Status Database::Commit(Transaction* txn) {
-  if (current_txn_ == txn) current_txn_ = nullptr;
+  RaiseShard& shard = CurrentShard();
+  if (shard.current_txn == txn) shard.current_txn = nullptr;
   return store_.txns()->Commit(txn);
 }
 
 Status Database::Abort(Transaction* txn) {
-  if (current_txn_ == txn) current_txn_ = nullptr;
+  RaiseShard& shard = CurrentShard();
+  if (shard.current_txn == txn) shard.current_txn = nullptr;
   return store_.txns()->Abort(txn);
 }
 
 Status Database::WithTransaction(
     const std::function<Status(Transaction*)>& body) {
-  Transaction* previous = current_txn_;
+  RaiseShard& shard = CurrentShard();
+  Transaction* previous = shard.current_txn;
   auto txn = store_.txns()->Begin();
-  current_txn_ = txn.get();
+  shard.current_txn = txn.get();
   Status s = body(txn.get());
   if (s.ok() && !txn->abort_requested()) {
     s = Commit(txn.get());
@@ -259,30 +321,47 @@ Status Database::WithTransaction(
     Abort(txn.get()).ok();
     s = abort_status;
   }
-  current_txn_ = previous;
+  shard.current_txn = previous;
   return s;
+}
+
+void Database::AssignRuleShard(const RulePtr& rule, size_t shard) {
+  if (shards_.size() <= 1 || rule == nullptr || rule->shard_bound()) return;
+  shard = std::min(shard, shards_.size() - 1);
+  rule->BindShard(this, static_cast<int>(shard),
+                  &shards_[shard]->scheduler);
 }
 
 Status Database::RegisterLiveObject(ReactiveObject* object) {
   if (object == nullptr) return Status::InvalidArgument("null object");
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   if (!catalog_.HasClass(object->class_name())) {
     return Status::InvalidArgument("unregistered class " +
                                    object->class_name());
   }
   if (object->oid() == kInvalidOid) object->set_oid(store_.NewOid());
   object->AttachContext(this);
-  live_[object->oid()] = object;
+  {
+    std::unique_lock<std::shared_mutex> lock(live_mu_);
+    live_[object->oid()] = object;
+  }
 
-  // Class-level rules (inheritance-aware) pick up the new instance.
+  // Class-level rules (inheritance-aware) pick up the new instance. A rule
+  // not yet owned by a shard is claimed by the class-name hash, so every
+  // instance of the class routes to the owner without forwarding.
   for (const RulePtr& rule :
        rule_manager_->RulesForClass(object->class_name(), catalog_)) {
+    AssignRuleShard(
+        rule, ShardIndexForName(object->class_name(), shards_.size()));
     if (!object->IsSubscribed(rule.get())) {
       SENTINEL_RETURN_IF_ERROR(object->Subscribe(rule.get()));
     }
   }
-  // Instance-level rules that were persisted with this oid resubscribe.
+  // Instance-level rules that were persisted with this oid resubscribe;
+  // ownership follows the instance's oid hash (= its raising shard).
   for (const RulePtr& rule :
        rule_manager_->RulesWantingInstance(object->oid())) {
+    AssignRuleShard(rule, ShardIndexForOid(object->oid(), shards_.size()));
     if (!object->IsSubscribed(rule.get())) {
       SENTINEL_RETURN_IF_ERROR(object->Subscribe(rule.get()));
     }
@@ -292,6 +371,8 @@ Status Database::RegisterLiveObject(ReactiveObject* object) {
 
 Status Database::UnregisterLiveObject(ReactiveObject* object) {
   if (object == nullptr) return Status::InvalidArgument("null object");
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
+  std::unique_lock<std::shared_mutex> lock(live_mu_);
   auto it = live_.find(object->oid());
   if (it == live_.end() || it->second != object) {
     return Status::NotFound("object not registered");
@@ -302,6 +383,7 @@ Status Database::UnregisterLiveObject(ReactiveObject* object) {
 }
 
 ReactiveObject* Database::FindLiveObject(Oid oid) const {
+  std::shared_lock<std::shared_mutex> lock(live_mu_);
   auto it = live_.find(oid);
   return it == live_.end() ? nullptr : it->second;
 }
@@ -318,6 +400,7 @@ Result<std::unique_ptr<ReactiveObject>> Database::Materialize(
     Transaction* txn, Oid oid) {
   std::string class_name, state;
   SENTINEL_RETURN_IF_ERROR(store_.Get(txn, oid, &class_name, &state));
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   std::unique_ptr<ReactiveObject> object;
   auto fit = factories_.find(class_name);
   if (fit != factories_.end()) {
@@ -334,6 +417,7 @@ Result<std::unique_ptr<ReactiveObject>> Database::Materialize(
 
 void Database::RegisterFactory(const std::string& class_name,
                                ObjectFactory factory) {
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   factories_[class_name] = std::move(factory);
 }
 
@@ -345,16 +429,23 @@ Result<EventPtr> Database::CreatePrimitiveEvent(
 }
 
 Result<RulePtr> Database::CreateRule(const RuleSpec& spec) {
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   return rule_manager_->CreateRule(spec);
 }
 
 Status Database::ApplyRuleToClass(const RulePtr& rule,
                                   const std::string& class_name) {
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   if (!catalog_.HasClass(class_name)) {
     return Status::InvalidArgument("unknown class " + class_name);
   }
   SENTINEL_RETURN_IF_ERROR(rule_manager_->MarkClassLevel(rule, class_name));
+  // A class-level rule is owned by the class-name hash shard — the same
+  // shard class-default relays route to, so the common gateway case never
+  // forwards.
+  AssignRuleShard(rule, ShardIndexForName(class_name, shards_.size()));
   // Subscribe every live instance of the class or its subclasses.
+  std::shared_lock<std::shared_mutex> lock(live_mu_);
   for (auto& [oid, object] : live_) {
     if (catalog_.IsSubclassOf(object->class_name(), class_name) &&
         !object->IsSubscribed(rule.get())) {
@@ -366,16 +457,22 @@ Status Database::ApplyRuleToClass(const RulePtr& rule,
 
 Status Database::ApplyRuleToInstance(const RulePtr& rule,
                                      ReactiveObject* object) {
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
+  if (object != nullptr) {
+    AssignRuleShard(rule, ShardIndexForOid(object->oid(), shards_.size()));
+  }
   return rule_manager_->ApplyToInstance(rule, object);
 }
 
 Status Database::RemoveRuleFromInstance(const RulePtr& rule,
                                         ReactiveObject* object) {
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   return rule_manager_->RemoveFromInstance(rule, object);
 }
 
 Result<RulePtr> Database::DeclareClassRule(const std::string& class_name,
                                            const RuleSpec& spec) {
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   SENTINEL_ASSIGN_OR_RETURN(RulePtr rule, rule_manager_->CreateRule(spec));
   Status s = ApplyRuleToClass(rule, class_name);
   if (!s.ok()) {
@@ -386,10 +483,14 @@ Result<RulePtr> Database::DeclareClassRule(const std::string& class_name,
 }
 
 Status Database::DeleteRule(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   SENTINEL_ASSIGN_OR_RETURN(RulePtr rule, rule_manager_->GetRule(name));
-  for (auto& [oid, object] : live_) {
-    if (object->IsSubscribed(rule.get())) {
-      object->Unsubscribe(rule.get()).ok();
+  {
+    std::shared_lock<std::shared_mutex> lock(live_mu_);
+    for (auto& [oid, object] : live_) {
+      if (object->IsSubscribed(rule.get())) {
+        object->Unsubscribe(rule.get()).ok();
+      }
     }
   }
   SENTINEL_RETURN_IF_ERROR(rule_manager_->DeleteRule(name));
@@ -402,6 +503,7 @@ Status Database::DeleteRule(const std::string& name) {
 }
 
 Status Database::SaveRulesAndEvents() {
+  std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
   return WithTransaction([this](Transaction* txn) {
     SENTINEL_RETURN_IF_ERROR(detector_->SaveAll(&store_, txn));
     return rule_manager_->SaveAll(&store_, txn);
@@ -409,22 +511,25 @@ Status Database::SaveRulesAndEvents() {
 }
 
 void Database::PreRaise(const EventOccurrence& occ) {
-  if (++raise_depth_ == 1 &&
-      (raise_seq_++ & options_.metrics_sample_mask) == 0) {
-    raise_start_ns_ = metrics::TimerStart(m_raise_notify_ns_);
+  const size_t idx = CurrentShardIndex();
+  RaiseShard& shard = *shards_[idx];
+  if (++shard.raise_depth == 1 &&
+      (shard.raise_seq++ & options_.metrics_sample_mask) == 0) {
+    shard.raise_start_ns = metrics::TimerStart(m_raise_notify_ns_);
   }
-  detector_->RecordOccurrence(occ);
+  detector_->RecordOccurrence(occ, idx);
   if (tracer_ != nullptr) {
     tracer_->Trace(TraceEntry{TraceEntry::Kind::kOccurrence, occ.timestamp,
                               occ.Key(), sentinel::ToString(occ.params), 0,
                               occ.txn != nullptr ? occ.txn->id() : 0});
   }
-  scheduler_->BeginRound();
+  shard.scheduler.BeginRound();
 }
 
 void Database::PostRaise(const EventOccurrence& occ) {
-  Transaction* txn = occ.txn != nullptr ? occ.txn : current_txn_;
-  Status s = scheduler_->EndRound(txn);
+  RaiseShard& shard = CurrentShard();
+  Transaction* txn = occ.txn != nullptr ? occ.txn : shard.current_txn;
+  Status s = shard.scheduler.EndRound(txn);
   if (!s.ok()) {
     SENTINEL_DEBUG << "rule round after " << occ.Key() << ": "
                    << s.ToString();
@@ -435,27 +540,117 @@ void Database::PostRaise(const EventOccurrence& occ) {
     }
   }
   // Remote fan-out happens after the rule round so observers see the
-  // occurrence with its local reactions already applied. Expired handles
-  // are pruned in place.
-  for (size_t i = 0; i < occurrence_observers_.size();) {
-    if (ObserverHandle observer = occurrence_observers_[i].lock()) {
-      (*observer)(occ);
-      ++i;
-    } else {
-      occurrence_observers_.erase(occurrence_observers_.begin() + i);
+  // occurrence with its local reactions already applied. The list is read
+  // under a shared lock (any shard may be raising); expired handles are
+  // pruned under the exclusive lock only when one was seen.
+  bool any_expired = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(observers_mu_);
+    for (const std::weak_ptr<OccurrenceObserver>& weak :
+         occurrence_observers_) {
+      if (ObserverHandle observer = weak.lock()) {
+        (*observer)(occ);
+      } else {
+        any_expired = true;
+      }
     }
   }
-  if (--raise_depth_ == 0 && raise_start_ns_ != 0) {
-    metrics::RecordSince(m_raise_notify_ns_, raise_start_ns_);
-    raise_start_ns_ = 0;
+  if (any_expired) {
+    std::unique_lock<std::shared_mutex> lock(observers_mu_);
+    occurrence_observers_.erase(
+        std::remove_if(
+            occurrence_observers_.begin(), occurrence_observers_.end(),
+            [](const std::weak_ptr<OccurrenceObserver>& weak) {
+              return weak.expired();
+            }),
+        occurrence_observers_.end());
+  }
+  if (--shard.raise_depth == 0 && shard.raise_start_ns != 0) {
+    metrics::RecordSince(m_raise_notify_ns_, shard.raise_start_ns);
+    shard.raise_start_ns = 0;
   }
 }
 
 Database::ObserverHandle Database::AddOccurrenceObserver(
     OccurrenceObserver observer) {
   auto handle = std::make_shared<OccurrenceObserver>(std::move(observer));
+  std::unique_lock<std::shared_mutex> lock(observers_mu_);
   occurrence_observers_.push_back(handle);
   return handle;
+}
+
+bool Database::ShouldDeliverLocally(Rule* rule, const EventOccurrence& occ) {
+  if (shards_.size() <= 1 || rule == nullptr || !rule->shard_bound()) {
+    return true;
+  }
+  const size_t owner = static_cast<size_t>(rule->owner_shard());
+  const size_t cur = CurrentShardIndex();
+  if (owner == cur || owner >= shards_.size()) return true;
+
+  ForwardedTrigger trigger;
+  trigger.rule = rule;
+  trigger.occ = occ;
+  // The hop outlives the raising transaction's stack frame; the owner runs
+  // the rule round decoupled from it (detached-like, as cross-shard rules
+  // cannot share the raising shard's transaction anyway).
+  trigger.occ.txn = nullptr;
+  SpscRing<ForwardedTrigger>& ring = *shards_[owner]->inbox[cur];
+  while (!ring.TryPush(trigger)) {
+    // Ring full: make progress on our own inbox so two shards forwarding
+    // into each other cannot deadlock, then retry.
+    metrics::Add(m_forward_stalls_);
+    if (DrainForwarded() == 0) std::this_thread::yield();
+  }
+  metrics::Add(m_forwarded_);
+  return false;
+}
+
+size_t Database::DrainForwarded() {
+  const size_t idx = CurrentShardIndex();
+  RaiseShard& shard = *shards_[idx];
+  size_t executed = 0;
+  ForwardedTrigger trigger;
+  for (auto& ring : shard.inbox) {
+    if (ring == nullptr) continue;
+    while (ring->TryPop(&trigger)) {
+      // Each forwarded trigger gets its own round on the owner's
+      // scheduler: detection state and rule execution stay owner-local.
+      shard.scheduler.BeginRound();
+      trigger.rule->Deliver(trigger.occ);
+      Status s = shard.scheduler.EndRound(nullptr);
+      if (!s.ok()) {
+        SENTINEL_DEBUG << "forwarded rule round: " << s.ToString();
+      }
+      ++executed;
+    }
+  }
+  return executed;
+}
+
+size_t Database::DrainAllForwardedShards() {
+  if (shards_.size() <= 1) return 0;
+  const size_t previous = tls_raise_shard;
+  size_t total = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      BindRaiseShard(i);
+      const size_t n = DrainForwarded();
+      total += n;
+      if (n > 0) progress = true;
+    }
+  }
+  tls_raise_shard = previous;
+  return total;
+}
+
+uint64_t Database::TotalRulesExecuted() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->scheduler.executed_count();
+  }
+  return total;
 }
 
 }  // namespace sentinel

@@ -2,13 +2,26 @@
 //
 // Database: the Sentinel facade. Owns the object store (persistence +
 // transactions), the class catalog (schema incl. event interfaces), the
-// event detector, the rule manager/scheduler, and the registry of live
-// reactive objects; implements RaiseContext so reactive objects' events
-// flow through occurrence logging and scheduler rounds.
+// event detector, the rule manager, the per-shard rule schedulers, and the
+// registry of live reactive objects; implements RaiseContext so reactive
+// objects' events flow through occurrence logging and scheduler rounds.
 //
 // Threading model: the storage substrate (buffer pool, lock manager, WAL)
-// is thread safe, but the facade assumes a single mutator thread — the
-// paper's system (Zeitgeist on Sun4) made the same assumption.
+// is thread safe. The raise path is sharded (Options::raise_shards, default
+// 1 = the paper's single-mutator model, which Zeitgeist on Sun4 also
+// assumed): each shard is one thread that binds itself with BindRaiseShard
+// and then owns that shard's scheduler rounds, current transaction, and
+// occurrence-log segment. The routing contract is per-object serialization:
+// a given reactive object is always raised from the same bound thread
+// (the gateway enforces this by hashing the requested oid — class-default
+// relays hash by class name; see core/shard.h). A rule is owned by exactly
+// one shard (assigned at its first class/instance association); raises on
+// other shards reach it through a bounded SPSC forwarding hop drained by
+// the owner (DrainForwarded), decoupled from the raising transaction.
+// DDL — schema, rule create/apply/delete, live-object (un)registration —
+// is serialized by an internal mutex and safe from any thread; reads the
+// raise path shares with DDL (catalog, live map, consumer lists) are
+// guarded by shared locks or copy-on-write snapshots. See DESIGN.md §8/§11.
 
 #ifndef SENTINEL_CORE_DATABASE_H_
 #define SENTINEL_CORE_DATABASE_H_
@@ -16,11 +29,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "core/reactive.h"
+#include "core/shard.h"
 #include "events/detector.h"
 #include "oodb/attribute_index.h"
 #include "oodb/class_catalog.h"
@@ -34,7 +50,9 @@ namespace sentinel {
 constexpr Oid kIndexDefsOid = 4;
 
 /// An open Sentinel database.
-class Database : public RaiseContext, public CommitObserver {
+class Database : public RaiseContext,
+                 public CommitObserver,
+                 public ShardRouter {
  public:
   struct Options {
     std::string dir;            ///< Directory for heap.db / wal.log.
@@ -57,6 +75,13 @@ class Database : public RaiseContext, public CommitObserver {
     /// overhead within the documented <5% envelope. 0 = time every raise
     /// (tests use this for exact histogram counts).
     uint64_t metrics_sample_mask = 15;
+    /// Number of raise-path shards (clamped to [1, 64]). 1 (the default)
+    /// reproduces the single-mutator model exactly: one scheduler, no
+    /// routing, no forwarding. With N > 1, N threads may raise events
+    /// concurrently after each calls BindRaiseShard with a distinct shard
+    /// id, provided a given object is always raised from the same shard
+    /// (route with ShardIndexForRoute; the gateway does this by oid hash).
+    size_t raise_shards = 1;
   };
 
   /// Opens (creating if needed) the database: replays the WAL, loads the
@@ -78,8 +103,49 @@ class Database : public RaiseContext, public CommitObserver {
   ClassCatalog* catalog_mutable() { return &catalog_; }
   EventDetector* detector() { return detector_.get(); }
   RuleManager* rules() { return rule_manager_.get(); }
-  RuleScheduler* scheduler() { return scheduler_.get(); }
+  /// Shard 0's scheduler — the only one when raise_shards == 1. Rules
+  /// owned by other shards run on those shards' schedulers instead.
+  RuleScheduler* scheduler() { return &shards_[0]->scheduler; }
   FunctionRegistry* functions() { return &functions_; }
+
+  // --- Sharded raise path -----------------------------------------------------
+
+  /// Number of raise shards this database was opened with (>= 1).
+  size_t raise_shards() const { return shards_.size(); }
+
+  /// Binds the calling thread to `shard` (thread-local). Every raise, Begin,
+  /// Commit, and WithTransaction on this thread then uses that shard's
+  /// scheduler, current-transaction slot, and occurrence-log segment.
+  /// Unbound threads act as shard 0. Ids >= raise_shards() clamp to the
+  /// last shard. A no-op in effect when raise_shards == 1.
+  static void BindRaiseShard(size_t shard);
+
+  /// The shard the calling thread resolves to (always 0 when unsharded).
+  size_t CurrentShardIndex() const;
+
+  /// Drains triggers other shards forwarded to the calling thread's shard,
+  /// running each through a fresh scheduler round on this shard. Returns
+  /// the number of triggers executed. Shard workers call this between
+  /// request batches; it must only run on the shard's bound thread.
+  size_t DrainForwarded();
+
+  /// Quiesce helper: drains every shard's inboxes to a fixpoint from one
+  /// thread (temporarily rebinding it). Only safe once all other raising
+  /// threads have stopped — the gateway calls it after joining workers.
+  size_t DrainAllForwardedShards();
+
+  /// Sum of rules executed across every shard's scheduler.
+  uint64_t TotalRulesExecuted() const;
+
+  // --- ShardRouter ------------------------------------------------------------
+
+  /// True when `rule` should run on the calling shard. When the rule is
+  /// owned by a different shard, the occurrence is copied (transaction
+  /// pointer severed — the hop outlives the raising transaction's stack)
+  /// onto the bounded SPSC ring toward the owner and false is returned.
+  /// Backpressure: while the ring is full the caller drains its own inbox,
+  /// so two shards forwarding into each other cannot deadlock.
+  bool ShouldDeliverLocally(Rule* rule, const EventOccurrence& occ) override;
 
   // --- Metrics ----------------------------------------------------------------
 
@@ -123,7 +189,10 @@ class Database : public RaiseContext, public CommitObserver {
 
   /// Live object by oid; nullptr when not materialized.
   ReactiveObject* FindLiveObject(Oid oid) const;
-  size_t live_object_count() const { return live_.size(); }
+  size_t live_object_count() const {
+    std::shared_lock<std::shared_mutex> lock(live_mu_);
+    return live_.size();
+  }
 
   // --- Object persistence ----------------------------------------------------------------
 
@@ -210,7 +279,7 @@ class Database : public RaiseContext, public CommitObserver {
   /// causality chain (nullptr disables; off by default).
   void SetTracer(Tracer* tracer) {
     tracer_ = tracer;
-    scheduler_->set_tracer(tracer);
+    for (auto& shard : shards_) shard->scheduler.set_tracer(tracer);
   }
 
   /// Observer of every raised occurrence, invoked on the mutator thread in
@@ -226,13 +295,13 @@ class Database : public RaiseContext, public CommitObserver {
   // --- RaiseContext -----------------------------------------------------------------------------
 
   const ClassCatalog* catalog() const override { return &catalog_; }
-  Transaction* current_txn() override { return current_txn_; }
+  Transaction* current_txn() override;
   void PreRaise(const EventOccurrence& occ) override;
   void PostRaise(const EventOccurrence& occ) override;
 
-  /// Overrides the transaction used for subsequent raises (the detached
-  /// runner and tests use this).
-  void SetCurrentTxn(Transaction* txn) { current_txn_ = txn; }
+  /// Overrides the calling shard's transaction used for subsequent raises
+  /// (the detached runner and tests use this).
+  void SetCurrentTxn(Transaction* txn);
 
   // --- CommitObserver (index maintenance) -----------------------------------------
 
@@ -241,7 +310,31 @@ class Database : public RaiseContext, public CommitObserver {
   void OnCommittedDelete(Oid oid) override;
 
  private:
+  /// Per-shard mutable raise state. Everything here is touched only by the
+  /// shard's bound thread (plus the SPSC inbox rings, each written by
+  /// exactly one source shard).
+  struct RaiseShard {
+    explicit RaiseShard(Database* db) : scheduler(db) {}
+    RuleScheduler scheduler;
+    Transaction* current_txn = nullptr;
+    /// Raise-path instrumentation (see Options::metrics_sample_mask). Only
+    /// the outermost raise of a cascade is timed; depth tracks nesting
+    /// through immediate-rule re-raises.
+    uint64_t raise_seq = 0;
+    int raise_depth = 0;
+    int64_t raise_start_ns = 0;
+    /// inbox[s] carries triggers forwarded from source shard s (the slot
+    /// for s == this shard stays empty).
+    std::vector<std::unique_ptr<SpscRing<ForwardedTrigger>>> inbox;
+  };
+
   explicit Database(const Options& options);
+
+  RaiseShard& CurrentShard() { return *shards_[CurrentShardIndex()]; }
+
+  /// Assigns `rule` to `shard` on its first association (first-assignment
+  /// wins; no-op when unsharded or already bound).
+  void AssignRuleShard(const RulePtr& rule, size_t shard);
 
   /// Registers Reactive/Notifiable/Event/Rule built-ins (paper Fig. 3/5).
   Status RegisterBuiltinClasses();
@@ -258,7 +351,7 @@ class Database : public RaiseContext, public CommitObserver {
   Status SaveIndexDefs();
 
   Options options_;
-  /// Declared before store_/detector_/scheduler_: those components cache
+  /// Declared before store_/detector_/shards_: those components cache
   /// pointers into this registry, so it must outlive them on destruction.
   MetricsRegistry metrics_;
   ObjectStore store_;
@@ -266,22 +359,33 @@ class Database : public RaiseContext, public CommitObserver {
   AttributeIndex index_;
   FunctionRegistry functions_;
   std::unique_ptr<EventDetector> detector_;
-  std::unique_ptr<RuleScheduler> scheduler_;
+  /// The raise shards. Sized once in Open, never resized after: rules hold
+  /// pointers into shards_[i]->scheduler. Declared before rule_manager_ so
+  /// the rules (and those pointers) die first on destruction.
+  std::vector<std::unique_ptr<RaiseShard>> shards_;
   std::unique_ptr<RuleManager> rule_manager_;
   std::map<Oid, ReactiveObject*> live_;
   std::map<std::string, ObjectFactory> factories_;
   std::vector<std::weak_ptr<OccurrenceObserver>> occurrence_observers_;
-  Transaction* current_txn_ = nullptr;
   Tracer* tracer_ = nullptr;
   bool open_ = false;
 
-  // Raise-path instrumentation (see Options::metrics_sample_mask). Only the
-  // outermost raise of a cascade is timed; depth tracks nesting through
-  // immediate-rule re-raises.
+  /// Serializes DDL — schema changes, rule create/apply/delete, live-object
+  /// (un)registration — against itself. Recursive because DDL re-enters
+  /// (Materialize -> RegisterLiveObject, DeleteRule -> WithTransaction).
+  mutable std::recursive_mutex ddl_mu_;
+  /// Guards live_: shared for the raise-path reads (FindLiveObject),
+  /// exclusive for (un)registration.
+  mutable std::shared_mutex live_mu_;
+  /// Guards index_ (commit observers run on any committing shard's thread).
+  mutable std::mutex index_mu_;
+  /// Guards occurrence_observers_: shared while PostRaise fans out,
+  /// exclusive for registration and pruning.
+  mutable std::shared_mutex observers_mu_;
+
   Histogram* m_raise_notify_ns_ = nullptr;
-  uint64_t raise_seq_ = 0;
-  int raise_depth_ = 0;
-  int64_t raise_start_ns_ = 0;
+  Counter* m_forwarded_ = nullptr;
+  Counter* m_forward_stalls_ = nullptr;
 };
 
 }  // namespace sentinel

@@ -10,33 +10,46 @@ namespace sentinel {
 
 Status Reactive::Subscribe(Notifiable* consumer) {
   if (consumer == nullptr) return Status::InvalidArgument("null consumer");
-  if (IsSubscribed(consumer)) {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  if (std::find(consumers_->begin(), consumers_->end(), consumer) !=
+      consumers_->end()) {
     return Status::AlreadyExists("consumer already subscribed");
   }
-  consumers_.push_back(consumer);
+  auto next = std::make_shared<ConsumerList>(*consumers_);
+  next->push_back(consumer);
+  consumers_ = std::move(next);
   return Status::OK();
 }
 
 Status Reactive::Unsubscribe(Notifiable* consumer) {
-  auto it = std::find(consumers_.begin(), consumers_.end(), consumer);
-  if (it == consumers_.end()) {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  auto it = std::find(consumers_->begin(), consumers_->end(), consumer);
+  if (it == consumers_->end()) {
     return Status::NotFound("consumer not subscribed");
   }
-  consumers_.erase(it);
+  auto next = std::make_shared<ConsumerList>(*consumers_);
+  next->erase(next->begin() + (it - consumers_->begin()));
+  consumers_ = std::move(next);
   return Status::OK();
 }
 
 bool Reactive::IsSubscribed(const Notifiable* consumer) const {
-  return std::find(consumers_.begin(), consumers_.end(), consumer) !=
-         consumers_.end();
+  ConsumerSnapshot snapshot = SnapshotConsumers();
+  return std::find(snapshot->begin(), snapshot->end(), consumer) !=
+         snapshot->end();
 }
 
 void Reactive::NotifyConsumers(const EventOccurrence& occ) {
-  // Snapshot: a consumer's Notify may unsubscribe itself or others.
-  std::vector<Notifiable*> snapshot = consumers_;
-  for (Notifiable* consumer : snapshot) {
-    if (std::find(consumers_.begin(), consumers_.end(), consumer) ==
-        consumers_.end()) {
+  // Snapshot: a consumer's Notify may unsubscribe itself or others. The
+  // membership re-check against the *current* list preserves the old
+  // semantics (a consumer unsubscribed mid-round is skipped).
+  ConsumerSnapshot snapshot = SnapshotConsumers();
+  if (snapshot->empty()) return;
+  for (Notifiable* consumer : *snapshot) {
+    ConsumerSnapshot current = SnapshotConsumers();
+    if (current.get() != snapshot.get() &&
+        std::find(current->begin(), current->end(), consumer) ==
+            current->end()) {
       continue;  // Unsubscribed during this round.
     }
     consumer->Notify(occ);

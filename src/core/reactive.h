@@ -19,6 +19,9 @@
 #ifndef SENTINEL_CORE_REACTIVE_H_
 #define SENTINEL_CORE_REACTIVE_H_
 
+#include <algorithm>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,7 +38,21 @@ namespace sentinel {
 /// exactly the paper's Reactive class (Fig. 4).
 class Reactive {
  public:
+  Reactive() = default;
   virtual ~Reactive() = default;
+
+  // Copyable despite the internal mutex: copies share the (immutable)
+  // consumer snapshot — any later Subscribe/Unsubscribe on either object
+  // swaps in its own fresh list (copy-on-write).
+  Reactive(const Reactive& other) : consumers_(other.SnapshotConsumers()) {}
+  Reactive& operator=(const Reactive& other) {
+    if (this != &other) {
+      ConsumerSnapshot snapshot = other.SnapshotConsumers();
+      std::lock_guard<std::mutex> lock(consumers_mu_);
+      consumers_ = std::move(snapshot);
+    }
+    return *this;
+  }
 
   /// Adds `consumer` to the consumers list. Idempotent (AlreadyExists when
   /// the consumer is already subscribed).
@@ -48,11 +65,26 @@ class Reactive {
   /// subscribe/unsubscribe during delivery (snapshot iteration).
   void NotifyConsumers(const EventOccurrence& occ);
 
-  size_t consumer_count() const { return consumers_.size(); }
+  size_t consumer_count() const { return SnapshotConsumers()->size(); }
   bool IsSubscribed(const Notifiable* consumer) const;
 
  private:
-  std::vector<Notifiable*> consumers_;
+  using ConsumerList = std::vector<Notifiable*>;
+  using ConsumerSnapshot = std::shared_ptr<const ConsumerList>;
+
+  /// The current (immutable) consumer list. Copy-on-write: Subscribe and
+  /// Unsubscribe swap in a fresh list under the mutex; readers take the
+  /// shared_ptr (a single brief lock) and iterate without holding anything,
+  /// so a consumer's Notify can re-enter Subscribe/Unsubscribe on this
+  /// object and so DDL on one shard never blocks raises on another for
+  /// longer than the pointer copy.
+  ConsumerSnapshot SnapshotConsumers() const {
+    std::lock_guard<std::mutex> lock(consumers_mu_);
+    return consumers_;
+  }
+
+  mutable std::mutex consumers_mu_;
+  ConsumerSnapshot consumers_ = std::make_shared<const ConsumerList>();
 };
 
 /// Services a reactive object needs from its database when raising events.

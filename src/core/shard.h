@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// Shard routing and the cross-shard forwarding hop for the parallel raise
+// path.
+//
+// The paper's subscription mechanism localizes rule checking to the rules
+// subscribed to each reactive object, which makes detection state naturally
+// partitionable by object: we split the raise path into N shards keyed by
+// OID (class-level default relays hash by class name). Every shard owns its
+// own scheduler rounds and occurrence-log segment; a rule is owned by
+// exactly one shard, and occurrences raised on a different shard reach it
+// through a bounded SPSC ring (one per (owner, source) pair — single
+// producer because each source shard is one thread).
+//
+// Ordering: correctness of composite detection rests on the logical clock's
+// totally ordered timestamps (common/clock.h), not on arrival order, and
+// each ring preserves per-source FIFO — see DESIGN.md §11.
+
+#ifndef SENTINEL_CORE_SHARD_H_
+#define SENTINEL_CORE_SHARD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "events/occurrence.h"
+#include "oodb/oid.h"
+
+namespace sentinel {
+
+class Rule;
+
+/// Stateless OID -> shard map (splitmix64 finalizer; consecutive oids — the
+/// common allocation pattern — spread instead of clustering on one shard).
+inline size_t ShardIndexForOid(Oid oid, size_t shards) {
+  if (shards <= 1) return 0;
+  uint64_t x = static_cast<uint64_t>(oid);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % shards);
+}
+
+/// Stateless class-name -> shard map (FNV-1a). Class-level raises (the
+/// gateway's default relays request oid 0) route here, so every raise on a
+/// class's default relay lands on the same shard regardless of the oid the
+/// relay was eventually assigned.
+inline size_t ShardIndexForName(const std::string& name, size_t shards) {
+  if (shards <= 1) return 0;
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h % shards);
+}
+
+/// Routing rule for a raise request: explicit oids hash by oid, oid 0 (the
+/// class's default relay) hashes by class name.
+inline size_t ShardIndexForRoute(const std::string& class_name, uint64_t oid,
+                                 size_t shards) {
+  return oid != 0 ? ShardIndexForOid(static_cast<Oid>(oid), shards)
+                  : ShardIndexForName(class_name, shards);
+}
+
+/// One occurrence forwarded to the shard owning `rule`. The triggering
+/// transaction is intentionally absent (occ.txn == nullptr): it lives on
+/// the raising shard's stack and may be gone before the owner drains the
+/// hop, so cross-shard deliveries run decoupled from it.
+struct ForwardedTrigger {
+  Rule* rule = nullptr;
+  EventOccurrence occ;
+};
+
+/// Bounded single-producer/single-consumer ring. Lock-free: the producer
+/// owns tail_, the consumer owns head_; each reads the other's index with
+/// acquire to pair with the release store publishing it.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity)
+      : capacity_(capacity < 2 ? 2 : capacity), slots_(capacity_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Moves from `item` only on success (false = full, item
+  /// untouched and can be retried).
+  bool TryPush(T& item) {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= capacity_) return false;
+    slots_[tail % capacity_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  bool TryPop(T* out) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = std::move(slots_[head % capacity_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::vector<T> slots_;
+  std::atomic<size_t> head_{0};  ///< Consumer cursor.
+  std::atomic<size_t> tail_{0};  ///< Producer cursor.
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_CORE_SHARD_H_

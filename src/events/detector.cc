@@ -63,42 +63,87 @@ Result<EventPtr> EventDetector::FindByOid(Oid oid) const {
   return Status::NotFound("no event with " + OidToString(oid));
 }
 
-void EventDetector::RecordOccurrence(const EventOccurrence& occ) {
-  log_.push_back(occ);
-  ++occurrence_total_;
+void EventDetector::SetShardCount(size_t shards) {
+  if (shards < 1) shards = 1;
+  while (segments_.size() < shards) {
+    segments_.push_back(std::make_unique<LogSegment>());
+  }
+  // Never shrink: segment addresses must stay stable for live shards.
+}
+
+void EventDetector::RecordOccurrence(const EventOccurrence& occ,
+                                     size_t shard) {
+  LogSegment& seg =
+      *segments_[shard < segments_.size() ? shard : 0];
+  seg.log.push_back(occ);
+  occurrence_total_.fetch_add(1, std::memory_order_relaxed);
   metrics::Add(m_occurrences_);
   // Per-key counters are admission-capped: keys come from the workload
   // (class::method strings), so an open-ended stream of fresh signatures
   // must not grow the map without bound. Admitted keys keep counting;
   // overflow keys are tallied in aggregate instead.
   std::string key = occ.Key();
-  auto it = key_counts_.find(key);
-  if (it != key_counts_.end()) {
+  auto it = seg.key_counts.find(key);
+  if (it != seg.key_counts.end()) {
     ++it->second;
-  } else if (key_counts_.size() < key_count_capacity_) {
-    key_counts_.emplace(std::move(key), 1);
+  } else if (seg.key_counts.size() < key_count_capacity_) {
+    seg.key_counts.emplace(std::move(key), 1);
   } else {
-    ++key_counts_untracked_;
+    ++seg.key_counts_untracked;
   }
-  TrimLog();
+  TrimLog(&seg);
 }
 
 void EventDetector::set_log_capacity(size_t capacity) {
   log_capacity_ = capacity;
-  TrimLog();
+  for (auto& seg : segments_) TrimLog(seg.get());
 }
 
-void EventDetector::TrimLog() {
-  while (log_.size() > log_capacity_) {
-    log_.pop_front();
-    ++trimmed_total_;
+void EventDetector::TrimLog(LogSegment* segment) {
+  while (segment->log.size() > log_capacity_) {
+    segment->log.pop_front();
+    ++segment->trimmed_total;
     metrics::Add(m_trimmed_);
   }
 }
 
+std::vector<EventOccurrence> EventDetector::MergedLog() const {
+  std::vector<EventOccurrence> merged;
+  for (const auto& seg : segments_) {
+    merged.insert(merged.end(), seg->log.begin(), seg->log.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const EventOccurrence& a, const EventOccurrence& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return merged;
+}
+
+uint64_t EventDetector::occurrence_trimmed_total() const {
+  uint64_t total = 0;
+  for (const auto& seg : segments_) total += seg->trimmed_total;
+  return total;
+}
+
 uint64_t EventDetector::CountForKey(const std::string& key) const {
-  auto it = key_counts_.find(key);
-  return it == key_counts_.end() ? 0 : it->second;
+  uint64_t total = 0;
+  for (const auto& seg : segments_) {
+    auto it = seg->key_counts.find(key);
+    if (it != seg->key_counts.end()) total += it->second;
+  }
+  return total;
+}
+
+size_t EventDetector::key_count_size() const {
+  size_t total = 0;
+  for (const auto& seg : segments_) total += seg->key_counts.size();
+  return total;
+}
+
+uint64_t EventDetector::key_counts_untracked_total() const {
+  uint64_t total = 0;
+  for (const auto& seg : segments_) total += seg->key_counts_untracked;
+  return total;
 }
 
 void EventDetector::AdvanceTime(const Timestamp& now) {

@@ -16,6 +16,7 @@
 #ifndef SENTINEL_EVENTS_DETECTOR_H_
 #define SENTINEL_EVENTS_DETECTOR_H_
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -39,7 +40,9 @@ constexpr Oid kEventIndexOid = 3;
 class EventDetector {
  public:
   explicit EventDetector(const ClassCatalog* catalog = nullptr)
-      : catalog_(catalog) {}
+      : catalog_(catalog) {
+    segments_.push_back(std::make_unique<LogSegment>());
+  }
 
   EventDetector(const EventDetector&) = delete;
   EventDetector& operator=(const EventDetector&) = delete;
@@ -66,22 +69,45 @@ class EventDetector {
 
   // --- Occurrence log ---------------------------------------------------------
 
-  /// Logs one generated occurrence (called by the database on every raise).
-  void RecordOccurrence(const EventOccurrence& occ);
+  /// The raise path is sharded (core/shard.h): each shard appends to its
+  /// own log segment, so RecordOccurrence never contends across shards.
+  /// Must be called before any occurrence is recorded; keeps segment 0's
+  /// content (the single-shard log) when growing.
+  void SetShardCount(size_t shards);
+  size_t shard_count() const { return segments_.size(); }
 
-  uint64_t occurrence_total() const { return occurrence_total_; }
-  const std::deque<EventOccurrence>& occurrence_log() const { return log_; }
+  /// Logs one generated occurrence (called by the database on every raise)
+  /// into `shard`'s segment. With the default single shard this is exactly
+  /// the old global log.
+  void RecordOccurrence(const EventOccurrence& occ, size_t shard = 0);
 
-  /// Caps the global log; overflow trims oldest-first so long-running
+  uint64_t occurrence_total() const {
+    return occurrence_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Segment 0's log — the complete log in the single-shard configuration.
+  /// Multi-shard callers wanting the global order use MergedLog().
+  const std::deque<EventOccurrence>& occurrence_log() const {
+    return segments_[0]->log;
+  }
+
+  /// All segments' entries merged into logical-clock order. The timestamps
+  /// come from the process-wide monotone clock, so the merge reconstructs
+  /// the paper's single global event order. Call with shards quiesced.
+  std::vector<EventOccurrence> MergedLog() const;
+
+  /// Caps each log segment; overflow trims oldest-first so long-running
   /// (gateway) workloads don't grow memory without limit. Applies
-  /// immediately when the log is already over the new cap.
+  /// immediately when a segment is already over the new cap.
   void set_log_capacity(size_t capacity);
   size_t log_capacity() const { return log_capacity_; }
 
-  /// Occurrences dropped from the log by FIFO trimming since construction.
-  uint64_t occurrence_trimmed_total() const { return trimmed_total_; }
+  /// Occurrences dropped from the logs by FIFO trimming since construction
+  /// (summed over segments; exact once shards quiesce).
+  uint64_t occurrence_trimmed_total() const;
 
-  /// Occurrences logged for one signature key ("end Employee::SetSalary").
+  /// Occurrences logged for one signature key ("end Employee::SetSalary"),
+  /// summed over segments.
   uint64_t CountForKey(const std::string& key) const;
 
   /// Caps the number of distinct per-key counters. Keys are workload-
@@ -92,12 +118,11 @@ class EventDetector {
     key_count_capacity_ = capacity;
   }
   size_t key_count_capacity() const { return key_count_capacity_; }
-  size_t key_count_size() const { return key_counts_.size(); }
+  size_t key_count_size() const;
 
-  /// Occurrences whose key was not admitted to the counter map.
-  uint64_t key_counts_untracked_total() const {
-    return key_counts_untracked_;
-  }
+  /// Occurrences whose key was not admitted to a counter map (summed over
+  /// segments).
+  uint64_t key_counts_untracked_total() const;
 
   /// Wires the detector to a metrics registry: every RecordOccurrence bumps
   /// events.occurrences, every FIFO trim bumps events.log_trimmed.
@@ -124,11 +149,20 @@ class EventDetector {
   Status LoadAll(ObjectStore* store);
 
  private:
+  /// Per-shard slice of the occurrence bookkeeping: only the owning shard's
+  /// thread touches a segment's mutable state, so recording needs no lock.
+  struct LogSegment {
+    std::deque<EventOccurrence> log;
+    uint64_t trimmed_total = 0;
+    std::map<std::string, uint64_t> key_counts;
+    uint64_t key_counts_untracked = 0;
+  };
+
   /// All nodes reachable from the named roots (deduplicated).
   std::vector<Event*> ReachableNodes() const;
 
-  /// Drops oldest log entries until the log fits the capacity.
-  void TrimLog();
+  /// Drops oldest entries until `segment`'s log fits the capacity.
+  void TrimLog(LogSegment* segment);
 
   const ClassCatalog* catalog_;
   std::map<std::string, EventPtr> named_;
@@ -139,13 +173,11 @@ class EventDetector {
   /// a node's lifetime past its registry entry.
   std::unordered_map<Oid, EventPtr> oid_index_;
 
-  std::deque<EventOccurrence> log_;
-  size_t log_capacity_ = 4096;
-  uint64_t occurrence_total_ = 0;
-  uint64_t trimmed_total_ = 0;
-  std::map<std::string, uint64_t> key_counts_;
-  size_t key_count_capacity_ = 4096;
-  uint64_t key_counts_untracked_ = 0;
+  /// unique_ptr for stable addresses; at least one segment always exists.
+  std::vector<std::unique_ptr<LogSegment>> segments_;
+  size_t log_capacity_ = 4096;  ///< Per segment.
+  std::atomic<uint64_t> occurrence_total_{0};
+  size_t key_count_capacity_ = 4096;  ///< Per segment.
   Counter* m_occurrences_ = nullptr;
   Counter* m_trimmed_ = nullptr;
 };

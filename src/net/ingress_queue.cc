@@ -30,6 +30,34 @@ Status IngressQueue::TryPush(IngressItem item) {
   return Status::OK();
 }
 
+size_t IngressQueue::TryPushBatch(std::vector<IngressItem>* items) {
+  if (items->empty()) return 0;
+  size_t accepted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      while (accepted < items->size() && items_.size() < capacity_) {
+        items_.push_back(std::move((*items)[accepted]));
+        ++accepted;
+      }
+      pushed_total_ += accepted;
+    }
+    size_t rejected = items->size() - accepted;
+    if (rejected > 0) {
+      rejected_total_ += rejected;
+      metrics::Add(m_rejected_, rejected);
+    }
+    if (accepted > 0) {
+      metrics::Set(m_depth_, static_cast<int64_t>(items_.size()));
+    }
+  }
+  if (accepted > 0) {
+    items->erase(items->begin(), items->begin() + accepted);
+    not_empty_.notify_one();
+  }
+  return accepted;
+}
+
 size_t IngressQueue::PopBatch(size_t max_batch, std::chrono::milliseconds wait,
                               std::vector<IngressItem>* out) {
   if (max_batch == 0) return 0;

@@ -48,6 +48,13 @@ class IngressQueue {
   /// capacity (the backpressure signal), FailedPrecondition after Shutdown.
   Status TryPush(IngressItem item);
 
+  /// Pushes as many of `*items` as capacity allows under one lock
+  /// acquisition, consuming accepted items from the front (order
+  /// preserved). Returns the number accepted; whatever remains in `*items`
+  /// was rejected (backpressure, or shutdown) and is counted as such. The
+  /// IO thread uses this to amortize the queue mutex across a read burst.
+  size_t TryPushBatch(std::vector<IngressItem>* items);
+
   /// Pops up to `max_batch` items into `*out` (appended), blocking up to
   /// `wait` for the first one. Returns the number popped; 0 means the wait
   /// timed out or the queue is shut down *and* fully drained. Items already
@@ -68,11 +75,13 @@ class IngressQueue {
   uint64_t rejected_total() const;
 
   /// Mirrors the live depth into the net.ingress.depth gauge (updated on
-  /// every push/pop) and rejections into net.ingress.rejected.
-  void SetMetrics(MetricsRegistry* registry) {
+  /// every push/pop) and rejections into net.ingress.rejected. `suffix`
+  /// distinguishes per-shard queues (e.g. ".s1") so concurrent queues do
+  /// not fight over one depth gauge; shard 0 keeps the unsuffixed names.
+  void SetMetrics(MetricsRegistry* registry, const std::string& suffix = "") {
     std::lock_guard<std::mutex> lock(mu_);
-    m_depth_ = registry->gauge("net.ingress.depth");
-    m_rejected_ = registry->counter("net.ingress.rejected");
+    m_depth_ = registry->gauge("net.ingress.depth" + suffix);
+    m_rejected_ = registry->counter("net.ingress.rejected" + suffix);
   }
 
  private:

@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "net/self_pipe.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sentinel {
+namespace net {
+
+namespace {
+Status MakeNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl(O_NONBLOCK): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status SelfPipe::Open() {
+  Close();
+  int fds[2];
+  if (::pipe(fds) < 0) {
+    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+  }
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+  Status s = MakeNonBlocking(read_fd_);
+  if (s.ok()) s = MakeNonBlocking(write_fd_);
+  if (!s.ok()) Close();
+  return s;
+}
+
+void SelfPipe::Wake() {
+  if (write_fd_ < 0) return;
+  char byte = 1;
+  while (true) {
+    ssize_t n = ::write(write_fd_, &byte, 1);
+    if (n == 1) return;
+    if (n < 0 && errno == EINTR) continue;  // Interrupted: the byte never
+                                            // landed — retry or the wakeup
+                                            // is lost.
+    // EAGAIN/EWOULDBLOCK: the pipe is full, so the reader has an
+    // unconsumed POLLIN pending — this wakeup coalesces with it. Any other
+    // error (EBADF after Close) is dropped: there is no reader to wake.
+    return;
+  }
+}
+
+void SelfPipe::Drain() {
+  if (read_fd_ < 0) return;
+  char buf[256];
+  while (true) {
+    ssize_t n = ::read(read_fd_, buf, sizeof(buf));
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    return;  // EAGAIN (empty) or error: drained.
+  }
+}
+
+void SelfPipe::Close() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0) ::close(write_fd_);
+  read_fd_ = -1;
+  write_fd_ = -1;
+}
+
+}  // namespace net
+}  // namespace sentinel

@@ -1,0 +1,63 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// SelfPipe: the classic self-pipe trick, hardened. The gateway's worker
+// threads wake the IO poll loop by writing one byte into a pipe whose read
+// end sits in the poll set. The subtlety is on the write side:
+//
+//   * EINTR must be retried — an unretried interrupted write when the pipe
+//     is EMPTY silently loses the wakeup, and a parked long-poll reply then
+//     waits out the full poll timeout instead of flushing immediately.
+//   * EAGAIN (pipe full) is success, not failure: a full pipe already
+//     guarantees the reader has a pending POLLIN, so the wakeup coalesces.
+//
+// The read side drains until EAGAIN (retrying EINTR) so coalesced wakeups
+// collapse into one poll iteration.
+
+#ifndef SENTINEL_NET_SELF_PIPE_H_
+#define SENTINEL_NET_SELF_PIPE_H_
+
+#include "common/status.h"
+
+namespace sentinel {
+namespace net {
+
+class SelfPipe {
+ public:
+  SelfPipe() = default;
+  ~SelfPipe() { Close(); }
+
+  SelfPipe(const SelfPipe&) = delete;
+  SelfPipe& operator=(const SelfPipe&) = delete;
+
+  /// Creates the pipe; both ends are made non-blocking.
+  Status Open();
+
+  /// True between a successful Open() and Close().
+  bool valid() const { return read_fd_ >= 0; }
+
+  /// Poll this fd for POLLIN.
+  int read_fd() const { return read_fd_; }
+
+  /// Write end, exposed for tests that fill the pipe externally.
+  int write_fd() const { return write_fd_; }
+
+  /// Signals the reader. Retries EINTR; treats EAGAIN (full pipe) as a
+  /// delivered — coalesced — wakeup. Safe from any thread.
+  void Wake();
+
+  /// Consumes every buffered wakeup byte (call when read_fd polls
+  /// readable). Retries EINTR, stops at EAGAIN.
+  void Drain();
+
+  /// Closes both ends. Idempotent.
+  void Close();
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace sentinel
+
+#endif  // SENTINEL_NET_SELF_PIPE_H_

@@ -55,8 +55,16 @@ Notification FromOccurrence(const std::string& key,
 GatewayServer::GatewayServer(Database* db, GatewayOptions options)
     : db_(db),
       options_(std::move(options)),
-      hub_(std::make_shared<NotificationHub>()),
-      queue_(std::make_unique<IngressQueue>(options_.ingress_capacity)) {}
+      hub_(std::make_shared<NotificationHub>()) {
+  const size_t nshards = db_->raise_shards();
+  queues_.reserve(nshards);
+  for (size_t i = 0; i < nshards; ++i) {
+    queues_.push_back(
+        std::make_unique<IngressQueue>(options_.ingress_capacity));
+  }
+  io_staging_.resize(nshards);
+  relays_.resize(nshards);
+}
 
 GatewayServer::~GatewayServer() { Stop(); }
 
@@ -70,8 +78,12 @@ Status GatewayServer::Start() {
   // an empty hub instead of freed memory. AlreadyExists just means another
   // (earlier) gateway on this database registered it.
   // Gateway-side structures report into the database's registry so one
-  // StatsSnapshot covers the whole process.
-  queue_->SetMetrics(db_->metrics());
+  // StatsSnapshot covers the whole process. Shard 0 keeps the historical
+  // unsuffixed metric names; extra shards get ".s<i>".
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    queues_[i]->SetMetrics(db_->metrics(),
+                           i == 0 ? "" : ".s" + std::to_string(i));
+  }
   hub_->SetMetrics(db_->metrics());
 
   std::shared_ptr<NotificationHub> hub = hub_;
@@ -130,26 +142,24 @@ Status GatewayServer::Start() {
   port_ = ntohs(addr.sin_port);
   SENTINEL_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
 
-  if (::pipe(wake_fds_) < 0) {
-    Status err =
-        Status::IOError("pipe: " + std::string(std::strerror(errno)));
-    Stop();
-    return err;
+  {
+    Status err = wake_pipe_.Open();
+    if (!err.ok()) {
+      Stop();
+      return err;
+    }
   }
-  SENTINEL_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[0]));
-  SENTINEL_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[1]));
-
-  int wake_fd = wake_fds_[1];
-  hub_->SetWake([wake_fd] {
-    char byte = 1;
-    // Best effort: a full pipe already guarantees a pending wakeup.
-    [[maybe_unused]] ssize_t n = ::write(wake_fd, &byte, 1);
-  });
+  hub_->SetWake([this] { wake_pipe_.Wake(); });
 
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { IoLoop(); });
-  mutator_thread_ = std::thread([this] { MutatorLoop(); });
-  SENTINEL_INFO << "gateway listening on " << options_.host << ":" << port_;
+  workers_.reserve(queues_.size());
+  for (size_t shard = 0; shard < queues_.size(); ++shard) {
+    workers_.emplace_back([this, shard] { WorkerLoop(shard); });
+  }
+  SENTINEL_INFO << "gateway listening on " << options_.host << ":" << port_
+                << " (" << queues_.size() << " worker shard"
+                << (queues_.size() == 1 ? "" : "s") << ")";
   return Status::OK();
 }
 
@@ -157,29 +167,32 @@ void GatewayServer::Stop() {
   bool was_running = running_.exchange(false, std::memory_order_acq_rel);
   if (was_running) {
     hub_->Wake();
-    queue_->Shutdown();
+    for (auto& queue : queues_) queue->Shutdown();
     if (io_thread_.joinable()) io_thread_.join();
-    if (mutator_thread_.joinable()) mutator_thread_.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+    // Triggers still in flight between shards when the workers exited are
+    // run to a fixpoint here, on the single remaining thread.
+    db_->DrainAllForwardedShards();
   }
   hub_->SetWake(nullptr);
   hub_->Clear();
   observer_.reset();
   // Relay objects were registered live with the database; detach them so
   // the database never dereferences freed objects after we are gone.
-  for (auto& [key, relay] : relays_) {
-    db_->UnregisterLiveObject(relay.get()).ok();
+  for (auto& shard_relays : relays_) {
+    for (auto& [key, relay] : shard_relays) {
+      db_->UnregisterLiveObject(relay.get()).ok();
+    }
+    shard_relays.clear();
   }
-  relays_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  for (int i = 0; i < 2; ++i) {
-    if (wake_fds_[i] >= 0) {
-      ::close(wake_fds_[i]);
-      wake_fds_[i] = -1;
-    }
-  }
+  wake_pipe_.Close();
 }
 
 GatewayStats GatewayServer::stats() const {
@@ -202,7 +215,7 @@ void GatewayServer::IoLoop() {
     std::vector<pollfd> fds;
     std::vector<uint64_t> ids;  // parallel to fds from index 2 on
     fds.push_back({listen_fd_, POLLIN, 0});
-    fds.push_back({wake_fds_[0], POLLIN, 0});
+    fds.push_back({wake_pipe_.read_fd(), POLLIN, 0});
     for (const auto& [id, session] : io_sessions_) {
       short events = POLLIN;
       if (!session->unsent.empty() || session->HasOutput()) events |= POLLOUT;
@@ -218,7 +231,7 @@ void GatewayServer::IoLoop() {
       break;
     }
 
-    if (fds[1].revents & POLLIN) DrainWakePipe();
+    if (fds[1].revents & POLLIN) wake_pipe_.Drain();
     if (fds[0].revents & POLLIN) AcceptPending();
 
     for (size_t i = 2; i < fds.size(); ++i) {
@@ -292,8 +305,11 @@ bool GatewayServer::DrainSocket(Session* session) {
     if (static_cast<size_t>(n) < sizeof(chunk)) break;
   }
 
-  // Split complete frames off the accumulation buffer.
+  // Split complete frames off the accumulation buffer, staging each on its
+  // target shard's batch; one TryPushBatch per touched queue amortizes the
+  // queue mutex over the whole read burst.
   size_t offset = 0;
+  bool protocol_error = false;
   while (true) {
     Frame frame;
     size_t consumed = 0;
@@ -311,29 +327,71 @@ bool GatewayServer::DrainSocket(Session* session) {
                      StatusReplyMsg::FromStatus(error));
       session->drop_after_flush = true;
       session->inbuf.clear();
-      return true;
+      protocol_error = true;
+      break;
     }
     offset += consumed;
     frames_received_.fetch_add(1, std::memory_order_relaxed);
 
-    IngressItem item;
-    item.session_id = session->id();
-    item.frame = std::move(frame);
-    Status push = Status::OK();
+    Status admit = Status::OK();
     if (FailPoints::AnyActive()) {
-      push = FailPoints::Instance().Check("gateway.ingress");
+      admit = FailPoints::Instance().Check("gateway.ingress");
     }
-    if (push.ok()) push = queue_->TryPush(std::move(item));
-    if (!push.ok()) {
-      // Backpressure (or shutdown): answer immediately from the IO thread
-      // rather than buffering without bound.
+    if (!admit.ok()) {
       backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
       session->Reply(FrameType::kStatusReply,
-                     StatusReplyMsg::FromStatus(push));
+                     StatusReplyMsg::FromStatus(admit));
+      continue;
+    }
+    IngressItem item;
+    item.session_id = session->id();
+    size_t target = RouteFrame(session, frame);
+    item.frame = std::move(frame);
+    io_staging_[target].push_back(std::move(item));
+  }
+  if (!protocol_error && offset > 0) session->inbuf.erase(0, offset);
+
+  for (size_t shard = 0; shard < io_staging_.size(); ++shard) {
+    std::vector<IngressItem>& staged = io_staging_[shard];
+    if (staged.empty()) continue;
+    queues_[shard]->TryPushBatch(&staged);
+    if (!staged.empty()) {
+      // Backpressure (or shutdown): answer immediately from the IO thread
+      // rather than buffering without bound.
+      Status reject = queues_[shard]->shutdown()
+                          ? Status::FailedPrecondition(
+                                "ingress queue is shut down")
+                          : Status::ResourceExhausted(
+                                "ingress queue full (" +
+                                std::to_string(queues_[shard]->capacity()) +
+                                ")");
+      for (size_t i = 0; i < staged.size(); ++i) {
+        backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+        session->Reply(FrameType::kStatusReply,
+                       StatusReplyMsg::FromStatus(reject));
+      }
+      staged.clear();
     }
   }
-  if (offset > 0) session->inbuf.erase(0, offset);
   return true;
+}
+
+size_t GatewayServer::RouteFrame(const Session* session,
+                                 const Frame& frame) const {
+  const size_t nshards = queues_.size();
+  if (nshards == 1) return 0;
+  if (frame.type == FrameType::kRaiseEvent) {
+    uint64_t oid = 0;
+    std::string class_name;
+    if (PeekRaiseRouting(frame.body, &oid, &class_name)) {
+      return ShardIndexForRoute(class_name, static_cast<Oid>(oid), nshards);
+    }
+    // Undecodable routing prefix: any worker will produce the same decode
+    // error, so session affinity is fine.
+  }
+  // Non-raise requests (and notifications state in particular) stay on one
+  // worker per session.
+  return session->id() % nshards;
 }
 
 bool GatewayServer::FlushSocket(Session* session) {
@@ -362,34 +420,43 @@ void GatewayServer::CloseSession(uint64_t id) {
   hub_->Remove(id);
 }
 
-void GatewayServer::DrainWakePipe() {
-  char buf[256];
-  while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
-  }
-}
+// --- Worker threads ----------------------------------------------------------
 
-// --- Mutator thread ----------------------------------------------------------
-
-void GatewayServer::MutatorLoop() {
+void GatewayServer::WorkerLoop(size_t shard) {
+  // Pin this thread to its raise shard: every facade call below — raises,
+  // transactions, forwarded-trigger rounds — now uses shard-local state.
+  Database::BindRaiseShard(shard);
+  IngressQueue* queue = queues_[shard].get();
+  const bool sharded = queues_.size() > 1;
   std::vector<IngressItem> batch;
   while (true) {
     batch.clear();
     auto now = std::chrono::steady_clock::now();
-    auto deadline = hub_->NextDeadline(now + kMutatorIdleWait);
+    // Parked long-polls are expired by shard 0 only (one scan, not N);
+    // other shards just use the idle wait.
+    auto deadline = shard == 0 ? hub_->NextDeadline(now + kMutatorIdleWait)
+                               : now + kMutatorIdleWait;
     auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - now);
     if (wait < std::chrono::milliseconds(1)) {
       wait = std::chrono::milliseconds(1);
     }
-    size_t n = queue_->PopBatch(options_.max_batch, wait, &batch);
-    for (size_t i = 0; i < n; ++i) ProcessItem(batch[i]);
-    hub_->ExpireParkedFetches(std::chrono::steady_clock::now());
-    if (n > 0) hub_->Wake();  // Replies are queued; let the IO thread write.
-    if (n == 0 && queue_->shutdown()) break;
+    size_t n = queue->PopBatch(options_.max_batch, wait, &batch);
+    for (size_t i = 0; i < n; ++i) ProcessItem(shard, batch[i]);
+    // Run rules other shards forwarded to us while we were busy (or idle —
+    // the PopBatch wait above bounds how long a forwarded trigger sits).
+    size_t forwarded = sharded ? db_->DrainForwarded() : 0;
+    if (shard == 0) {
+      hub_->ExpireParkedFetches(std::chrono::steady_clock::now());
+    }
+    if (n > 0 || forwarded > 0) {
+      hub_->Wake();  // Replies are queued; let the IO thread write.
+    }
+    if (n == 0 && queue->shutdown()) break;
   }
 }
 
-void GatewayServer::ProcessItem(const IngressItem& item) {
+void GatewayServer::ProcessItem(size_t shard, const IngressItem& item) {
   std::shared_ptr<Session> session = hub_->Find(item.session_id);
   if (session == nullptr) return;  // Disconnected while queued.
   requests_processed_.fetch_add(1, std::memory_order_relaxed);
@@ -411,7 +478,7 @@ void GatewayServer::ProcessItem(const IngressItem& item) {
     case FrameType::kRaiseEvent: {
       Result<RaiseEventMsg> msg = RaiseEventMsg::Decode(body);
       session->Reply(FrameType::kStatusReply,
-                     msg.ok() ? HandleRaiseEvent(*msg)
+                     msg.ok() ? HandleRaiseEvent(shard, *msg)
                               : StatusReplyMsg::FromStatus(msg.status()));
       return;
     }
@@ -435,7 +502,7 @@ void GatewayServer::ProcessItem(const IngressItem& item) {
     case FrameType::kSubscribe: {
       Result<SubscribeMsg> msg = SubscribeMsg::Decode(body);
       session->Reply(FrameType::kStatusReply,
-                     msg.ok() ? HandleSubscribe(session.get(), *msg)
+                     msg.ok() ? HandleSubscribe(session, *msg)
                               : StatusReplyMsg::FromStatus(msg.status()));
       return;
     }
@@ -467,7 +534,8 @@ void GatewayServer::ProcessItem(const IngressItem& item) {
   }
 }
 
-Result<ReactiveObject*> GatewayServer::RelayFor(const std::string& class_name,
+Result<ReactiveObject*> GatewayServer::RelayFor(size_t shard,
+                                                const std::string& class_name,
                                                 const std::string& method,
                                                 uint64_t oid) {
   // An application-registered live object wins: remote raises address the
@@ -483,9 +551,10 @@ Result<ReactiveObject*> GatewayServer::RelayFor(const std::string& class_name,
     }
   }
 
+  auto& shard_relays = relays_[shard];
   auto key = std::make_pair(class_name, oid);
-  auto it = relays_.find(key);
-  if (it != relays_.end()) return it->second.get();
+  auto it = shard_relays.find(key);
+  if (it != shard_relays.end()) return it->second.get();
 
   if (!db_->catalog()->HasClass(class_name)) {
     if (!options_.auto_register_classes) {
@@ -502,17 +571,18 @@ Result<ReactiveObject*> GatewayServer::RelayFor(const std::string& class_name,
       class_name, oid == 0 ? kInvalidOid : static_cast<Oid>(oid));
   SENTINEL_RETURN_IF_ERROR(db_->RegisterLiveObject(relay.get()));
   ReactiveObject* raw = relay.get();
-  relays_.emplace(std::move(key), std::move(relay));
+  shard_relays.emplace(std::move(key), std::move(relay));
   return raw;
 }
 
-StatusReplyMsg GatewayServer::HandleRaiseEvent(const RaiseEventMsg& msg) {
+StatusReplyMsg GatewayServer::HandleRaiseEvent(size_t shard,
+                                               const RaiseEventMsg& msg) {
   if (FailPoints::AnyActive()) {
     Status fp = FailPoints::Instance().Check("gateway.raise");
     if (!fp.ok()) return StatusReplyMsg::FromStatus(fp);
   }
   Result<ReactiveObject*> relay =
-      RelayFor(msg.class_name, msg.method, msg.oid);
+      RelayFor(shard, msg.class_name, msg.method, msg.oid);
   if (!relay.ok()) return StatusReplyMsg::FromStatus(relay.status());
 
   ReactiveObject* object = *relay;
@@ -572,15 +642,16 @@ StatusReplyMsg GatewayServer::HandleRuleToggle(const RuleNameMsg& msg,
   return StatusReplyMsg::FromStatus(Status::OK());
 }
 
-StatusReplyMsg GatewayServer::HandleSubscribe(Session* session,
-                                              const SubscribeMsg& msg) {
-  session->subscriptions.insert(msg.key);
+StatusReplyMsg GatewayServer::HandleSubscribe(
+    const std::shared_ptr<Session>& session, const SubscribeMsg& msg) {
+  hub_->Subscribe(session, msg.key);
   return StatusReplyMsg::FromStatus(Status::OK());
 }
 
 void GatewayServer::HandleFetch(Session* session, const FetchMsg& msg) {
+  std::lock_guard<std::mutex> note(session->note_mu);
   if (!session->pending.empty() || msg.wait_ms == 0) {
-    ReplyWithBatch(session, msg.max);
+    ReplyWithBatchLocked(session, msg.max);
     return;
   }
   if (session->fetch_parked) {
@@ -607,12 +678,20 @@ std::string GatewayServer::BuildStatsJson(uint32_t sections) const {
   if (sections & StatsRequestMsg::kGateway) {
     if (!first) out.push_back(',');
     GatewayStats s = stats();
+    size_t depth = 0;
+    size_t capacity = 0;
+    for (const auto& queue : queues_) {
+      depth += queue->size();
+      capacity += queue->capacity();
+    }
     out.append("\"gateway\":{\"sessions\":");
     out.append(std::to_string(hub_->size()));
+    out.append(",\"shards\":");
+    out.append(std::to_string(queues_.size()));
     out.append(",\"ingress_depth\":");
-    out.append(std::to_string(queue_->size()));
+    out.append(std::to_string(depth));
     out.append(",\"ingress_capacity\":");
-    out.append(std::to_string(queue_->capacity()));
+    out.append(std::to_string(capacity));
     out.append(",\"frames_received\":");
     out.append(std::to_string(s.frames_received));
     out.append(",\"requests_processed\":");

@@ -7,15 +7,23 @@
 // asynchronously to consumers. The gateway extends both across process
 // boundaries while preserving the core's threading model:
 //
-//   socket threads (poll loop) --> bounded ingress queue --> one mutator
+//   socket threads (poll loop) --> per-shard ingress queues --> N workers
 //
-// The IO thread accepts connections, splits length-prefixed frames, and
-// enqueues decoded requests; the mutator thread drains them in batches and
-// is the *only* thread that touches the Database facade (exactly the
-// single-mutator assumption documented in core/database.h, now enforced at
-// the gateway boundary). When the mutator falls behind, the ingress queue
-// rejects with ResourceExhausted and the IO thread answers the client with
-// that backpressure signal immediately.
+// The IO thread accepts connections, splits length-prefixed frames, routes
+// each to a shard queue, and enqueues; one worker thread per raise shard
+// (N = Database::raise_shards(), 1 by default — exactly the paper's single
+// mutator) drains its queue in batches. Routing keys RaiseEvent frames by
+// the requested oid (class-name hash for oid 0, i.e. class-default relays)
+// and everything else by session id, so a given reactive object is only
+// ever touched by its owning worker — the per-object serialization the
+// sharded facade requires (core/shard.h). When a worker falls behind, its
+// ingress queue rejects with ResourceExhausted and the IO thread answers
+// the client with that backpressure signal immediately.
+//
+// Reply-order caveat with N > 1: frames from one session that hash to
+// different shards may be answered out of request order (each worker
+// preserves order for its own frames). Raises against a single oid — and
+// every non-raise request — keep strict FIFO per session.
 //
 // Remote producers RaiseEvent on server-side relay reactive objects; remote
 // consumers Subscribe to occurrence keys ("end Employee::ChangeIncome") or
@@ -34,9 +42,11 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/database.h"
 #include "net/ingress_queue.h"
+#include "net/self_pipe.h"
 #include "net/session.h"
 #include "net/wire.h"
 
@@ -73,7 +83,7 @@ struct GatewayStats {
 
 /// TCP front end for one Database. The caller must keep `db` alive until
 /// Stop()/destruction, and after Start() must not mutate `db` from other
-/// threads (the gateway's mutator thread owns the facade).
+/// threads (the gateway's worker threads own the facade's raise path).
 class GatewayServer {
  public:
   GatewayServer(Database* db, GatewayOptions options = {});
@@ -83,10 +93,10 @@ class GatewayServer {
   GatewayServer& operator=(const GatewayServer&) = delete;
 
   /// Binds, registers the notify action + occurrence observer, and spawns
-  /// the IO and mutator threads.
+  /// the IO thread plus one worker per raise shard.
   Status Start();
 
-  /// Drains in-flight requests, closes every session, joins both threads.
+  /// Drains in-flight requests, closes every session, joins all threads.
   /// Idempotent.
   void Stop();
 
@@ -96,59 +106,72 @@ class GatewayServer {
   uint16_t port() const { return port_; }
 
   size_t session_count() const { return hub_->size(); }
-  const IngressQueue* ingress() const { return queue_.get(); }
+  /// Shard 0's queue — the only one when the database is unsharded.
+  const IngressQueue* ingress() const { return queues_[0].get(); }
+  size_t worker_count() const { return queues_.size(); }
   GatewayStats stats() const;
 
  private:
   void IoLoop();
-  void MutatorLoop();
+  /// Drains shard `shard`'s queue; binds the thread to that raise shard.
+  void WorkerLoop(size_t shard);
 
   // --- IO thread helpers ------------------------------------------------------
   void AcceptPending();
-  /// Reads, splits frames, enqueues; returns false when the session died.
+  /// Reads, splits frames, routes each to its shard queue (batched per
+  /// queue); returns false when the session died.
   bool DrainSocket(Session* session);
+  /// The shard queue `frame` must be processed on.
+  size_t RouteFrame(const Session* session, const Frame& frame) const;
   /// Flushes queued output; returns false when the session died.
   bool FlushSocket(Session* session);
   void CloseSession(uint64_t id);
-  void DrainWakePipe();
 
-  // --- Mutator thread helpers -------------------------------------------------
-  void ProcessItem(const IngressItem& item);
-  StatusReplyMsg HandleRaiseEvent(const RaiseEventMsg& msg);
+  // --- Worker thread helpers --------------------------------------------------
+  void ProcessItem(size_t shard, const IngressItem& item);
+  StatusReplyMsg HandleRaiseEvent(size_t shard, const RaiseEventMsg& msg);
   StatusReplyMsg HandleCreateRule(const CreateRuleMsg& msg);
   StatusReplyMsg HandleRuleToggle(const RuleNameMsg& msg, bool enable);
-  StatusReplyMsg HandleSubscribe(Session* session, const SubscribeMsg& msg);
+  StatusReplyMsg HandleSubscribe(const std::shared_ptr<Session>& session,
+                                 const SubscribeMsg& msg);
   void HandleFetch(Session* session, const FetchMsg& msg);
   void HandleGetStats(Session* session, const StatsRequestMsg& msg);
-  /// Renders the StatsReply JSON for the requested section bits. Runs on
-  /// the mutator thread, so the database snapshot is taken between
-  /// requests, never mid-mutation.
+  /// Renders the StatsReply JSON for the requested section bits. Runs on a
+  /// worker thread; counters are exact only once writers quiesce.
   std::string BuildStatsJson(uint32_t sections) const;
   /// Finds or creates the relay reactive object remote raises act on.
-  Result<ReactiveObject*> RelayFor(const std::string& class_name,
+  /// Relay maps are per-shard: only shard `shard`'s worker touches them.
+  Result<ReactiveObject*> RelayFor(size_t shard,
+                                   const std::string& class_name,
                                    const std::string& method, uint64_t oid);
 
   Database* db_;
   GatewayOptions options_;
   std::shared_ptr<NotificationHub> hub_;
-  std::unique_ptr<IngressQueue> queue_;
+  /// One bounded queue per raise shard, each with the configured capacity.
+  std::vector<std::unique_ptr<IngressQueue>> queues_;
   Database::ObserverHandle observer_;
 
   int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  ///< Self-pipe waking the poll loop.
+  SelfPipe wake_pipe_;  ///< Wakes the poll loop (robust EINTR/EAGAIN).
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread io_thread_;
-  std::thread mutator_thread_;
+  std::vector<std::thread> workers_;
 
   /// IO-thread view of sessions (fd -> session). The hub owns the shared
   /// registry; this map only drives the poll set.
   std::map<uint64_t, std::shared_ptr<Session>> io_sessions_;
   uint64_t next_session_id_ = 1;
+  /// Per-shard frame staging reused across DrainSocket calls (IO thread
+  /// only) so routing a burst costs no allocations.
+  std::vector<std::vector<IngressItem>> io_staging_;
 
-  /// Relay objects the mutator materialized for remote raises, keyed by
-  /// (class, requested oid; 0 = the class's default relay). Mutator only.
-  std::map<std::pair<std::string, uint64_t>, std::unique_ptr<ReactiveObject>>
+  /// Relay objects workers materialized for remote raises, keyed by
+  /// (class, requested oid; 0 = the class's default relay), one map per
+  /// shard — a relay is only ever created and used by its owning worker.
+  std::vector<
+      std::map<std::pair<std::string, uint64_t>, std::unique_ptr<ReactiveObject>>>
       relays_;
 
   // Stats counters; IO and mutator threads bump disjoint subsets.

@@ -35,14 +35,48 @@ std::shared_ptr<Session> NotificationHub::Find(uint64_t id) const {
   return it == sessions_.end() ? nullptr : it->second;
 }
 
+size_t NotificationHub::ReapSessionState(Session* session) {
+  std::lock_guard<std::mutex> note(session->note_mu);
+  // A fetch parked past this point would never be answered (the socket is
+  // gone) yet would keep the expiry scan and deadline computation busy —
+  // cancel it outright.
+  session->fetch_parked = false;
+  session->pending.clear();
+  size_t subs = session->subscriptions.size();
+  session->subscriptions.clear();
+  return subs;
+}
+
 void NotificationHub::Remove(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  sessions_.erase(id);
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  size_t subs = ReapSessionState(session.get());
+  if (subs > 0) sub_count_.fetch_sub(subs, std::memory_order_relaxed);
 }
 
 void NotificationHub::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  sessions_.clear();
+  std::map<uint64_t, std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.swap(sessions_);
+  }
+  size_t subs = 0;
+  for (auto& [id, session] : sessions) subs += ReapSessionState(session.get());
+  if (subs > 0) sub_count_.fetch_sub(subs, std::memory_order_relaxed);
+}
+
+void NotificationHub::Subscribe(const std::shared_ptr<Session>& session,
+                                const std::string& key) {
+  std::lock_guard<std::mutex> note(session->note_mu);
+  if (session->subscriptions.insert(key).second) {
+    sub_count_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 size_t NotificationHub::size() const {
@@ -72,7 +106,7 @@ void NotificationHub::WakeLocked() {
   if (wake) wake();
 }
 
-void ReplyWithBatch(Session* session, uint32_t max) {
+void ReplyWithBatchLocked(Session* session, uint32_t max) {
   NotificationBatchMsg batch;
   size_t n = std::min<size_t>(max, session->pending.size());
   for (size_t i = 0; i < n; ++i) {
@@ -82,12 +116,20 @@ void ReplyWithBatch(Session* session, uint32_t max) {
   session->Reply(FrameType::kNotificationBatch, batch);
 }
 
+void ReplyWithBatch(Session* session, uint32_t max) {
+  std::lock_guard<std::mutex> note(session->note_mu);
+  ReplyWithBatchLocked(session, max);
+}
+
 size_t NotificationHub::Broadcast(const std::string& key,
                                   const Notification& n, size_t max_pending) {
+  // Fast miss: nobody anywhere is subscribed (the raw-throughput case).
+  if (sub_count_.load(std::memory_order_relaxed) == 0) return 0;
   size_t reached = 0;
   uint64_t dropped = 0;
   bool replied = false;
   for (const std::shared_ptr<Session>& session : Snapshot()) {
+    std::lock_guard<std::mutex> note(session->note_mu);
     if (session->subscriptions.count(key) == 0) continue;
     ++reached;
     session->pending.push_back(n);
@@ -100,11 +142,11 @@ size_t NotificationHub::Broadcast(const std::string& key,
                     static_cast<int64_t>(session->pending.size()));
     if (session->fetch_parked) {
       session->fetch_parked = false;
-      ReplyWithBatch(session.get(), session->fetch_max);
+      ReplyWithBatchLocked(session.get(), session->fetch_max);
       replied = true;
     }
   }
-  {
+  if (reached > 0 || dropped > 0) {
     std::lock_guard<std::mutex> lock(mu_);
     enqueued_total_ += reached;
     dropped_total_ += dropped;
@@ -119,9 +161,10 @@ size_t NotificationHub::ExpireParkedFetches(
     std::chrono::steady_clock::time_point now) {
   size_t expired = 0;
   for (const std::shared_ptr<Session>& session : Snapshot()) {
+    std::lock_guard<std::mutex> note(session->note_mu);
     if (!session->fetch_parked || session->fetch_deadline > now) continue;
     session->fetch_parked = false;
-    ReplyWithBatch(session.get(), session->fetch_max);
+    ReplyWithBatchLocked(session.get(), session->fetch_max);
     ++expired;
   }
   if (expired > 0) WakeLocked();
@@ -132,6 +175,7 @@ std::chrono::steady_clock::time_point NotificationHub::NextDeadline(
     std::chrono::steady_clock::time_point fallback) const {
   std::chrono::steady_clock::time_point next = fallback;
   for (const std::shared_ptr<Session>& session : Snapshot()) {
+    std::lock_guard<std::mutex> note(session->note_mu);
     if (session->fetch_parked && session->fetch_deadline < next) {
       next = session->fetch_deadline;
     }

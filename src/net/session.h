@@ -5,15 +5,21 @@
 //
 // Thread ownership is strict (TSan-checked):
 //   * fd / inbuf / unsent write chunk — IO thread only.
-//   * subscriptions / pending notifications / parked fetch — mutator thread
-//     only (requests reach it serialized through the ingress queue).
+//   * subscriptions / pending notifications / parked fetch — guarded by the
+//     per-session note_mu: the session's owning worker parks fetches while
+//     any raising worker's Broadcast may complete them, and the IO thread
+//     reaps them on disconnect.
 //   * the encoded outbox — shared; guarded by a per-session mutex, because
-//     the mutator queues replies while the IO thread drains bytes, and a
+//     workers queue replies while the IO thread drains bytes, and a
 //     backpressure rejection is queued directly from the IO thread.
+//
+// Lock order: note_mu before out_mu_ (ReplyWithBatch queues the reply while
+// holding note_mu); the hub's registry mutex is never held across either.
 
 #ifndef SENTINEL_NET_SESSION_H_
 #define SENTINEL_NET_SESSION_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -66,8 +72,9 @@ class Session {
   bool drop_after_flush = false;  ///< Close once the outbox drains
                                   ///< (set after a protocol error).
 
-  // --- Mutator-thread state ---------------------------------------------------
+  // --- Notification state (guarded by note_mu) --------------------------------
 
+  std::mutex note_mu;                 ///< Guards everything below.
   std::set<std::string> subscriptions;
   std::deque<Notification> pending;   ///< Undelivered notifications.
   uint64_t dropped_notifications = 0; ///< Trimmed past the per-session cap.
@@ -89,10 +96,19 @@ class NotificationHub {
  public:
   void Add(std::shared_ptr<Session> session);
   std::shared_ptr<Session> Find(uint64_t id) const;
+
+  /// Deregisters the session and reaps its notification state: a fetch
+  /// still parked when the socket dies is cancelled here, so Broadcast and
+  /// the expiry scan never resurrect a dead session's long-poll, and its
+  /// subscriptions stop counting toward the fast-path subscriber check.
   void Remove(uint64_t id);
   void Clear();
   size_t size() const;
   std::vector<std::shared_ptr<Session>> Snapshot() const;
+
+  /// Adds `key` to the session's subscriptions (any worker thread).
+  void Subscribe(const std::shared_ptr<Session>& session,
+                 const std::string& key);
 
   /// IO-thread waker invoked after replies are queued from the mutator
   /// thread (an empty function disables waking).
@@ -137,12 +153,22 @@ class NotificationHub {
   std::function<void()> wake_;
   uint64_t enqueued_total_ = 0;
   uint64_t dropped_total_ = 0;
+  /// Live subscription count across all sessions. Broadcast runs on every
+  /// raising worker for every occurrence; this lets the no-subscriber case
+  /// (the throughput path) return without touching any session.
+  std::atomic<size_t> sub_count_{0};
   Counter* m_enqueued_ = nullptr;
   Counter* m_dropped_ = nullptr;
   Histogram* m_backlog_ = nullptr;
 
+  /// Clears one session's notification state; returns subscriptions freed.
+  size_t ReapSessionState(Session* session);
+
   void WakeLocked();  // Copies the waker out of the lock before calling.
 };
+
+/// Same as ReplyWithBatch but the caller already holds session->note_mu.
+void ReplyWithBatchLocked(Session* session, uint32_t max);
 
 /// Drains up to `max` pending notifications into a batch reply and queues
 /// it on the session (mutator thread).

@@ -112,6 +112,12 @@ void RaiseEventMsg::Encode(Encoder* enc) const {
   enc->PutValueList(params);
 }
 
+bool PeekRaiseRouting(const std::string& body, uint64_t* oid,
+                      std::string* class_name) {
+  Decoder dec(body);
+  return dec.GetU64(oid).ok() && dec.GetString(class_name).ok();
+}
+
 Result<RaiseEventMsg> RaiseEventMsg::Decode(const std::string& body) {
   Decoder dec(body);
   RaiseEventMsg msg;

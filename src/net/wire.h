@@ -106,6 +106,13 @@ struct RaiseEventMsg {
   static Result<RaiseEventMsg> Decode(const std::string& body);
 };
 
+/// Decodes only the routing prefix (oid, class_name) of a kRaiseEvent
+/// body. The IO thread uses this to pick the target shard queue without
+/// paying for the full decode (params stay untouched); the owning worker
+/// still runs the complete, validating Decode. False on truncated input.
+bool PeekRaiseRouting(const std::string& body, uint64_t* oid,
+                      std::string* class_name);
+
 /// Create an ECA rule remotely. Conditions and actions are C++ closures and
 /// cannot cross the wire, so they are referenced by FunctionRegistry name —
 /// exactly how persisted rules rebind (an empty condition name means

@@ -3,6 +3,7 @@
 #include "oodb/class_catalog.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace sentinel {
 
@@ -15,7 +16,7 @@ const MethodDescriptor* ClassDescriptor::FindMethod(
 }
 
 Status ClassCatalog::RegisterClass(const ClassDescriptor& desc) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (desc.name.empty()) {
     return Status::InvalidArgument("class name must be non-empty");
   }
@@ -48,14 +49,14 @@ Status ClassCatalog::RegisterClass(const ClassDescriptor& desc) {
 }
 
 Result<ClassDescriptor> ClassCatalog::GetClass(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = classes_.find(name);
   if (it == classes_.end()) return Status::NotFound("class " + name);
   return it->second;
 }
 
 bool ClassCatalog::HasClass(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return classes_.count(name) != 0;
 }
 
@@ -72,7 +73,7 @@ bool ClassCatalog::IsSubclassOfLocked(const std::string& cls,
 
 bool ClassCatalog::IsSubclassOf(const std::string& cls,
                                 const std::string& ancestor) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return IsSubclassOfLocked(cls, ancestor);
 }
 
@@ -91,7 +92,7 @@ const MethodDescriptor* ClassCatalog::ResolveMethodLocked(
 
 EventSpec ClassCatalog::EventSpecFor(const std::string& cls,
                                      const std::string& method) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = classes_.find(cls);
   if (it == classes_.end() || !it->second.reactive) return EventSpec{};
   const MethodDescriptor* m = ResolveMethodLocked(cls, method);
@@ -99,13 +100,13 @@ EventSpec ClassCatalog::EventSpecFor(const std::string& cls,
 }
 
 bool ClassCatalog::IsReactive(const std::string& cls) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = classes_.find(cls);
   return it != classes_.end() && it->second.reactive;
 }
 
 std::vector<std::string> ClassCatalog::ClassNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(classes_.size());
   for (const auto& [name, desc] : classes_) names.push_back(name);
@@ -115,7 +116,7 @@ std::vector<std::string> ClassCatalog::ClassNames() const {
 
 std::vector<std::string> ClassCatalog::SubclassesOf(
     const std::string& ancestor) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [name, desc] : classes_) {
     if (IsSubclassOfLocked(name, ancestor)) out.push_back(name);
@@ -125,12 +126,12 @@ std::vector<std::string> ClassCatalog::SubclassesOf(
 }
 
 size_t ClassCatalog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return classes_.size();
 }
 
 void ClassCatalog::Encode(Encoder* enc) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   // Emit in sorted order for deterministic bytes.
   std::vector<const ClassDescriptor*> ordered;
   ordered.reserve(classes_.size());
@@ -156,7 +157,7 @@ void ClassCatalog::Encode(Encoder* enc) const {
 }
 
 Status ClassCatalog::Decode(Decoder* dec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   classes_.clear();
   uint32_t count;
   SENTINEL_RETURN_IF_ERROR(dec->GetU32(&count));

@@ -18,7 +18,7 @@
 #ifndef SENTINEL_OODB_CLASS_CATALOG_H_
 #define SENTINEL_OODB_CLASS_CATALOG_H_
 
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -138,7 +138,9 @@ class ClassCatalog {
   const MethodDescriptor* ResolveMethodLocked(
       const std::string& cls, const std::string& method) const;
 
-  mutable std::mutex mutex_;
+  /// shared_mutex: EventSpecFor/HasClass run on every raise from every
+  /// shard concurrently; RegisterClass/Decode (DDL) take it exclusively.
+  mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, ClassDescriptor> classes_;
 };
 

@@ -70,23 +70,34 @@ void Rule::SetAction(RuleAction action, std::string registered_name) {
 }
 
 void Rule::Enable() {
-  enabled_ = true;
+  enabled_.store(true, std::memory_order_relaxed);
   RaiseRuleEvent("Enable", EventModifier::kEnd);
 }
 
 void Rule::Disable() {
-  enabled_ = false;
+  enabled_.store(false, std::memory_order_relaxed);
   RaiseRuleEvent("Disable", EventModifier::kEnd);
 }
 
 void Rule::Notify(const EventOccurrence& occ) {
+  // Shard routing decides first: a rule owned by another shard must not
+  // touch its event graph / recorded log from this thread. The router
+  // forwards the occurrence and the owner calls Deliver() when draining.
+  if (router_ != nullptr && owner_shard_ >= 0 &&
+      !router_->ShouldDeliverLocally(this, occ)) {
+    return;
+  }
+  Deliver(occ);
+}
+
+void Rule::Deliver(const EventOccurrence& occ) {
   Record(occ);
-  if (!enabled_ || event_ == nullptr) return;
+  if (!enabled() || event_ == nullptr) return;
   event_->Notify(occ);
 }
 
 void Rule::OnEvent(Event* source, const EventDetection& det) {
-  if (source != event_.get() || !enabled_) return;
+  if (source != event_.get() || !enabled()) return;
   ++triggered_;
   if (scheduler_ != nullptr) {
     scheduler_->Trigger(this, det);
@@ -142,7 +153,7 @@ void Rule::SerializeState(Encoder* enc) const {
   enc->PutString(action_name_);
   enc->PutU8(static_cast<uint8_t>(coupling_));
   enc->PutI64(priority_);
-  enc->PutBool(enabled_);
+  enc->PutBool(enabled());
   // Anonymous (unregistered) closures cannot be restored; remember whether
   // they existed so the loader can disable the rule instead of silently
   // running it with a missing condition/action.
@@ -168,7 +179,9 @@ Status Rule::DeserializeState(Decoder* dec) {
   int64_t priority;
   SENTINEL_RETURN_IF_ERROR(dec->GetI64(&priority));
   priority_ = static_cast<int>(priority);
-  SENTINEL_RETURN_IF_ERROR(dec->GetBool(&enabled_));
+  bool enabled = true;
+  SENTINEL_RETURN_IF_ERROR(dec->GetBool(&enabled));
+  enabled_.store(enabled, std::memory_order_relaxed);
   SENTINEL_RETURN_IF_ERROR(dec->GetBool(&had_anonymous_condition_));
   SENTINEL_RETURN_IF_ERROR(dec->GetBool(&had_anonymous_action_));
   uint32_t n;

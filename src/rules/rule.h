@@ -22,6 +22,7 @@
 #ifndef SENTINEL_RULES_RULE_H_
 #define SENTINEL_RULES_RULE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -62,6 +63,18 @@ struct RuleContext {
   const ValueList& params() const;
   /// Constituent occurrences (convenience).
   const std::vector<EventOccurrence>& constituents() const;
+};
+
+/// Decides, per delivery, whether a rule processes an occurrence on the
+/// calling thread. Implemented by Database for the sharded raise path:
+/// when the rule is owned by a different shard than the raising thread,
+/// the router forwards the occurrence over the cross-shard hop and returns
+/// false (it has taken responsibility for eventual delivery).
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  virtual bool ShouldDeliverLocally(Rule* rule,
+                                    const EventOccurrence& occ) = 0;
 };
 
 /// Predicate over the triggering context.
@@ -111,6 +124,25 @@ class Rule : public Notifiable,
   /// trigger (standalone mode).
   void AttachScheduler(RuleScheduler* scheduler) { scheduler_ = scheduler; }
 
+  /// Shard ownership (sharded raise path). Binding pins the rule to
+  /// `shard`: every delivery funnels through that shard's scheduler, either
+  /// directly (raise on the owner shard) or via the router's forwarding
+  /// hop. `scheduler` is the owner shard's scheduler; first binding wins
+  /// (Database rebinding keeps an already-placed rule stable). An unbound
+  /// rule (owner_shard() < 0) always delivers locally.
+  void BindShard(ShardRouter* router, int shard, RuleScheduler* scheduler) {
+    router_ = router;
+    owner_shard_ = shard;
+    scheduler_ = scheduler;
+  }
+  bool shard_bound() const { return owner_shard_ >= 0; }
+  int owner_shard() const { return owner_shard_; }
+
+  /// Owner-shard half of Notify: records the occurrence and feeds the event
+  /// graph. Called directly by the cross-shard drain (routing was already
+  /// decided when the occurrence was forwarded).
+  void Deliver(const EventOccurrence& occ);
+
   // --- Lifecycle (paper Fig. 7 methods) --------------------------------------
 
   /// Enables the rule (and raises "end Rule::Enable" to its consumers).
@@ -118,7 +150,7 @@ class Rule : public Notifiable,
   /// Disables: received events are ignored (and buffered operator state in
   /// its private event tree is left as-is).
   void Disable();
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // --- Event intake -----------------------------------------------------------
 
@@ -181,8 +213,13 @@ class Rule : public Notifiable,
   std::string action_name_;
   CouplingMode coupling_;
   int priority_;
-  bool enabled_ = true;
+  /// Atomic (relaxed): Enable/Disable may be called from a gateway worker
+  /// that does not own this rule's shard while the owner reads the flag.
+  /// All other mutable rule state is owner-shard-only.
+  std::atomic<bool> enabled_{true};
   RuleScheduler* scheduler_ = nullptr;
+  ShardRouter* router_ = nullptr;
+  int owner_shard_ = -1;  ///< -1 = unbound: always deliver locally.
 
   uint64_t triggered_ = 0;
   uint64_t fired_ = 0;

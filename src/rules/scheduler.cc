@@ -9,6 +9,26 @@
 
 namespace sentinel {
 
+namespace {
+
+/// Scoped cascade-depth accounting: increments on entry, restores on every
+/// exit path. The previous manual ++/-- pair happened to balance, but any
+/// early return added between them (error handling, forwarded-dispatch
+/// paths) would have leaked depth and poisoned the cascade guard for every
+/// later round — exactly the failure mode the sharded raise path multiplies.
+class DepthScope {
+ public:
+  explicit DepthScope(int* depth) : depth_(depth) { ++*depth_; }
+  ~DepthScope() { --*depth_; }
+  DepthScope(const DepthScope&) = delete;
+  DepthScope& operator=(const DepthScope&) = delete;
+
+ private:
+  int* depth_;
+};
+
+}  // namespace
+
 void RuleScheduler::BeginRound() { round_stack_.emplace_back(); }
 
 void RuleScheduler::Trigger(Rule* rule, const EventDetection& det) {
@@ -150,7 +170,7 @@ Status RuleScheduler::ExecuteNow(Rule* rule, const EventDetection& det,
     }
     return Status::Aborted(why);
   }
-  ++exec_depth_;
+  DepthScope depth_scope(&exec_depth_);
   max_observed_depth_ = std::max(max_observed_depth_, exec_depth_);
   ++executed_;
   metrics::Record(m_cascade_depth_, exec_depth_);
@@ -178,7 +198,6 @@ Status RuleScheduler::ExecuteNow(Rule* rule, const EventDetection& det,
                               exec_depth_, txn != nullptr ? txn->id() : 0});
   }
   metrics::RecordSince(m_dispatch_ns_, exec_start);
-  --exec_depth_;
   return s;
 }
 

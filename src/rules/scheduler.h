@@ -94,6 +94,11 @@ class RuleScheduler {
   uint64_t detached_scheduled() const { return detached_scheduled_; }
   int max_observed_depth() const { return max_observed_depth_; }
 
+  /// Live cascade nesting depth. 0 between dispatches: ExecuteNow restores
+  /// it on *every* exit path (scoped), so a failing rule body cannot leave
+  /// the depth guard poisoned for later rounds.
+  int exec_depth() const { return exec_depth_; }
+
   /// Failures from out-of-round Trigger dispatches (which have no caller to
   /// return to): count and last status, so they are observable rather than
   /// silently dropped.

@@ -57,8 +57,15 @@ class Transaction {
 
   /// Acquires a lock via the shared lock manager (strict 2PL).
   Status Lock(uint64_t resource, LockMode mode) {
+    locked_any_ = true;
     return locks_->Lock(id_, resource, mode);
   }
+
+  /// True once this txn touched the lock manager. Commit/Abort skip the
+  /// (globally serialized) ReleaseAll for lock-free transactions — the
+  /// common case on the raise path, which would otherwise contend every
+  /// shard on the lock manager's mutex.
+  bool locked_any() const { return locked_any_; }
 
   // --- Write set -----------------------------------------------------------
 
@@ -104,6 +111,7 @@ class Transaction {
   LockManager* locks_;
   TxnState state_ = TxnState::kActive;
   bool abort_requested_ = false;
+  bool locked_any_ = false;
   std::string abort_reason_;
 
   std::map<uint64_t, PendingWrite> writes_;

@@ -30,7 +30,7 @@ Status TransactionManager::DoAbort(Transaction* txn, const std::string& why,
     // which is what the caller was already told.
     if (wal_->Append(rec).ok() && sync_abort) wal_->Sync().ok();
   }
-  locks_->ReleaseAll(txn->id());
+  if (txn->locked_any()) locks_->ReleaseAll(txn->id());
   txn->state_ = TxnState::kAborted;
   metrics::Add(m_aborts_);
   SENTINEL_DEBUG << "txn " << txn->id() << " aborted: " << why;
@@ -134,7 +134,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
 
   // (5) Done: release locks.
-  locks_->ReleaseAll(txn->id());
+  if (txn->locked_any()) locks_->ReleaseAll(txn->id());
   txn->state_ = TxnState::kCommitted;
   metrics::Add(m_commits_);
   if (!apply_error.ok()) return apply_error;

@@ -288,6 +288,88 @@ TEST_F(GatewayTest, PipelinedRetryResendsOnlyRejectedSubset) {
   EXPECT_EQ(client->retries_total(), 2u);
 }
 
+TEST_F(GatewayTest, DisconnectWhileParkedReapsFetchAndSubscriptions) {
+  // Regression: a session that died while parked on a long-poll fetch used
+  // to stay registered in the hub's parked set, and its subscriptions kept
+  // receiving (and dropping) notifications forever. The kill-while-parked
+  // sequence below must leave the server fully clean.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  auto send_frame = [&](FrameType type, const auto& msg) {
+    Encoder enc;
+    msg.Encode(&enc);
+    std::string out;
+    EncodeFrame(type, std::string(enc.buffer().begin(), enc.buffer().end()),
+                &out);
+    ASSERT_EQ(::send(fd, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+  };
+
+  // Subscribe, and wait for the OK so the subscription is registered.
+  SubscribeMsg sub;
+  sub.key = "end Sensor::Report";
+  send_frame(FrameType::kSubscribe, sub);
+  {
+    std::string got;
+    char buf[4096];
+    Frame frame;
+    size_t consumed = 0;
+    Status error;
+    while (TryDecodeFrame(got, kDefaultMaxFrameBody, &frame, &consumed,
+                          &error) != DecodeProgress::kFrame) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      got.append(buf, static_cast<size_t>(n));
+    }
+    ASSERT_EQ(frame.type, FrameType::kStatusReply);
+    auto reply = StatusReplyMsg::Decode(frame.body);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->ToStatus().ok());
+  }
+
+  // Park a long fetch server-side (nothing pending, generous deadline),
+  // then wait until a worker has actually processed the park.
+  FetchMsg fetch;
+  fetch.max = 4;
+  fetch.wait_ms = 30000;
+  send_frame(FrameType::kFetchNotifications, fetch);
+  auto deadline = std::chrono::steady_clock::now() + milliseconds(5000);
+  while (server_->stats().requests_processed < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  ASSERT_GE(server_->stats().requests_processed, 2u);
+
+  // Kill the socket mid-park and wait for the IO thread to reap the
+  // session (poll sees the close; the hub must cancel the parked fetch
+  // and drop the subscription with it).
+  const uint64_t enqueued_before = server_->stats().notifications_enqueued;
+  ::close(fd);
+  while (server_->session_count() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  ASSERT_EQ(server_->session_count(), 0u);
+
+  // A raise now must neither crash a worker completing the dead park nor
+  // enqueue into the reaped subscription.
+  auto producer = Client();
+  ASSERT_TRUE(producer
+                  ->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                               {Value(7.0)})
+                  .ok());
+  EXPECT_TRUE(producer->Ping().ok());
+  EXPECT_EQ(server_->stats().notifications_enqueued, enqueued_before);
+  EXPECT_EQ(server_->session_count(), 1u);  // Just the producer.
+}
+
 TEST_F(GatewayTest, GarbageBytesGetErrorReplyThenDisconnect) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);

@@ -248,6 +248,36 @@ TEST(SchedulerTest, InRoundDispatchErrorStillSurfacesThroughEndRound) {
   EXPECT_EQ(scheduler.trigger_error_count(), 0u);
 }
 
+TEST(SchedulerTest, DispatchErrorRestoresCascadeDepth) {
+  // Regression: the error path out of ExecuteNow used to return before the
+  // cascade-depth counter was decremented, so each failing immediate rule
+  // permanently consumed one level of depth budget. Enough failures and the
+  // scheduler refused every rule as a runaway cascade.
+  RuleScheduler scheduler;
+  scheduler.set_max_cascade_depth(3);
+  EventPtr event = Prim("end A::M");
+  Rule broken("broken", event, nullptr,
+              [](RuleContext&) { return Status::Internal("action bug"); });
+
+  // More failures than the depth budget. Without the scoped restore the
+  // fourth call would already be refused with Aborted.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(scheduler.ExecuteNow(&broken, Det(), nullptr).IsInternal())
+        << "iteration " << i << " was refused by a leaked depth level";
+    EXPECT_EQ(scheduler.exec_depth(), 0) << "after iteration " << i;
+  }
+  EXPECT_EQ(scheduler.max_observed_depth(), 1);
+
+  // The scheduler still runs healthy rules afterwards, rounds included.
+  std::vector<std::string> order;
+  auto fine = MakeTracer("fine", &order);
+  scheduler.BeginRound();
+  scheduler.Trigger(fine.get(), Det());
+  ASSERT_TRUE(scheduler.EndRound(nullptr).ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"fine"}));
+  EXPECT_EQ(scheduler.exec_depth(), 0);
+}
+
 TEST(SchedulerTest, CascadeDepthAbortIsTraced) {
   RuleScheduler scheduler;
   TraceRecorder recorder;
