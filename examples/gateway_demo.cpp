@@ -4,9 +4,12 @@
 // notifiable consumers over TCP (paper §4 — external applications as
 // reactive/notifiable objects).
 //
-// Flow: a monitor connection installs a rule and subscribes; a separate
-// producer connection raises events; the monitor's long-poll fetch returns
-// both the raw event occurrences and the rule firings they triggered.
+// Flow: a monitor Connection installs a rule and a Subscriber on it
+// subscribes and long-polls; a Publisher on a separate producer
+// Connection raises events; the monitor's fetch returns both the raw
+// event occurrences and the rule firings they triggered. The two roles
+// deliberately use separate connections so the consumer's long-poll
+// never blocks the producer's raises.
 
 #include <cstdio>
 #include <filesystem>
@@ -17,9 +20,11 @@
 #include "net/server.h"
 
 using namespace sentinel;
-using net::GatewayClient;
+using net::Connection;
 using net::GatewayServer;
 using net::Notification;
+using net::Publisher;
+using net::Subscriber;
 
 namespace {
 
@@ -55,7 +60,7 @@ int main() {
                         .Build())
       .ok();
 
-  GatewayServer server(db.get());  // port 0: the OS picks one.
+  GatewayServer server(db.get());  // Default ServerOptions; port 0: OS picks.
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
     return 1;
@@ -64,7 +69,8 @@ int main() {
 
   // --- Monitor process: installs a rule, subscribes, long-polls. ----------
   auto monitor = std::move(
-      GatewayClient::Connect("127.0.0.1", server.port())).value();
+      Connection::Dial("127.0.0.1", server.port())).value();
+  std::printf("monitor: speaking protocol v%u\n", monitor->protocol_version());
   monitor->Ping().ok();
 
   net::CreateRuleMsg rule;
@@ -76,19 +82,19 @@ int main() {
     std::fprintf(stderr, "create rule: %s\n", s.ToString().c_str());
     return 1;
   }
-  monitor->Subscribe("end Sensor::Report").ok();
-  monitor->Subscribe("rule:ReportSpike").ok();
+  Subscriber consumer(monitor.get());
+  consumer.Subscribe("end Sensor::Report").ok();
+  consumer.Subscribe("rule:ReportSpike").ok();
   std::printf("monitor: rule ReportSpike installed, subscriptions armed\n");
 
-  // --- Producer process: raises events from another connection. -----------
+  // --- Producer process: raises events from its own connection. -----------
   std::thread producer_thread([port = server.port()] {
-    auto producer = std::move(GatewayClient::Connect("127.0.0.1", port))
-                        .value();
+    auto conn = std::move(Connection::Dial("127.0.0.1", port)).value();
+    Publisher producer(conn.get());
     const double readings[] = {19.5, 21.0, 47.25};
     for (double reading : readings) {
-      auto oid = producer->RaiseEvent("Sensor", "Report",
-                                      EventModifier::kEnd,
-                                      {Value(reading), Value("hall-3")});
+      auto oid = producer.Raise("Sensor", "Report", EventModifier::kEnd,
+                                {Value(reading), Value("hall-3")});
       std::printf("producer: raised Report(%.2f) via relay oid=%llu\n",
                   reading,
                   static_cast<unsigned long long>(oid.ok() ? *oid : 0));
@@ -98,7 +104,7 @@ int main() {
   // Each raise produces one raw occurrence and one rule firing: 6 total.
   size_t got = 0;
   while (got < 6) {
-    auto batch = monitor->Fetch(16, 2000);  // Long-poll: parks server-side.
+    auto batch = consumer.Fetch(16, 2000);  // Long-poll: parks server-side.
     if (!batch.ok()) {
       std::fprintf(stderr, "fetch: %s\n", batch.status().ToString().c_str());
       producer_thread.join();  // Never return past a joinable thread.

@@ -23,8 +23,9 @@ constexpr size_t kReadChunk = 64 * 1024;
 
 }  // namespace
 
-Result<std::unique_ptr<GatewayClient>> GatewayClient::Connect(
-    const std::string& host, uint16_t port) {
+// --- Connection --------------------------------------------------------------
+
+Result<int> Connection::DialSocket(const std::string& host, uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError("socket: " + std::string(std::strerror(errno)));
@@ -45,20 +46,87 @@ Result<std::unique_ptr<GatewayClient>> GatewayClient::Connect(
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<GatewayClient>(new GatewayClient(fd));
+  return fd;
 }
 
-GatewayClient::~GatewayClient() {
+Result<std::unique_ptr<Connection>> Connection::Dial(const std::string& host,
+                                                     uint16_t port,
+                                                     ClientOptions options) {
+  SENTINEL_ASSIGN_OR_RETURN(int fd, DialSocket(host, port));
+  std::unique_ptr<Connection> conn(new Connection(fd));
+  if (!options.negotiate) return conn;
+
+  bool negotiated = false;
+  Status s = conn->Negotiate(options, &negotiated);
+  if (s.ok() && negotiated) return conn;
+  if (s.ok()) {
+    // Pre-Hello server: it answered the Hello with an error StatusReply.
+    // The connection survives, but its framing state is suspect (some
+    // servers drop after a protocol error) — redial plain and speak v1.
+    // This is the new-client / old-server path.
+    conn.reset();
+    SENTINEL_ASSIGN_OR_RETURN(fd, DialSocket(host, port));
+    return std::unique_ptr<Connection>(new Connection(fd));
+  }
+  if (s.IsIOError()) {
+    // Hard close on Hello: same story, older server.
+    conn.reset();
+    SENTINEL_ASSIGN_OR_RETURN(fd, DialSocket(host, port));
+    return std::unique_ptr<Connection>(new Connection(fd));
+  }
+  return s;  // Real negotiation failure (e.g. incompatible version range).
+}
+
+Status Connection::Negotiate(const ClientOptions& options, bool* negotiated) {
+  *negotiated = false;
+  HelloMsg hello;
+  hello.min_version = options.min_version;
+  hello.max_version = options.max_version;
+  hello.tenant = options.tenant;
+  Encoder enc;
+  hello.Encode(&enc);
+  Frame reply;
+  // The Hello itself always travels with a version-0 header: the server's
+  // version is unknown until it answers.
+  SENTINEL_RETURN_IF_ERROR(Call(FrameType::kHello, enc.buffer(), &reply));
+  if (reply.type == FrameType::kStatusReply) {
+    SENTINEL_ASSIGN_OR_RETURN(StatusReplyMsg msg,
+                              StatusReplyMsg::Decode(reply.body));
+    Status s = msg.ToStatus();
+    if (s.IsInvalidArgument() && options.min_version > kProtocolV1) {
+      // The server understood the Hello and rejected the range — that is a
+      // genuine incompatibility, not an old server.
+      return s;
+    }
+    return Status::OK();  // Old server; *negotiated stays false.
+  }
+  if (reply.type != FrameType::kHelloReply) {
+    return Status::Internal("expected HelloReply");
+  }
+  SENTINEL_ASSIGN_OR_RETURN(HelloReplyMsg msg,
+                            HelloReplyMsg::Decode(reply.body));
+  if (msg.version < options.min_version ||
+      msg.version > options.max_version) {
+    return Status::Internal("server negotiated version " +
+                            std::to_string(msg.version) +
+                            " outside the offered range");
+  }
+  version_ = msg.version;
+  server_max_frame_body_ = msg.max_frame_body;
+  server_ = msg.server;
+  *negotiated = true;
+  return Status::OK();
+}
+
+Connection::~Connection() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status GatewayClient::SendFrame(FrameType type, const std::string& body) {
-  std::string wire;
-  EncodeFrame(type, body, &wire);
+Status Connection::SendRaw(const std::string& bytes) {
   size_t sent = 0;
-  while (sent < wire.size()) {
+  while (sent < bytes.size()) {
     ssize_t n =
-        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IOError("send: " + std::string(std::strerror(errno)));
@@ -68,7 +136,13 @@ Status GatewayClient::SendFrame(FrameType type, const std::string& body) {
   return Status::OK();
 }
 
-Status GatewayClient::ReadFrame(Frame* frame) {
+Status Connection::SendFrame(FrameType type, const std::string& body) {
+  std::string wire;
+  EncodeFrame(type, body, &wire, wire_version());
+  return SendRaw(wire);
+}
+
+Status Connection::ReadFrame(Frame* frame) {
   while (true) {
     size_t consumed = 0;
     Status error;
@@ -91,14 +165,13 @@ Status GatewayClient::ReadFrame(Frame* frame) {
   }
 }
 
-Status GatewayClient::Call(FrameType type, const std::string& body,
-                           Frame* reply) {
+Status Connection::Call(FrameType type, const std::string& body,
+                        Frame* reply) {
   SENTINEL_RETURN_IF_ERROR(SendFrame(type, body));
   return ReadFrame(reply);
 }
 
-Status GatewayClient::ExpectStatusReply(const Frame& reply,
-                                        uint64_t* payload) {
+Status Connection::ExpectStatusReply(const Frame& reply, uint64_t* payload) {
   if (reply.type != FrameType::kStatusReply) {
     return Status::Internal("expected StatusReply, got frame type " +
                             std::to_string(static_cast<int>(reply.type)));
@@ -109,12 +182,7 @@ Status GatewayClient::ExpectStatusReply(const Frame& reply,
   return msg.ToStatus();
 }
 
-void GatewayClient::Backoff(uint32_t* backoff_ms) {
-  std::this_thread::sleep_for(std::chrono::milliseconds(*backoff_ms));
-  *backoff_ms = std::min(*backoff_ms * 2, retry_policy_.max_backoff_ms);
-}
-
-Status GatewayClient::Ping() {
+Status Connection::Ping() {
   PingMsg msg;
   msg.token = 0x53454e54;  // Arbitrary; verified in the echo.
   Encoder enc;
@@ -132,11 +200,122 @@ Status GatewayClient::Ping() {
   return Status::OK();
 }
 
-Result<uint64_t> GatewayClient::RaiseEvent(const std::string& class_name,
-                                           const std::string& method,
-                                           EventModifier modifier,
-                                           const ValueList& params,
-                                           uint64_t oid) {
+Status Connection::CreateRule(const CreateRuleMsg& spec) {
+  Encoder enc;
+  spec.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(
+      Call(FrameType::kCreateRule, enc.buffer(), &reply));
+  return ExpectStatusReply(reply, nullptr);
+}
+
+Status Connection::RuleToggle(FrameType type, const std::string& name) {
+  RuleNameMsg msg;
+  msg.name = name;
+  Encoder enc;
+  msg.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(Call(type, enc.buffer(), &reply));
+  return ExpectStatusReply(reply, nullptr);
+}
+
+Status Connection::EnableRule(const std::string& name) {
+  return RuleToggle(FrameType::kEnableRule, name);
+}
+
+Status Connection::DisableRule(const std::string& name) {
+  return RuleToggle(FrameType::kDisableRule, name);
+}
+
+Result<std::string> Connection::GetStats(uint32_t sections) {
+  StatsRequestMsg msg;
+  msg.sections = sections;
+  Encoder enc;
+  msg.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(Call(FrameType::kGetStats, enc.buffer(), &reply));
+  if (reply.type == FrameType::kStatusReply) {
+    Status s = ExpectStatusReply(reply, nullptr);
+    if (s.ok()) s = Status::Internal("expected a stats reply");
+    return s;
+  }
+  if (reply.type != FrameType::kStatsReply) {
+    return Status::Internal("expected StatsReply");
+  }
+  SENTINEL_ASSIGN_OR_RETURN(StatsReplyMsg stats,
+                            StatsReplyMsg::Decode(reply.body));
+  return std::move(stats.json);
+}
+
+// --- Publisher ---------------------------------------------------------------
+
+Publisher::Publisher(Connection* connection, size_t window)
+    : conn_(connection), window_(window == 0 ? 1 : window) {}
+
+void Publisher::Backoff(uint32_t* backoff_ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(*backoff_ms));
+  *backoff_ms = std::min(*backoff_ms * 2, retry_policy_.max_backoff_ms);
+}
+
+Status Publisher::ReadAcks(std::vector<Ack>* out) {
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(conn_->ReadFrame(&reply));
+  if (reply.type == FrameType::kStatusReply) {
+    SENTINEL_ASSIGN_OR_RETURN(StatusReplyMsg msg,
+                              StatusReplyMsg::Decode(reply.body));
+    out->push_back(Ack{msg.ToStatus(), msg.payload});
+    return Status::OK();
+  }
+  if (reply.type == FrameType::kBatchStatusReply) {
+    SENTINEL_ASSIGN_OR_RETURN(BatchStatusReplyMsg batch,
+                              BatchStatusReplyMsg::Decode(reply.body));
+    for (const BatchStatusReplyMsg::Run& run : batch.runs) {
+      StatusReplyMsg one;
+      one.code = run.code;
+      one.message = run.message;
+      one.payload = run.payload;
+      Status s = one.ToStatus();
+      for (uint32_t i = 0; i < run.count; ++i) {
+        out->push_back(Ack{s, run.payload});
+      }
+    }
+    return Status::OK();
+  }
+  return Status::Internal("expected an ack frame, got type " +
+                          std::to_string(static_cast<int>(reply.type)));
+}
+
+Status Publisher::SendWindowed(
+    const std::vector<const RaiseEventMsg*>& pending,
+    std::vector<Ack>* acks) {
+  acks->clear();
+  acks->reserve(pending.size());
+  size_t sent = 0;
+  std::string wire;
+  while (acks->size() < pending.size()) {
+    // Top the window up with one coalesced send.
+    if (sent < pending.size() && sent - acks->size() < window_) {
+      wire.clear();
+      size_t burst_end = std::min(pending.size(), acks->size() + window_);
+      for (; sent < burst_end; ++sent) {
+        Encoder enc;
+        pending[sent]->Encode(&enc);
+        conn_->EncodeFrameTo(FrameType::kRaiseEvent, enc.buffer(), &wire);
+      }
+      SENTINEL_RETURN_IF_ERROR(conn_->SendRaw(wire));
+    }
+    SENTINEL_RETURN_IF_ERROR(ReadAcks(acks));
+    if (acks->size() > sent) {
+      return Status::Internal("server acked more raises than were sent");
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Publisher::Raise(const std::string& class_name,
+                                  const std::string& method,
+                                  EventModifier modifier,
+                                  const ValueList& params, uint64_t oid) {
   RaiseEventMsg msg;
   msg.oid = oid;
   msg.class_name = class_name;
@@ -146,21 +325,29 @@ Result<uint64_t> GatewayClient::RaiseEvent(const std::string& class_name,
   Encoder enc;
   msg.Encode(&enc);
   uint32_t backoff = retry_policy_.initial_backoff_ms;
+  std::vector<Ack> acks;
   for (int attempt = 1;; ++attempt) {
-    Frame reply;
     SENTINEL_RETURN_IF_ERROR(
-        Call(FrameType::kRaiseEvent, enc.buffer(), &reply));
-    uint64_t payload = 0;
-    Status s = ExpectStatusReply(reply, &payload);
-    if (s.ok()) return payload;
-    if (!IsTransient(s) || attempt >= retry_policy_.max_attempts) return s;
+        conn_->SendFrame(FrameType::kRaiseEvent, enc.buffer()));
+    acks.clear();
+    while (acks.empty()) {
+      SENTINEL_RETURN_IF_ERROR(ReadAcks(&acks));
+    }
+    if (acks.size() != 1) {
+      return Status::Internal("expected one ack for a single raise");
+    }
+    if (acks[0].status.ok()) return acks[0].payload;
+    if (!IsTransient(acks[0].status) ||
+        attempt >= retry_policy_.max_attempts) {
+      return acks[0].status;
+    }
     ++retries_total_;
     Backoff(&backoff);
   }
 }
 
-Status GatewayClient::RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
-                                     uint64_t* rejected) {
+Status Publisher::RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
+                                 uint64_t* rejected) {
   if (rejected != nullptr) *rejected = 0;
   std::vector<const RaiseEventMsg*> pending;
   pending.reserve(msgs.size());
@@ -169,37 +356,19 @@ Status GatewayClient::RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
   Status first_error = Status::OK();
   Status first_transient = Status::OK();
   uint32_t backoff = retry_policy_.initial_backoff_ms;
+  std::vector<Ack> acks;
   for (int attempt = 1; !pending.empty(); ++attempt) {
-    // One big write keeps the ingress queue fed; replies are drained
-    // after. Replies come back in request order, so reply i belongs to
-    // pending[i] — which is what lets a retry re-send exactly the
-    // rejected subset.
-    std::string wire;
-    for (const RaiseEventMsg* msg : pending) {
-      Encoder enc;
-      msg->Encode(&enc);
-      EncodeFrame(FrameType::kRaiseEvent, enc.buffer(), &wire);
-    }
-    size_t sent = 0;
-    while (sent < wire.size()) {
-      ssize_t n =
-          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status::IOError("send: " + std::string(std::strerror(errno)));
-      }
-      sent += static_cast<size_t>(n);
-    }
+    // Windowed pass: acks map 1:1 onto `pending` in request order — which
+    // is what lets a retry re-send exactly the rejected subset.
+    SENTINEL_RETURN_IF_ERROR(SendWindowed(pending, &acks));
 
     std::vector<const RaiseEventMsg*> retry;
     first_transient = Status::OK();
-    for (const RaiseEventMsg* msg : pending) {
-      Frame reply;
-      SENTINEL_RETURN_IF_ERROR(ReadFrame(&reply));
-      Status s = ExpectStatusReply(reply, nullptr);
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const Status& s = acks[i].status;
       if (s.ok()) continue;
       if (IsTransient(s)) {
-        retry.push_back(msg);
+        retry.push_back(pending[i]);
         if (first_transient.ok()) first_transient = s;
       } else if (first_error.ok()) {
         first_error = s;
@@ -220,49 +389,21 @@ Status GatewayClient::RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
   return Status::OK();
 }
 
-Status GatewayClient::CreateRule(const CreateRuleMsg& spec) {
-  Encoder enc;
-  spec.Encode(&enc);
-  Frame reply;
-  SENTINEL_RETURN_IF_ERROR(
-      Call(FrameType::kCreateRule, enc.buffer(), &reply));
-  return ExpectStatusReply(reply, nullptr);
-}
+// --- Subscriber --------------------------------------------------------------
 
-Status GatewayClient::EnableRule(const std::string& name) {
-  RuleNameMsg msg;
-  msg.name = name;
-  Encoder enc;
-  msg.Encode(&enc);
-  Frame reply;
-  SENTINEL_RETURN_IF_ERROR(
-      Call(FrameType::kEnableRule, enc.buffer(), &reply));
-  return ExpectStatusReply(reply, nullptr);
-}
-
-Status GatewayClient::DisableRule(const std::string& name) {
-  RuleNameMsg msg;
-  msg.name = name;
-  Encoder enc;
-  msg.Encode(&enc);
-  Frame reply;
-  SENTINEL_RETURN_IF_ERROR(
-      Call(FrameType::kDisableRule, enc.buffer(), &reply));
-  return ExpectStatusReply(reply, nullptr);
-}
-
-Status GatewayClient::Subscribe(const std::string& key) {
+Status Subscriber::Subscribe(const std::string& key) {
   SubscribeMsg msg;
   msg.key = key;
   Encoder enc;
   msg.Encode(&enc);
   Frame reply;
-  SENTINEL_RETURN_IF_ERROR(Call(FrameType::kSubscribe, enc.buffer(), &reply));
-  return ExpectStatusReply(reply, nullptr);
+  SENTINEL_RETURN_IF_ERROR(
+      conn_->Call(FrameType::kSubscribe, enc.buffer(), &reply));
+  return Connection::ExpectStatusReply(reply, nullptr);
 }
 
-Result<std::vector<Notification>> GatewayClient::Fetch(uint32_t max,
-                                                       uint32_t wait_ms) {
+Result<std::vector<Notification>> Subscriber::Fetch(uint32_t max,
+                                                    uint32_t wait_ms) {
   FetchMsg msg;
   msg.max = max;
   msg.wait_ms = wait_ms;
@@ -270,9 +411,9 @@ Result<std::vector<Notification>> GatewayClient::Fetch(uint32_t max,
   msg.Encode(&enc);
   Frame reply;
   SENTINEL_RETURN_IF_ERROR(
-      Call(FrameType::kFetchNotifications, enc.buffer(), &reply));
+      conn_->Call(FrameType::kFetchNotifications, enc.buffer(), &reply));
   if (reply.type == FrameType::kStatusReply) {
-    Status s = ExpectStatusReply(reply, nullptr);
+    Status s = Connection::ExpectStatusReply(reply, nullptr);
     if (s.ok()) s = Status::Internal("expected a notification batch");
     return s;
   }
@@ -284,24 +425,13 @@ Result<std::vector<Notification>> GatewayClient::Fetch(uint32_t max,
   return std::move(batch.items);
 }
 
-Result<std::string> GatewayClient::GetStats(uint32_t sections) {
-  StatsRequestMsg msg;
-  msg.sections = sections;
-  Encoder enc;
-  msg.Encode(&enc);
-  Frame reply;
-  SENTINEL_RETURN_IF_ERROR(Call(FrameType::kGetStats, enc.buffer(), &reply));
-  if (reply.type == FrameType::kStatusReply) {
-    Status s = ExpectStatusReply(reply, nullptr);
-    if (s.ok()) s = Status::Internal("expected a stats reply");
-    return s;
-  }
-  if (reply.type != FrameType::kStatsReply) {
-    return Status::Internal("expected StatsReply");
-  }
-  SENTINEL_ASSIGN_OR_RETURN(StatsReplyMsg stats,
-                            StatsReplyMsg::Decode(reply.body));
-  return std::move(stats.json);
+// --- GatewayClient (deprecated facade) ---------------------------------------
+
+Result<std::unique_ptr<GatewayClient>> GatewayClient::Connect(
+    const std::string& host, uint16_t port, ClientOptions options) {
+  SENTINEL_ASSIGN_OR_RETURN(std::unique_ptr<Connection> conn,
+                            Connection::Dial(host, port, options));
+  return std::unique_ptr<GatewayClient>(new GatewayClient(std::move(conn)));
 }
 
 }  // namespace net

@@ -1,12 +1,22 @@
 // Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
 //
-// GatewayClient: blocking client library for the Sentinel event gateway.
+// Client library for the Sentinel event gateway, split by role:
 //
-// One connection carries strictly sequential request/response exchanges
-// (plus the optional pipelined raise path for throughput). Producers and
-// consumers typically use separate connections so a consumer's long-poll
-// never blocks a producer's raises — mirroring the paper's separation of
-// the synchronous call interface from asynchronous event propagation.
+//   * Connection — one TCP connection: dialing, Hello-time protocol
+//     negotiation, framing, and the unary control-plane calls (ping, rule
+//     management, stats). Not thread safe; one instance per thread.
+//   * Publisher — the producer role layered on a Connection: single raises
+//     with retry, and windowed pipelined raises that keep a bounded number
+//     of frames in flight while expanding the server's coalesced
+//     BatchStatusReply acks back into per-request statuses.
+//   * Subscriber — the consumer role: subscriptions and (long-poll)
+//     notification fetches.
+//
+// Producers and consumers typically use separate connections so a
+// consumer's long-poll never blocks a producer's raises — mirroring the
+// paper's separation of the synchronous call interface from asynchronous
+// event propagation. GatewayClient below bundles all three behind the
+// pre-redesign monolithic API; new code should hold the pieces directly.
 
 #ifndef SENTINEL_NET_CLIENT_H_
 #define SENTINEL_NET_CLIENT_H_
@@ -22,55 +32,77 @@
 namespace sentinel {
 namespace net {
 
-/// Blocking TCP client of a GatewayServer. Not thread safe; use one
-/// instance per thread/connection.
-class GatewayClient {
+/// Retry policy for transient server rejections (ResourceExhausted from
+/// backpressure or admission quotas, Busy from lock contention). Transport
+/// errors are never retried — after a failed send/recv the connection state
+/// is unknown. Default: no retries.
+struct RetryPolicy {
+  int max_attempts = 1;           ///< Total tries; 1 disables retry.
+  uint32_t initial_backoff_ms = 1;
+  uint32_t max_backoff_ms = 64;   ///< Backoff doubles up to this cap.
+};
+
+/// Dial-time options.
+struct ClientOptions {
+  /// Open with a Hello exchange. When the server predates Hello (it
+  /// answers with an error or drops the connection), Dial transparently
+  /// redials and speaks protocol v1 — new client, old server, no caller
+  /// involvement.
+  bool negotiate = true;
+  uint8_t min_version = kProtocolV1;
+  uint8_t max_version = kProtocolVersionMax;
+  /// Admission-quota domain this connection bills to ("" = default tenant).
+  std::string tenant;
+};
+
+/// One blocking TCP connection to a GatewayServer: socket, framing, and the
+/// unary request/response calls every role needs. Not thread safe.
+class Connection {
  public:
-  /// Connects to host:port (IPv4 dotted quad).
-  static Result<std::unique_ptr<GatewayClient>> Connect(
-      const std::string& host, uint16_t port);
+  /// Connects to host:port (IPv4 dotted quad) and, per `options`,
+  /// negotiates the protocol version.
+  static Result<std::unique_ptr<Connection>> Dial(const std::string& host,
+                                                  uint16_t port,
+                                                  ClientOptions options = {});
 
-  ~GatewayClient();
+  ~Connection();
 
-  GatewayClient(const GatewayClient&) = delete;
-  GatewayClient& operator=(const GatewayClient&) = delete;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
 
-  /// Retry policy for transient server rejections (ResourceExhausted from
-  /// ingress backpressure, Busy from lock contention). Transport errors are
-  /// never retried — after a failed send/recv the connection state is
-  /// unknown. Default: no retries.
-  struct RetryPolicy {
-    int max_attempts = 1;           ///< Total tries; 1 disables retry.
-    uint32_t initial_backoff_ms = 1;
-    uint32_t max_backoff_ms = 64;   ///< Backoff doubles up to this cap.
-  };
+  /// Protocol both sides settled on (kProtocolV1 when no Hello happened).
+  uint8_t protocol_version() const { return version_; }
+  /// Server's frame-body ceiling from the HelloReply (default when v1).
+  uint32_t server_max_frame_body() const { return server_max_frame_body_; }
+  /// Server banner from the HelloReply ("" when v1).
+  const std::string& server_banner() const { return server_; }
 
-  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
-  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  // --- Framing (exposed for pipelining, benchmarks, and tests) ---------------
 
-  /// Transient-rejection retries performed across all calls (for tests).
-  uint64_t retries_total() const { return retries_total_; }
+  /// Writes one request frame (stamped with the negotiated version).
+  Status SendFrame(FrameType type, const std::string& body);
+  /// Writes pre-encoded frame bytes verbatim. Lets a pipelining caller (or
+  /// a benchmark that must not encode inside its timed section) build the
+  /// wire image up front.
+  Status SendRaw(const std::string& bytes);
+  /// Blocks until one whole response frame is available.
+  Status ReadFrame(Frame* frame);
+  /// SendFrame then ReadFrame: one strict request/response exchange.
+  Status Call(FrameType type, const std::string& body, Frame* reply);
+  /// Interprets a kStatusReply frame (error on other frame types).
+  static Status ExpectStatusReply(const Frame& reply, uint64_t* payload);
+
+  /// Encodes a frame exactly as SendFrame would, without sending — the
+  /// building block for pre-encoded pipelined bursts.
+  void EncodeFrameTo(FrameType type, const std::string& body,
+                     std::string* out) const {
+    EncodeFrame(type, body, out, wire_version());
+  }
+
+  // --- Unary control plane ---------------------------------------------------
 
   /// Round-trips a token through the server.
   Status Ping();
-
-  /// Raises a primitive event remotely. `oid` 0 targets the server's
-  /// default relay object for the class; returns the relay's oid so later
-  /// raises can address the same instance.
-  Result<uint64_t> RaiseEvent(const std::string& class_name,
-                              const std::string& method,
-                              EventModifier modifier, const ValueList& params,
-                              uint64_t oid = 0);
-
-  /// Sends `msgs` back to back, then collects one reply per message —
-  /// keeping the ingress pipeline full instead of paying a round trip per
-  /// raise. Returns OK when every raise was applied; otherwise the first
-  /// non-OK reply (ResourceExhausted indicates backpressure). Under a
-  /// retry policy, the rejected subset is re-sent (with backoff) until it
-  /// drains or attempts run out. `*rejected` (optional) counts raises
-  /// still rejected for backpressure after all retries.
-  Status RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
-                        uint64_t* rejected = nullptr);
 
   /// Creates an ECA rule server-side. Empty action name = the gateway's
   /// subscriber-notify action; empty condition name = always true.
@@ -79,14 +111,6 @@ class GatewayClient {
   Status EnableRule(const std::string& name);
   Status DisableRule(const std::string& name);
 
-  /// Subscribes this connection to a notification key: an occurrence key
-  /// ("end Employee::ChangeIncome") or a rule key ("rule:<name>").
-  Status Subscribe(const std::string& key);
-
-  /// Fetches up to `max` notifications, waiting up to `wait_ms` for the
-  /// first (long-poll on the server; 0 returns immediately).
-  Result<std::vector<Notification>> Fetch(uint32_t max, uint32_t wait_ms);
-
   /// Fetches the server's stats snapshot as a JSON document. `sections`
   /// selects what it covers (StatsRequestMsg::kDatabase / kGateway bits).
   Result<std::string> GetStats(
@@ -94,27 +118,167 @@ class GatewayClient {
                           StatsRequestMsg::kGateway);
 
  private:
-  explicit GatewayClient(int fd) : fd_(fd) {}
+  explicit Connection(int fd) : fd_(fd) {}
 
-  /// Writes one request frame and reads the next response frame.
-  Status Call(FrameType type, const std::string& body, Frame* reply);
-  Status SendFrame(FrameType type, const std::string& body);
-  Status ReadFrame(Frame* frame);
-  /// Interprets a kStatusReply frame (error on other frame types).
-  Status ExpectStatusReply(const Frame& reply, uint64_t* payload);
+  static Result<int> DialSocket(const std::string& host, uint16_t port);
+  /// Runs the Hello exchange; OK with `*negotiated=false` means the server
+  /// is pre-Hello and the caller should redial plain.
+  Status Negotiate(const ClientOptions& options, bool* negotiated);
+  Status RuleToggle(FrameType type, const std::string& name);
 
-  /// True for statuses worth retrying: the server rejected the request
-  /// transiently but the connection itself is healthy.
+  uint8_t wire_version() const {
+    return version_ >= kProtocolV2 ? version_ : 0;
+  }
+
+  int fd_ = -1;
+  std::string inbuf_;  ///< Bytes read past the last complete frame.
+  uint8_t version_ = kProtocolV1;
+  uint32_t server_max_frame_body_ = kDefaultMaxFrameBody;
+  std::string server_;
+};
+
+/// Producer role: raises events over a Connection it does not own. The
+/// pipelined path keeps at most `window` raises in flight — enough to hide
+/// the round trip, bounded so a slow server applies backpressure to the
+/// producer instead of the producer ballooning both sides' buffers.
+class Publisher {
+ public:
+  /// `connection` must outlive the Publisher. `window` of 0 means 1.
+  explicit Publisher(Connection* connection, size_t window = 128);
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Transient-rejection retries performed across all calls (for tests).
+  uint64_t retries_total() const { return retries_total_; }
+
+  /// Raises a primitive event remotely. `oid` 0 targets the server's
+  /// default relay object for the class; returns the relay's oid so later
+  /// raises can address the same instance.
+  Result<uint64_t> Raise(const std::string& class_name,
+                         const std::string& method, EventModifier modifier,
+                         const ValueList& params, uint64_t oid = 0);
+
+  /// Sends `msgs` with up to `window` in flight, collecting one ack per
+  /// message (expanded from coalesced BatchStatusReply frames when the
+  /// server batches). Returns OK when every raise was applied; otherwise
+  /// the first non-OK ack (ResourceExhausted indicates backpressure or a
+  /// quota). Under a retry policy, the rejected subset is re-sent (with
+  /// backoff) until it drains or attempts run out. `*rejected` (optional)
+  /// counts raises still rejected as transient after all retries.
+  Status RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
+                        uint64_t* rejected = nullptr);
+
+ private:
+  /// One per-request ack, in request order.
+  struct Ack {
+    Status status;
+    uint64_t payload = 0;
+  };
+
+  /// Reads one response frame and appends the ack(s) it settles.
+  Status ReadAcks(std::vector<Ack>* out);
+  /// One windowed pass over `pending`; fills `acks` 1:1 with it.
+  Status SendWindowed(const std::vector<const RaiseEventMsg*>& pending,
+                      std::vector<Ack>* acks);
+
   static bool IsTransient(const Status& s) {
     return s.IsResourceExhausted() || s.IsBusy();
   }
   /// Sleeps for the current backoff and advances it (doubling to the cap).
   void Backoff(uint32_t* backoff_ms);
 
-  int fd_ = -1;
-  std::string inbuf_;  ///< Bytes read past the last complete frame.
+  Connection* conn_;
+  size_t window_;
   RetryPolicy retry_policy_;
   uint64_t retries_total_ = 0;
+};
+
+/// Consumer role: subscriptions and notification fetches over a Connection
+/// it does not own.
+class Subscriber {
+ public:
+  /// `connection` must outlive the Subscriber.
+  explicit Subscriber(Connection* connection) : conn_(connection) {}
+
+  /// Subscribes the connection to a notification key: an occurrence key
+  /// ("end Employee::ChangeIncome") or a rule key ("rule:<name>").
+  Status Subscribe(const std::string& key);
+
+  /// Fetches up to `max` notifications, waiting up to `wait_ms` for the
+  /// first (long-poll on the server; 0 returns immediately).
+  Result<std::vector<Notification>> Fetch(uint32_t max, uint32_t wait_ms);
+
+ private:
+  Connection* conn_;
+};
+
+/// Deprecated monolithic client: the pre-redesign API, now a thin facade
+/// over Connection + Publisher + Subscriber so existing call sites keep
+/// compiling while they migrate to the role types.
+class GatewayClient {
+ public:
+  static Result<std::unique_ptr<GatewayClient>> Connect(
+      const std::string& host, uint16_t port, ClientOptions options = {});
+
+  GatewayClient(const GatewayClient&) = delete;
+  GatewayClient& operator=(const GatewayClient&) = delete;
+
+  Connection* connection() { return conn_.get(); }
+  Publisher* publisher() { return &publisher_; }
+  Subscriber* subscriber() { return &subscriber_; }
+
+  using RetryPolicy = net::RetryPolicy;
+
+  void set_retry_policy(const RetryPolicy& policy) {
+    publisher_.set_retry_policy(policy);
+  }
+  const RetryPolicy& retry_policy() const {
+    return publisher_.retry_policy();
+  }
+  uint64_t retries_total() const { return publisher_.retries_total(); }
+
+  Status Ping() { return conn_->Ping(); }
+  Result<uint64_t> RaiseEvent(const std::string& class_name,
+                              const std::string& method,
+                              EventModifier modifier, const ValueList& params,
+                              uint64_t oid = 0) {
+    return publisher_.Raise(class_name, method, modifier, params, oid);
+  }
+  Status RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
+                        uint64_t* rejected = nullptr) {
+    return publisher_.RaisePipelined(msgs, rejected);
+  }
+  Status CreateRule(const CreateRuleMsg& spec) {
+    return conn_->CreateRule(spec);
+  }
+  Status EnableRule(const std::string& name) {
+    return conn_->EnableRule(name);
+  }
+  Status DisableRule(const std::string& name) {
+    return conn_->DisableRule(name);
+  }
+  Status Subscribe(const std::string& key) {
+    return subscriber_.Subscribe(key);
+  }
+  Result<std::vector<Notification>> Fetch(uint32_t max, uint32_t wait_ms) {
+    return subscriber_.Fetch(max, wait_ms);
+  }
+  Result<std::string> GetStats(
+      uint32_t sections = StatsRequestMsg::kDatabase |
+                          StatsRequestMsg::kGateway) {
+    return conn_->GetStats(sections);
+  }
+
+ private:
+  explicit GatewayClient(std::unique_ptr<Connection> conn)
+      : conn_(std::move(conn)),
+        publisher_(conn_.get()),
+        subscriber_(conn_.get()) {}
+
+  std::unique_ptr<Connection> conn_;
+  Publisher publisher_;
+  Subscriber subscriber_;
 };
 
 }  // namespace net

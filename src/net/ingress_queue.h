@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -30,9 +31,18 @@
 namespace sentinel {
 namespace net {
 
-/// One queued request: which session sent it plus the decoded frame.
+class Session;
+struct TenantState;
+
+/// One queued request: the originating session (pinned by shared_ptr so a
+/// worker never races a reap — it checks session->closed instead), the
+/// decoded frame, and, for admitted raises, the tenant whose in-flight
+/// counter was charged at admission. The worker credits that exact tenant
+/// back when it acks, so quota accounting balances even when the session's
+/// tenant changes (Hello) while frames are queued.
 struct IngressItem {
-  uint64_t session_id = 0;
+  std::shared_ptr<Session> session;
+  TenantState* charged_tenant = nullptr;  ///< Non-null only for raises.
   Frame frame;
 };
 

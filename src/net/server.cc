@@ -6,8 +6,9 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -27,6 +28,15 @@ namespace {
 
 constexpr size_t kReadChunk = 64 * 1024;
 constexpr auto kMutatorIdleWait = std::chrono::milliseconds(50);
+constexpr int kEpollBatch = 128;
+/// Chunks staged per writev call. Well under IOV_MAX (1024) and, at 64KB
+/// chunks, far more bytes than one call ever writes anyway.
+constexpr size_t kMaxIov = 64;
+
+/// epoll_event.data.u64 tags for the two non-session fds. Session ids count
+/// up from 1, so the top of the space is free.
+constexpr uint64_t kListenTag = ~0ull;
+constexpr uint64_t kWakeTag = ~0ull - 1;
 
 Status SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
@@ -50,19 +60,38 @@ Notification FromOccurrence(const std::string& key,
   return n;
 }
 
+/// Credits back the admission charge of one queued raise when the worker is
+/// done with it — whatever "done" meant (acked, decode error, or the session
+/// died first). Pairing the decrement with the exact session/tenant that was
+/// charged keeps the quota books balanced across Hello-time tenant changes
+/// and disconnect-while-queued.
+struct ChargeRelease {
+  const IngressItem& item;
+  ~ChargeRelease() {
+    if (item.charged_tenant == nullptr) return;
+    item.session->inflight_raises.fetch_sub(1, std::memory_order_relaxed);
+    item.charged_tenant->inflight_raises.fetch_sub(1,
+                                                   std::memory_order_relaxed);
+  }
+};
+
 }  // namespace
 
-GatewayServer::GatewayServer(Database* db, GatewayOptions options)
+GatewayServer::GatewayServer(Database* db, ServerOptions options)
     : db_(db),
       options_(std::move(options)),
       hub_(std::make_shared<NotificationHub>()) {
+  if (options_.io_threads == 0) options_.io_threads = 1;
+  notify_limits_.max_count = options_.max_pending_notifications;
+  notify_limits_.max_bytes = options_.max_pending_notify_bytes;
   const size_t nshards = db_->raise_shards();
   queues_.reserve(nshards);
+  exec_mu_.reserve(nshards);
   for (size_t i = 0; i < nshards; ++i) {
     queues_.push_back(
         std::make_unique<IngressQueue>(options_.ingress_capacity));
+    exec_mu_.push_back(std::make_unique<std::mutex>());
   }
-  io_staging_.resize(nshards);
   relays_.resize(nshards);
 }
 
@@ -73,10 +102,6 @@ Status GatewayServer::Start() {
     return Status::FailedPrecondition("gateway already running");
   }
 
-  // The rule action broadcasting to "rule:<name>" subscribers. It captures
-  // the hub (shared), not the server: a rule firing after Stop() lands in
-  // an empty hub instead of freed memory. AlreadyExists just means another
-  // (earlier) gateway on this database registered it.
   // Gateway-side structures report into the database's registry so one
   // StatsSnapshot covers the whole process. Shard 0 keeps the historical
   // unsuffixed metric names; extra shards get ".s<i>".
@@ -86,28 +111,34 @@ Status GatewayServer::Start() {
   }
   hub_->SetMetrics(db_->metrics());
 
+  // The rule action broadcasting to "rule:<name>" subscribers. It captures
+  // the hub (shared), not the server: a rule firing after Stop() lands in
+  // an empty hub instead of freed memory. AlreadyExists just means another
+  // (earlier) gateway on this database registered it.
   std::shared_ptr<NotificationHub> hub = hub_;
-  size_t max_pending = options_.max_pending_notifications;
+  NotifyLimits limits = notify_limits_;
   Status s = db_->functions()->RegisterAction(
-      kNotifySubscribersAction, [hub, max_pending](RuleContext& ctx) {
+      kNotifySubscribersAction, [hub, limits](RuleContext& ctx) {
         if (ctx.rule == nullptr || ctx.detection == nullptr) {
           return Status::OK();
         }
         hub->Broadcast("rule:" + ctx.rule->name(),
                        FromOccurrence("rule:" + ctx.rule->name(),
                                       ctx.detection->last()),
-                       max_pending);
+                       limits);
         return Status::OK();
       });
   if (!s.ok() && !s.IsAlreadyExists()) return s;
 
   // Occurrence fan-out: every raise reaching PostRaise is offered to
   // sessions subscribed to its key.
-  observer_ = db_->AddOccurrenceObserver([hub,
-                                          max_pending](const EventOccurrence&
-                                                           occ) {
-    hub->Broadcast(occ.Key(), FromOccurrence(occ.Key(), occ), max_pending);
-  });
+  observer_ = db_->AddOccurrenceObserver(
+      [hub, limits](const EventOccurrence& occ) {
+        hub->Broadcast(occ.Key(), FromOccurrence(occ.Key(), occ), limits);
+      });
+
+  // Sessions that never send Hello bill the default tenant.
+  TenantFor("");
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -131,7 +162,7 @@ Status GatewayServer::Start() {
     Stop();
     return err;
   }
-  if (::listen(listen_fd_, 128) < 0) {
+  if (::listen(listen_fd_, 512) < 0) {
     Status err =
         Status::IOError("listen: " + std::string(std::strerror(errno)));
     Stop();
@@ -140,25 +171,58 @@ Status GatewayServer::Start() {
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
-  SENTINEL_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
-
   {
-    Status err = wake_pipe_.Open();
+    Status err = SetNonBlocking(listen_fd_);
     if (!err.ok()) {
       Stop();
       return err;
     }
   }
-  hub_->SetWake([this] { wake_pipe_.Wake(); });
+
+  io_shards_.clear();
+  for (size_t i = 0; i < options_.io_threads; ++i) {
+    auto io = std::make_unique<IoShard>();
+    io->index = i;
+    io->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (io->epoll_fd < 0) {
+      Stop();
+      return Status::IOError("epoll_create1: " +
+                             std::string(std::strerror(errno)));
+    }
+    Status err = io->wake.Open();
+    if (!err.ok()) {
+      ::close(io->epoll_fd);
+      Stop();
+      return err;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->wake.read_fd(), &ev);
+    io->staging.resize(queues_.size());
+    io_shards_.push_back(std::move(io));
+  }
+  // Only shard 0 accepts; it hands fds whose hash says otherwise to their
+  // owning shard's incoming list.
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    ::epoll_ctl(io_shards_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
 
   running_.store(true, std::memory_order_release);
-  io_thread_ = std::thread([this] { IoLoop(); });
+  for (size_t i = 0; i < io_shards_.size(); ++i) {
+    io_shards_[i]->thread = std::thread([this, i] { IoLoop(i); });
+  }
   workers_.reserve(queues_.size());
   for (size_t shard = 0; shard < queues_.size(); ++shard) {
     workers_.emplace_back([this, shard] { WorkerLoop(shard); });
   }
   SENTINEL_INFO << "gateway listening on " << options_.host << ":" << port_
-                << " (" << queues_.size() << " worker shard"
+                << " (" << io_shards_.size() << " io thread"
+                << (io_shards_.size() == 1 ? "" : "s") << ", "
+                << queues_.size() << " worker shard"
                 << (queues_.size() == 1 ? "" : "s") << ")";
   return Status::OK();
 }
@@ -166,18 +230,23 @@ Status GatewayServer::Start() {
 void GatewayServer::Stop() {
   bool was_running = running_.exchange(false, std::memory_order_acq_rel);
   if (was_running) {
-    hub_->Wake();
+    // Workers first: they drain what the IO shards already admitted, and
+    // their final replies still have live IO shards to flush them (pure
+    // shutdown hygiene — clients of a stopping server get best-effort
+    // delivery, not a guarantee).
     for (auto& queue : queues_) queue->Shutdown();
-    if (io_thread_.joinable()) io_thread_.join();
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
     }
     workers_.clear();
+    for (auto& io : io_shards_) io->wake.Wake();
+    for (auto& io : io_shards_) {
+      if (io->thread.joinable()) io->thread.join();
+    }
     // Triggers still in flight between shards when the workers exited are
     // run to a fixpoint here, on the single remaining thread.
     db_->DrainAllForwardedShards();
   }
-  hub_->SetWake(nullptr);
   hub_->Clear();
   observer_.reset();
   // Relay objects were registered live with the database; detach them so
@@ -192,7 +261,15 @@ void GatewayServer::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  wake_pipe_.Close();
+  for (auto& io : io_shards_) {
+    // Fds another shard accepted on our behalf that we never adopted.
+    for (int fd : io->incoming_fds) ::close(fd);
+    io->incoming_fds.clear();
+    if (io->epoll_fd >= 0) ::close(io->epoll_fd);
+    io->epoll_fd = -1;
+    io->wake.Close();
+  }
+  io_shards_.clear();
 }
 
 GatewayStats GatewayServer::stats() const {
@@ -201,75 +278,82 @@ GatewayStats GatewayServer::stats() const {
   s.requests_processed = requests_processed_.load(std::memory_order_relaxed);
   s.backpressure_rejections =
       backpressure_rejections_.load(std::memory_order_relaxed);
+  s.quota_rejections = quota_rejections_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.notifications_enqueued = hub_->notifications_enqueued();
   s.notifications_dropped = hub_->notifications_dropped();
   s.sessions_accepted = sessions_accepted_.load(std::memory_order_relaxed);
+  s.batched_acks = batched_acks_.load(std::memory_order_relaxed);
+  s.inline_raises = inline_raises_.load(std::memory_order_relaxed);
   return s;
 }
 
-// --- IO thread ---------------------------------------------------------------
-
-void GatewayServer::IoLoop() {
-  while (running_.load(std::memory_order_acquire)) {
-    std::vector<pollfd> fds;
-    std::vector<uint64_t> ids;  // parallel to fds from index 2 on
-    fds.push_back({listen_fd_, POLLIN, 0});
-    fds.push_back({wake_pipe_.read_fd(), POLLIN, 0});
-    for (const auto& [id, session] : io_sessions_) {
-      short events = POLLIN;
-      if (!session->unsent.empty() || session->HasOutput()) events |= POLLOUT;
-      fds.push_back({session->fd, events, 0});
-      ids.push_back(id);
-    }
-
-    int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
-    if (!running_.load(std::memory_order_acquire)) break;
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      SENTINEL_WARN << "gateway poll: " << std::strerror(errno);
-      break;
-    }
-
-    if (fds[1].revents & POLLIN) wake_pipe_.Drain();
-    if (fds[0].revents & POLLIN) AcceptPending();
-
-    for (size_t i = 2; i < fds.size(); ++i) {
-      uint64_t id = ids[i - 2];
-      auto it = io_sessions_.find(id);
-      if (it == io_sessions_.end()) continue;
-      Session* session = it->second.get();
-      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
-        CloseSession(id);
-        continue;
-      }
-      if ((fds[i].revents & POLLIN) && !DrainSocket(session)) {
-        CloseSession(id);
-        continue;
-      }
-      // Flush opportunistically: replies queued since the poll returned
-      // would otherwise wait a whole poll cycle.
-      if (!FlushSocket(session)) {
-        CloseSession(id);
-        continue;
-      }
-      if (session->drop_after_flush && session->unsent.empty() &&
-          !session->HasOutput()) {
-        CloseSession(id);
-      }
-    }
+TenantState* GatewayServer::TenantFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, std::make_unique<TenantState>(name)).first;
   }
-
-  // Teardown on the IO thread, which owns the fds.
-  for (auto& [id, session] : io_sessions_) {
-    if (session->fd >= 0) ::close(session->fd);
-    session->fd = -1;
-    hub_->Remove(id);
-  }
-  io_sessions_.clear();
+  return it->second.get();
 }
 
-void GatewayServer::AcceptPending() {
+// --- IO shards ---------------------------------------------------------------
+
+void GatewayServer::IoLoop(size_t io_idx) {
+  IoShard* io = io_shards_[io_idx].get();
+  epoll_event events[kEpollBatch];
+  while (running_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(io->epoll_fd, events, kEpollBatch,
+                         /*timeout_ms=*/100);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SENTINEL_WARN << "gateway epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        io->wake.Drain();
+        continue;
+      }
+      if (tag == kListenTag) {
+        AcceptPending(io);
+        continue;
+      }
+      auto it = io->sessions.find(tag);
+      if (it == io->sessions.end()) continue;  // Closed earlier this batch.
+      std::shared_ptr<Session> session = it->second;
+      bool alive = (events[i].events & (EPOLLERR | EPOLLHUP)) == 0;
+      // EPOLLRDHUP still drains first: the peer may have sent a burst and
+      // half-closed; recv() reports the final 0 once the bytes are out.
+      if (alive && (events[i].events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+        alive = DrainSocket(io, session);
+      }
+      // Flush opportunistically — replies the workers queued since the
+      // last wake, plus whatever DrainSocket rejected inline.
+      if (alive) alive = FlushSocket(session.get());
+      if (alive && session->drop_after_flush &&
+          OutboxDrained(session.get())) {
+        alive = false;
+      }
+      if (!alive) CloseSession(io, tag);
+    }
+    AdoptIncoming(io);
+    DrainFlushQueue(io);
+  }
+
+  // Teardown on the owning thread, which holds the fds.
+  for (auto& [id, session] : io->sessions) {
+    if (session->fd >= 0) ::close(session->fd);
+    session->fd = -1;
+    session->closed.store(true, std::memory_order_release);
+    hub_->Remove(id);
+  }
+  io->sessions.clear();
+}
+
+void GatewayServer::AcceptPending(IoShard* io) {
   while (true) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -284,14 +368,89 @@ void GatewayServer::AcceptPending() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto session = std::make_shared<Session>(next_session_id_++, fd);
-    io_sessions_[session->id()] = session;
-    hub_->Add(session);
-    sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+    size_t target = static_cast<size_t>(fd) % io_shards_.size();
+    if (target == io->index) {
+      RegisterSession(io, fd);
+    } else {
+      IoShard* dest = io_shards_[target].get();
+      {
+        std::lock_guard<std::mutex> lock(dest->incoming_mu);
+        dest->incoming_fds.push_back(fd);
+      }
+      dest->wake.Wake();
+    }
   }
 }
 
-bool GatewayServer::DrainSocket(Session* session) {
+void GatewayServer::AdoptIncoming(IoShard* io) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(io->incoming_mu);
+    fds.swap(io->incoming_fds);
+  }
+  for (int fd : fds) RegisterSession(io, fd);
+}
+
+void GatewayServer::RegisterSession(IoShard* io, int fd) {
+  uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  auto session = std::make_shared<Session>(id, fd);
+  session->io_shard = io->index;
+  session->tenant.store(TenantFor(""), std::memory_order_release);
+  // The notifier runs on whichever thread queued the reply; flush_queued
+  // collapses a burst of replies into one flush-list entry + wake.
+  session->SetFlushNotifier([this, io](Session* s) {
+    if (s->flush_queued.exchange(true, std::memory_order_acq_rel)) return;
+    {
+      std::lock_guard<std::mutex> lock(io->flush_mu);
+      io->flush_ids.push_back(s->id());
+    }
+    io->wake.Wake();
+  });
+
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+  ev.data.u64 = id;
+  if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    SENTINEL_WARN << "gateway epoll_ctl(add): " << std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  io->sessions[id] = session;
+  hub_->Add(std::move(session));
+  sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GatewayServer::CloseSession(IoShard* io, uint64_t id) {
+  auto it = io->sessions.find(id);
+  if (it == io->sessions.end()) return;
+  {
+    // Close under the writer lock so a worker's direct flush never writes
+    // to a recycled descriptor.
+    std::lock_guard<std::mutex> lock(it->second->wr_mu);
+    if (it->second->fd >= 0) ::close(it->second->fd);
+    it->second->fd = -1;
+  }
+  it->second->closed.store(true, std::memory_order_release);
+  io->sessions.erase(it);
+  hub_->Remove(id);
+}
+
+void GatewayServer::UnchargeRejected(const std::vector<IngressItem>& items) {
+  for (const IngressItem& item : items) {
+    if (item.charged_tenant == nullptr) continue;
+    item.session->inflight_raises.fetch_sub(1, std::memory_order_relaxed);
+    item.charged_tenant->inflight_raises.fetch_sub(1,
+                                                   std::memory_order_relaxed);
+  }
+}
+
+bool GatewayServer::DrainSocket(IoShard* io,
+                                const std::shared_ptr<Session>& session) {
+  // Edge-triggered: read until the receive queue is provably empty. A
+  // full chunk may leave more behind, so only EAGAIN ends the loop then;
+  // a SHORT read on a stream socket does mean the queue emptied (epoll(7)
+  // documents this), which skips the guaranteed-EAGAIN syscall on the
+  // sync-RPC hot path.
   char chunk[kReadChunk];
   while (true) {
     ssize_t n = ::recv(session->fd, chunk, sizeof(chunk), 0);
@@ -310,6 +469,8 @@ bool GatewayServer::DrainSocket(Session* session) {
   // queue mutex over the whole read burst.
   size_t offset = 0;
   bool protocol_error = false;
+  const uint32_t session_quota = options_.max_inflight_raises;
+  const uint32_t tenant_quota = options_.tenant_max_inflight_raises;
   while (true) {
     Frame frame;
     size_t consumed = 0;
@@ -343,16 +504,79 @@ bool GatewayServer::DrainSocket(Session* session) {
                      StatusReplyMsg::FromStatus(admit));
       continue;
     }
+
     IngressItem item;
-    item.session_id = session->id();
-    size_t target = RouteFrame(session, frame);
+    item.session = session;
+    if (frame.type == FrameType::kRaiseEvent) {
+      // Admission quotas, right here at the socket: a producer over its
+      // in-flight window gets an immediate ResourceExhausted instead of a
+      // slot in the ingress queue. Counters are eventually exact — the
+      // worker credits them back as it acks — and the check-then-add race
+      // between IO shards can only overshoot by one frame per shard.
+      TenantState* tenant = session->tenant.load(std::memory_order_acquire);
+      const char* which = nullptr;
+      if (session_quota != 0 &&
+          session->inflight_raises.load(std::memory_order_relaxed) >=
+              session_quota) {
+        which = "session";
+      } else if (tenant_quota != 0 &&
+                 tenant->inflight_raises.load(std::memory_order_relaxed) >=
+                     tenant_quota) {
+        which = "tenant";
+      }
+      if (which != nullptr) {
+        quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+        backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+        session->Reply(
+            FrameType::kStatusReply,
+            StatusReplyMsg::FromStatus(Status::ResourceExhausted(
+                std::string(which) + " in-flight raise quota exceeded")));
+        continue;
+      }
+      session->inflight_raises.fetch_add(1, std::memory_order_relaxed);
+      tenant->inflight_raises.fetch_add(1, std::memory_order_relaxed);
+      item.charged_tenant = tenant;
+    }
+    size_t target = RouteFrame(session.get(), frame);
     item.frame = std::move(frame);
-    io_staging_[target].push_back(std::move(item));
+    io->staging[target].push_back(std::move(item));
   }
   if (!protocol_error && offset > 0) session->inbuf.erase(0, offset);
 
-  for (size_t shard = 0; shard < io_staging_.size(); ++shard) {
-    std::vector<IngressItem>& staged = io_staging_[shard];
+  // Sync fast path: a drain that produced exactly one raise — the shape a
+  // synchronous RPC client generates — executes it right here on the IO
+  // thread when the target shard is idle, cutting the round trip from
+  // three context switches (client → IO → worker → client) to two. The
+  // shard's exec lock guarantees the worker is not mid-drain, and the
+  // empty-queue recheck under that lock guarantees nothing admitted
+  // earlier is overtaken. Bursts keep the queue handoff: the worker's
+  // drain loop is where ack coalescing pays for itself.
+  {
+    size_t staged_total = 0;
+    size_t target = 0;
+    for (size_t shard = 0; shard < io->staging.size(); ++shard) {
+      staged_total += io->staging[shard].size();
+      if (!io->staging[shard].empty()) target = shard;
+    }
+    if (staged_total == 1 &&
+        io->staging[target][0].frame.type == FrameType::kRaiseEvent &&
+        queues_[target]->size() == 0) {
+      std::unique_lock<std::mutex> exec(*exec_mu_[target],
+                                        std::try_to_lock);
+      if (exec.owns_lock() && queues_[target]->size() == 0) {
+        Database::BindRaiseShard(target);
+        AckBatcher acks(this);
+        ProcessItem(target, io->staging[target][0], &acks);
+        acks.FlushAll();
+        io->staging[target].clear();
+        inline_raises_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  for (size_t shard = 0; shard < io->staging.size(); ++shard) {
+    std::vector<IngressItem>& staged = io->staging[shard];
     if (staged.empty()) continue;
     queues_[shard]->TryPushBatch(&staged);
     if (!staged.empty()) {
@@ -365,6 +589,7 @@ bool GatewayServer::DrainSocket(Session* session) {
                                 "ingress queue full (" +
                                 std::to_string(queues_[shard]->capacity()) +
                                 ")");
+      UnchargeRejected(staged);
       for (size_t i = 0; i < staged.size(); ++i) {
         backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
         session->Reply(FrameType::kStatusReply,
@@ -389,35 +614,105 @@ size_t GatewayServer::RouteFrame(const Session* session,
     // Undecodable routing prefix: any worker will produce the same decode
     // error, so session affinity is fine.
   }
-  // Non-raise requests (and notifications state in particular) stay on one
+  // Non-raise requests (and notification state in particular) stay on one
   // worker per session.
   return session->id() % nshards;
 }
 
 bool GatewayServer::FlushSocket(Session* session) {
-  while (true) {
-    if (session->unsent.empty()) {
-      session->unsent = session->TakeOutput();
-      if (session->unsent.empty()) return true;
+  std::lock_guard<std::mutex> lock(session->wr_mu);
+  return FlushSocketLocked(session);
+}
+
+void GatewayServer::WorkerFlush(const std::shared_ptr<Session>& session) {
+  {
+    std::unique_lock<std::mutex> lock(session->wr_mu, std::try_to_lock);
+    if (lock.owns_lock() && session->fd >= 0 &&
+        !session->closed.load(std::memory_order_acquire)) {
+      // Write errors are left for the IO shard: a dead peer raises an
+      // EPOLLERR/EPOLLHUP edge there, which reaps the session.
+      FlushSocketLocked(session.get());
+      if (session->wq.empty() && !session->HasOutput()) return;
     }
-    ssize_t n = ::send(session->fd, session->unsent.data(),
-                       session->unsent.size(), MSG_NOSIGNAL);
+  }
+  // Contention, residue, or a closed socket: hand the rest to the shard.
+  session->NotifyFlush();
+}
+
+bool GatewayServer::OutboxDrained(Session* session) {
+  std::lock_guard<std::mutex> lock(session->wr_mu);
+  return session->wq.empty() && !session->HasOutput();
+}
+
+bool GatewayServer::FlushSocketLocked(Session* session) {
+  if (session->fd < 0) return false;
+  while (true) {
+    session->TakeOutput(&session->wq);
+    if (session->wq.empty()) return true;
+
+    // One writev per drain pass: every queued chunk (up to kMaxIov) goes
+    // out in a single syscall instead of a send() per reply.
+    iovec iov[kMaxIov];
+    size_t niov = 0;
+    size_t skip = session->wq_offset;
+    size_t staged_bytes = 0;
+    for (const std::string& chunk : session->wq) {
+      if (niov == kMaxIov) break;
+      iov[niov].iov_base = const_cast<char*>(chunk.data()) + skip;
+      iov[niov].iov_len = chunk.size() - skip;
+      staged_bytes += iov[niov].iov_len;
+      skip = 0;
+      ++niov;
+    }
+    ssize_t n = ::writev(session->fd, iov, static_cast<int>(niov));
     if (n < 0) {
+      // EAGAIN: kernel buffer full. The socket stays registered for
+      // EPOLLOUT (edge-triggered), so the next writability edge resumes
+      // from wq/wq_offset.
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (errno == EINTR) continue;
       return false;
     }
-    session->unsent.erase(0, static_cast<size_t>(n));
+    size_t written = static_cast<size_t>(n);
+    while (written > 0) {
+      size_t avail = session->wq.front().size() - session->wq_offset;
+      if (written >= avail) {
+        written -= avail;
+        session->wq.pop_front();
+        session->wq_offset = 0;
+      } else {
+        session->wq_offset += written;
+        written = 0;
+      }
+    }
+    if (static_cast<size_t>(n) < staged_bytes) {
+      // Partial write: the kernel buffer just filled; wait for EPOLLOUT
+      // instead of burning another syscall on a guaranteed EAGAIN.
+      return true;
+    }
   }
 }
 
-void GatewayServer::CloseSession(uint64_t id) {
-  auto it = io_sessions_.find(id);
-  if (it == io_sessions_.end()) return;
-  if (it->second->fd >= 0) ::close(it->second->fd);
-  it->second->fd = -1;
-  io_sessions_.erase(it);
-  hub_->Remove(id);
+void GatewayServer::DrainFlushQueue(IoShard* io) {
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(io->flush_mu);
+    ids.swap(io->flush_ids);
+  }
+  for (uint64_t id : ids) {
+    auto it = io->sessions.find(id);
+    if (it == io->sessions.end()) continue;
+    std::shared_ptr<Session> session = it->second;
+    // Re-arm before flushing: a reply queued mid-flush re-queues the
+    // session rather than being stranded.
+    session->flush_queued.store(false, std::memory_order_release);
+    bool alive = FlushSocket(session.get());
+    if (alive && session->drop_after_flush &&
+        OutboxDrained(session.get())) {
+      alive = false;
+    }
+    if (!alive) CloseSession(io, id);
+  }
 }
 
 // --- Worker threads ----------------------------------------------------------
@@ -428,6 +723,7 @@ void GatewayServer::WorkerLoop(size_t shard) {
   Database::BindRaiseShard(shard);
   IngressQueue* queue = queues_[shard].get();
   const bool sharded = queues_.size() > 1;
+  AckBatcher acks(this);
   std::vector<IngressItem> batch;
   while (true) {
     batch.clear();
@@ -442,26 +738,112 @@ void GatewayServer::WorkerLoop(size_t shard) {
       wait = std::chrono::milliseconds(1);
     }
     size_t n = queue->PopBatch(options_.max_batch, wait, &batch);
-    for (size_t i = 0; i < n; ++i) ProcessItem(shard, batch[i]);
-    // Run rules other shards forwarded to us while we were busy (or idle —
-    // the PopBatch wait above bounds how long a forwarded trigger sits).
-    size_t forwarded = sharded ? db_->DrainForwarded() : 0;
+    if (n > 0 || sharded) {
+      // The exec lock serializes this shard's mutator rounds against IO
+      // threads running the inline sync fast path.
+      std::lock_guard<std::mutex> exec(*exec_mu_[shard]);
+      for (size_t i = 0; i < n; ++i) ProcessItem(shard, batch[i], &acks);
+      // End of drain: coalesced acks go out now. The owning IO shards wake
+      // via the sessions' flush notifiers — no broadcast wakeup needed.
+      acks.FlushAll();
+      // Run rules other shards forwarded to us while we were busy (or
+      // idle — the PopBatch wait above bounds how long a forwarded
+      // trigger sits).
+      if (sharded) db_->DrainForwarded();
+    }
     if (shard == 0) {
       hub_->ExpireParkedFetches(std::chrono::steady_clock::now());
-    }
-    if (n > 0 || forwarded > 0) {
-      hub_->Wake();  // Replies are queued; let the IO thread write.
     }
     if (n == 0 && queue->shutdown()) break;
   }
 }
 
-void GatewayServer::ProcessItem(size_t shard, const IngressItem& item) {
-  std::shared_ptr<Session> session = hub_->Find(item.session_id);
-  if (session == nullptr) return;  // Disconnected while queued.
+void GatewayServer::AckBatcher::Ack(const std::shared_ptr<Session>& session,
+                                    const StatusReplyMsg& msg) {
+  if (session->wire_version() < kProtocolV2) {
+    // Legacy peer: one StatusReply per request, exactly as before.
+    session->Reply(FrameType::kStatusReply, msg);
+    return;
+  }
+  Pending* p = nullptr;
+  for (Pending& candidate : pending_) {
+    if (candidate.session.get() == session.get()) {
+      p = &candidate;
+      break;
+    }
+  }
+  if (p == nullptr) {
+    pending_.push_back(Pending{session, {}, 0});
+    p = &pending_.back();
+  }
+  if (!p->runs.empty()) {
+    BatchStatusReplyMsg::Run& last = p->runs.back();
+    if (last.code == msg.code && last.message == msg.message &&
+        last.payload == msg.payload) {
+      ++last.count;
+      ++p->total;
+      return;
+    }
+  }
+  p->runs.push_back(
+      BatchStatusReplyMsg::Run{1, msg.code, msg.message, msg.payload});
+  ++p->total;
+}
+
+void GatewayServer::AckBatcher::FlushSession(Session* session) {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].session.get() != session) continue;
+    Emit(&pending_[i]);
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+    return;
+  }
+}
+
+void GatewayServer::AckBatcher::FlushAll() {
+  for (Pending& p : pending_) Emit(&p);
+  pending_.clear();
+}
+
+void GatewayServer::AckBatcher::Emit(Pending* p) {
+  if (p->total == 0) return;
+  // Queue quietly, then try to write from this worker thread: when the
+  // writer lock is uncontended the ack skips the wake-pipe handoff to the
+  // IO shard entirely, which roughly halves sync-RPC round-trip cost.
+  Encoder enc;
+  if (p->total == 1) {
+    // A lone ack is cheaper as the plain frame.
+    StatusReplyMsg msg;
+    msg.code = p->runs[0].code;
+    msg.message = p->runs[0].message;
+    msg.payload = p->runs[0].payload;
+    msg.Encode(&enc);
+    p->session->QueueReplyQuiet(FrameType::kStatusReply, enc.buffer());
+  } else {
+    BatchStatusReplyMsg batch;
+    batch.runs = std::move(p->runs);
+    batch.Encode(&enc);
+    p->session->QueueReplyQuiet(FrameType::kBatchStatusReply, enc.buffer());
+    server_->batched_acks_.fetch_add(p->total, std::memory_order_relaxed);
+  }
+  server_->WorkerFlush(p->session);
+}
+
+void GatewayServer::ProcessItem(size_t shard, const IngressItem& item,
+                                AckBatcher* acks) {
+  // Credit the quota back no matter how this item resolves.
+  ChargeRelease release{item};
+  const std::shared_ptr<Session>& session = item.session;
+  if (session->closed.load(std::memory_order_acquire)) {
+    return;  // Disconnected while queued; nobody is listening.
+  }
   requests_processed_.fetch_add(1, std::memory_order_relaxed);
 
   const std::string& body = item.frame.body;
+  if (item.frame.type != FrameType::kRaiseEvent) {
+    // Any non-raise reply flushes the session's coalesced acks first so
+    // the client still observes strict reply order.
+    acks->FlushSession(session.get());
+  }
   switch (item.frame.type) {
     case FrameType::kPing: {
       Result<PingMsg> msg = PingMsg::Decode(body);
@@ -477,9 +859,9 @@ void GatewayServer::ProcessItem(size_t shard, const IngressItem& item) {
     }
     case FrameType::kRaiseEvent: {
       Result<RaiseEventMsg> msg = RaiseEventMsg::Decode(body);
-      session->Reply(FrameType::kStatusReply,
-                     msg.ok() ? HandleRaiseEvent(shard, *msg)
-                              : StatusReplyMsg::FromStatus(msg.status()));
+      acks->Ack(session, msg.ok()
+                             ? HandleRaiseEvent(shard, *msg)
+                             : StatusReplyMsg::FromStatus(msg.status()));
       return;
     }
     case FrameType::kCreateRule: {
@@ -513,7 +895,17 @@ void GatewayServer::ProcessItem(size_t shard, const IngressItem& item) {
                        StatusReplyMsg::FromStatus(msg.status()));
         return;
       }
-      HandleFetch(session.get(), *msg);
+      HandleFetch(session, *msg);
+      return;
+    }
+    case FrameType::kHello: {
+      Result<HelloMsg> msg = HelloMsg::Decode(body);
+      if (!msg.ok()) {
+        session->Reply(FrameType::kStatusReply,
+                       StatusReplyMsg::FromStatus(msg.status()));
+        return;
+      }
+      HandleHello(session, *msg);
       return;
     }
     case FrameType::kGetStats: {
@@ -648,23 +1040,60 @@ StatusReplyMsg GatewayServer::HandleSubscribe(
   return StatusReplyMsg::FromStatus(Status::OK());
 }
 
-void GatewayServer::HandleFetch(Session* session, const FetchMsg& msg) {
-  std::lock_guard<std::mutex> note(session->note_mu);
-  if (!session->pending.empty() || msg.wait_ms == 0) {
-    ReplyWithBatchLocked(session, msg.max);
-    return;
-  }
-  if (session->fetch_parked) {
-    // One long-poll per session: the blocking client never overlaps them.
+void GatewayServer::HandleHello(const std::shared_ptr<Session>& session,
+                                const HelloMsg& msg) {
+  // Pick the highest mutually supported version. Decode already bounded
+  // min <= max; an entirely-too-new client gets an error it can downgrade
+  // on.
+  if (msg.min_version > kProtocolVersionMax) {
     session->Reply(FrameType::kStatusReply,
-                   StatusReplyMsg::FromStatus(Status::FailedPrecondition(
-                       "a fetch is already parked on this session")));
+                   StatusReplyMsg::FromStatus(Status::InvalidArgument(
+                       "unsupported protocol range (server max " +
+                       std::to_string(kProtocolVersionMax) + ")")));
     return;
   }
-  session->fetch_parked = true;
-  session->fetch_max = msg.max;
-  session->fetch_deadline = std::chrono::steady_clock::now() +
-                            std::chrono::milliseconds(msg.wait_ms);
+  uint8_t version = std::min(msg.max_version, kProtocolVersionMax);
+  session->tenant.store(TenantFor(msg.tenant), std::memory_order_release);
+  session->version.store(version, std::memory_order_release);
+
+  HelloReplyMsg reply;
+  reply.version = version;
+  reply.max_frame_body = options_.max_frame_body;
+  reply.server = "sentinel-gateway/" + std::to_string(kProtocolVersionMax);
+  // Queued after the version store, so the HelloReply itself is the first
+  // frame stamped with the negotiated header version.
+  session->Reply(FrameType::kHelloReply, reply);
+}
+
+void GatewayServer::HandleFetch(const std::shared_ptr<Session>& session,
+                                const FetchMsg& msg) {
+  {
+    std::lock_guard<std::mutex> note(session->note_mu);
+    if (!session->pending.empty() || msg.wait_ms == 0) {
+      ReplyWithBatchLocked(session.get(), msg.max);
+      return;
+    }
+    if (session->fetch_parked) {
+      // One long-poll per session: a sane client never overlaps them.
+      session->Reply(FrameType::kStatusReply,
+                     StatusReplyMsg::FromStatus(Status::FailedPrecondition(
+                         "a fetch is already parked on this session")));
+      return;
+    }
+  }
+  hub_->ParkFetch(session, msg.max,
+                  std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(msg.wait_ms));
+  // A Broadcast between the check above and ParkFetch would have appended
+  // to pending without seeing the park; complete immediately in that case
+  // (the stale deadline entry is lazily skipped).
+  {
+    std::lock_guard<std::mutex> note(session->note_mu);
+    if (session->fetch_parked && !session->pending.empty()) {
+      session->fetch_parked = false;
+      ReplyWithBatchLocked(session.get(), msg.max);
+    }
+  }
 }
 
 std::string GatewayServer::BuildStatsJson(uint32_t sections) const {
@@ -688,6 +1117,8 @@ std::string GatewayServer::BuildStatsJson(uint32_t sections) const {
     out.append(std::to_string(hub_->size()));
     out.append(",\"shards\":");
     out.append(std::to_string(queues_.size()));
+    out.append(",\"io_threads\":");
+    out.append(std::to_string(io_shards_.size()));
     out.append(",\"ingress_depth\":");
     out.append(std::to_string(depth));
     out.append(",\"ingress_capacity\":");
@@ -698,6 +1129,8 @@ std::string GatewayServer::BuildStatsJson(uint32_t sections) const {
     out.append(std::to_string(s.requests_processed));
     out.append(",\"backpressure_rejections\":");
     out.append(std::to_string(s.backpressure_rejections));
+    out.append(",\"quota_rejections\":");
+    out.append(std::to_string(s.quota_rejections));
     out.append(",\"protocol_errors\":");
     out.append(std::to_string(s.protocol_errors));
     out.append(",\"notifications_enqueued\":");
@@ -706,6 +1139,10 @@ std::string GatewayServer::BuildStatsJson(uint32_t sections) const {
     out.append(std::to_string(s.notifications_dropped));
     out.append(",\"sessions_accepted\":");
     out.append(std::to_string(s.sessions_accepted));
+    out.append(",\"batched_acks\":");
+    out.append(std::to_string(s.batched_acks));
+    out.append(",\"inline_raises\":");
+    out.append(std::to_string(s.inline_raises));
     out.append("}");
   }
   out.push_back('}');

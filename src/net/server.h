@@ -7,23 +7,36 @@
 // asynchronously to consumers. The gateway extends both across process
 // boundaries while preserving the core's threading model:
 //
-//   socket threads (poll loop) --> per-shard ingress queues --> N workers
+//   IO shards (epoll, edge-trig) --> per-shard ingress queues --> N workers
 //
-// The IO thread accepts connections, splits length-prefixed frames, routes
-// each to a shard queue, and enqueues; one worker thread per raise shard
+// `ServerOptions::io_threads` epoll threads own the sockets: each accepted
+// connection is pinned to the shard `fd % io_threads` for its whole life,
+// so every socket is read, written, and closed by exactly one thread, and
+// per-connection cost stays O(1) in the total session count (no poll-set
+// rebuild, no O(sessions) scans). Egress is batched: replies accumulate in
+// per-session outbox chunks and each drain writes them with one writev;
+// consecutive raise acks for a v2 session coalesce into ranged
+// BatchStatusReply frames. On top of the bounded ingress queues, admission
+// quotas (per-session and per-tenant in-flight raises, per-session queued
+// notify bytes) stop one hot client from starving the plane: quota hits
+// answer ResourceExhausted immediately from the IO shard.
+//
+// Worker threads are unchanged in role: one per raise shard
 // (N = Database::raise_shards(), 1 by default — exactly the paper's single
 // mutator) drains its queue in batches. Routing keys RaiseEvent frames by
 // the requested oid (class-name hash for oid 0, i.e. class-default relays)
 // and everything else by session id, so a given reactive object is only
 // ever touched by its owning worker — the per-object serialization the
-// sharded facade requires (core/shard.h). When a worker falls behind, its
-// ingress queue rejects with ResourceExhausted and the IO thread answers
-// the client with that backpressure signal immediately.
+// sharded facade requires (core/shard.h).
 //
 // Reply-order caveat with N > 1: frames from one session that hash to
 // different shards may be answered out of request order (each worker
 // preserves order for its own frames). Raises against a single oid — and
-// every non-raise request — keep strict FIFO per session.
+// every non-raise request — keep strict FIFO per session. Additionally, a
+// NotificationBatch completing a parked long-poll may overtake coalesced
+// raise acks still buffered in the same worker batch; a client blocked in
+// a long-poll by definition has no raises outstanding on that connection,
+// so the stream it observes is unchanged.
 //
 // Remote producers RaiseEvent on server-side relay reactive objects; remote
 // consumers Subscribe to occurrence keys ("end Employee::ChangeIncome") or
@@ -57,28 +70,54 @@ namespace net {
 /// "rule:<name>" subscribers (the default for remotely created rules).
 extern const char kNotifySubscribersAction[];
 
-/// Tuning knobs of the gateway.
-struct GatewayOptions {
+/// Every knob of the gateway, in one place.
+struct ServerOptions {
+  // --- Listener ---------------------------------------------------------------
   std::string host = "127.0.0.1";
   uint16_t port = 0;             ///< 0 picks an ephemeral port.
+
+  // --- IO plane ---------------------------------------------------------------
+  size_t io_threads = 1;         ///< Epoll shards; sessions pinned by fd hash.
+  uint32_t max_frame_body = kDefaultMaxFrameBody;
+
+  // --- Ingress / drain --------------------------------------------------------
   size_t ingress_capacity = 1024;
   size_t max_batch = 64;         ///< Requests drained per mutator wakeup.
-  uint32_t max_frame_body = kDefaultMaxFrameBody;
+
+  // --- Admission quotas (0 = unlimited) ---------------------------------------
+  /// Raises one session may have admitted-but-unacked; beyond it the IO
+  /// shard answers ResourceExhausted without touching the ingress queue.
+  uint32_t max_inflight_raises = 0;
+  /// Same bound summed over every session of one tenant (Hello names the
+  /// tenant; sessions that never said Hello share the default tenant).
+  uint32_t tenant_max_inflight_raises = 0;
+
+  // --- Notification egress ----------------------------------------------------
   size_t max_pending_notifications = 1024;  ///< Per-session, FIFO-trimmed.
+  size_t max_pending_notify_bytes = 4u << 20;  ///< Per-session byte cap.
+
   /// Register unknown classes on first RaiseEvent (reactive, with the
   /// raised method designated begin+end). Off: such raises fail NotFound.
   bool auto_register_classes = true;
 };
+
+/// Deprecated name of ServerOptions, kept so pre-redesign call sites
+/// compile while they migrate.
+using GatewayOptions = ServerOptions;
 
 /// Counters exposed for benchmarks and tests (all monotone).
 struct GatewayStats {
   uint64_t frames_received = 0;
   uint64_t requests_processed = 0;
   uint64_t backpressure_rejections = 0;
+  uint64_t quota_rejections = 0;  ///< Subset of backpressure: quota hits.
   uint64_t protocol_errors = 0;
   uint64_t notifications_enqueued = 0;
   uint64_t notifications_dropped = 0;
   uint64_t sessions_accepted = 0;
+  uint64_t batched_acks = 0;  ///< Acks delivered inside BatchStatusReplies.
+  uint64_t inline_raises = 0;  ///< Raises executed on the IO thread (sync
+                               ///< fast path: idle shard, lone frame).
 };
 
 /// TCP front end for one Database. The caller must keep `db` alive until
@@ -86,14 +125,14 @@ struct GatewayStats {
 /// threads (the gateway's worker threads own the facade's raise path).
 class GatewayServer {
  public:
-  GatewayServer(Database* db, GatewayOptions options = {});
+  GatewayServer(Database* db, ServerOptions options = {});
   ~GatewayServer();
 
   GatewayServer(const GatewayServer&) = delete;
   GatewayServer& operator=(const GatewayServer&) = delete;
 
   /// Binds, registers the notify action + occurrence observer, and spawns
-  /// the IO thread plus one worker per raise shard.
+  /// the IO shards plus one worker per raise shard.
   Status Start();
 
   /// Drains in-flight requests, closes every session, joins all threads.
@@ -109,32 +148,102 @@ class GatewayServer {
   /// Shard 0's queue — the only one when the database is unsharded.
   const IngressQueue* ingress() const { return queues_[0].get(); }
   size_t worker_count() const { return queues_.size(); }
+  size_t io_thread_count() const { return io_shards_.size(); }
   GatewayStats stats() const;
 
  private:
-  void IoLoop();
+  /// One epoll thread plus everything pinned to it. Sessions are handed to
+  /// a shard at accept time and never migrate.
+  struct IoShard {
+    size_t index = 0;
+    int epoll_fd = -1;
+    SelfPipe wake;           ///< Cross-thread nudge into epoll_wait.
+    std::thread thread;
+    /// Sessions owned by this shard (this thread only).
+    std::map<uint64_t, std::shared_ptr<Session>> sessions;
+    /// Accepted fds handed over by the accepting shard.
+    std::mutex incoming_mu;
+    std::vector<int> incoming_fds;
+    /// Sessions whose outbox went nonempty since the last drain.
+    std::mutex flush_mu;
+    std::vector<uint64_t> flush_ids;
+    /// Per-worker-shard frame staging reused across reads (this thread
+    /// only) so routing a burst costs no allocations.
+    std::vector<std::vector<IngressItem>> staging;
+  };
+
+  void IoLoop(size_t io);
   /// Drains shard `shard`'s queue; binds the thread to that raise shard.
   void WorkerLoop(size_t shard);
 
-  // --- IO thread helpers ------------------------------------------------------
-  void AcceptPending();
-  /// Reads, splits frames, routes each to its shard queue (batched per
-  /// queue); returns false when the session died.
-  bool DrainSocket(Session* session);
+  // --- IO shard helpers -------------------------------------------------------
+  void AcceptPending(IoShard* io);
+  /// Registers fds other shards accepted on our behalf.
+  void AdoptIncoming(IoShard* io);
+  /// Registers one connected fd with `io` and the hub.
+  void RegisterSession(IoShard* io, int fd);
+  /// Reads to EAGAIN (edge-triggered), splits frames, applies admission
+  /// quotas, routes to shard queues; returns false when the session died.
+  bool DrainSocket(IoShard* io, const std::shared_ptr<Session>& session);
   /// The shard queue `frame` must be processed on.
   size_t RouteFrame(const Session* session, const Frame& frame) const;
-  /// Flushes queued output; returns false when the session died.
+  /// writev's queued output until EAGAIN or empty; returns false when the
+  /// session died. Takes the session's writer lock.
   bool FlushSocket(Session* session);
-  void CloseSession(uint64_t id);
+  /// FlushSocket body; caller holds session->wr_mu.
+  bool FlushSocketLocked(Session* session);
+  /// Worker-side direct flush: if the writer lock is free, writes the
+  /// just-queued replies from the worker thread, skipping the wake-pipe
+  /// handoff to the IO shard. On contention, residue, or a dead socket
+  /// it falls back to notifying the owning shard. Pairs with
+  /// Session::QueueReplyQuiet.
+  void WorkerFlush(const std::shared_ptr<Session>& session);
+  /// True when neither staged wq chunks nor outbox bytes remain.
+  bool OutboxDrained(Session* session);
+  /// Flushes every session queued on the shard's flush list.
+  void DrainFlushQueue(IoShard* io);
+  void CloseSession(IoShard* io, uint64_t id);
+  /// Undoes admission charges for items a full queue bounced.
+  void UnchargeRejected(const std::vector<IngressItem>& items);
 
   // --- Worker thread helpers --------------------------------------------------
-  void ProcessItem(size_t shard, const IngressItem& item);
+  /// Buffers consecutive same-session raise acks so a drain can answer
+  /// them with one ranged BatchStatusReply (v2 sessions) instead of a
+  /// frame per raise. Order within a session is preserved: any non-ack
+  /// reply flushes the buffer first.
+  class AckBatcher {
+   public:
+    explicit AckBatcher(GatewayServer* server) : server_(server) {}
+    /// Queues `msg` as the ack for one raise on `session` (may buffer).
+    void Ack(const std::shared_ptr<Session>& session,
+             const StatusReplyMsg& msg);
+    /// Flushes buffered acks for one session (before a non-ack reply).
+    void FlushSession(Session* session);
+    /// Flushes everything (end of drain batch).
+    void FlushAll();
+
+   private:
+    GatewayServer* server_;
+    struct Pending {
+      std::shared_ptr<Session> session;
+      std::vector<BatchStatusReplyMsg::Run> runs;
+      size_t total = 0;
+    };
+    /// At most max_batch sessions per drain; linear scan beats hashing.
+    std::vector<Pending> pending_;
+    void Emit(Pending* p);
+  };
+
+  void ProcessItem(size_t shard, const IngressItem& item, AckBatcher* acks);
   StatusReplyMsg HandleRaiseEvent(size_t shard, const RaiseEventMsg& msg);
   StatusReplyMsg HandleCreateRule(const CreateRuleMsg& msg);
   StatusReplyMsg HandleRuleToggle(const RuleNameMsg& msg, bool enable);
   StatusReplyMsg HandleSubscribe(const std::shared_ptr<Session>& session,
                                  const SubscribeMsg& msg);
-  void HandleFetch(Session* session, const FetchMsg& msg);
+  void HandleHello(const std::shared_ptr<Session>& session,
+                   const HelloMsg& msg);
+  void HandleFetch(const std::shared_ptr<Session>& session,
+                   const FetchMsg& msg);
   void HandleGetStats(Session* session, const StatsRequestMsg& msg);
   /// Renders the StatsReply JSON for the requested section bits. Runs on a
   /// worker thread; counters are exact only once writers quiesce.
@@ -144,28 +253,36 @@ class GatewayServer {
   Result<ReactiveObject*> RelayFor(size_t shard,
                                    const std::string& class_name,
                                    const std::string& method, uint64_t oid);
+  /// The quota domain for `name`, creating it on first use.
+  TenantState* TenantFor(const std::string& name);
 
   Database* db_;
-  GatewayOptions options_;
+  ServerOptions options_;
+  NotifyLimits notify_limits_;
   std::shared_ptr<NotificationHub> hub_;
   /// One bounded queue per raise shard, each with the configured capacity.
   std::vector<std::unique_ptr<IngressQueue>> queues_;
+  /// Per-shard execution lock: the shard's worker holds it across each
+  /// drain, and an IO thread try-locks it to execute a lone raise inline
+  /// when the shard queue is empty (the sync fast path — two context
+  /// switches per RPC instead of three). Per-object serialization is
+  /// preserved: only one thread runs a shard's mutator rounds at a time.
+  std::vector<std::unique_ptr<std::mutex>> exec_mu_;
   Database::ObserverHandle observer_;
 
   int listen_fd_ = -1;
-  SelfPipe wake_pipe_;  ///< Wakes the poll loop (robust EINTR/EAGAIN).
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread io_thread_;
+  std::vector<std::unique_ptr<IoShard>> io_shards_;
   std::vector<std::thread> workers_;
 
-  /// IO-thread view of sessions (fd -> session). The hub owns the shared
-  /// registry; this map only drives the poll set.
-  std::map<uint64_t, std::shared_ptr<Session>> io_sessions_;
-  uint64_t next_session_id_ = 1;
-  /// Per-shard frame staging reused across DrainSocket calls (IO thread
-  /// only) so routing a burst costs no allocations.
-  std::vector<std::vector<IngressItem>> io_staging_;
+  std::atomic<uint64_t> next_session_id_{1};
+
+  /// Tenant quota domains, created at Hello ("" = default, created at
+  /// Start). Addresses must stay stable while sessions hold raw pointers,
+  /// hence unique_ptr values; mutated only under tenants_mu_.
+  std::mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
 
   /// Relay objects workers materialized for remote raises, keyed by
   /// (class, requested oid; 0 = the class's default relay), one map per
@@ -178,8 +295,11 @@ class GatewayServer {
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> requests_processed_{0};
   std::atomic<uint64_t> backpressure_rejections_{0};
+  std::atomic<uint64_t> quota_rejections_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> sessions_accepted_{0};
+  std::atomic<uint64_t> batched_acks_{0};
+  std::atomic<uint64_t> inline_raises_{0};
 };
 
 }  // namespace net

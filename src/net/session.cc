@@ -7,14 +7,56 @@
 namespace sentinel {
 namespace net {
 
-void Session::QueueReply(FrameType type, const std::string& body) {
-  std::lock_guard<std::mutex> lock(out_mu_);
-  EncodeFrame(type, body, &outbox_);
+namespace {
+
+/// Outbox chunk target: QueueReply appends into the tail chunk until it
+/// reaches this size, then starts a new one. Big enough that a burst of
+/// small acks coalesces into one iovec; small enough that a writev never
+/// stages more than a few syscalls' worth per chunk.
+constexpr size_t kOutChunkTarget = 64 * 1024;
+
+/// Deterministic size estimate for the per-session notify-bytes quota.
+/// Deliberately cheap (no encode pass): fixed frame overhead plus the
+/// variable-length fields. Add and subtract use the same function, so the
+/// running total never drifts.
+size_t ApproxNotificationBytes(const Notification& n) {
+  return 48 + n.key.size() + n.class_name.size() + n.method.size() +
+         16 * n.params.size();
 }
 
-std::string Session::TakeOutput() {
+}  // namespace
+
+void Session::QueueReply(FrameType type, const std::string& body) {
+  bool was_empty;
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    was_empty = outbox_.empty();
+    if (outbox_.empty() || outbox_.back().size() >= kOutChunkTarget) {
+      outbox_.emplace_back();
+      outbox_.back().reserve(
+          std::min(kOutChunkTarget, kFrameHeaderSize + body.size()));
+    }
+    EncodeFrame(type, body, &outbox_.back(), wire_version());
+  }
+  if (was_empty && flush_notifier_) flush_notifier_(this);
+}
+
+void Session::QueueReplyQuiet(FrameType type, const std::string& body) {
   std::lock_guard<std::mutex> lock(out_mu_);
-  return std::move(outbox_);
+  if (outbox_.empty() || outbox_.back().size() >= kOutChunkTarget) {
+    outbox_.emplace_back();
+    outbox_.back().reserve(
+        std::min(kOutChunkTarget, kFrameHeaderSize + body.size()));
+  }
+  EncodeFrame(type, body, &outbox_.back(), wire_version());
+}
+
+void Session::TakeOutput(std::deque<std::string>* wq) {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  while (!outbox_.empty()) {
+    wq->push_back(std::move(outbox_.front()));
+    outbox_.pop_front();
+  }
 }
 
 bool Session::HasOutput() const {
@@ -35,16 +77,18 @@ std::shared_ptr<Session> NotificationHub::Find(uint64_t id) const {
   return it == sessions_.end() ? nullptr : it->second;
 }
 
-size_t NotificationHub::ReapSessionState(Session* session) {
+std::vector<std::string> NotificationHub::ReapSessionState(Session* session) {
   std::lock_guard<std::mutex> note(session->note_mu);
   // A fetch parked past this point would never be answered (the socket is
-  // gone) yet would keep the expiry scan and deadline computation busy —
-  // cancel it outright.
+  // gone) yet would keep a live deadline entry busy — cancel it outright;
+  // the deadline map entry goes stale and expiry skips it.
   session->fetch_parked = false;
   session->pending.clear();
-  size_t subs = session->subscriptions.size();
+  session->pending_bytes = 0;
+  std::vector<std::string> keys(session->subscriptions.begin(),
+                                session->subscriptions.end());
   session->subscriptions.clear();
-  return subs;
+  return keys;
 }
 
 void NotificationHub::Remove(uint64_t id) {
@@ -56,8 +100,17 @@ void NotificationHub::Remove(uint64_t id) {
     session = std::move(it->second);
     sessions_.erase(it);
   }
-  size_t subs = ReapSessionState(session.get());
-  if (subs > 0) sub_count_.fetch_sub(subs, std::memory_order_relaxed);
+  std::vector<std::string> keys = ReapSessionState(session.get());
+  if (!keys.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& key : keys) {
+      auto it = subs_by_key_.find(key);
+      if (it == subs_by_key_.end()) continue;
+      it->second.erase(id);
+      if (it->second.empty()) subs_by_key_.erase(it);
+    }
+    sub_count_.fetch_sub(keys.size(), std::memory_order_relaxed);
+  }
 }
 
 void NotificationHub::Clear() {
@@ -65,18 +118,37 @@ void NotificationHub::Clear() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     sessions.swap(sessions_);
+    subs_by_key_.clear();
+    parked_.clear();
+    sub_count_.store(0, std::memory_order_relaxed);
   }
-  size_t subs = 0;
-  for (auto& [id, session] : sessions) subs += ReapSessionState(session.get());
-  if (subs > 0) sub_count_.fetch_sub(subs, std::memory_order_relaxed);
+  for (auto& [id, session] : sessions) ReapSessionState(session.get());
 }
 
 void NotificationHub::Subscribe(const std::shared_ptr<Session>& session,
                                 const std::string& key) {
-  std::lock_guard<std::mutex> note(session->note_mu);
-  if (session->subscriptions.insert(key).second) {
-    sub_count_.fetch_add(1, std::memory_order_relaxed);
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> note(session->note_mu);
+    inserted = session->subscriptions.insert(key).second;
   }
+  if (!inserted) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  subs_by_key_[key].insert(session->id());
+  sub_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NotificationHub::ParkFetch(
+    const std::shared_ptr<Session>& session, uint32_t max,
+    std::chrono::steady_clock::time_point deadline) {
+  {
+    std::lock_guard<std::mutex> note(session->note_mu);
+    session->fetch_parked = true;
+    session->fetch_max = max;
+    session->fetch_deadline = deadline;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  parked_.emplace(deadline, session->id());
 }
 
 size_t NotificationHub::size() const {
@@ -92,25 +164,14 @@ std::vector<std::shared_ptr<Session>> NotificationHub::Snapshot() const {
   return out;
 }
 
-void NotificationHub::SetWake(std::function<void()> wake) {
-  std::lock_guard<std::mutex> lock(mu_);
-  wake_ = std::move(wake);
-}
-
-void NotificationHub::WakeLocked() {
-  std::function<void()> wake;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    wake = wake_;
-  }
-  if (wake) wake();
-}
-
 void ReplyWithBatchLocked(Session* session, uint32_t max) {
   NotificationBatchMsg batch;
   size_t n = std::min<size_t>(max, session->pending.size());
   for (size_t i = 0; i < n; ++i) {
-    batch.items.push_back(std::move(session->pending.front()));
+    Notification& front = session->pending.front();
+    size_t bytes = ApproxNotificationBytes(front);
+    session->pending_bytes -= std::min(session->pending_bytes, bytes);
+    batch.items.push_back(std::move(front));
     session->pending.pop_front();
   }
   session->Reply(FrameType::kNotificationBatch, batch);
@@ -122,18 +183,43 @@ void ReplyWithBatch(Session* session, uint32_t max) {
 }
 
 size_t NotificationHub::Broadcast(const std::string& key,
-                                  const Notification& n, size_t max_pending) {
+                                  const Notification& n,
+                                  const NotifyLimits& limits) {
   // Fast miss: nobody anywhere is subscribed (the raw-throughput case).
   if (sub_count_.load(std::memory_order_relaxed) == 0) return 0;
+
+  // Indexed fan-out: resolve only this key's subscribers, not every
+  // session. The shared_ptrs pin the sessions while their note_mu work
+  // proceeds outside the registry lock.
+  std::vector<std::shared_ptr<Session>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subs_by_key_.find(key);
+    if (it == subs_by_key_.end()) return 0;
+    targets.reserve(it->second.size());
+    for (uint64_t id : it->second) {
+      auto sit = sessions_.find(id);
+      if (sit != sessions_.end()) targets.push_back(sit->second);
+    }
+  }
+
   size_t reached = 0;
   uint64_t dropped = 0;
-  bool replied = false;
-  for (const std::shared_ptr<Session>& session : Snapshot()) {
+  const size_t n_bytes = ApproxNotificationBytes(n);
+  const size_t max_count = std::max<size_t>(limits.max_count, 1);
+  for (const std::shared_ptr<Session>& session : targets) {
     std::lock_guard<std::mutex> note(session->note_mu);
+    // The index can briefly lag a reap; the cleared subscription set is
+    // authoritative.
     if (session->subscriptions.count(key) == 0) continue;
     ++reached;
     session->pending.push_back(n);
-    while (session->pending.size() > std::max<size_t>(max_pending, 1)) {
+    session->pending_bytes += n_bytes;
+    while (session->pending.size() > max_count ||
+           (limits.max_bytes > 0 && session->pending_bytes > limits.max_bytes &&
+            session->pending.size() > 1)) {
+      size_t bytes = ApproxNotificationBytes(session->pending.front());
+      session->pending_bytes -= std::min(session->pending_bytes, bytes);
       session->pending.pop_front();
       ++session->dropped_notifications;
       ++dropped;
@@ -143,7 +229,6 @@ size_t NotificationHub::Broadcast(const std::string& key,
     if (session->fetch_parked) {
       session->fetch_parked = false;
       ReplyWithBatchLocked(session.get(), session->fetch_max);
-      replied = true;
     }
   }
   if (reached > 0 || dropped > 0) {
@@ -153,34 +238,38 @@ size_t NotificationHub::Broadcast(const std::string& key,
   }
   metrics::Add(m_enqueued_, reached);
   metrics::Add(m_dropped_, dropped);
-  if (replied) WakeLocked();
   return reached;
 }
 
 size_t NotificationHub::ExpireParkedFetches(
     std::chrono::steady_clock::time_point now) {
+  // Pop only due deadline entries; each may be stale (completed early,
+  // re-parked, or reaped), in which case the session-side check skips it.
+  std::vector<std::shared_ptr<Session>> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!parked_.empty() && parked_.begin()->first <= now) {
+      auto it = sessions_.find(parked_.begin()->second);
+      if (it != sessions_.end()) due.push_back(it->second);
+      parked_.erase(parked_.begin());
+    }
+  }
   size_t expired = 0;
-  for (const std::shared_ptr<Session>& session : Snapshot()) {
+  for (const std::shared_ptr<Session>& session : due) {
     std::lock_guard<std::mutex> note(session->note_mu);
     if (!session->fetch_parked || session->fetch_deadline > now) continue;
     session->fetch_parked = false;
     ReplyWithBatchLocked(session.get(), session->fetch_max);
     ++expired;
   }
-  if (expired > 0) WakeLocked();
   return expired;
 }
 
 std::chrono::steady_clock::time_point NotificationHub::NextDeadline(
     std::chrono::steady_clock::time_point fallback) const {
-  std::chrono::steady_clock::time_point next = fallback;
-  for (const std::shared_ptr<Session>& session : Snapshot()) {
-    std::lock_guard<std::mutex> note(session->note_mu);
-    if (session->fetch_parked && session->fetch_deadline < next) {
-      next = session->fetch_deadline;
-    }
-  }
-  return next;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parked_.empty()) return fallback;
+  return std::min(parked_.begin()->first, fallback);
 }
 
 uint64_t NotificationHub::notifications_enqueued() const {

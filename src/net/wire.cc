@@ -41,18 +41,26 @@ bool IsKnownFrameType(uint8_t raw) {
     case FrameType::kSubscribe:
     case FrameType::kFetchNotifications:
     case FrameType::kGetStats:
+    case FrameType::kHello:
     case FrameType::kPong:
     case FrameType::kStatusReply:
     case FrameType::kNotificationBatch:
     case FrameType::kStatsReply:
+    case FrameType::kHelloReply:
+    case FrameType::kBatchStatusReply:
       return true;
   }
   return false;
 }
 
-void EncodeFrame(FrameType type, const std::string& body, std::string* out) {
+void EncodeFrame(FrameType type, const std::string& body, std::string* out,
+                 uint8_t version) {
   Encoder enc;
-  enc.PutU32(static_cast<uint32_t>(body.size()));
+  // Length and version share one little-endian u32: low 24 bits length,
+  // high byte version. Version-0 output is byte-identical to pre-versioning
+  // frames.
+  enc.PutU32(static_cast<uint32_t>(body.size()) |
+             (static_cast<uint32_t>(version) << 24));
   enc.PutU8(static_cast<uint8_t>(type));
   out->append(enc.buffer());
   out->append(body);
@@ -64,13 +72,21 @@ DecodeProgress TryDecodeFrame(std::string_view buf, uint32_t max_body,
   if (buf.size() < kFrameHeaderSize) return DecodeProgress::kNeedMore;
 
   Decoder header(buf.data(), kFrameHeaderSize);
-  uint32_t body_len = 0;
+  uint32_t len_word = 0;
   uint8_t raw_type = 0;
-  header.GetU32(&body_len).ok();
+  header.GetU32(&len_word).ok();
   header.GetU8(&raw_type).ok();
+  uint32_t body_len = len_word & kFrameBodyLimit;
+  uint8_t version = static_cast<uint8_t>(len_word >> 24);
 
-  // Validate the header before waiting for the body: an oversized length or
-  // unknown type can never become a good frame, so fail fast.
+  // Validate the header before waiting for the body: an oversized length,
+  // an unknown type, or a version from the future can never become a good
+  // frame, so fail fast.
+  if (version > kProtocolVersionMax) {
+    *error = Status::InvalidArgument("unsupported protocol version " +
+                                     std::to_string(version));
+    return DecodeProgress::kError;
+  }
   if (body_len > max_body) {
     *error = Status::ResourceExhausted(
         "frame body of " + std::to_string(body_len) + " bytes exceeds cap " +
@@ -85,6 +101,7 @@ DecodeProgress TryDecodeFrame(std::string_view buf, uint32_t max_body,
   if (buf.size() < kFrameHeaderSize + body_len) return DecodeProgress::kNeedMore;
 
   frame->type = static_cast<FrameType>(raw_type);
+  frame->version = version;
   frame->body.assign(buf.substr(kFrameHeaderSize, body_len));
   *consumed = kFrameHeaderSize + body_len;
   return DecodeProgress::kFrame;
@@ -211,6 +228,102 @@ Result<FetchMsg> FetchMsg::Decode(const std::string& body) {
   SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
   if (msg.max == 0) {
     return Status::InvalidArgument("fetch max must be positive");
+  }
+  return msg;
+}
+
+// --- HelloMsg ----------------------------------------------------------------
+
+void HelloMsg::Encode(Encoder* enc) const {
+  enc->PutU32(magic);
+  enc->PutU8(min_version);
+  enc->PutU8(max_version);
+  enc->PutString(tenant);
+}
+
+Result<HelloMsg> HelloMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  HelloMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.magic));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.min_version));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.max_version));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.tenant));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.magic != kMagic) {
+    return Status::InvalidArgument("bad hello magic");
+  }
+  if (msg.min_version == 0 || msg.min_version > msg.max_version) {
+    return Status::InvalidArgument("bad hello version range [" +
+                                   std::to_string(msg.min_version) + ", " +
+                                   std::to_string(msg.max_version) + "]");
+  }
+  return msg;
+}
+
+// --- HelloReplyMsg -----------------------------------------------------------
+
+void HelloReplyMsg::Encode(Encoder* enc) const {
+  enc->PutU8(version);
+  enc->PutU32(max_frame_body);
+  enc->PutString(server);
+}
+
+Result<HelloReplyMsg> HelloReplyMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  HelloReplyMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.version));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.max_frame_body));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&msg.server));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.version == 0) {
+    return Status::InvalidArgument("hello reply names version 0");
+  }
+  return msg;
+}
+
+// --- BatchStatusReplyMsg -----------------------------------------------------
+
+size_t BatchStatusReplyMsg::TotalAcks() const {
+  size_t total = 0;
+  for (const Run& run : runs) total += run.count;
+  return total;
+}
+
+void BatchStatusReplyMsg::Encode(Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(runs.size()));
+  for (const Run& run : runs) {
+    enc->PutU32(run.count);
+    enc->PutU8(run.code);
+    enc->PutString(run.message);
+    enc->PutU64(run.payload);
+  }
+}
+
+Result<BatchStatusReplyMsg> BatchStatusReplyMsg::Decode(
+    const std::string& body) {
+  Decoder dec(body);
+  uint32_t count = 0;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&count));
+  BatchStatusReplyMsg msg;
+  msg.runs.reserve(std::min<size_t>(count, dec.remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    Run run;
+    SENTINEL_RETURN_IF_ERROR(dec.GetU32(&run.count));
+    SENTINEL_RETURN_IF_ERROR(dec.GetU8(&run.code));
+    SENTINEL_RETURN_IF_ERROR(dec.GetString(&run.message));
+    SENTINEL_RETURN_IF_ERROR(dec.GetU64(&run.payload));
+    if (run.count == 0) {
+      return Status::InvalidArgument("empty batch-status run");
+    }
+    if (run.code > static_cast<uint8_t>(Status::Code::kResourceExhausted)) {
+      return Status::InvalidArgument("bad status code " +
+                                     std::to_string(run.code));
+    }
+    msg.runs.push_back(std::move(run));
+  }
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.runs.empty()) {
+    return Status::InvalidArgument("batch status reply carries no runs");
   }
   return msg;
 }

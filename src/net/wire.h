@@ -6,9 +6,17 @@
 // the synchronous call interface; the gateway extends that propagation across
 // process boundaries. Every message travels in a length-prefixed frame
 //
-//   u32 body-length (little endian) | u8 frame type | body
+//   u24 body-length | u8 protocol version | u8 frame type | body
 //
-// with bodies encoded by common/codec (the same Encoder/Decoder the object
+// (little endian; the length and version share one u32 word). Version 0 is
+// what pre-versioning peers emit — their body lengths were capped far below
+// 2^24, so the byte now carrying the version was always zero and old frames
+// parse unchanged. A client opts into a newer protocol with a kHello
+// exchange; until that succeeds both sides speak version-0 framing and only
+// the v1 frame set, which is how a new server keeps serving old clients and
+// a new client survives an old server.
+//
+// Bodies are encoded by common/codec (the same Encoder/Decoder the object
 // store and WAL use). Decoding never trusts the peer: truncated, oversized,
 // unknown-type, and trailing-garbage frames all surface as Status errors
 // instead of crashes, because framed bytes come from the network.
@@ -41,32 +49,48 @@ enum class FrameType : uint8_t {
   kSubscribe = 6,
   kFetchNotifications = 7,
   kGetStats = 8,
+  kHello = 9,
 
   // Responses (server -> client).
   kPong = 64,
   kStatusReply = 65,
   kNotificationBatch = 66,
   kStatsReply = 67,
+  kHelloReply = 68,
+  kBatchStatusReply = 69,
 };
 
 /// True when `raw` names a defined FrameType.
 bool IsKnownFrameType(uint8_t raw);
+
+/// Protocol versions a Hello exchange can settle on. Version 1 is the
+/// pre-Hello protocol (exactly what version-0 framing carries); version 2
+/// adds the header version byte and ranged kBatchStatusReply acks.
+constexpr uint8_t kProtocolV1 = 1;
+constexpr uint8_t kProtocolV2 = 2;
+constexpr uint8_t kProtocolVersionMax = kProtocolV2;
+
+/// Hard framing ceiling: the length field is 24 bits.
+constexpr uint32_t kFrameBodyLimit = (1u << 24) - 1;
 
 /// Default ceiling on a frame body. Anything larger is rejected before
 /// buffering so a hostile peer cannot balloon server memory.
 constexpr uint32_t kDefaultMaxFrameBody = 4u << 20;  // 4 MiB
 
 /// Bytes of frame header preceding the body.
-constexpr size_t kFrameHeaderSize = 5;  // u32 length + u8 type
+constexpr size_t kFrameHeaderSize = 5;  // u24 length + u8 version + u8 type
 
 /// One decoded frame.
 struct Frame {
   FrameType type = FrameType::kPing;
+  uint8_t version = 0;  ///< Header version byte (0 = legacy framing).
   std::string body;
 };
 
-/// Appends the framed encoding of (type, body) to `out`.
-void EncodeFrame(FrameType type, const std::string& body, std::string* out);
+/// Appends the framed encoding of (type, body) to `out`. `version` is the
+/// header version byte; emit 0 unless the peer negotiated >= kProtocolV2.
+void EncodeFrame(FrameType type, const std::string& body, std::string* out,
+                 uint8_t version = 0);
 
 /// Outcome of TryDecodeFrame.
 enum class DecodeProgress {
@@ -158,6 +182,24 @@ struct FetchMsg {
   static Result<FetchMsg> Decode(const std::string& body);
 };
 
+/// Opens protocol negotiation (the first frame a version-aware client
+/// sends, always with a version-0 header). The server picks the highest
+/// version inside [min_version, max_version] it also supports and answers
+/// with a HelloReply; a pre-Hello server answers with an error instead,
+/// which the client treats as "speak v1". `tenant` names the admission
+/// domain this connection bills its quotas to ("" = the default tenant).
+struct HelloMsg {
+  static constexpr uint32_t kMagic = 0x534E544Cu;  // "SNTL"
+
+  uint32_t magic = kMagic;
+  uint8_t min_version = kProtocolV1;
+  uint8_t max_version = kProtocolVersionMax;
+  std::string tenant;
+
+  void Encode(Encoder* enc) const;
+  static Result<HelloMsg> Decode(const std::string& body);
+};
+
 /// Request the server's stats snapshot. `sections` is a bitmask choosing
 /// what the reply's JSON covers; unknown bits are rejected so they stay
 /// available for future sections.
@@ -186,6 +228,40 @@ struct StatusReplyMsg {
 
   void Encode(Encoder* enc) const;
   static Result<StatusReplyMsg> Decode(const std::string& body);
+};
+
+/// Reply to Hello: the version both sides will speak from here on, plus
+/// the server's frame-body ceiling so a well-behaved client never sends a
+/// frame the server would have to kill the connection over.
+struct HelloReplyMsg {
+  uint8_t version = kProtocolV1;
+  uint32_t max_frame_body = kDefaultMaxFrameBody;
+  std::string server;  ///< Informational banner, e.g. "sentinel-gateway/2".
+
+  void Encode(Encoder* enc) const;
+  static Result<HelloReplyMsg> Decode(const std::string& body);
+};
+
+/// Ranged, coalesced acks (protocol >= v2 only). Answers a run of
+/// consecutive same-session requests whose StatusReplies would have been
+/// identical with one frame: `count` acks of (code, message). `payload`
+/// carries the per-request payload only when count == 1 (a run of raises
+/// against one relay shares its oid, so coalescing keeps that case exact
+/// too — the encoder only merges acks whose payloads match).
+struct BatchStatusReplyMsg {
+  struct Run {
+    uint32_t count = 0;
+    uint8_t code = 0;
+    std::string message;
+    uint64_t payload = 0;
+  };
+  std::vector<Run> runs;
+
+  /// Sum of run counts: how many request acks this frame settles.
+  size_t TotalAcks() const;
+
+  void Encode(Encoder* enc) const;
+  static Result<BatchStatusReplyMsg> Decode(const std::string& body);
 };
 
 /// One delivered notification: the subscription key it matched plus the

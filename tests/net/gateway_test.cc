@@ -1,9 +1,11 @@
 // Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
 //
-// End-to-end gateway tests over loopback TCP: a remote RaiseEvent triggers
+// End-to-end gateway tests over loopback TCP: a remote raise triggers
 // rules and reaches another connection's subscription, long-polls complete
 // on raise, and malformed streams are rejected without taking the server
-// down.
+// down. Clients use the role API (Connection + Publisher + Subscriber);
+// one test pins the deprecated GatewayClient facade so the migration shim
+// keeps working until it is removed.
 
 #include "net/server.h"
 
@@ -57,8 +59,8 @@ class GatewayTest : public ::testing::Test {
     tmp_.reset();
   }
 
-  std::unique_ptr<GatewayClient> Client() {
-    auto c = GatewayClient::Connect("127.0.0.1", server_->port());
+  std::unique_ptr<Connection> Dial() {
+    auto c = Connection::Dial("127.0.0.1", server_->port());
     EXPECT_TRUE(c.ok()) << c.status().ToString();
     return std::move(c).value();
   }
@@ -70,22 +72,24 @@ class GatewayTest : public ::testing::Test {
 };
 
 TEST_F(GatewayTest, PingRoundTrips) {
-  auto client = Client();
-  EXPECT_TRUE(client->Ping().ok());
+  auto conn = Dial();
+  EXPECT_TRUE(conn->Ping().ok());
 }
 
 TEST_F(GatewayTest, RaiseReachesAnotherSessionsSubscription) {
-  auto consumer = Client();
-  auto producer = Client();
+  auto consumer_conn = Dial();
+  Subscriber consumer(consumer_conn.get());
+  auto producer_conn = Dial();
+  Publisher producer(producer_conn.get());
 
-  ASSERT_TRUE(consumer->Subscribe("end Sensor::Report").ok());
+  ASSERT_TRUE(consumer.Subscribe("end Sensor::Report").ok());
 
-  auto oid = producer->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
-                                  {Value(21.5), Value("lab")});
+  auto oid = producer.Raise("Sensor", "Report", EventModifier::kEnd,
+                            {Value(21.5), Value("lab")});
   ASSERT_TRUE(oid.ok()) << oid.status().ToString();
   EXPECT_NE(*oid, 0u);
 
-  auto batch = consumer->Fetch(16, 2000);
+  auto batch = consumer.Fetch(16, 2000);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
   // A begin and an end shade both reach PostRaise; the subscription only
   // matches the end key.
@@ -101,19 +105,20 @@ TEST_F(GatewayTest, RaiseReachesAnotherSessionsSubscription) {
 }
 
 TEST_F(GatewayTest, ParkedFetchCompletesOnRaise) {
-  auto consumer = Client();
-  ASSERT_TRUE(consumer->Subscribe("end Sensor::Report").ok());
+  auto consumer_conn = Dial();
+  Subscriber consumer(consumer_conn.get());
+  ASSERT_TRUE(consumer.Subscribe("end Sensor::Report").ok());
 
   std::thread producer_thread([this] {
     std::this_thread::sleep_for(milliseconds(100));
-    auto producer = Client();
-    producer->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
-                         {Value(1.0)})
+    auto conn = Dial();
+    Publisher producer(conn.get());
+    producer.Raise("Sensor", "Report", EventModifier::kEnd, {Value(1.0)})
         .ok();
   });
 
   auto start = std::chrono::steady_clock::now();
-  auto batch = consumer->Fetch(4, 5000);  // Parks server-side.
+  auto batch = consumer.Fetch(4, 5000);  // Parks server-side.
   auto elapsed = std::chrono::steady_clock::now() - start;
   producer_thread.join();
 
@@ -124,52 +129,55 @@ TEST_F(GatewayTest, ParkedFetchCompletesOnRaise) {
 }
 
 TEST_F(GatewayTest, ParkedFetchExpiresEmpty) {
-  auto consumer = Client();
-  ASSERT_TRUE(consumer->Subscribe("end Sensor::Report").ok());
+  auto conn = Dial();
+  Subscriber consumer(conn.get());
+  ASSERT_TRUE(consumer.Subscribe("end Sensor::Report").ok());
   auto start = std::chrono::steady_clock::now();
-  auto batch = consumer->Fetch(4, 150);
+  auto batch = consumer.Fetch(4, 150);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
   EXPECT_TRUE(batch->empty());
   EXPECT_GE(std::chrono::steady_clock::now() - start, milliseconds(100));
 }
 
 TEST_F(GatewayTest, RemoteRuleFiresAndNotifiesRuleSubscribers) {
-  auto consumer = Client();
-  auto producer = Client();
+  auto consumer_conn = Dial();
+  Subscriber consumer(consumer_conn.get());
+  auto producer_conn = Dial();
+  Publisher producer(producer_conn.get());
 
   CreateRuleMsg rule;
   rule.name = "AnyReport";
   rule.event_signature = "end Sensor::Report";
-  ASSERT_TRUE(producer->CreateRule(rule).ok());
+  ASSERT_TRUE(producer_conn->CreateRule(rule).ok());
 
-  ASSERT_TRUE(consumer->Subscribe("rule:AnyReport").ok());
+  ASSERT_TRUE(consumer.Subscribe("rule:AnyReport").ok());
 
   ASSERT_TRUE(producer
-                  ->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
-                               {Value(2.0)})
+                  .Raise("Sensor", "Report", EventModifier::kEnd,
+                         {Value(2.0)})
                   .ok());
-  auto batch = consumer->Fetch(16, 2000);
+  auto batch = consumer.Fetch(16, 2000);
   ASSERT_TRUE(batch.ok());
   ASSERT_EQ(batch->size(), 1u);
   EXPECT_EQ((*batch)[0].key, "rule:AnyReport");
   EXPECT_EQ((*batch)[0].method, "Report");
 
   // Disable stops the rule (and thus its notifications); enable restores.
-  ASSERT_TRUE(producer->DisableRule("AnyReport").ok());
+  ASSERT_TRUE(producer_conn->DisableRule("AnyReport").ok());
   ASSERT_TRUE(producer
-                  ->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
-                               {Value(3.0)})
+                  .Raise("Sensor", "Report", EventModifier::kEnd,
+                         {Value(3.0)})
                   .ok());
-  auto empty = consumer->Fetch(16, 0);
+  auto empty = consumer.Fetch(16, 0);
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->empty());
 
-  ASSERT_TRUE(producer->EnableRule("AnyReport").ok());
+  ASSERT_TRUE(producer_conn->EnableRule("AnyReport").ok());
   ASSERT_TRUE(producer
-                  ->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
-                               {Value(4.0)})
+                  .Raise("Sensor", "Report", EventModifier::kEnd,
+                         {Value(4.0)})
                   .ok());
-  auto again = consumer->Fetch(16, 2000);
+  auto again = consumer.Fetch(16, 2000);
   ASSERT_TRUE(again.ok());
   ASSERT_EQ(again->size(), 1u);
   ASSERT_EQ((*again)[0].params.size(), 1u);
@@ -177,28 +185,31 @@ TEST_F(GatewayTest, RemoteRuleFiresAndNotifiesRuleSubscribers) {
 }
 
 TEST_F(GatewayTest, UnknownRuleToggleFailsNotFound) {
-  auto client = Client();
-  Status s = client->EnableRule("NoSuchRule");
+  auto conn = Dial();
+  Status s = conn->EnableRule("NoSuchRule");
   EXPECT_TRUE(s.IsNotFound()) << s.ToString();
 }
 
 TEST_F(GatewayTest, AutoRegistersUnknownClassOnRaise) {
-  auto client = Client();
-  auto oid = client->RaiseEvent("Turbine", "SpinUp", EventModifier::kEnd,
-                                {Value(int64_t{9000})});
+  auto conn = Dial();
+  Publisher producer(conn.get());
+  auto oid = producer.Raise("Turbine", "SpinUp", EventModifier::kEnd,
+                            {Value(int64_t{9000})});
   ASSERT_TRUE(oid.ok()) << oid.status().ToString();
   // Raising again addresses the same relay object.
-  auto oid2 = client->RaiseEvent("Turbine", "SpinUp", EventModifier::kEnd,
-                                 {Value(int64_t{9001})});
+  auto oid2 = producer.Raise("Turbine", "SpinUp", EventModifier::kEnd,
+                             {Value(int64_t{9001})});
   ASSERT_TRUE(oid2.ok());
   EXPECT_EQ(*oid, *oid2);
 }
 
 TEST_F(GatewayTest, PipelinedRaisesAllSucceedOrReportBackpressure) {
-  auto consumer = Client();
-  ASSERT_TRUE(consumer->Subscribe("end Sensor::Report").ok());
+  auto consumer_conn = Dial();
+  Subscriber consumer(consumer_conn.get());
+  ASSERT_TRUE(consumer.Subscribe("end Sensor::Report").ok());
 
-  auto producer = Client();
+  auto producer_conn = Dial();
+  Publisher producer(producer_conn.get());
   std::vector<RaiseEventMsg> msgs(100);
   for (size_t i = 0; i < msgs.size(); ++i) {
     msgs[i].class_name = "Sensor";
@@ -207,7 +218,7 @@ TEST_F(GatewayTest, PipelinedRaisesAllSucceedOrReportBackpressure) {
     msgs[i].params = {Value(static_cast<int64_t>(i))};
   }
   uint64_t rejected = 0;
-  Status s = producer->RaisePipelined(msgs, &rejected);
+  Status s = producer.RaisePipelined(msgs, &rejected);
   // With a large default ingress queue nothing should bounce, but a loaded
   // CI machine may still see ResourceExhausted — both are valid protocol
   // outcomes; crashes/misorders are not.
@@ -217,7 +228,7 @@ TEST_F(GatewayTest, PipelinedRaisesAllSucceedOrReportBackpressure) {
   size_t expected = msgs.size() - static_cast<size_t>(rejected);
   std::vector<Notification> got;
   while (got.size() < expected) {
-    auto batch = consumer->Fetch(64, 2000);
+    auto batch = consumer.Fetch(64, 2000);
     ASSERT_TRUE(batch.ok());
     if (batch->empty()) break;
     got.insert(got.end(), batch->begin(), batch->end());
@@ -227,41 +238,44 @@ TEST_F(GatewayTest, PipelinedRaisesAllSucceedOrReportBackpressure) {
 
 TEST_F(GatewayTest, RaiseEventRetriesTransientRejection) {
   FailPoints::Instance().Reset();
-  auto client = Client();
-  GatewayClient::RetryPolicy policy;
+  auto conn = Dial();
+  Publisher producer(conn.get());
+  RetryPolicy policy;
   policy.max_attempts = 4;
-  client->set_retry_policy(policy);
+  producer.set_retry_policy(policy);
 
   // The first raise the server handles is rejected as transient
   // backpressure; the client must resend rather than surface it.
   ASSERT_TRUE(FailPoints::Instance()
                   .EnableFromSpec("gateway.raise=resource_exhausted@hit(1)")
                   .ok());
-  auto oid = client->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
-                                {Value(1.0)});
+  auto oid = producer.Raise("Sensor", "Report", EventModifier::kEnd,
+                            {Value(1.0)});
   FailPoints::Instance().Reset();
   ASSERT_TRUE(oid.ok()) << oid.status().ToString();
-  EXPECT_EQ(client->retries_total(), 1u);
+  EXPECT_EQ(producer.retries_total(), 1u);
 }
 
 TEST_F(GatewayTest, DefaultPolicySurfacesTransientRejection) {
   FailPoints::Instance().Reset();
-  auto client = Client();  // Default policy: one attempt, no retries.
+  auto conn = Dial();
+  Publisher producer(conn.get());  // Default policy: one attempt, no retry.
   ASSERT_TRUE(FailPoints::Instance()
                   .EnableFromSpec("gateway.raise=resource_exhausted@hit(1)")
                   .ok());
-  auto oid = client->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
-                                {Value(1.0)});
+  auto oid = producer.Raise("Sensor", "Report", EventModifier::kEnd,
+                            {Value(1.0)});
   FailPoints::Instance().Reset();
   EXPECT_TRUE(oid.status().IsResourceExhausted()) << oid.status().ToString();
-  EXPECT_EQ(client->retries_total(), 0u);
+  EXPECT_EQ(producer.retries_total(), 0u);
 }
 
 TEST_F(GatewayTest, PipelinedRetryResendsOnlyRejectedSubset) {
-  auto client = Client();
-  GatewayClient::RetryPolicy policy;
+  auto conn = Dial();
+  Publisher producer(conn.get());
+  RetryPolicy policy;
   policy.max_attempts = 4;
-  client->set_retry_policy(policy);
+  producer.set_retry_policy(policy);
 
   std::vector<RaiseEventMsg> msgs(6);
   for (size_t i = 0; i < msgs.size(); ++i) {
@@ -280,12 +294,34 @@ TEST_F(GatewayTest, PipelinedRetryResendsOnlyRejectedSubset) {
                   .EnableFromSpec("gateway.ingress=resource_exhausted@every(3)")
                   .ok());
   uint64_t rejected = 0;
-  Status s = client->RaisePipelined(msgs, &rejected);
+  Status s = producer.RaisePipelined(msgs, &rejected);
   FailPoints::Instance().Reset();
 
   EXPECT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(rejected, 0u);
-  EXPECT_EQ(client->retries_total(), 2u);
+  EXPECT_EQ(producer.retries_total(), 2u);
+}
+
+TEST_F(GatewayTest, DeprecatedGatewayClientShimStillWorks) {
+  // The monolithic facade must stay a faithful veneer over the role types
+  // until every external caller has migrated: same wire behaviour, same
+  // retry plumbing, bundled on one connection.
+  auto connected = GatewayClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::move(connected).value();
+
+  EXPECT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(client->Subscribe("end Sensor::Report").ok());
+  auto oid = client->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
+                                {Value(5.5)});
+  ASSERT_TRUE(oid.ok()) << oid.status().ToString();
+  auto batch = client->Fetch(16, 2000);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ((*batch)[0].key, "end Sensor::Report");
+  // The facade exposes its role pieces for incremental migration.
+  EXPECT_EQ(client->publisher()->retries_total(), client->retries_total());
+  EXPECT_TRUE(client->connection()->Ping().ok());
 }
 
 TEST_F(GatewayTest, DisconnectWhileParkedReapsFetchAndSubscriptions) {
@@ -360,12 +396,13 @@ TEST_F(GatewayTest, DisconnectWhileParkedReapsFetchAndSubscriptions) {
 
   // A raise now must neither crash a worker completing the dead park nor
   // enqueue into the reaped subscription.
-  auto producer = Client();
+  auto conn = Dial();
+  Publisher producer(conn.get());
   ASSERT_TRUE(producer
-                  ->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
-                               {Value(7.0)})
+                  .Raise("Sensor", "Report", EventModifier::kEnd,
+                         {Value(7.0)})
                   .ok());
-  EXPECT_TRUE(producer->Ping().ok());
+  EXPECT_TRUE(conn->Ping().ok());
   EXPECT_EQ(server_->stats().notifications_enqueued, enqueued_before);
   EXPECT_EQ(server_->session_count(), 1u);  // Just the producer.
 }
@@ -410,8 +447,8 @@ TEST_F(GatewayTest, GarbageBytesGetErrorReplyThenDisconnect) {
   EXPECT_FALSE(reply->ToStatus().ok());
 
   // The server survived: a fresh client still works.
-  auto client = Client();
-  EXPECT_TRUE(client->Ping().ok());
+  auto conn = Dial();
+  EXPECT_TRUE(conn->Ping().ok());
 }
 
 TEST_F(GatewayTest, OversizedFrameIsRejected) {
@@ -452,12 +489,12 @@ TEST_F(GatewayTest, OversizedFrameIsRejected) {
 }
 
 TEST_F(GatewayTest, StopIsIdempotentAndRejectsLateClients) {
-  auto client = Client();
-  ASSERT_TRUE(client->Ping().ok());
+  auto conn = Dial();
+  ASSERT_TRUE(conn->Ping().ok());
   server_->Stop();
   server_->Stop();
   // The old connection is gone.
-  EXPECT_FALSE(client->Ping().ok());
+  EXPECT_FALSE(conn->Ping().ok());
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/session.h"
+
 #include <atomic>
 #include <map>
 #include <thread>
@@ -20,7 +22,7 @@ using std::chrono::milliseconds;
 
 IngressItem Item(uint64_t session, uint64_t seq) {
   IngressItem item;
-  item.session_id = session;
+  item.session = std::make_shared<Session>(session, /*fd=*/-1);
   Encoder enc;
   enc.PutU64(seq);
   item.frame.type = FrameType::kPing;
@@ -121,9 +123,9 @@ TEST(IngressQueueTest, EightProducersKeepPerProducerFifo) {
   ASSERT_EQ(received.size(), kProducers * kPerProducer);
   std::map<uint64_t, uint64_t> next_seq;
   for (const IngressItem& item : received) {
-    uint64_t expected = next_seq[item.session_id]++;
+    uint64_t expected = next_seq[item.session->id()]++;
     ASSERT_EQ(SeqOf(item), expected)
-        << "producer " << item.session_id << " reordered";
+        << "producer " << item.session->id() << " reordered";
   }
   for (const auto& [producer, count] : next_seq) {
     EXPECT_EQ(count, kPerProducer) << "producer " << producer;

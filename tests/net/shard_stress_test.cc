@@ -75,15 +75,16 @@ WorkloadCounts RunWorkload(size_t shards, bool overlapping) {
   std::atomic<int> failures{0};
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([p, overlapping, &server, &failures] {
-      auto connected = GatewayClient::Connect("127.0.0.1", server.port());
+      auto connected = Connection::Dial("127.0.0.1", server.port());
       if (!connected.ok()) {
         failures.fetch_add(1);
         return;
       }
-      auto client = std::move(connected).value();
-      GatewayClient::RetryPolicy policy;
+      auto conn = std::move(connected).value();
+      Publisher publisher(conn.get());
+      RetryPolicy policy;
       policy.max_attempts = 8;  // Absorb transient backpressure fully:
-      client->set_retry_policy(policy);  // every raise must land.
+      publisher.set_retry_policy(policy);  // every raise must land.
 
       std::vector<RaiseEventMsg> msgs(kRaisesPerProducer);
       for (int i = 0; i < kRaisesPerProducer; ++i) {
@@ -99,7 +100,7 @@ WorkloadCounts RunWorkload(size_t shards, bool overlapping) {
         msgs[i].params = {Value(static_cast<int64_t>(i))};
       }
       uint64_t rejected = 0;
-      Status s = client->RaisePipelined(msgs, &rejected);
+      Status s = publisher.RaisePipelined(msgs, &rejected);
       if (!s.ok() || rejected != 0) failures.fetch_add(1);
     });
   }

@@ -125,8 +125,8 @@ class GatewayStatsTest : public ::testing::Test {
     tmp_.reset();
   }
 
-  std::unique_ptr<GatewayClient> Client() {
-    auto c = GatewayClient::Connect("127.0.0.1", server_->port());
+  std::unique_ptr<Connection> Dial() {
+    auto c = Connection::Dial("127.0.0.1", server_->port());
     EXPECT_TRUE(c.ok()) << c.status().ToString();
     return std::move(c).value();
   }
@@ -137,8 +137,8 @@ class GatewayStatsTest : public ::testing::Test {
 };
 
 TEST_F(GatewayStatsTest, GetStatsReturnsBothSectionsByDefault) {
-  auto client = Client();
-  auto stats = client->GetStats();
+  auto conn = Dial();
+  auto stats = conn->GetStats();
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
 
   auto doc = JsonValue::Parse(*stats);
@@ -152,16 +152,16 @@ TEST_F(GatewayStatsTest, GetStatsReturnsBothSectionsByDefault) {
 }
 
 TEST_F(GatewayStatsTest, SectionBitsSelectTheDocument) {
-  auto client = Client();
+  auto conn = Dial();
 
-  auto db_only = client->GetStats(StatsRequestMsg::kDatabase);
+  auto db_only = conn->GetStats(StatsRequestMsg::kDatabase);
   ASSERT_TRUE(db_only.ok());
   auto db_doc = JsonValue::Parse(*db_only);
   ASSERT_TRUE(db_doc.ok());
   EXPECT_NE(db_doc->Find("db"), nullptr);
   EXPECT_EQ(db_doc->Find("gateway"), nullptr);
 
-  auto gw_only = client->GetStats(StatsRequestMsg::kGateway);
+  auto gw_only = conn->GetStats(StatsRequestMsg::kGateway);
   ASSERT_TRUE(gw_only.ok());
   auto gw_doc = JsonValue::Parse(*gw_only);
   ASSERT_TRUE(gw_doc.ok());
@@ -170,25 +170,25 @@ TEST_F(GatewayStatsTest, SectionBitsSelectTheDocument) {
 }
 
 TEST_F(GatewayStatsTest, InvalidSectionsGetErrorReplyNotDisconnect) {
-  auto client = Client();
-  EXPECT_FALSE(client->GetStats(0).ok());
-  EXPECT_FALSE(client->GetStats(0xFF00).ok());
+  auto conn = Dial();
+  EXPECT_FALSE(conn->GetStats(0).ok());
+  EXPECT_FALSE(conn->GetStats(0xFF00).ok());
   // The connection survives the rejected requests.
-  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(conn->Ping().ok());
 }
 
 TEST_F(GatewayStatsTest, StatsReflectRemoteWorkload) {
   if (!metrics::kEnabled) GTEST_SKIP() << "metrics compiled out";
-  auto producer = Client();
+  auto conn = Dial();
+  Publisher producer(conn.get());
   constexpr int kRaises = 5;
   for (int i = 0; i < kRaises; ++i) {
-    auto raised = producer->RaiseEvent("Sensor", "Report",
-                                       EventModifier::kEnd,
-                                       {Value(static_cast<double>(i))});
+    auto raised = producer.Raise("Sensor", "Report", EventModifier::kEnd,
+                                 {Value(static_cast<double>(i))});
     ASSERT_TRUE(raised.ok()) << raised.status().ToString();
   }
 
-  auto stats = producer->GetStats();
+  auto stats = conn->GetStats();
   ASSERT_TRUE(stats.ok());
   auto doc = JsonValue::Parse(*stats);
   ASSERT_TRUE(doc.ok());
@@ -208,14 +208,16 @@ TEST_F(GatewayStatsTest, StatsReflectRemoteWorkload) {
 
 TEST_F(GatewayStatsTest, IngressAndNotificationMetricsFlowIntoDbRegistry) {
   if (!metrics::kEnabled) GTEST_SKIP() << "metrics compiled out";
-  auto consumer = Client();
-  ASSERT_TRUE(consumer->Subscribe("end Sensor::Report").ok());
-  auto producer = Client();
+  auto consumer_conn = Dial();
+  Subscriber consumer(consumer_conn.get());
+  ASSERT_TRUE(consumer.Subscribe("end Sensor::Report").ok());
+  auto producer_conn = Dial();
+  Publisher producer(producer_conn.get());
   ASSERT_TRUE(producer
-                  ->RaiseEvent("Sensor", "Report", EventModifier::kEnd,
-                               {Value(1.0)})
+                  .Raise("Sensor", "Report", EventModifier::kEnd,
+                         {Value(1.0)})
                   .ok());
-  auto batch = consumer->Fetch(8, 2000);
+  auto batch = consumer.Fetch(8, 2000);
   ASSERT_TRUE(batch.ok());
   ASSERT_FALSE(batch->empty());
 

@@ -282,6 +282,119 @@ TEST(WireMessageTest, SemanticValidationRejectsBadFields) {
   EXPECT_FALSE(NotificationBatchMsg::Decode(enc.buffer()).ok());
 }
 
+// --- Protocol versioning -----------------------------------------------------
+
+TEST(FrameVersionTest, VersionByteRoundTripsInHeader) {
+  PingMsg ping;
+  ping.token = 7;
+  std::string wire;
+  EncodeFrame(FrameType::kPing, BodyOf(ping), &wire, kProtocolV2);
+
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(TryDecodeFrame(wire, kDefaultMaxFrameBody, &frame, &consumed,
+                           &error),
+            DecodeProgress::kFrame);
+  EXPECT_EQ(frame.version, kProtocolV2);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_TRUE(PingMsg::Decode(frame.body).ok());
+}
+
+TEST(FrameVersionTest, LegacyZeroHeaderStaysVersionZero) {
+  // A pre-versioning peer encodes exactly this byte stream; the top byte
+  // of its length word was always zero.
+  std::string wire = Framed(FrameType::kPing, BodyOf(PingMsg{}));
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(TryDecodeFrame(wire, kDefaultMaxFrameBody, &frame, &consumed,
+                           &error),
+            DecodeProgress::kFrame);
+  EXPECT_EQ(frame.version, 0);
+}
+
+TEST(FrameVersionTest, FutureVersionIsAProtocolError) {
+  std::string wire;
+  EncodeFrame(FrameType::kPing, BodyOf(PingMsg{}), &wire,
+              kProtocolVersionMax + 1);
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(TryDecodeFrame(wire, kDefaultMaxFrameBody, &frame, &consumed,
+                           &error),
+            DecodeProgress::kError);
+}
+
+TEST(WireMessageTest, HelloRoundTripsAndValidates) {
+  HelloMsg hello;
+  hello.min_version = kProtocolV1;
+  hello.max_version = kProtocolV2;
+  hello.tenant = "acme";
+  auto decoded = HelloMsg::Decode(BodyOf(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->magic, HelloMsg::kMagic);
+  EXPECT_EQ(decoded->min_version, kProtocolV1);
+  EXPECT_EQ(decoded->max_version, kProtocolV2);
+  EXPECT_EQ(decoded->tenant, "acme");
+
+  // Wrong magic.
+  HelloMsg bad = hello;
+  bad.magic = 0xdeadbeef;
+  EXPECT_FALSE(HelloMsg::Decode(BodyOf(bad)).ok());
+
+  // Inverted range.
+  bad = hello;
+  bad.min_version = 3;
+  bad.max_version = 1;
+  EXPECT_FALSE(HelloMsg::Decode(BodyOf(bad)).ok());
+}
+
+TEST(WireMessageTest, HelloReplyRoundTripsAndRejectsVersionZero) {
+  HelloReplyMsg reply;
+  reply.version = kProtocolV2;
+  reply.max_frame_body = 123456;
+  reply.server = "sentinel-gateway/2";
+  auto decoded = HelloReplyMsg::Decode(BodyOf(reply));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, kProtocolV2);
+  EXPECT_EQ(decoded->max_frame_body, 123456u);
+  EXPECT_EQ(decoded->server, "sentinel-gateway/2");
+
+  reply.version = 0;
+  EXPECT_FALSE(HelloReplyMsg::Decode(BodyOf(reply)).ok());
+}
+
+TEST(WireMessageTest, BatchStatusReplyRoundTripsRuns) {
+  BatchStatusReplyMsg batch;
+  batch.runs.push_back({100, 0, "", 42});
+  batch.runs.push_back({1, 8, "ingress queue full (64)", 0});
+  batch.runs.push_back({25, 0, "", 42});
+  EXPECT_EQ(batch.TotalAcks(), 126u);
+
+  auto decoded = BatchStatusReplyMsg::Decode(BodyOf(batch));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->runs.size(), 3u);
+  EXPECT_EQ(decoded->runs[0].count, 100u);
+  EXPECT_EQ(decoded->runs[0].payload, 42u);
+  EXPECT_EQ(decoded->runs[1].message, "ingress queue full (64)");
+  EXPECT_EQ(decoded->TotalAcks(), 126u);
+}
+
+TEST(WireMessageTest, BatchStatusReplyRejectsMalformedRuns) {
+  // Empty batch.
+  Encoder empty;
+  empty.PutU32(0);
+  EXPECT_FALSE(BatchStatusReplyMsg::Decode(empty.buffer()).ok());
+
+  // A zero-count run.
+  BatchStatusReplyMsg batch;
+  batch.runs.push_back({0, 0, "", 0});
+  EXPECT_FALSE(BatchStatusReplyMsg::Decode(BodyOf(batch)).ok());
+
+  EXPECT_FALSE(BatchStatusReplyMsg::Decode("garbage").ok());
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace sentinel
