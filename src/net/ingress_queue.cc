@@ -73,6 +73,12 @@ size_t IngressQueue::PopBatch(size_t max_batch, std::chrono::milliseconds wait,
   return n;
 }
 
+bool IngressQueue::WaitReady(std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return not_empty_.wait_for(lock, wait,
+                             [this] { return !items_.empty() || shutdown_; });
+}
+
 void IngressQueue::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);

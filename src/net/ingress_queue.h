@@ -73,6 +73,13 @@ class IngressQueue {
   size_t PopBatch(size_t max_batch, std::chrono::milliseconds wait,
                   std::vector<IngressItem>* out);
 
+  /// Blocks up to `wait` until the queue is nonempty or shut down, without
+  /// popping anything; returns true in either of those cases. Lets the
+  /// single consumer wait for work *before* taking locks that the
+  /// pop-and-process step must run under (there is no other consumer to
+  /// steal the items between the wait and the pop).
+  bool WaitReady(std::chrono::milliseconds wait);
+
   /// Stops accepting pushes and wakes blocked consumers. Idempotent.
   void Shutdown();
 

@@ -292,9 +292,22 @@ TenantState* GatewayServer::TenantFor(const std::string& name) {
   std::lock_guard<std::mutex> lock(tenants_mu_);
   auto it = tenants_.find(name);
   if (it == tenants_.end()) {
+    // TenantState is never freed (sessions hold raw pointers into it), so
+    // the map must not grow at the whim of whoever connects: past the cap
+    // on *named* tenants, unknown names share the default domain instead
+    // of allocating. The default tenant ("", created at Start) is exempt.
+    if (!name.empty() && options_.max_tenants != 0 &&
+        tenants_.size() > options_.max_tenants) {
+      return tenants_.find("")->second.get();
+    }
     it = tenants_.emplace(name, std::make_unique<TenantState>(name)).first;
   }
   return it->second.get();
+}
+
+size_t GatewayServer::tenant_count() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  return tenants_.size();
 }
 
 // --- IO shards ---------------------------------------------------------------
@@ -343,10 +356,17 @@ void GatewayServer::IoLoop(size_t io_idx) {
     DrainFlushQueue(io);
   }
 
-  // Teardown on the owning thread, which holds the fds.
+  // Teardown on the owning thread, which holds the fds. Stop() flags
+  // running_ before it joins the workers, so a worker may still be inside
+  // WorkerFlush writing under wr_mu when we get here — close under the
+  // same lock (exactly as CloseSession does) so the flush never races the
+  // close or writes to a recycled descriptor.
   for (auto& [id, session] : io->sessions) {
-    if (session->fd >= 0) ::close(session->fd);
-    session->fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(session->wr_mu);
+      if (session->fd >= 0) ::close(session->fd);
+      session->fd = -1;
+    }
     session->closed.store(true, std::memory_order_release);
     hub_->Remove(id);
   }
@@ -547,10 +567,12 @@ bool GatewayServer::DrainSocket(IoShard* io,
   // synchronous RPC client generates — executes it right here on the IO
   // thread when the target shard is idle, cutting the round trip from
   // three context switches (client → IO → worker → client) to two. The
-  // shard's exec lock guarantees the worker is not mid-drain, and the
-  // empty-queue recheck under that lock guarantees nothing admitted
-  // earlier is overtaken. Bursts keep the queue handoff: the worker's
-  // drain loop is where ack coalescing pays for itself.
+  // shard's exec lock guarantees the worker is not mid-drain, and because
+  // the worker only pops its queue while holding that lock (WorkerLoop),
+  // an empty queue observed under it proves every previously admitted
+  // frame has already been processed *and acked* — nothing is overtaken.
+  // Bursts keep the queue handoff: the worker's drain loop is where ack
+  // coalescing pays for itself.
   {
     size_t staged_total = 0;
     size_t target = 0;
@@ -737,18 +759,28 @@ void GatewayServer::WorkerLoop(size_t shard) {
     if (wait < std::chrono::milliseconds(1)) {
       wait = std::chrono::milliseconds(1);
     }
-    size_t n = queue->PopBatch(options_.max_batch, wait, &batch);
-    if (n > 0 || sharded) {
+    // Wait for work *outside* the exec lock, then pop *under* it: an item
+    // must never leave the queue before this thread holds exec_mu_. The IO
+    // threads' inline fast path infers "no admitted frame is ahead of mine"
+    // from an empty queue observed under that lock, which only holds if
+    // every popped item is processed and acked before the lock is
+    // released — popping first would let an inline raise overtake a
+    // same-session request the worker had taken but not yet executed.
+    queue->WaitReady(wait);
+    size_t n = 0;
+    {
       // The exec lock serializes this shard's mutator rounds against IO
       // threads running the inline sync fast path.
       std::lock_guard<std::mutex> exec(*exec_mu_[shard]);
+      n = queue->PopBatch(options_.max_batch, std::chrono::milliseconds(0),
+                          &batch);
       for (size_t i = 0; i < n; ++i) ProcessItem(shard, batch[i], &acks);
       // End of drain: coalesced acks go out now. The owning IO shards wake
       // via the sessions' flush notifiers — no broadcast wakeup needed.
       acks.FlushAll();
       // Run rules other shards forwarded to us while we were busy (or
-      // idle — the PopBatch wait above bounds how long a forwarded
-      // trigger sits).
+      // idle — the WaitReady above bounds how long a forwarded trigger
+      // sits).
       if (sharded) db_->DrainForwarded();
     }
     if (shard == 0) {
@@ -1119,6 +1151,8 @@ std::string GatewayServer::BuildStatsJson(uint32_t sections) const {
     out.append(std::to_string(queues_.size()));
     out.append(",\"io_threads\":");
     out.append(std::to_string(io_shards_.size()));
+    out.append(",\"tenants\":");
+    out.append(std::to_string(tenant_count()));
     out.append(",\"ingress_depth\":");
     out.append(std::to_string(depth));
     out.append(",\"ingress_capacity\":");

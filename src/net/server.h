@@ -91,6 +91,12 @@ struct ServerOptions {
   /// Same bound summed over every session of one tenant (Hello names the
   /// tenant; sessions that never said Hello share the default tenant).
   uint32_t tenant_max_inflight_raises = 0;
+  /// Distinct *named* tenants the server will materialize quota state for
+  /// (the always-present default tenant does not count). TenantState is
+  /// never freed, so without a cap a hostile peer could grow server memory
+  /// one Hello at a time; past the cap, new tenant names bill the default
+  /// tenant's quota domain instead of allocating. 0 = unlimited.
+  size_t max_tenants = 256;
 
   // --- Notification egress ----------------------------------------------------
   size_t max_pending_notifications = 1024;  ///< Per-session, FIFO-trimmed.
@@ -149,6 +155,8 @@ class GatewayServer {
   const IngressQueue* ingress() const { return queues_[0].get(); }
   size_t worker_count() const { return queues_.size(); }
   size_t io_thread_count() const { return io_shards_.size(); }
+  /// Materialized tenant quota domains, the default one included.
+  size_t tenant_count() const;
   GatewayStats stats() const;
 
  private:
@@ -263,10 +271,14 @@ class GatewayServer {
   /// One bounded queue per raise shard, each with the configured capacity.
   std::vector<std::unique_ptr<IngressQueue>> queues_;
   /// Per-shard execution lock: the shard's worker holds it across each
-  /// drain, and an IO thread try-locks it to execute a lone raise inline
-  /// when the shard queue is empty (the sync fast path — two context
-  /// switches per RPC instead of three). Per-object serialization is
-  /// preserved: only one thread runs a shard's mutator rounds at a time.
+  /// drain — including the queue pop itself, so an item never sits popped
+  /// but unexecuted while the lock is free — and an IO thread try-locks it
+  /// to execute a lone raise inline when the shard queue is empty (the
+  /// sync fast path — two context switches per RPC instead of three).
+  /// Queue empty under this lock therefore means every admitted frame has
+  /// been processed and acked, so the inline raise overtakes nothing.
+  /// Per-object serialization is preserved: only one thread runs a shard's
+  /// mutator rounds at a time.
   std::vector<std::unique_ptr<std::mutex>> exec_mu_;
   Database::ObserverHandle observer_;
 
@@ -281,7 +293,7 @@ class GatewayServer {
   /// Tenant quota domains, created at Hello ("" = default, created at
   /// Start). Addresses must stay stable while sessions hold raw pointers,
   /// hence unique_ptr values; mutated only under tenants_mu_.
-  std::mutex tenants_mu_;
+  mutable std::mutex tenants_mu_;
   std::map<std::string, std::unique_ptr<TenantState>> tenants_;
 
   /// Relay objects workers materialized for remote raises, keyed by

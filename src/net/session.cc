@@ -103,13 +103,19 @@ void NotificationHub::Remove(uint64_t id) {
   std::vector<std::string> keys = ReapSessionState(session.get());
   if (!keys.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
+    size_t removed = 0;
     for (const std::string& key : keys) {
       auto it = subs_by_key_.find(key);
       if (it == subs_by_key_.end()) continue;
-      it->second.erase(id);
+      removed += it->second.erase(id);
       if (it->second.empty()) subs_by_key_.erase(it);
     }
-    sub_count_.fetch_sub(keys.size(), std::memory_order_relaxed);
+    // Decrement by what the index actually held, not keys.size(): a racing
+    // Subscribe may have added to the session's subscription set without
+    // reaching the index yet (it will see the session deregistered and
+    // roll its insert back), so the reaped key list can overcount. The
+    // invariant is sub_count_ == total index entries, both under mu_.
+    sub_count_.fetch_sub(removed, std::memory_order_relaxed);
   }
 }
 
@@ -133,9 +139,21 @@ void NotificationHub::Subscribe(const std::shared_ptr<Session>& session,
     inserted = session->subscriptions.insert(key).second;
   }
   if (!inserted) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  subs_by_key_[key].insert(session->id());
-  sub_count_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(session->id()) != 0) {
+      if (subs_by_key_[key].insert(session->id()).second) {
+        sub_count_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+  // The session was reaped between the two locks. Its Remove() may have
+  // run before our insert and so never saw this key; updating the index
+  // now would leak an entry (and permanently a sub_count_) that no
+  // Remove() will ever clean up. Undo the insert instead.
+  std::lock_guard<std::mutex> note(session->note_mu);
+  session->subscriptions.erase(key);
 }
 
 void NotificationHub::ParkFetch(

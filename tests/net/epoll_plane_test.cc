@@ -254,6 +254,89 @@ TEST_F(EpollPlaneTest, SessionQuotaRejectsInsteadOfHanging) {
   EXPECT_EQ(rejected, 0u);
 }
 
+// Two back-to-back raises from one session race the worker's drain cycle
+// against the IO thread's inline fast path; the second must never be
+// executed (or acked) before the first. Regression: the fast path used to
+// check only "queue empty", which is true the instant the worker pops a
+// batch it has not yet executed — letting a later raise's ack overtake an
+// earlier one (misattributing positionally-correlated acks) and inverting
+// same-key order into the database.
+TEST_F(EpollPlaneTest, SameSessionAcksAreNeverReordered) {
+  StartServer(ServerOptions{});
+  ClientOptions plain;
+  plain.negotiate = false;  // v1: exactly one StatusReply per raise.
+  auto conn = Dial(plain);
+
+  RaiseEventMsg first;
+  first.oid = 111;
+  first.class_name = "Sensor";
+  first.method = "Report";
+  RaiseEventMsg second = first;
+  second.oid = 222;
+  Encoder e1;
+  Encoder e2;
+  first.Encode(&e1);
+  second.Encode(&e2);
+
+  for (int i = 0; i < 300; ++i) {
+    // Two writes, no read in between: depending on timing the IO thread
+    // sees them as one drain (queue handoff) or two (the second becomes a
+    // lone frame, the inline fast path's trigger shape) — both must keep
+    // the acks in request order.
+    ASSERT_TRUE(conn->SendFrame(FrameType::kRaiseEvent, e1.buffer()).ok());
+    ASSERT_TRUE(conn->SendFrame(FrameType::kRaiseEvent, e2.buffer()).ok());
+    uint64_t oids[2] = {0, 0};
+    for (uint64_t& oid : oids) {
+      Frame frame;
+      ASSERT_TRUE(conn->ReadFrame(&frame).ok());
+      Status s = Connection::ExpectStatusReply(frame, &oid);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+    ASSERT_EQ(oids[0], 111u) << "iteration " << i;
+    ASSERT_EQ(oids[1], 222u) << "iteration " << i;
+  }
+}
+
+// tenants_ lives for the whole server (sessions hold raw pointers into
+// it), so Hello must not let a hostile peer grow it without bound: past
+// ServerOptions::max_tenants, new names share the default quota domain
+// instead of allocating.
+TEST_F(EpollPlaneTest, TenantCapMapsOverflowToDefaultTenant) {
+  ServerOptions options;
+  options.max_tenants = 2;
+  StartServer(options);
+
+  std::vector<std::unique_ptr<Connection>> conns;
+  for (int i = 0; i < 5; ++i) {
+    ClientOptions tenant;
+    tenant.tenant = "tenant-" + std::to_string(i);
+    conns.push_back(Dial(tenant));
+  }
+  // The default tenant plus the first two names; the other three Hellos
+  // were mapped to the default domain, not materialized.
+  EXPECT_EQ(server_->tenant_count(), 3u);
+
+  // An overflow-tenant session still works normally.
+  Publisher pub(conns.back().get());
+  auto r = pub.Raise("Sensor", "Report", EventModifier::kEnd, {Value(1.0)});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+// Subscribe racing Remove: the loser must clean up after itself. A
+// subscription landing after the session was reaped used to leave the
+// key in the session's set without any index entry ever being reclaimed,
+// permanently inflating sub_count_ (disabling the no-subscriber broadcast
+// fast path) one dead session at a time.
+TEST(NotificationHubTest, SubscribeAfterRemoveRollsBack) {
+  NotificationHub hub;
+  auto session = std::make_shared<Session>(1, /*fd=*/-1);
+  hub.Add(session);
+  hub.Remove(session->id());
+  hub.Subscribe(session, "end Sensor::Report");
+  std::lock_guard<std::mutex> note(session->note_mu);
+  EXPECT_TRUE(session->subscriptions.empty());
+}
+
 // Tenant quotas pool every session that said Hello with the same tenant
 // name; two sessions hammering one tenant trip it.
 TEST_F(EpollPlaneTest, TenantQuotaPoolsSessions) {
