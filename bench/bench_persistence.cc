@@ -5,14 +5,23 @@
 // and restoring rule/event objects through the object store, plus plain
 // object persist/materialize throughput and database reopen latency.
 
+// Durability additions (DESIGN.md §12): the group-commit producer×window
+// sweep (commit throughput must scale with producers once windows open),
+// bounded-recovery replay after a fuzzy checkpoint, and HistoryScan over
+// the spilled occurrence segment store.
+
 #include <benchmark/benchmark.h>
 
 #include "bench_main.h"
 
 #include <filesystem>
+#include <thread>
+#include <vector>
 
+#include "common/failpoint.h"
 #include "core/database.h"
 #include "events/operators.h"
+#include "oodb/object_store.h"
 
 namespace sentinel {
 namespace {
@@ -134,6 +143,152 @@ void BM_ReopenWithRules(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 
+/// The headline storage sweep: `producers` threads each commit a run of
+/// single-object transactions against a store opened with a group-commit
+/// window of `window_us`. With window 0 every commit pays its own fsync
+/// (throughput flat in producers); with a window open, concurrent commits
+/// share physical syncs and throughput scales. `commits_per_sync` reports
+/// the realized batching factor.
+void BM_GroupCommitSweep(benchmark::State& state) {
+  const int producers = static_cast<int>(state.range(0));
+  const auto window_us = static_cast<uint32_t>(state.range(1));
+  std::string dir = FreshDir("gc" + std::to_string(producers) + "w" +
+                             std::to_string(window_us));
+  auto store = std::make_unique<ObjectStore>();
+  store->SetGroupCommitWindow(window_us);
+  store->Open(dir).ok();
+  std::vector<Oid> oids;
+  oids.reserve(producers);
+  for (int p = 0; p < producers; ++p) oids.push_back(store->NewOid());
+  const std::string image(256, 'x');
+
+  constexpr int kCommitsPerProducer = 8;
+  const uint64_t syncs_before = store->wal()->sync_count();
+  uint64_t commits = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        for (int i = 0; i < kCommitsPerProducer; ++i) {
+          auto txn = store->txns()->Begin();
+          store->Put(txn.get(), oids[p], "Doc", image).ok();
+          store->txns()->Commit(txn.get()).ok();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    commits += static_cast<uint64_t>(producers) * kCommitsPerProducer;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(commits));
+  const uint64_t syncs = store->wal()->sync_count() - syncs_before;
+  state.counters["producers"] = producers;
+  state.counters["window_us"] = window_us;
+  state.counters["wal_syncs"] = static_cast<double>(syncs);
+  state.counters["commits_per_sync"] =
+      syncs == 0 ? 0.0
+                 : static_cast<double>(commits) / static_cast<double>(syncs);
+  store->Close().ok();
+  store.reset();
+  std::filesystem::remove_all(dir);
+}
+
+/// Reopen cost after a simulated crash, with and without a prior fuzzy
+/// checkpoint. The checkpointed variant must replay only the post-
+/// checkpoint suffix: the bench fails (SkipWithError) if recovery touched
+/// more than a handful of records, pinning the bounded-recovery claim.
+void BM_RecoveryReplay(benchmark::State& state) {
+  const bool checkpointed = state.range(0) != 0;
+  constexpr int kCommits = 64;
+  int64_t recovery_records = 0;
+  int64_t recovery_ms = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = FreshDir(checkpointed ? "rec_ckpt" : "rec_full");
+    {
+      auto db = std::move(Database::Open({.dir = dir})).value();
+      db->RegisterClass(ClassBuilder("Doc").Reactive().Build()).ok();
+      for (int i = 0; i < kCommits; ++i) {
+        ReactiveObject doc("Doc");
+        doc.SetAttrRaw("n", Value(int64_t{i}));
+        db->RegisterLiveObject(&doc).ok();
+        db->WithTransaction([&](Transaction* txn) {
+          return db->Persist(txn, &doc);
+        }).ok();
+        db->UnregisterLiveObject(&doc).ok();
+      }
+      if (checkpointed) db->CheckpointNow().ok();
+      // Crash-close: the heap flush is skipped and unsynced buffers drop,
+      // so the reopen below has real replay work (all of it, or only the
+      // post-checkpoint suffix).
+      FailPoints::Instance().EnableFromSpec("store.checkpoint=crash").ok();
+      db->Close().ok();
+      FailPoints::Instance().Reset();
+    }
+    state.ResumeTiming();
+
+    auto reopened = Database::Open({.dir = dir});
+
+    state.PauseTiming();
+    if (!reopened.ok()) {
+      state.SkipWithError("reopen failed");
+      state.ResumeTiming();
+      break;
+    }
+    auto snap = reopened.value()->StatsSnapshot();
+    recovery_records = snap.gauges.at("storage.recovery_records");
+    recovery_ms = snap.gauges.at("storage.recovery_ms");
+    if (checkpointed && recovery_records > 8) {
+      state.SkipWithError("checkpoint did not bound recovery");
+      state.ResumeTiming();
+      break;
+    }
+    reopened.value()->Close().ok();
+    reopened.value().reset();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.counters["checkpointed"] = checkpointed ? 1 : 0;
+  state.counters["recovery_records"] = static_cast<double>(recovery_records);
+  state.counters["recovery_ms"] = static_cast<double>(recovery_ms);
+}
+
+/// Scanning the spilled history: N occurrences forced through the
+/// detector's FIFO trim into segment files, then a full-range HistoryScan.
+void BM_HistoryScanSpilled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string dir = FreshDir("hist" + std::to_string(n));
+  Database::Options opts;
+  opts.dir = dir;
+  opts.occurrence_log_capacity = 64;
+  opts.history_spill = true;
+  auto db = std::move(Database::Open(opts)).value();
+  db->RegisterClass(ClassBuilder("Stock")
+                        .Reactive()
+                        .Method("SetPrice", {.end = true})
+                        .Build()).ok();
+  ReactiveObject stock("Stock");
+  db->RegisterLiveObject(&stock).ok();
+  for (int i = 0; i < n; ++i) {
+    stock.RaiseEvent("SetPrice", EventModifier::kEnd,
+                     {Value(static_cast<double>(i))});
+  }
+  for (auto _ : state) {
+    std::vector<EventOccurrence> out;
+    db->HistoryScan({}, &out).ok();
+    benchmark::DoNotOptimize(out.data());
+    if (out.size() != static_cast<size_t>(n) - 64) {
+      state.SkipWithError("scan did not return the spilled history");
+      break;
+    }
+  }
+  state.counters["spilled"] = n - 64;
+  db->UnregisterLiveObject(&stock).ok();
+  db->Close().ok();
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
 BENCHMARK(BM_PersistObject)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MaterializeObject)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SaveRulesAndEvents)
@@ -146,6 +301,21 @@ BENCHMARK(BM_ReopenWithRules)
     ->Arg(100)
     ->Arg(500)
     ->Unit(benchmark::kMicrosecond);
+// The storage sweep: producers × group-commit window (µs). Window 0 is the
+// serialized per-commit-fsync baseline each row is read against.
+BENCHMARK(BM_GroupCommitSweep)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 500, 2000}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+BENCHMARK(BM_RecoveryReplay)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HistoryScanSpilled)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace sentinel

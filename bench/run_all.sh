@@ -2,7 +2,9 @@
 # Runs the full bench suite with --json and merges the per-binary reports
 # into two suite documents (schema sentinel-bench-suite-v1):
 #
-#   BENCH_core.json     in-process benches (events, rules, txn, storage)
+#   BENCH_core.json     in-process benches (events, rules, txn)
+#   BENCH_storage.json  the durability suite (group-commit sweep, bounded
+#                       recovery, history-scan)
 #   BENCH_gateway.json  the TCP gateway bench
 #
 # usage: bench/run_all.sh [--quick] [--build-dir DIR] [--out-dir DIR]
@@ -40,7 +42,6 @@ CORE_BENCHES=(
   bench_rule_sharing
   bench_rule_lifecycle
   bench_coupling_modes
-  bench_persistence
   bench_contexts
   bench_three_way
   bench_feature_matrix
@@ -48,6 +49,7 @@ CORE_BENCHES=(
   bench_index
   bench_metrics
 )
+STORAGE_BENCHES=(bench_persistence)
 GATEWAY_BENCHES=(bench_gateway)
 
 TMP_DIR=$(mktemp -d)
@@ -72,10 +74,12 @@ run_suite() {
 }
 
 run_suite "$OUT_DIR/BENCH_core.json" "${CORE_BENCHES[@]}"
+run_suite "$OUT_DIR/BENCH_storage.json" "${STORAGE_BENCHES[@]}"
 run_suite "$OUT_DIR/BENCH_gateway.json" "${GATEWAY_BENCHES[@]}"
 
 if [[ -x "$VALIDATOR" ]]; then
-  "$VALIDATOR" "$OUT_DIR/BENCH_core.json" "$OUT_DIR/BENCH_gateway.json"
+  "$VALIDATOR" "$OUT_DIR/BENCH_core.json" "$OUT_DIR/BENCH_storage.json" \
+               "$OUT_DIR/BENCH_gateway.json"
 else
   echo "warning: $VALIDATOR not built; skipping schema validation" >&2
 fi

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace sentinel {
+
+namespace {
+
+/// Four 256-entry tables for slice-by-4, generated once at startup from the
+/// reflected Castagnoli polynomial.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n) {
+  const auto& t = tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFF] ^ t[2][(crc >> 8) & 0xFF] ^
+          t[1][(crc >> 16) & 0xFF] ^ t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  return ~crc;
+}
+
+}  // namespace sentinel

@@ -44,6 +44,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   // Wired before Open so recovery-time WAL syncs and pool faults are
   // already counted.
   db->store_.SetMetrics(&db->metrics_);
+  db->store_.SetGroupCommitWindow(options.group_commit_window_us);
   SENTINEL_RETURN_IF_ERROR(db->store_.Open(options.dir));
 
   // Schema: load the persisted catalog if present, then make sure the
@@ -59,6 +60,29 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   db->detector_->set_key_count_capacity(options.key_count_capacity);
   db->detector_->SetMetrics(&db->metrics_);
   db->detector_->SetShardCount(nshards);
+
+  // History spill: FIFO-trimmed occurrences land in per-shard segment
+  // stores instead of vanishing. The sink runs on the trimming shard's
+  // thread; each store serializes internally.
+  if (options.history_spill) {
+    for (size_t i = 0; i < nshards; ++i) {
+      auto store = std::make_unique<HistorySegmentStore>(
+          options.dir + "/history/shard-" + std::to_string(i),
+          options.history_segment_bytes);
+      store->SetMetrics(&db->metrics_);
+      SENTINEL_RETURN_IF_ERROR(store->Open());
+      db->history_stores_.push_back(std::move(store));
+    }
+    Database* self = db.get();
+    db->detector_->SetSpillSink(
+        [self](size_t shard, const EventOccurrence& occ) {
+          if (shard >= self->history_stores_.size()) shard = 0;
+          Status s = self->history_stores_[shard]->Append(occ);
+          if (!s.ok()) {
+            SENTINEL_WARN << "history spill failed: " << s.ToString();
+          }
+        });
+  }
 
   // Detached coupling: run the rule body in a fresh transaction (on the
   // calling shard — WithTransaction resolves the thread's shard itself).
@@ -109,8 +133,56 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   }
   db->store_.SetCommitObserver(db.get());
 
+  // Background checkpointer: bounds recovery time without stalling
+  // mutators. Started last so it never races component construction.
+  if (options.checkpoint_interval_ms > 0 || options.checkpoint_wal_bytes > 0) {
+    Database* self = db.get();
+    db->checkpointer_ = std::make_unique<Checkpointer>(
+        Checkpointer::Options{options.checkpoint_interval_ms,
+                              options.checkpoint_wal_bytes},
+        [self]() -> uint64_t {
+          Result<uint64_t> size = self->store_.wal()->SizeBytes();
+          return size.ok() ? *size : 0;
+        },
+        [self] { return self->store_.Checkpoint(); });
+    db->checkpointer_->Start();
+  }
+
   db->open_ = true;
   return db;
+}
+
+Status Database::CheckpointNow() {
+  if (!open_) return Status::FailedPrecondition("database not open");
+  return store_.Checkpoint();
+}
+
+Status Database::HistoryScan(const HistoryQuery& query,
+                             std::vector<EventOccurrence>* out,
+                             bool include_memory) {
+  if (!open_) return Status::FailedPrecondition("database not open");
+  if (history_stores_.empty()) {
+    return Status::FailedPrecondition(
+        "history spill disabled (Options::history_spill)");
+  }
+  const size_t base = out->size();
+  for (auto& store : history_stores_) {
+    SENTINEL_RETURN_IF_ERROR(store->Scan(query, out));
+  }
+  if (include_memory) {
+    for (const EventOccurrence& occ : detector_->MergedLog()) {
+      if (query.Matches(occ)) out->push_back(occ);
+    }
+  }
+  // Per-shard scans are each in logical order; merge to the global order.
+  std::stable_sort(out->begin() + base, out->end(),
+                   [](const EventOccurrence& a, const EventOccurrence& b) {
+                     return a.timestamp.seq < b.timestamp.seq;
+                   });
+  if (query.limit != 0 && out->size() - base > query.limit) {
+    out->resize(base + query.limit);
+  }
+  return Status::OK();
 }
 
 void Database::OnCommittedPut(Oid oid, const std::string& class_name,
@@ -230,6 +302,12 @@ Result<std::vector<Oid>> Database::FindInstancesInRange(
 Status Database::Close() {
   if (!open_) return Status::OK();
   open_ = false;
+  // The checkpointer touches the store from its own thread: stop it before
+  // anything below starts tearing state down.
+  if (checkpointer_ != nullptr) {
+    checkpointer_->Stop();
+    checkpointer_.reset();
+  }
   // Best-effort persistence of rule/event definitions at close — skipped
   // under a simulated crash, where nothing may reach the disk anymore.
   if (!(FailPoints::AnyActive() && FailPoints::Instance().crashed())) {
@@ -242,6 +320,13 @@ Status Database::Close() {
   {
     std::unique_lock<std::shared_mutex> lock(live_mu_);
     live_.clear();
+  }
+  // Unhook the spill sink before its targets close (trims can no longer
+  // happen, but the ordering keeps the teardown obviously safe).
+  if (detector_ != nullptr) detector_->SetSpillSink(nullptr);
+  for (auto& store : history_stores_) {
+    Status s = store->Close();
+    if (!s.ok()) SENTINEL_WARN << "history close: " << s.ToString();
   }
   return store_.Close();
 }

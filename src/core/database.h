@@ -38,6 +38,8 @@
 #include "core/reactive.h"
 #include "core/shard.h"
 #include "events/detector.h"
+#include "histlog/checkpointer.h"
+#include "histlog/segment_store.h"
 #include "oodb/attribute_index.h"
 #include "oodb/class_catalog.h"
 #include "oodb/object_store.h"
@@ -82,6 +84,21 @@ class Database : public RaiseContext,
     /// id, provided a given object is always raised from the same shard
     /// (route with ShardIndexForRoute; the gateway does this by oid hash).
     size_t raise_shards = 1;
+    /// Group-commit batching window in microseconds. 0 (the default) syncs
+    /// every commit individually; > 0 lets concurrent committers across
+    /// raise shards share one WAL fsync, trading up to a window of commit
+    /// latency for throughput that scales with the producer count.
+    uint32_t group_commit_window_us = 0;
+    /// Background fuzzy-checkpoint triggers; both 0 (the default) = no
+    /// background checkpointer (CheckpointNow still works on demand).
+    uint32_t checkpoint_interval_ms = 0;  ///< Time trigger; 0 disables.
+    uint64_t checkpoint_wal_bytes = 0;    ///< WAL-size trigger; 0 disables.
+    /// Spill FIFO-trimmed occurrences into per-shard append-only history
+    /// segments under `dir`/history/ instead of dropping them, making the
+    /// full event history queryable via HistoryScan.
+    bool history_spill = false;
+    /// Rotation threshold for one history segment file.
+    size_t history_segment_bytes = 1 << 20;
   };
 
   /// Opens (creating if needed) the database: replays the WAL, loads the
@@ -136,6 +153,31 @@ class Database : public RaiseContext,
 
   /// Sum of rules executed across every shard's scheduler.
   uint64_t TotalRulesExecuted() const;
+
+  // --- Durability & history ---------------------------------------------------
+
+  /// Runs one fuzzy checkpoint right now (see ObjectStore::Checkpoint):
+  /// flushes dirty pages and truncates the WAL behind the stable LSN,
+  /// without stalling concurrent mutators. Also called periodically by the
+  /// background checkpointer when Options enables it.
+  Status CheckpointNow();
+
+  /// Queries the spilled occurrence history (requires
+  /// Options::history_spill): every occurrence FIFO-trimmed out of the
+  /// in-memory log that matches `query`, across all shards, merged into
+  /// logical-clock order. With `include_memory`, the detector's in-memory
+  /// segments are merged in too — only safe once raising threads are
+  /// quiesced (the in-memory deques are not locked).
+  Status HistoryScan(const HistoryQuery& query,
+                     std::vector<EventOccurrence>* out,
+                     bool include_memory = false);
+
+  /// Shard `shard`'s history segment store; nullptr when history_spill is
+  /// off (tests and the gateway's replay handler).
+  HistorySegmentStore* history_store(size_t shard) {
+    return shard < history_stores_.size() ? history_stores_[shard].get()
+                                          : nullptr;
+  }
 
   // --- ShardRouter ------------------------------------------------------------
 
@@ -364,6 +406,12 @@ class Database : public RaiseContext,
   /// the rules (and those pointers) die first on destruction.
   std::vector<std::unique_ptr<RaiseShard>> shards_;
   std::unique_ptr<RuleManager> rule_manager_;
+  /// Per-shard spilled-occurrence stores (empty unless history_spill).
+  /// Declared after detector_: the detector's spill sink points here and
+  /// is cleared in Close before the stores shut down.
+  std::vector<std::unique_ptr<HistorySegmentStore>> history_stores_;
+  /// Background fuzzy-checkpoint driver (null unless configured).
+  std::unique_ptr<Checkpointer> checkpointer_;
   std::map<Oid, ReactiveObject*> live_;
   std::map<std::string, ObjectFactory> factories_;
   std::vector<std::weak_ptr<OccurrenceObserver>> occurrence_observers_;

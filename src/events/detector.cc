@@ -73,8 +73,8 @@ void EventDetector::SetShardCount(size_t shards) {
 
 void EventDetector::RecordOccurrence(const EventOccurrence& occ,
                                      size_t shard) {
-  LogSegment& seg =
-      *segments_[shard < segments_.size() ? shard : 0];
+  if (shard >= segments_.size()) shard = 0;
+  LogSegment& seg = *segments_[shard];
   seg.log.push_back(occ);
   occurrence_total_.fetch_add(1, std::memory_order_relaxed);
   metrics::Add(m_occurrences_);
@@ -91,16 +91,21 @@ void EventDetector::RecordOccurrence(const EventOccurrence& occ,
   } else {
     ++seg.key_counts_untracked;
   }
-  TrimLog(&seg);
+  TrimLog(&seg, shard);
 }
 
 void EventDetector::set_log_capacity(size_t capacity) {
   log_capacity_ = capacity;
-  for (auto& seg : segments_) TrimLog(seg.get());
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    TrimLog(segments_[i].get(), i);
+  }
 }
 
-void EventDetector::TrimLog(LogSegment* segment) {
+void EventDetector::TrimLog(LogSegment* segment, size_t shard) {
   while (segment->log.size() > log_capacity_) {
+    // Spill before dropping: the history store turns the FIFO eviction
+    // into an append to the shard's durable segment file.
+    if (spill_sink_) spill_sink_(shard, segment->log.front());
     segment->log.pop_front();
     ++segment->trimmed_total;
     metrics::Add(m_trimmed_);

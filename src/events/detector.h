@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -106,6 +107,16 @@ class EventDetector {
   /// (summed over segments; exact once shards quiesce).
   uint64_t occurrence_trimmed_total() const;
 
+  /// Installs the spill sink: every occurrence about to be FIFO-trimmed is
+  /// handed to `sink` (with the owning shard) instead of vanishing. The
+  /// sink runs on the trimming shard's thread with no detector locks held —
+  /// the history segment store hangs off this. Pass nullptr to drop
+  /// trimmed occurrences again (the pre-spill behavior).
+  void SetSpillSink(
+      std::function<void(size_t shard, const EventOccurrence& occ)> sink) {
+    spill_sink_ = std::move(sink);
+  }
+
   /// Occurrences logged for one signature key ("end Employee::SetSalary"),
   /// summed over segments.
   uint64_t CountForKey(const std::string& key) const;
@@ -161,8 +172,9 @@ class EventDetector {
   /// All nodes reachable from the named roots (deduplicated).
   std::vector<Event*> ReachableNodes() const;
 
-  /// Drops oldest entries until `segment`'s log fits the capacity.
-  void TrimLog(LogSegment* segment);
+  /// Drops oldest entries until `segment`'s log fits the capacity,
+  /// spilling each into the sink (tagged with `shard`) when one is set.
+  void TrimLog(LogSegment* segment, size_t shard);
 
   const ClassCatalog* catalog_;
   std::map<std::string, EventPtr> named_;
@@ -178,6 +190,7 @@ class EventDetector {
   size_t log_capacity_ = 4096;  ///< Per segment.
   std::atomic<uint64_t> occurrence_total_{0};
   size_t key_count_capacity_ = 4096;  ///< Per segment.
+  std::function<void(size_t, const EventOccurrence&)> spill_sink_;
   Counter* m_occurrences_ = nullptr;
   Counter* m_trimmed_ = nullptr;
 };

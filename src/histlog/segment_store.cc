@@ -1,0 +1,445 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+
+#include "histlog/segment_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+
+namespace sentinel {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSegPrefix = "seg-";
+constexpr const char* kSegSuffix = ".hist";
+
+std::string SegmentPath(const std::string& dir, uint64_t id) {
+  return dir + "/" + kSegPrefix + std::to_string(id) + kSegSuffix;
+}
+
+/// splitmix64: cheap, well-mixed hash for the oid bloom filter.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot size " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  size_t got = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) return Status::IOError("short read of " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+void HistorySegmentStore::SegmentStats::Observe(const EventOccurrence& occ) {
+  ++record_count;
+  min_seq = std::min(min_seq, occ.timestamp.seq);
+  max_seq = std::max(max_seq, occ.timestamp.seq);
+  min_micros = std::min(min_micros, occ.timestamp.micros);
+  max_micros = std::max(max_micros, occ.timestamp.micros);
+  BloomAdd(&bloom, occ.oid);
+}
+
+void HistorySegmentStore::BloomAdd(std::string* bloom, Oid oid) {
+  uint64_t h = Mix64(oid);
+  for (int k = 0; k < 4; ++k) {
+    uint32_t bit = static_cast<uint32_t>(h >> (k * 16)) &
+                   (kBloomBytes * 8 - 1);
+    (*bloom)[bit / 8] |= static_cast<char>(1u << (bit % 8));
+  }
+}
+
+bool HistorySegmentStore::BloomMayContain(const std::string& bloom, Oid oid) {
+  uint64_t h = Mix64(oid);
+  for (int k = 0; k < 4; ++k) {
+    uint32_t bit = static_cast<uint32_t>(h >> (k * 16)) &
+                   (kBloomBytes * 8 - 1);
+    if ((bloom[bit / 8] & static_cast<char>(1u << (bit % 8))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string HistorySegmentStore::EncodeRecord(const EventOccurrence& occ) {
+  Encoder body;
+  body.PutU64(occ.oid);
+  body.PutString(occ.class_name);
+  body.PutString(occ.method);
+  body.PutU8(static_cast<uint8_t>(occ.modifier));
+  body.PutValueList(occ.params);
+  body.PutI64(occ.timestamp.micros);
+  body.PutU64(occ.timestamp.seq);
+
+  Encoder framed;
+  framed.PutU32(static_cast<uint32_t>(body.size()));
+  framed.PutU32(Crc32c(body.buffer().data(), body.size()));
+  framed.PutRaw(body.buffer().data(), body.size());
+  return framed.Release();
+}
+
+Status HistorySegmentStore::DecodeRecordBody(const std::string& body,
+                                             EventOccurrence* occ) {
+  Decoder dec(body);
+  uint64_t oid = 0;
+  uint8_t modifier = 0;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&oid));
+  occ->oid = oid;
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&occ->class_name));
+  SENTINEL_RETURN_IF_ERROR(dec.GetString(&occ->method));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&modifier));
+  occ->modifier = static_cast<EventModifier>(modifier);
+  SENTINEL_RETURN_IF_ERROR(dec.GetValueList(&occ->params));
+  SENTINEL_RETURN_IF_ERROR(dec.GetI64(&occ->timestamp.micros));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&occ->timestamp.seq));
+  occ->txn = nullptr;
+  return Status::OK();
+}
+
+std::string HistorySegmentStore::EncodeFooter(const SegmentStats& stats) {
+  Encoder body;
+  body.PutU64(stats.record_count);
+  body.PutU64(stats.min_seq);
+  body.PutU64(stats.max_seq);
+  body.PutI64(stats.min_micros);
+  body.PutI64(stats.max_micros);
+  body.PutRaw(stats.bloom.data(), stats.bloom.size());
+
+  Encoder footer;
+  footer.PutU32(kFooterSentinel);
+  footer.PutRaw(body.buffer().data(), body.size());
+  footer.PutU32(Crc32c(body.buffer().data(), body.size()));
+  footer.PutRaw(kFooterMagic, 4);
+  return footer.Release();
+}
+
+size_t HistorySegmentStore::FooterSize() {
+  // sentinel + 5 u64-wide stats + bloom + crc + magic.
+  return 4 + 40 + kBloomBytes + 4 + 4;
+}
+
+bool HistorySegmentStore::DecodeFooter(const std::string& tail,
+                                       SegmentStats* stats) {
+  const size_t size = FooterSize();
+  if (tail.size() < size) return false;
+  const char* p = tail.data() + (tail.size() - size);
+  if (std::memcmp(tail.data() + tail.size() - 4, kFooterMagic, 4) != 0) {
+    return false;
+  }
+  Decoder dec(p, size - 4);
+  uint32_t sentinel = 0;
+  if (!dec.GetU32(&sentinel).ok() || sentinel != kFooterSentinel) {
+    return false;
+  }
+  const char* body = p + 4;
+  const size_t body_len = 40 + kBloomBytes;
+  uint32_t want_crc = 0;
+  std::memcpy(&want_crc, p + 4 + body_len, 4);
+  if (Crc32c(body, body_len) != want_crc) return false;
+  Decoder bd(body, body_len);
+  bd.GetU64(&stats->record_count).ok();
+  bd.GetU64(&stats->min_seq).ok();
+  bd.GetU64(&stats->max_seq).ok();
+  bd.GetI64(&stats->min_micros).ok();
+  bd.GetI64(&stats->max_micros).ok();
+  stats->bloom.assign(body + 40, kBloomBytes);
+  return true;
+}
+
+HistorySegmentStore::HistorySegmentStore(std::string dir,
+                                         size_t segment_bytes)
+    : dir_(std::move(dir)),
+      segment_bytes_(segment_bytes == 0 ? 1 : segment_bytes) {}
+
+HistorySegmentStore::~HistorySegmentStore() { Close().ok(); }
+
+Status HistorySegmentStore::Open() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (open_) return Status::OK();
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create history dir " + dir_ + ": " +
+                           ec.message());
+  }
+  segments_.clear();
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSegPrefix, 0) != 0) continue;
+    const size_t suffix_at = name.find(kSegSuffix);
+    if (suffix_at == std::string::npos) continue;
+    SegmentInfo info;
+    info.path = entry.path().string();
+    info.id = std::strtoull(name.c_str() + 4, nullptr, 10);
+    segments_.push_back(std::move(info));
+  }
+  if (ec) {
+    return Status::IOError("cannot list history dir " + dir_ + ": " +
+                           ec.message());
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.id < b.id;
+            });
+  next_id_ = segments_.empty() ? 0 : segments_.back().id + 1;
+  for (SegmentInfo& info : segments_) {
+    SENTINEL_RETURN_IF_ERROR(InspectSegment(&info));
+  }
+  // Resume appending into an unsealed tail segment; a sealed tail (or an
+  // empty store) starts a fresh segment lazily at the first Append.
+  active_ = nullptr;
+  active_bytes_ = 0;
+  active_stats_ = SegmentStats();
+  active_empty_ = true;
+  if (!segments_.empty() && !segments_.back().sealed) {
+    SENTINEL_RETURN_IF_ERROR(RecoverActiveLocked(&segments_.back()));
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status HistorySegmentStore::InspectSegment(SegmentInfo* info) const {
+  std::string bytes;
+  SENTINEL_RETURN_IF_ERROR(ReadWholeFile(info->path, &bytes));
+  info->sealed = DecodeFooter(bytes, &info->stats);
+  return Status::OK();
+}
+
+Status HistorySegmentStore::RecoverActiveLocked(SegmentInfo* info) {
+  // Walk the records, rebuilding the footer stats; a torn tail (crash mid
+  // append) is truncated so the resumed segment stays well-formed.
+  std::string bytes;
+  SENTINEL_RETURN_IF_ERROR(ReadWholeFile(info->path, &bytes));
+  size_t pos = 0;
+  SegmentStats stats;
+  while (bytes.size() - pos >= 8) {
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    if (len == kFooterSentinel) break;  // Shouldn't happen (unsealed).
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (bytes.size() - pos - 8 < len) break;  // Torn tail.
+    const char* body = bytes.data() + pos + 8;
+    if (Crc32c(body, len) != crc) break;  // Torn/corrupt tail record.
+    EventOccurrence occ;
+    if (!DecodeRecordBody(std::string(body, len), &occ).ok()) break;
+    stats.Observe(occ);
+    pos += 8 + len;
+  }
+  if (pos < bytes.size()) {
+    SENTINEL_WARN << "history segment " << info->path << " torn at " << pos
+                  << " of " << bytes.size() << " bytes; truncating";
+    std::error_code ec;
+    fs::resize_file(info->path, pos, ec);
+    if (ec) {
+      return Status::IOError("cannot truncate " + info->path + ": " +
+                             ec.message());
+    }
+  }
+  active_ = std::fopen(info->path.c_str(), "ab");
+  if (active_ == nullptr) {
+    return Status::IOError("cannot reopen history segment " + info->path);
+  }
+  active_bytes_ = pos;
+  active_stats_ = stats;
+  active_empty_ = false;
+  return Status::OK();
+}
+
+Status HistorySegmentStore::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_ && active_ == nullptr) return Status::OK();
+  if (active_ != nullptr) {
+    if (FailPoints::AnyActive() && FailPoints::Instance().crashed()) {
+      // Simulated crash: drop buffered appends instead of letting fclose
+      // flush them (same idiom as WalManager/DiskManager).
+      ::close(fileno(active_));
+    } else {
+      std::fflush(active_);
+    }
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+  open_ = false;
+  return Status::OK();
+}
+
+Status HistorySegmentStore::OpenActiveLocked() {
+  SegmentInfo info;
+  info.id = next_id_++;
+  info.path = SegmentPath(dir_, info.id);
+  info.sealed = false;
+  active_ = std::fopen(info.path.c_str(), "wb");
+  if (active_ == nullptr) {
+    return Status::IOError("cannot create history segment " + info.path);
+  }
+  segments_.push_back(std::move(info));
+  active_bytes_ = 0;
+  active_stats_ = SegmentStats();
+  active_empty_ = false;
+  return Status::OK();
+}
+
+Status HistorySegmentStore::SealActiveLocked() {
+  if (FailPoints::AnyActive()) {
+    SENTINEL_RETURN_IF_ERROR(FailPoints::Instance().Check("histlog.rotate"));
+  }
+  const std::string footer = EncodeFooter(active_stats_);
+  if (std::fwrite(footer.data(), 1, footer.size(), active_) !=
+      footer.size()) {
+    return Status::IOError("history segment seal failed");
+  }
+  std::fflush(active_);
+  std::fclose(active_);
+  active_ = nullptr;
+  segments_.back().sealed = true;
+  segments_.back().stats = active_stats_;
+  active_empty_ = true;
+  ++segments_sealed_;
+  metrics::Add(m_rotations_);
+  return Status::OK();
+}
+
+Status HistorySegmentStore::Append(const EventOccurrence& occ) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::FailedPrecondition("history store not open");
+  const std::string framed = EncodeRecord(occ);
+  if (!active_empty_ && active_bytes_ + framed.size() > segment_bytes_ &&
+      active_stats_.record_count > 0) {
+    SENTINEL_RETURN_IF_ERROR(SealActiveLocked());
+  }
+  if (active_empty_) {
+    SENTINEL_RETURN_IF_ERROR(OpenActiveLocked());
+  }
+  if (FailPoints::AnyActive()) {
+    size_t partial = 0;
+    Status fp = FailPoints::Instance().Check("histlog.append", &partial);
+    if (!fp.ok()) {
+      if (partial > 0) {
+        // Torn write: a prefix of the frame reaches the file.
+        std::fwrite(framed.data(), 1, std::min(partial, framed.size()),
+                    active_);
+        std::fflush(active_);
+      }
+      return fp;
+    }
+  }
+  if (std::fwrite(framed.data(), 1, framed.size(), active_) !=
+      framed.size()) {
+    return Status::IOError("history append failed");
+  }
+  active_bytes_ += framed.size();
+  active_stats_.Observe(occ);
+  ++appended_total_;
+  metrics::Add(m_appends_);
+  return Status::OK();
+}
+
+Status HistorySegmentStore::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (active_ != nullptr) std::fflush(active_);
+  return Status::OK();
+}
+
+Status HistorySegmentStore::ScanFileLocked(
+    const std::string& path, const HistoryQuery& query,
+    std::vector<EventOccurrence>* out, bool* stop) const {
+  std::string bytes;
+  SENTINEL_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+  size_t pos = 0;
+  while (bytes.size() - pos >= 8) {
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    if (len == kFooterSentinel) break;  // Footer reached: done.
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (bytes.size() - pos - 8 < len) break;  // Torn tail.
+    const char* body = bytes.data() + pos + 8;
+    if (Crc32c(body, len) != crc) {
+      // Mid-file corruption would already have failed recovery; a bad CRC
+      // here is a torn tail racing an in-progress buffered append.
+      break;
+    }
+    EventOccurrence occ;
+    Status s = DecodeRecordBody(std::string(body, len), &occ);
+    if (!s.ok()) break;
+    if (query.Matches(occ)) {
+      out->push_back(std::move(occ));
+      if (query.limit != 0 && out->size() >= query.limit) {
+        *stop = true;
+        return Status::OK();
+      }
+    }
+    pos += 8 + len;
+  }
+  return Status::OK();
+}
+
+Status HistorySegmentStore::Scan(const HistoryQuery& query,
+                                 std::vector<EventOccurrence>* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::FailedPrecondition("history store not open");
+  if (active_ != nullptr) std::fflush(active_);
+  bool stop = false;
+  for (const SegmentInfo& info : segments_) {
+    if (stop) break;
+    if (info.sealed) {
+      // Footer pruning: skip the whole segment when the stats prove no
+      // record can match.
+      const SegmentStats& st = info.stats;
+      if (st.max_seq < query.min_seq || st.min_seq > query.max_seq ||
+          st.max_micros < query.min_micros ||
+          st.min_micros > query.max_micros ||
+          (query.oid != kInvalidOid &&
+           !BloomMayContain(st.bloom, query.oid))) {
+        metrics::Add(m_scan_skipped_);
+        continue;
+      }
+    }
+    SENTINEL_RETURN_IF_ERROR(ScanFileLocked(info.path, query, out, &stop));
+  }
+  return Status::OK();
+}
+
+uint64_t HistorySegmentStore::appended_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_total_;
+}
+
+uint64_t HistorySegmentStore::segments_sealed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_sealed_;
+}
+
+size_t HistorySegmentStore::segment_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_.size();
+}
+
+void HistorySegmentStore::SetMetrics(MetricsRegistry* registry) {
+  m_appends_ = registry->counter("histlog.appends");
+  m_rotations_ = registry->counter("histlog.rotations");
+  m_scan_skipped_ = registry->counter("histlog.scan_segments_skipped");
+}
+
+}  // namespace sentinel

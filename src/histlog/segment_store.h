@@ -1,0 +1,191 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// HistorySegmentStore: a log-structured, append-only store for event
+// occurrences evicted from the detector's in-memory FIFO log.
+//
+// The detector's occurrence log is a bounded deque per raise shard; once it
+// fills, the oldest occurrences are trimmed — historically, dropped on the
+// floor. With history spill enabled, each trimmed occurrence is appended to
+// the owning shard's segment store instead, so temporal queries can reach
+// arbitrarily far back without unbounded memory.
+//
+// On-disk layout (one directory per shard, e.g. `<db>/history/shard-3/`):
+//
+//   seg-<id>.hist            id = monotone segment ordinal (survives
+//                            restarts; the logical clock seq does not)
+//
+//   record   := [u32 body_len][u32 crc32c(body)][body]
+//   body     := u64 oid | string class | string method | u8 modifier |
+//               ValueList params | i64 micros | u64 seq
+//   footer   := [u32 0xFFFFFFFF]                      (record terminator)
+//               [u64 record_count][u64 min_seq][u64 max_seq]
+//               [i64 min_micros][i64 max_micros]
+//               [bloom: 128 bytes]                    (1024-bit oid filter)
+//               [u32 crc32c(footer body)]["SHSF"]
+//
+// A segment is *active* (no footer, append in progress) until it reaches
+// segment_bytes, then it is *sealed*: the footer is written and a fresh
+// segment starts. Scans prune sealed segments by footer min/max seq and
+// micros ranges and by the oid bloom filter before touching any record.
+// The footer is pure optimization — an unsealed segment (crash before
+// rotation) is scanned record-by-record, with a torn tail trimmed on the
+// next open, exactly like the WAL.
+//
+// Thread-safety: all public methods lock an internal mutex. Stores are
+// per-shard, so the hot append path (one shard thread) never contends;
+// scans briefly serialize against that shard's appends.
+
+#ifndef SENTINEL_HISTLOG_SEGMENT_STORE_H_
+#define SENTINEL_HISTLOG_SEGMENT_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "events/occurrence.h"
+
+namespace sentinel {
+
+/// Predicate for HistoryScan. Default-constructed matches everything.
+struct HistoryQuery {
+  uint64_t min_seq = 0;  ///< Inclusive logical-clock bounds.
+  uint64_t max_seq = std::numeric_limits<uint64_t>::max();
+  int64_t min_micros = std::numeric_limits<int64_t>::min();
+  int64_t max_micros = std::numeric_limits<int64_t>::max();
+  Oid oid = kInvalidOid;  ///< Filter to one generating object; kInvalidOid
+                          ///< matches every object.
+  size_t limit = 0;       ///< Stop after this many matches; 0 = unlimited.
+
+  bool Matches(const EventOccurrence& occ) const {
+    return occ.timestamp.seq >= min_seq && occ.timestamp.seq <= max_seq &&
+           occ.timestamp.micros >= min_micros &&
+           occ.timestamp.micros <= max_micros &&
+           (oid == kInvalidOid || occ.oid == oid);
+  }
+};
+
+/// Append-only segment store for one shard's trimmed occurrences.
+class HistorySegmentStore {
+ public:
+  /// `segment_bytes` is the rotation threshold for record payload bytes in
+  /// one segment (the active segment may exceed it by one record).
+  HistorySegmentStore(std::string dir, size_t segment_bytes);
+  ~HistorySegmentStore();
+
+  HistorySegmentStore(const HistorySegmentStore&) = delete;
+  HistorySegmentStore& operator=(const HistorySegmentStore&) = delete;
+
+  /// Creates the directory if needed, inventories existing segments, and
+  /// recovers the unsealed tail segment (truncating a torn final record).
+  Status Open();
+
+  /// Flushes and closes the active segment without sealing it — the next
+  /// Open resumes appending to it. Idempotent. Under an active crash
+  /// failpoint, unflushed buffered records are dropped (crash simulation).
+  Status Close();
+
+  /// Appends one occurrence; rotates (seals + starts a new segment) when
+  /// the active segment is full. Failpoints: `histlog.append` before the
+  /// write, `histlog.rotate` before sealing.
+  Status Append(const EventOccurrence& occ);
+
+  /// Pushes buffered appends to the OS (no fsync: history is a cache of
+  /// already-observed events, a lost suffix is acceptable after a crash).
+  Status Flush();
+
+  /// Appends every stored occurrence matching `query` to `out`, oldest
+  /// segment first (within a segment, append = logical order). Sealed
+  /// segments whose footer proves no match are skipped without reading
+  /// records.
+  Status Scan(const HistoryQuery& query,
+              std::vector<EventOccurrence>* out) const;
+
+  /// Lifetime counters (for tests and metrics).
+  uint64_t appended_total() const;
+  uint64_t segments_sealed() const;
+  /// Number of segment files currently on disk (including the active one).
+  size_t segment_count() const;
+
+  /// Wires counters: histlog.appends, histlog.rotations, and the
+  /// histlog.scan_segments_skipped footer-pruning counter.
+  void SetMetrics(MetricsRegistry* registry);
+
+  /// [body_len][crc][body] framing of one occurrence (txn is not
+  /// persisted). Exposed for tests and the wire layer.
+  static std::string EncodeRecord(const EventOccurrence& occ);
+  /// Decodes a record body (no frame). Corruption on malformed input.
+  static Status DecodeRecordBody(const std::string& body,
+                                 EventOccurrence* occ);
+
+ private:
+  /// Footer bookkeeping accumulated while a segment is active.
+  struct SegmentStats {
+    uint64_t record_count = 0;
+    uint64_t min_seq = std::numeric_limits<uint64_t>::max();
+    uint64_t max_seq = 0;
+    int64_t min_micros = std::numeric_limits<int64_t>::max();
+    int64_t max_micros = std::numeric_limits<int64_t>::min();
+    std::string bloom = std::string(kBloomBytes, '\0');
+
+    void Observe(const EventOccurrence& occ);
+  };
+
+  /// One known segment file.
+  struct SegmentInfo {
+    std::string path;
+    uint64_t id = 0;  ///< Monotone ordinal from the file name.
+    bool sealed = false;
+    /// Parsed footer (valid when sealed).
+    SegmentStats stats;
+  };
+
+  static constexpr size_t kBloomBytes = 128;  ///< 1024 bits, k=4.
+  static constexpr uint32_t kFooterSentinel = 0xFFFFFFFFu;
+  static constexpr char kFooterMagic[5] = "SHSF";
+
+  static void BloomAdd(std::string* bloom, Oid oid);
+  static bool BloomMayContain(const std::string& bloom, Oid oid);
+
+  /// Serialized fixed-size footer (sentinel through magic).
+  static std::string EncodeFooter(const SegmentStats& stats);
+  static size_t FooterSize();
+  /// Parses a footer from the tail of `tail`; false if absent/corrupt.
+  static bool DecodeFooter(const std::string& tail, SegmentStats* stats);
+
+  Status OpenActiveLocked();
+  Status SealActiveLocked();
+  /// Scans one segment file record-by-record. Stops cleanly at a torn
+  /// tail or the footer sentinel; `stop` is set once query.limit is hit.
+  Status ScanFileLocked(const std::string& path, const HistoryQuery& query,
+                        std::vector<EventOccurrence>* out, bool* stop) const;
+  /// Reads a file's footer if sealed. Used at Open for inventory.
+  Status InspectSegment(SegmentInfo* info) const;
+  /// Re-derives active-segment stats and truncates a torn tail.
+  Status RecoverActiveLocked(SegmentInfo* info);
+
+  const std::string dir_;
+  const size_t segment_bytes_;
+
+  mutable std::mutex mutex_;
+  bool open_ = false;
+  uint64_t next_id_ = 0;  ///< Ordinal for the next segment file.
+  std::vector<SegmentInfo> segments_;  ///< Sorted by id; last may be active.
+  FILE* active_ = nullptr;
+  size_t active_bytes_ = 0;  ///< Record bytes in the active segment.
+  SegmentStats active_stats_;
+  bool active_empty_ = true;  ///< Active segment file not yet created.
+  uint64_t appended_total_ = 0;
+  uint64_t segments_sealed_ = 0;
+  Counter* m_appends_ = nullptr;
+  Counter* m_rotations_ = nullptr;
+  Counter* m_scan_skipped_ = nullptr;
+};
+
+}  // namespace sentinel
+
+#endif  // SENTINEL_HISTLOG_SEGMENT_STORE_H_

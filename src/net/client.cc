@@ -425,6 +425,27 @@ Result<std::vector<Notification>> Subscriber::Fetch(uint32_t max,
   return std::move(batch.items);
 }
 
+Result<std::vector<Notification>> Subscriber::HistoryScan(
+    const HistoryScanMsg& query, bool* complete) {
+  Encoder enc;
+  query.Encode(&enc);
+  Frame reply;
+  SENTINEL_RETURN_IF_ERROR(
+      conn_->Call(FrameType::kHistoryScan, enc.buffer(), &reply));
+  if (reply.type == FrameType::kStatusReply) {
+    Status s = Connection::ExpectStatusReply(reply, nullptr);
+    if (s.ok()) s = Status::Internal("expected a history batch");
+    return s;
+  }
+  if (reply.type != FrameType::kHistoryBatch) {
+    return Status::Internal("expected HistoryBatch");
+  }
+  SENTINEL_ASSIGN_OR_RETURN(HistoryBatchMsg batch,
+                            HistoryBatchMsg::Decode(reply.body));
+  if (complete != nullptr) *complete = batch.complete;
+  return std::move(batch.items);
+}
+
 // --- GatewayClient (deprecated facade) ---------------------------------------
 
 Result<std::unique_ptr<GatewayClient>> GatewayClient::Connect(

@@ -209,6 +209,15 @@ class Subscriber {
   /// first (long-poll on the server; 0 returns immediately).
   Result<std::vector<Notification>> Fetch(uint32_t max, uint32_t wait_ms);
 
+  /// Replays the server's spilled occurrence history matching `query`
+  /// (Notification encoding; the subscription key field stays empty). Sets
+  /// `*complete` to false (when non-null) if the server clamped the result
+  /// at its per-scan ceiling — narrow the query (or raise min_seq past the
+  /// last row) and call again to continue. Requires the server database to
+  /// run with history spill enabled; FailedPrecondition otherwise.
+  Result<std::vector<Notification>> HistoryScan(const HistoryScanMsg& query,
+                                                bool* complete = nullptr);
+
  private:
   Connection* conn_;
 };

@@ -950,6 +950,16 @@ void GatewayServer::ProcessItem(size_t shard, const IngressItem& item,
       HandleGetStats(session.get(), *msg);
       return;
     }
+    case FrameType::kHistoryScan: {
+      Result<HistoryScanMsg> msg = HistoryScanMsg::Decode(body);
+      if (!msg.ok()) {
+        session->Reply(FrameType::kStatusReply,
+                       StatusReplyMsg::FromStatus(msg.status()));
+        return;
+      }
+      HandleHistoryScan(session.get(), *msg);
+      return;
+    }
     default:
       session->Reply(FrameType::kStatusReply,
                      StatusReplyMsg::FromStatus(Status::InvalidArgument(
@@ -1188,6 +1198,47 @@ void GatewayServer::HandleGetStats(Session* session,
   StatsReplyMsg reply;
   reply.json = BuildStatsJson(msg.sections);
   session->Reply(FrameType::kStatsReply, reply);
+}
+
+void GatewayServer::HandleHistoryScan(Session* session,
+                                      const HistoryScanMsg& msg) {
+  // Hard ceiling regardless of the request: each notification is tens to
+  // hundreds of bytes, so 4096 keeps the reply comfortably inside any
+  // negotiated frame cap. `complete` tells the client it was clamped.
+  constexpr uint32_t kMaxScanItems = 4096;
+  const uint32_t limit = msg.limit == 0
+                             ? kMaxScanItems
+                             : std::min(msg.limit, kMaxScanItems);
+  HistoryQuery query;
+  query.min_seq = msg.min_seq;
+  query.max_seq = msg.max_seq;
+  if (msg.min_micros != 0) query.min_micros = msg.min_micros;
+  if (msg.max_micros != 0) query.max_micros = msg.max_micros;
+  if (msg.oid != 0) query.oid = msg.oid;
+  // One extra row distinguishes "exactly limit matches" from "clamped".
+  query.limit = static_cast<size_t>(limit) + 1;
+
+  std::vector<EventOccurrence> occurrences;
+  Status s = db_->HistoryScan(query, &occurrences);
+  if (!s.ok()) {
+    session->Reply(FrameType::kStatusReply, StatusReplyMsg::FromStatus(s));
+    return;
+  }
+  HistoryBatchMsg reply;
+  reply.complete = occurrences.size() <= limit;
+  if (!reply.complete) occurrences.resize(limit);
+  reply.items.reserve(occurrences.size());
+  for (const EventOccurrence& occ : occurrences) {
+    Notification n;
+    n.oid = occ.oid;
+    n.class_name = occ.class_name;
+    n.method = occ.method;
+    n.modifier = occ.modifier;
+    n.params = occ.params;
+    n.timestamp = occ.timestamp;
+    reply.items.push_back(std::move(n));
+  }
+  session->Reply(FrameType::kHistoryBatch, reply);
 }
 
 }  // namespace net

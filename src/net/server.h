@@ -253,6 +253,10 @@ class GatewayServer {
   void HandleFetch(const std::shared_ptr<Session>& session,
                    const FetchMsg& msg);
   void HandleGetStats(Session* session, const StatsRequestMsg& msg);
+  /// Replays spilled occurrence history (Database::HistoryScan) back to the
+  /// session as a HistoryBatch. The request limit is clamped so one scan
+  /// cannot balloon a reply frame past the session's negotiated cap.
+  void HandleHistoryScan(Session* session, const HistoryScanMsg& msg);
   /// Renders the StatsReply JSON for the requested section bits. Runs on a
   /// worker thread; counters are exact only once writers quiesce.
   std::string BuildStatsJson(uint32_t sections) const;

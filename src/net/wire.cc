@@ -42,6 +42,8 @@ bool IsKnownFrameType(uint8_t raw) {
     case FrameType::kFetchNotifications:
     case FrameType::kGetStats:
     case FrameType::kHello:
+    case FrameType::kHistoryScan:
+    case FrameType::kHistoryBatch:
     case FrameType::kPong:
     case FrameType::kStatusReply:
     case FrameType::kNotificationBatch:
@@ -228,6 +230,36 @@ Result<FetchMsg> FetchMsg::Decode(const std::string& body) {
   SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
   if (msg.max == 0) {
     return Status::InvalidArgument("fetch max must be positive");
+  }
+  return msg;
+}
+
+// --- HistoryScanMsg ----------------------------------------------------------
+
+void HistoryScanMsg::Encode(Encoder* enc) const {
+  enc->PutU64(min_seq);
+  enc->PutU64(max_seq);
+  enc->PutI64(min_micros);
+  enc->PutI64(max_micros);
+  enc->PutU64(oid);
+  enc->PutU32(limit);
+}
+
+Result<HistoryScanMsg> HistoryScanMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  HistoryScanMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.min_seq));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.max_seq));
+  SENTINEL_RETURN_IF_ERROR(dec.GetI64(&msg.min_micros));
+  SENTINEL_RETURN_IF_ERROR(dec.GetI64(&msg.max_micros));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.oid));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.limit));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.min_seq > msg.max_seq) {
+    return Status::InvalidArgument("history scan: min_seq > max_seq");
+  }
+  if (msg.max_micros != 0 && msg.min_micros > msg.max_micros) {
+    return Status::InvalidArgument("history scan: min_micros > max_micros");
   }
   return msg;
 }
@@ -451,6 +483,30 @@ Result<NotificationBatchMsg> NotificationBatchMsg::Decode(
     SENTINEL_RETURN_IF_ERROR(Notification::DecodeInto(&dec, &n));
     msg.items.push_back(std::move(n));
   }
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  return msg;
+}
+
+// --- HistoryBatchMsg ---------------------------------------------------------
+
+void HistoryBatchMsg::Encode(Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(items.size()));
+  for (const Notification& n : items) n.Encode(enc);
+  enc->PutBool(complete);
+}
+
+Result<HistoryBatchMsg> HistoryBatchMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  uint32_t count = 0;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&count));
+  HistoryBatchMsg msg;
+  msg.items.reserve(std::min<size_t>(count, dec.remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    Notification n;
+    SENTINEL_RETURN_IF_ERROR(Notification::DecodeInto(&dec, &n));
+    msg.items.push_back(std::move(n));
+  }
+  SENTINEL_RETURN_IF_ERROR(dec.GetBool(&msg.complete));
   SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
   return msg;
 }

@@ -50,6 +50,7 @@ enum class FrameType : uint8_t {
   kFetchNotifications = 7,
   kGetStats = 8,
   kHello = 9,
+  kHistoryScan = 10,
 
   // Responses (server -> client).
   kPong = 64,
@@ -58,6 +59,7 @@ enum class FrameType : uint8_t {
   kStatsReply = 67,
   kHelloReply = 68,
   kBatchStatusReply = 69,
+  kHistoryBatch = 70,
 };
 
 /// True when `raw` names a defined FrameType.
@@ -213,6 +215,22 @@ struct StatsRequestMsg {
   static Result<StatsRequestMsg> Decode(const std::string& body);
 };
 
+/// Replay spilled occurrence history: the remote face of
+/// Database::HistoryScan. Filters mirror HistoryQuery; zero/defaulted
+/// fields mean "unbounded" on that axis (`oid` 0 = every object). `limit`
+/// is clamped server-side so one request cannot balloon a reply frame.
+struct HistoryScanMsg {
+  uint64_t min_seq = 0;
+  uint64_t max_seq = ~0ull;
+  int64_t min_micros = 0;  ///< 0 = open (occurrence micros are positive).
+  int64_t max_micros = 0;  ///< 0 = open.
+  uint64_t oid = 0;        ///< 0 = every object.
+  uint32_t limit = 0;      ///< 0 = server default.
+
+  void Encode(Encoder* enc) const;
+  static Result<HistoryScanMsg> Decode(const std::string& body);
+};
+
 // --- Response messages ----------------------------------------------------
 
 /// Generic request outcome. `payload` carries a small result where one
@@ -285,6 +303,17 @@ struct NotificationBatchMsg {
 
   void Encode(Encoder* enc) const;
   static Result<NotificationBatchMsg> Decode(const std::string& body);
+};
+
+/// Reply to HistoryScan: the matching occurrences in logical-clock order
+/// (Notification encoding with an empty subscription key), plus `complete`
+/// — false when the server's limit clamp cut the result short.
+struct HistoryBatchMsg {
+  std::vector<Notification> items;
+  bool complete = true;
+
+  void Encode(Encoder* enc) const;
+  static Result<HistoryBatchMsg> Decode(const std::string& body);
 };
 
 /// Reply to Ping.

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/clock.h"
 #include "common/codec.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
@@ -89,16 +90,31 @@ Status ObjectStore::Open(const std::string& dir) {
   SENTINEL_RETURN_IF_ERROR(disk_.Open(dir + "/heap.db"));
   pool_ = std::make_unique<BufferPool>(&disk_, buffer_pages_hint_);
   SENTINEL_RETURN_IF_ERROR(wal_.Open(dir + "/wal.log"));
+  group_commit_ =
+      std::make_unique<GroupCommitSync>(&wal_, group_commit_window_us_);
   txn_manager_ = std::make_unique<TransactionManager>(&wal_, &lock_manager_);
   txn_manager_->SetHeap(this);
+  // Every durability wait — user commits, synced aborts, system mini-txns —
+  // goes through the group-commit pipeline so concurrent committers share
+  // one fdatasync.
+  txn_manager_->SetSyncHook(
+      [this]() { return group_commit_->Sync(); });
   if (metrics_ != nullptr) {
     pool_->SetMetrics(metrics_);
     wal_.SetMetrics(metrics_);
     txn_manager_->SetMetrics(metrics_);
+    group_commit_->SetMetrics(metrics_);
   }
 
   SENTINEL_RETURN_IF_ERROR(RebuildDirectory());
-  SENTINEL_RETURN_IF_ERROR(Recover());
+  {
+    const int64_t start = SteadyNowNs();
+    SENTINEL_RETURN_IF_ERROR(Recover());
+    if (metrics_ != nullptr) {
+      metrics::Set(metrics_->gauge("storage.recovery_ms"),
+                   (SteadyNowNs() - start) / 1000000);
+    }
+  }
 
   // Restore the oid high-water mark from what the heap now contains.
   Oid max_oid = kFirstUserOid - 1;
@@ -129,6 +145,7 @@ Status ObjectStore::Close() {
   if (!s.ok() && first_error.ok()) first_error = s;
   pool_.reset();
   txn_manager_.reset();
+  group_commit_.reset();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     directory_.clear();
@@ -187,6 +204,10 @@ Status ObjectStore::RebuildDirectory() {
 Status ObjectStore::Recover() {
   std::vector<WalRecord> records;
   SENTINEL_RETURN_IF_ERROR(wal_.ReadAll(&records));
+  if (metrics_ != nullptr) {
+    metrics::Set(metrics_->gauge("storage.recovery_records"),
+                 static_cast<int64_t>(records.size()));
+  }
   if (records.empty()) return Status::OK();
   SENTINEL_FAILPOINT("store.recover");
 
@@ -360,8 +381,41 @@ size_t ObjectStore::ObjectCount() const {
 
 Status ObjectStore::Checkpoint() {
   if (pool_ == nullptr) return Status::FailedPrecondition("store not open");
+  SENTINEL_FAILPOINT("store.checkpoint");
+
+  // (1) Capture the stable LSN: every record below it is already appended.
+  SENTINEL_ASSIGN_OR_RETURN(uint64_t stable_lsn, wal_.CurrentLsn());
+
+  // (2) Barrier: commits hold the apply barrier shared from WAL append to
+  // heap apply, so acquiring it exclusive (and releasing immediately)
+  // proves every commit logged below stable_lsn has reached the in-memory
+  // heap. Commits that append after the capture land at LSNs >= stable_lsn
+  // and survive the truncation — they may run concurrently from here on.
+  if (txn_manager_ != nullptr) {
+    std::unique_lock<std::shared_mutex> barrier(
+        *txn_manager_->apply_barrier());
+  }
+
+  // (3) Flush dirty pages while mutators keep committing. Pages dirtied by
+  // post-capture commits may flush early too — harmless, redo is
+  // idempotent and their WAL records are retained.
   SENTINEL_RETURN_IF_ERROR(pool_->FlushAll());
-  return wal_.Reset();
+
+  // (4) A durable checkpoint record (its own LSN >= stable_lsn, so it
+  // survives the truncation) marks the heap current up to stable_lsn.
+  Encoder mark;
+  mark.PutU64(stable_lsn);
+  WalRecord ckpt{WalRecordType::kCheckpoint, 0, 0, mark.Release()};
+  SENTINEL_RETURN_IF_ERROR(wal_.Append(ckpt));
+  SENTINEL_RETURN_IF_ERROR(group_commit_ != nullptr ? group_commit_->Sync()
+                                                    : wal_.Sync());
+
+  // (5) Drop the prefix; recovery now replays only the suffix.
+  SENTINEL_RETURN_IF_ERROR(wal_.TruncateTo(stable_lsn));
+  if (metrics_ != nullptr) {
+    metrics::Add(metrics_->counter("storage.checkpoints"));
+  }
+  return Status::OK();
 }
 
 Status ObjectStore::EraseChunksLocked(Oid oid) {
@@ -483,10 +537,15 @@ Status ObjectStore::SystemPut(Oid oid, const std::string& class_name,
   WalRecord begin{WalRecordType::kBegin, id, 0, {}};
   WalRecord put{WalRecordType::kPut, id, oid, framed};
   WalRecord commit{WalRecordType::kCommit, id, 0, {}};
+  // Mini-txns observe the same append-to-apply barrier as user commits so
+  // a fuzzy checkpoint cannot truncate their records before the heap apply.
+  std::shared_lock<std::shared_mutex> apply_guard(
+      *txn_manager_->apply_barrier());
   SENTINEL_RETURN_IF_ERROR(wal_.Append(begin));
   SENTINEL_RETURN_IF_ERROR(wal_.Append(put));
   SENTINEL_RETURN_IF_ERROR(wal_.Append(commit));
-  SENTINEL_RETURN_IF_ERROR(wal_.Sync());
+  SENTINEL_RETURN_IF_ERROR(group_commit_ != nullptr ? group_commit_->Sync()
+                                                    : wal_.Sync());
   return ApplyPut(oid, framed);
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "histlog/group_commit.h"
 #include "oodb/class_catalog.h"
 #include "oodb/oid.h"
 #include "storage/buffer_pool.h"
@@ -81,6 +82,18 @@ class ObjectStore : public HeapApplier {
   TransactionManager* txns() { return txn_manager_.get(); }
   LockManager* locks() { return &lock_manager_; }
 
+  /// The log itself (checkpoint thresholds, tests, benches).
+  WalManager* wal() { return &wal_; }
+
+  /// The commit-sync pipeline (created at Open; see SetGroupCommitWindow).
+  GroupCommitSync* commit_sync() { return group_commit_.get(); }
+
+  /// Group-commit batching window in microseconds; 0 (the default) syncs
+  /// each commit individually. Must be called before Open.
+  void SetGroupCommitWindow(uint32_t window_us) {
+    group_commit_window_us_ = window_us;
+  }
+
   // --- Transactional object access ----------------------------------------
 
   /// Stages a create-or-update of `oid` under `txn` (X lock).
@@ -112,7 +125,12 @@ class ObjectStore : public HeapApplier {
 
   // --- Maintenance ---------------------------------------------------------
 
-  /// Flushes dirty pages and truncates the WAL.
+  /// Fuzzy checkpoint: captures the stable LSN, waits out in-flight heap
+  /// applies (without stalling new commits), flushes dirty pages, writes a
+  /// durable checkpoint record carrying the stable LSN, and truncates the
+  /// WAL behind it. Mutators keep committing throughout; only commits
+  /// caught between WAL-durable and heap-applied are briefly waited on.
+  /// Bounds recovery to replaying the WAL suffix since the last checkpoint.
   Status Checkpoint();
 
   /// Writes a system record (catalog, registries) durably and immediately,
@@ -171,12 +189,14 @@ class ObjectStore : public HeapApplier {
 
   bool open_ = false;
   size_t buffer_pages_hint_ = 256;
+  uint32_t group_commit_window_us_ = 0;
   CommitObserver* observer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   std::string dir_;
   DiskManager disk_;
   std::unique_ptr<BufferPool> pool_;
   WalManager wal_;
+  std::unique_ptr<GroupCommitSync> group_commit_;
   LockManager lock_manager_;
   std::unique_ptr<TransactionManager> txn_manager_;
   OidGenerator oids_;

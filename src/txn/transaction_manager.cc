@@ -28,7 +28,7 @@ Status TransactionManager::DoAbort(Transaction* txn, const std::string& why,
     // the neutralization is as durable as the stray commit could be; if
     // appending or syncing fails too, the outcome is crash-indeterminate —
     // which is what the caller was already told.
-    if (wal_->Append(rec).ok() && sync_abort) wal_->Sync().ok();
+    if (wal_->Append(rec).ok() && sync_abort) SyncWal().ok();
   }
   if (txn->locked_any()) locks_->ReleaseAll(txn->id());
   txn->state_ = TxnState::kAborted;
@@ -59,6 +59,16 @@ Status TransactionManager::Commit(Transaction* txn) {
       return fp;
     }
   }
+  // After a sync failure the log is poisoned (the kernel may have dropped
+  // dirty pages without saying which): refuse up front instead of
+  // appending records that can never be made durable.
+  if (wal_ != nullptr && wal_->sync_failed()) {
+    Status sticky = Status::IOError(
+        "wal sync previously failed; reopen required before further "
+        "commits");
+    DoAbort(txn, sticky.ToString());
+    return sticky;
+  }
 
   // (1) Deferred rule work runs at the commit point, still inside the txn.
   Status deferred = txn->RunDeferred();
@@ -82,6 +92,12 @@ Status TransactionManager::Commit(Transaction* txn) {
   // active would leak its locks and strand the caller (a bug the crash-
   // torture harness flushed out). The abort path appends a synced abort
   // record so a commit record that did reach the log cannot be replayed.
+  //
+  // The apply barrier is held shared from the first WAL append until the
+  // heap apply in (4) finishes: a fuzzy checkpoint acquiring it exclusive
+  // after capturing a stable LSN thereby waits out every commit whose
+  // records it is about to truncate (see apply_barrier()).
+  std::shared_lock<std::shared_mutex> apply_guard(apply_barrier_);
   if (wal_ != nullptr && !txn->write_set().empty()) {
     Status wal_status = [&]() -> Status {
       WalRecord rec;
@@ -104,7 +120,7 @@ Status TransactionManager::Commit(Transaction* txn) {
       commit.type = WalRecordType::kCommit;
       commit.txn = txn->id();
       SENTINEL_RETURN_IF_ERROR(wal_->Append(commit));
-      return wal_->Sync();
+      return SyncWal();
     }();
     if (!wal_status.ok()) {
       DoAbort(txn, "commit WAL write failed: " + wal_status.ToString(),
@@ -132,6 +148,12 @@ Status TransactionManager::Commit(Transaction* txn) {
       }
     }
   }
+
+  // The heap now holds the write set: the checkpointer may flush and
+  // truncate past this commit. Released before (6) — detached work commits
+  // fresh transactions on this thread, and re-acquiring the barrier shared
+  // while a checkpointer waits exclusive would deadlock.
+  apply_guard.unlock();
 
   // (5) Done: release locks.
   if (txn->locked_any()) locks_->ReleaseAll(txn->id());

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -74,6 +75,20 @@ class TransactionManager {
     m_aborts_ = registry->counter("txn.aborts");
   }
 
+  /// Replaces the commit-path durability sync (WalManager::Sync by
+  /// default). The ObjectStore installs GroupCommitSync here so concurrent
+  /// commits across raise shards share one fdatasync.
+  void SetSyncHook(std::function<Status()> hook) {
+    sync_hook_ = std::move(hook);
+  }
+
+  /// The fuzzy-checkpoint apply barrier. Each commit holds it shared from
+  /// its first WAL append until its heap apply finishes; the checkpointer
+  /// acquires it exclusive (momentarily) after capturing the stable LSN,
+  /// proving every commit logged below that LSN has reached the heap —
+  /// which makes truncating those records safe once the pool flushes.
+  std::shared_mutex* apply_barrier() { return &apply_barrier_; }
+
   LockManager* locks() { return locks_; }
 
  private:
@@ -84,9 +99,14 @@ class TransactionManager {
   Status DoAbort(Transaction* txn, const std::string& why,
                  bool sync_abort = false);
 
+  /// Durability sync for the commit path (group commit when installed).
+  Status SyncWal() { return sync_hook_ ? sync_hook_() : wal_->Sync(); }
+
   WalManager* wal_;
   LockManager* locks_;
   HeapApplier* heap_ = nullptr;
+  std::function<Status()> sync_hook_;
+  std::shared_mutex apply_barrier_;
   std::atomic<TxnId> next_id_{1};
   Counter* m_commits_ = nullptr;
   Counter* m_aborts_ = nullptr;

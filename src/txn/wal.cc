@@ -2,6 +2,8 @@
 
 #include "txn/wal.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -9,11 +11,56 @@
 #include <cstring>
 
 #include "common/codec.h"
+#include "common/crc32c.h"
 #include "common/failpoint.h"
 
 namespace sentinel {
 
+namespace {
+
+constexpr char kMagic[4] = {'S', 'W', 'A', 'L'};
+constexpr uint32_t kFormatVersion = 2;
+constexpr size_t kHeaderSize = 24;
+
+/// Upper bound on one record's framed body; a claimed length beyond this is
+/// treated as tail garbage rather than attempted as an allocation.
+constexpr uint32_t kMaxRecordBody = 64u << 20;
+
+/// Best-effort fsync of the directory containing `path`, so a just-renamed
+/// file survives a crash of the directory entry itself.
+void SyncParentDir(const std::string& path) {
+  size_t slash = path.rfind('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+std::string EncodeHeader(uint64_t base_lsn) {
+  Encoder enc;
+  enc.PutRaw(kMagic, 4);
+  enc.PutU32(kFormatVersion);
+  enc.PutU64(base_lsn);
+  uint32_t crc = Crc32c(enc.buffer().data(), enc.size());
+  enc.PutU32(crc);
+  enc.PutU32(0);  // Pad to kHeaderSize.
+  return enc.Release();
+}
+
+}  // namespace
+
 WalManager::~WalManager() { Close().ok(); }
+
+Status WalManager::WriteHeader(std::FILE* f, uint64_t base_lsn) {
+  std::string header = EncodeHeader(base_lsn);
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    return Status::IOError("wal header write failed");
+  }
+  if (std::fflush(f) != 0) return Status::IOError("wal header flush failed");
+  return Status::OK();
+}
 
 Status WalManager::Open(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -29,8 +76,66 @@ Status WalManager::Open(const std::string& path) {
     return Status::IOError("cannot open " + path + ": " +
                            std::strerror(errno));
   }
-  std::fseek(file_, 0, SEEK_END);
   path_ = path;
+  std::fseek(file_, 0, SEEK_END);
+  long size = std::ftell(file_);
+
+  if (size == 0) {
+    // Fresh log: version-2 header, records start at LSN 0.
+    format_version_ = kFormatVersion;
+    header_size_ = kHeaderSize;
+    base_lsn_ = 0;
+    Status s = WriteHeader(file_, 0);
+    if (!s.ok()) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return s;
+    }
+    return Status::OK();
+  }
+
+  // Existing log: versioned header, or a legacy headerless (v1) file.
+  std::fseek(file_, 0, SEEK_SET);
+  char magic[4] = {0, 0, 0, 0};
+  size_t got = std::fread(magic, 1, 4, file_);
+  if (got == 4 && std::memcmp(magic, kMagic, 4) == 0) {
+    std::string rest(kHeaderSize - 4, '\0');
+    if (std::fread(rest.data(), 1, rest.size(), file_) != rest.size()) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return Status::Corruption("wal header truncated");
+    }
+    Decoder dec(rest);
+    uint32_t version = 0, stored_crc = 0;
+    uint64_t base = 0;
+    dec.GetU32(&version).ok();
+    dec.GetU64(&base).ok();
+    dec.GetU32(&stored_crc).ok();
+    uint32_t crc = Crc32c(kMagic, 4);
+    crc = ExtendCrc32c(crc, rest.data(), 12);  // version + base_lsn.
+    if (crc != stored_crc) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return Status::Corruption("wal header crc mismatch");
+    }
+    if (version == 0 || version > kFormatVersion) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return Status::Corruption("unsupported wal version " +
+                                std::to_string(version));
+    }
+    format_version_ = version;
+    header_size_ = kHeaderSize;
+    base_lsn_ = base;
+  } else {
+    // No header: a log written before versioning. Records carry no CRC;
+    // keep appending in the same frame format so replay stays uniform —
+    // the next Reset/TruncateTo rewrites the file as version 2.
+    format_version_ = 1;
+    header_size_ = 0;
+    base_lsn_ = 0;
+  }
+  std::fseek(file_, 0, SEEK_END);
   return Status::OK();
 }
 
@@ -58,12 +163,16 @@ Status WalManager::Append(const WalRecord& record) {
   body.PutU64(record.oid);
   body.PutString(record.payload);
 
-  Encoder framed;
-  framed.PutU32(static_cast<uint32_t>(body.size()));
-  framed.PutRaw(body.buffer().data(), body.size());
-
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  // Framed under the lock: the record format follows the file's version,
+  // which TruncateTo may upgrade concurrently.
+  Encoder framed;
+  framed.PutU32(static_cast<uint32_t>(body.size()));
+  if (format_version_ >= 2) {
+    framed.PutU32(Crc32c(body.buffer().data(), body.size()));
+  }
+  framed.PutRaw(body.buffer().data(), body.size());
   if (FailPoints::AnyActive()) {
     size_t partial = 0;
     Status fp = FailPoints::Instance().Check("wal.append", &partial);
@@ -86,11 +195,32 @@ Status WalManager::Append(const WalRecord& record) {
 }
 
 Status WalManager::Sync() {
-  SENTINEL_FAILPOINT("wal.sync");
+  if (sync_failed_.load(std::memory_order_acquire)) {
+    return Status::IOError(
+        "wal sync previously failed; reopen required before further "
+        "commits");
+  }
+  Status injected = Status::OK();
+  if (FailPoints::AnyActive()) {
+    injected = FailPoints::Instance().Check("wal.sync");
+  }
+  if (!injected.ok()) {
+    sync_failed_.store(true, std::memory_order_release);
+    return injected;
+  }
   const int64_t start = metrics::TimerStart(m_sync_ns_);
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
-  if (std::fflush(file_) != 0) return Status::IOError("wal flush failed");
+  if (std::fflush(file_) != 0) {
+    sync_failed_.store(true, std::memory_order_release);
+    return Status::IOError("wal flush failed");
+  }
+  if (::fdatasync(fileno(file_)) != 0) {
+    sync_failed_.store(true, std::memory_order_release);
+    return Status::IOError("wal fsync failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
   metrics::RecordSince(m_sync_ns_, start);
   return Status::OK();
 }
@@ -100,42 +230,154 @@ Status WalManager::ReadAll(std::vector<WalRecord>* out) {
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
   out->clear();
   std::fflush(file_);
-  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+  std::fseek(file_, 0, SEEK_END);
+  long file_size = std::ftell(file_);
+  if (std::fseek(file_, static_cast<long>(header_size_), SEEK_SET) != 0) {
     return Status::IOError("wal seek failed");
   }
+  const bool with_crc = format_version_ >= 2;
+  const size_t frame_overhead = with_crc ? 8 : 4;
+  long pos = static_cast<long>(header_size_);
+  Status result = Status::OK();
   for (;;) {
     uint32_t len = 0;
     size_t got = std::fread(&len, 1, 4, file_);
     if (got < 4) break;  // Clean end or torn length: stop.
-    std::string body(len, '\0');
-    got = std::fread(body.data(), 1, len, file_);
+    uint64_t remaining = static_cast<uint64_t>(file_size - pos);
+    if (len > kMaxRecordBody || frame_overhead + len > remaining) {
+      break;  // Torn record (claims more bytes than exist): crash tail.
+    }
+    uint32_t stored_crc = 0;
+    if (with_crc && std::fread(&stored_crc, 1, 4, file_) < 4) break;
+    std::string record_body(len, '\0');
+    got = std::fread(record_body.data(), 1, len, file_);
     if (got < len) break;  // Torn record body: stop (crash tail).
-    Decoder dec(body);
+    if (with_crc && Crc32c(record_body) != stored_crc) {
+      // The record is fully present but its bytes are wrong: this is
+      // media/software corruption, not a crash tail — surface it rather
+      // than replaying garbage (or silently dropping valid records that
+      // may follow).
+      result = Status::Corruption(
+          "wal record crc mismatch at lsn " +
+          std::to_string(base_lsn_ + (pos - header_size_)));
+      break;
+    }
+    Decoder dec(record_body);
     WalRecord rec;
     uint8_t type = 0;
     Status s = dec.GetU8(&type);
     if (s.ok()) s = dec.GetU64(&rec.txn);
     if (s.ok()) s = dec.GetU64(&rec.oid);
     if (s.ok()) s = dec.GetString(&rec.payload);
-    if (!s.ok()) break;  // Malformed body: treat as torn tail.
+    if (!s.ok()) {
+      if (with_crc) {
+        // CRC passed but the body does not decode: structural corruption.
+        result = Status::Corruption("malformed wal record at lsn " +
+                                    std::to_string(base_lsn_ +
+                                                   (pos - header_size_)));
+      }
+      break;  // v1: indistinguishable from a torn tail.
+    }
     rec.type = static_cast<WalRecordType>(type);
     out->push_back(std::move(rec));
+    pos += static_cast<long>(frame_overhead + len);
   }
   std::fseek(file_, 0, SEEK_END);
+  return result;
+}
+
+Result<uint64_t> WalManager::CurrentLsn() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  long pos = std::ftell(file_);
+  if (pos < 0) return Status::IOError("ftell failed");
+  return base_lsn_ + (static_cast<uint64_t>(pos) - header_size_);
+}
+
+Status WalManager::TruncateToLocked(uint64_t stable_lsn) {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  if (std::fflush(file_) != 0) return Status::IOError("wal flush failed");
+  long end_pos = std::ftell(file_);
+  if (end_pos < 0) return Status::IOError("ftell failed");
+  uint64_t end_lsn = base_lsn_ + (static_cast<uint64_t>(end_pos) -
+                                  header_size_);
+  if (stable_lsn < base_lsn_) {
+    return Status::OK();  // Already truncated past this point.
+  }
+  if (stable_lsn > end_lsn) {
+    return Status::InvalidArgument("truncate beyond log end");
+  }
+
+  // Read the surviving suffix [stable_lsn, end_lsn).
+  long suffix_off =
+      static_cast<long>(header_size_ + (stable_lsn - base_lsn_));
+  std::string suffix(static_cast<size_t>(end_pos - suffix_off), '\0');
+  if (std::fseek(file_, suffix_off, SEEK_SET) != 0 ||
+      std::fread(suffix.data(), 1, suffix.size(), file_) != suffix.size()) {
+    std::fseek(file_, 0, SEEK_END);
+    return Status::IOError("wal suffix read failed");
+  }
+  std::fseek(file_, 0, SEEK_END);
+
+  // Write header + suffix to a sibling, durably, then swap atomically: a
+  // crash at any point leaves either the whole old log or the truncated
+  // one — never a half-rewritten file.
+  std::string tmp_path = path_ + ".tmp";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) {
+    return Status::IOError("wal truncate: cannot create " + tmp_path);
+  }
+  std::string header = EncodeHeader(stable_lsn);
+  bool wrote = std::fwrite(header.data(), 1, header.size(), tmp) ==
+                   header.size() &&
+               (suffix.empty() ||
+                std::fwrite(suffix.data(), 1, suffix.size(), tmp) ==
+                    suffix.size()) &&
+               std::fflush(tmp) == 0 && ::fdatasync(fileno(tmp)) == 0;
+  std::fclose(tmp);
+  if (!wrote) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("wal truncate: tmp write failed");
+  }
+  SENTINEL_FAILPOINT("wal.truncate.rename");
+  std::fclose(file_);
+  file_ = nullptr;
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    Status rename_error = Status::IOError(
+        "wal truncate rename failed: " + std::string(std::strerror(errno)));
+    file_ = std::fopen(path_.c_str(), "r+b");  // Old log is still intact.
+    if (file_ != nullptr) std::fseek(file_, 0, SEEK_END);
+    return rename_error;
+  }
+  SyncParentDir(path_);
+  file_ = std::fopen(path_.c_str(), "r+b");
+  if (file_ == nullptr) {
+    return Status::IOError("wal truncate reopen failed");
+  }
+  std::fseek(file_, 0, SEEK_END);
+  uint64_t dropped = stable_lsn - base_lsn_;
+  format_version_ = kFormatVersion;
+  header_size_ = kHeaderSize;
+  base_lsn_ = stable_lsn;
+  metrics::Add(m_truncated_bytes_, dropped);
   return Status::OK();
+}
+
+Status WalManager::TruncateTo(uint64_t stable_lsn) {
+  SENTINEL_FAILPOINT("wal.truncate");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return TruncateToLocked(stable_lsn);
 }
 
 Status WalManager::Reset() {
   SENTINEL_FAILPOINT("wal.reset");
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "w+b");
-  if (file_ == nullptr) {
-    return Status::IOError("wal reset failed: " +
-                           std::string(std::strerror(errno)));
-  }
-  return Status::OK();
+  std::fflush(file_);
+  long pos = std::ftell(file_);
+  if (pos < 0) return Status::IOError("ftell failed");
+  return TruncateToLocked(base_lsn_ +
+                          (static_cast<uint64_t>(pos) - header_size_));
 }
 
 Result<uint64_t> WalManager::SizeBytes() {
@@ -144,7 +386,7 @@ Result<uint64_t> WalManager::SizeBytes() {
   std::fflush(file_);
   long pos = std::ftell(file_);
   if (pos < 0) return Status::IOError("ftell failed");
-  return static_cast<uint64_t>(pos);
+  return static_cast<uint64_t>(pos) - header_size_;
 }
 
 }  // namespace sentinel

@@ -5,12 +5,32 @@
 // Sentinel's object store applies a transaction's writes to the heap only
 // after the commit record is durable (a no-steal policy), so recovery never
 // needs undo: it replays the operations of committed transactions in log
-// order and ignores everything else. Log records are length-prefixed and
-// CRC-free (a torn tail is detected by the length check and truncated).
+// order and ignores everything else.
+//
+// On-disk format (version 2):
+//
+//   [header: "SWAL" | u32 version | u64 base_lsn | u32 crc | u32 pad]
+//   [record]*   record = [u32 body_len][u32 crc32c(body)][body]
+//
+// `base_lsn` is the logical offset of the first record byte: LSNs are
+// logical log offsets that stay monotone across truncations, so a stable
+// LSN captured before a checkpoint still names the same boundary after the
+// prefix behind it is dropped. A torn tail is detected by the length check
+// and truncated; a corrupted *middle* record fails its CRC and surfaces as
+// Corruption instead of silently replaying garbage. Version-1 logs (no
+// header, no record CRCs — written before this format existed) are still
+// replayed; the first Reset/TruncateTo rewrites them as version 2.
+//
+// Sync failures are sticky: after the first failed flush the log refuses
+// every further Sync with IOError. A failed fsync means the kernel may have
+// dropped dirty pages without telling us which — retrying would ack commits
+// whose bytes silently never hit the platter. The only safe continuation is
+// a reopen, which re-reads what the disk actually holds.
 
 #ifndef SENTINEL_TXN_WAL_H_
 #define SENTINEL_TXN_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
@@ -30,7 +50,7 @@ enum class WalRecordType : uint8_t {
   kAbort = 3,
   kPut = 4,      ///< Create-or-update object: payload = serialized object.
   kDelete = 5,   ///< Delete object.
-  kCheckpoint = 6,
+  kCheckpoint = 6,  ///< payload = u64 stable LSN the heap is current to.
 };
 
 /// One decoded WAL record.
@@ -50,37 +70,82 @@ class WalManager {
   WalManager(const WalManager&) = delete;
   WalManager& operator=(const WalManager&) = delete;
 
-  /// Opens (creating if absent) the log at `path`.
+  /// Opens (creating if absent) the log at `path`. A fresh log gets a
+  /// version-2 header; an existing headerless log is read as version 1.
   Status Open(const std::string& path);
   Status Close();
 
   /// Appends one record (buffered; see Sync).
   Status Append(const WalRecord& record);
 
-  /// Forces the log to disk. Called before acking a commit.
+  /// Forces the log to disk (fflush + fdatasync). Called before acking a
+  /// commit — normally through GroupCommitSync, which batches concurrent
+  /// callers into one physical sync. Failures are sticky (see above).
   Status Sync();
 
-  /// Records every Sync's latency into txn.wal_sync_ns. Set once at open;
-  /// covers all sync paths (user commits, system mini-txns, abort records).
+  /// True once a Sync has failed; every further Sync refuses with IOError
+  /// and the commit path refuses new transactions up front.
+  bool sync_failed() const {
+    return sync_failed_.load(std::memory_order_acquire);
+  }
+
+  /// Physical syncs performed (for group-commit tests/benches: with
+  /// batching this grows slower than the commit count).
+  uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Records every Sync's latency into txn.wal_sync_ns and truncated bytes
+  /// into storage.wal_truncated_bytes. Set once at open; covers all sync
+  /// paths (user commits, system mini-txns, abort records).
   void SetMetrics(MetricsRegistry* registry) {
     m_sync_ns_ = registry->histogram("txn.wal_sync_ns");
+    m_truncated_bytes_ = registry->counter("storage.wal_truncated_bytes");
   }
 
   /// Reads every well-formed record from the start of the log. A torn tail
-  /// stops the scan without error (crash semantics).
+  /// stops the scan without error (crash semantics); a record that is fully
+  /// present but fails its CRC returns Corruption.
   Status ReadAll(std::vector<WalRecord>* out);
 
-  /// Truncates the log (after a checkpoint has made the heap current).
+  /// The LSN one past the last appended record (logical log offset;
+  /// monotone across truncations). Everything below this is in the log —
+  /// though not necessarily synced yet.
+  Result<uint64_t> CurrentLsn();
+
+  /// Drops every record below `stable_lsn` (the fuzzy-checkpoint contract:
+  /// the heap must already durably contain their effects). Implemented as
+  /// copy-suffix + atomic rename, so a crash mid-truncate leaves either the
+  /// whole old log or the correctly truncated one. Failpoints:
+  /// "wal.truncate" (entry), "wal.truncate.rename" (tmp written, not yet
+  /// swapped).
+  Status TruncateTo(uint64_t stable_lsn);
+
+  /// Truncates the whole log (after recovery has made the heap current).
+  /// Equivalent to TruncateTo(CurrentLsn()).
   Status Reset();
 
-  /// Bytes currently in the log file (for tests/benches).
+  /// Record bytes currently in the log file, excluding the header (for
+  /// checkpoint thresholds, tests, and benches).
   Result<uint64_t> SizeBytes();
 
  private:
+  /// Writes a fresh v2 header to `f` (positioned at 0). Caller holds mutex_.
+  Status WriteHeader(std::FILE* f, uint64_t base_lsn);
+
+  /// Shared tail of TruncateTo/Reset. Caller holds mutex_.
+  Status TruncateToLocked(uint64_t stable_lsn);
+
   std::mutex mutex_;
   std::FILE* file_ = nullptr;
   std::string path_;
+  uint32_t format_version_ = 2;  ///< 1 = legacy headerless log.
+  uint64_t header_size_ = 0;     ///< 0 for v1 logs.
+  uint64_t base_lsn_ = 0;        ///< LSN of the first byte after the header.
+  std::atomic<bool> sync_failed_{false};
+  std::atomic<uint64_t> sync_count_{0};
   Histogram* m_sync_ns_ = nullptr;
+  Counter* m_truncated_bytes_ = nullptr;
 };
 
 }  // namespace sentinel

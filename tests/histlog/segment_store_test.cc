@@ -1,0 +1,256 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// HistorySegmentStore: append/scan round trips, rotation + footers,
+// footer-based scan pruning, torn-tail recovery, and reopen-resume.
+
+#include "histlog/segment_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "../test_util.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+
+namespace sentinel {
+namespace {
+
+using testing_util::MakeOccurrence;
+using testing_util::TempDir;
+
+TEST(SegmentStoreTest, AppendScanRoundTrip) {
+  TempDir dir("hist");
+  HistorySegmentStore store(dir.path(), 1 << 20);
+  ASSERT_TRUE(store.Open().ok());
+
+  std::vector<EventOccurrence> written;
+  for (int i = 0; i < 20; ++i) {
+    EventOccurrence occ = MakeOccurrence(
+        100 + i, "Stock", "SetPrice", EventModifier::kEnd,
+        {Value(static_cast<double>(i))});
+    ASSERT_TRUE(store.Append(occ).ok());
+    written.push_back(occ);
+  }
+  EXPECT_EQ(store.appended_total(), 20u);
+
+  std::vector<EventOccurrence> got;
+  ASSERT_TRUE(store.Scan({}, &got).ok());
+  ASSERT_EQ(got.size(), written.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].oid, written[i].oid);
+    EXPECT_EQ(got[i].class_name, "Stock");
+    EXPECT_EQ(got[i].method, "SetPrice");
+    EXPECT_EQ(got[i].modifier, EventModifier::kEnd);
+    ASSERT_EQ(got[i].params.size(), 1u);
+    EXPECT_EQ(got[i].params[0].AsDouble(), static_cast<double>(i));
+    EXPECT_EQ(got[i].timestamp.seq, written[i].timestamp.seq);
+    EXPECT_EQ(got[i].timestamp.micros, written[i].timestamp.micros);
+  }
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, QueryFiltersSeqOidAndLimit) {
+  TempDir dir("hist");
+  HistorySegmentStore store(dir.path(), 1 << 20);
+  ASSERT_TRUE(store.Open().ok());
+
+  std::vector<EventOccurrence> written;
+  for (int i = 0; i < 10; ++i) {
+    // Alternate between two generating objects.
+    EventOccurrence occ = MakeOccurrence(i % 2 == 0 ? 7 : 8, "S", "M");
+    ASSERT_TRUE(store.Append(occ).ok());
+    written.push_back(occ);
+  }
+
+  // Seq range: drop the first three and the last three.
+  HistoryQuery range;
+  range.min_seq = written[3].timestamp.seq;
+  range.max_seq = written[6].timestamp.seq;
+  std::vector<EventOccurrence> got;
+  ASSERT_TRUE(store.Scan(range, &got).ok());
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got.front().timestamp.seq, written[3].timestamp.seq);
+  EXPECT_EQ(got.back().timestamp.seq, written[6].timestamp.seq);
+
+  // Oid filter.
+  HistoryQuery by_oid;
+  by_oid.oid = 7;
+  got.clear();
+  ASSERT_TRUE(store.Scan(by_oid, &got).ok());
+  ASSERT_EQ(got.size(), 5u);
+  for (const EventOccurrence& occ : got) EXPECT_EQ(occ.oid, 7u);
+
+  // Limit stops the scan early, keeping the oldest matches.
+  HistoryQuery limited;
+  limited.limit = 3;
+  got.clear();
+  ASSERT_TRUE(store.Scan(limited, &got).ok());
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].timestamp.seq, written[0].timestamp.seq);
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, RotationSealsSegments) {
+  TempDir dir("hist");
+  // Tiny rotation threshold: nearly every record lands in its own segment.
+  HistorySegmentStore store(dir.path(), 64);
+  ASSERT_TRUE(store.Open().ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(store.Append(MakeOccurrence(i, "Stock", "SetPrice")).ok());
+  }
+  EXPECT_GT(store.segments_sealed(), 4u);
+  EXPECT_GT(store.segment_count(), 4u);
+
+  // Every record survives rotation, in append order.
+  std::vector<EventOccurrence> got;
+  ASSERT_TRUE(store.Scan({}, &got).ok());
+  ASSERT_EQ(got.size(), 12u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GT(got[i].timestamp.seq, got[i - 1].timestamp.seq);
+  }
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, FooterPrunesSealedSegments) {
+  TempDir dir("hist");
+  MetricsRegistry metrics;
+  HistorySegmentStore store(dir.path(), 64);
+  store.SetMetrics(&metrics);
+  ASSERT_TRUE(store.Open().ok());
+  std::vector<EventOccurrence> written;
+  for (int i = 0; i < 12; ++i) {
+    EventOccurrence occ = MakeOccurrence(100 + i, "Stock", "SetPrice");
+    ASSERT_TRUE(store.Append(occ).ok());
+    written.push_back(occ);
+  }
+  ASSERT_GT(store.segments_sealed(), 4u);
+
+  // A narrow seq window only touches the segments whose footer range
+  // intersects it; the rest are skipped without reading a record.
+  HistoryQuery narrow;
+  narrow.min_seq = written[9].timestamp.seq;
+  std::vector<EventOccurrence> got;
+  ASSERT_TRUE(store.Scan(narrow, &got).ok());
+  EXPECT_EQ(got.size(), 3u);
+  uint64_t skipped =
+      metrics.Snapshot().counters.at("histlog.scan_segments_skipped");
+  EXPECT_GT(skipped, 0u);
+
+  // An oid no record carries: the bloom filter rejects every sealed
+  // segment.
+  HistoryQuery absent;
+  absent.oid = 999999;
+  got.clear();
+  ASSERT_TRUE(store.Scan(absent, &got).ok());
+  EXPECT_TRUE(got.empty());
+  uint64_t skipped2 =
+      metrics.Snapshot().counters.at("histlog.scan_segments_skipped");
+  EXPECT_GE(skipped2, skipped + store.segments_sealed());
+  ASSERT_TRUE(store.Close().ok());
+}
+
+TEST(SegmentStoreTest, ReopenResumesActiveSegmentAndIds) {
+  TempDir dir("hist");
+  uint64_t first_seq = 0;
+  {
+    HistorySegmentStore store(dir.path(), 1 << 20);
+    ASSERT_TRUE(store.Open().ok());
+    EventOccurrence occ = MakeOccurrence(1, "S", "A");
+    first_seq = occ.timestamp.seq;
+    ASSERT_TRUE(store.Append(occ).ok());
+    ASSERT_TRUE(store.Close().ok());
+  }
+  {
+    // The unsealed tail is recovered and appending resumes into it.
+    HistorySegmentStore store(dir.path(), 1 << 20);
+    ASSERT_TRUE(store.Open().ok());
+    EXPECT_EQ(store.segment_count(), 1u);
+    ASSERT_TRUE(store.Append(MakeOccurrence(2, "S", "B")).ok());
+    std::vector<EventOccurrence> got;
+    ASSERT_TRUE(store.Scan({}, &got).ok());
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].timestamp.seq, first_seq);
+    EXPECT_EQ(got[0].method, "A");
+    EXPECT_EQ(got[1].method, "B");
+    ASSERT_TRUE(store.Close().ok());
+  }
+}
+
+TEST(SegmentStoreTest, TornTailIsTruncatedOnReopen) {
+  TempDir dir("hist");
+  {
+    HistorySegmentStore store(dir.path(), 1 << 20);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Append(MakeOccurrence(1, "S", "Whole")).ok());
+    ASSERT_TRUE(store.Close().ok());
+  }
+  // Simulate a crash mid-append: a length prefix with only part of a body.
+  std::string seg0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    seg0 = entry.path().string();
+  }
+  ASSERT_FALSE(seg0.empty());
+  {
+    std::ofstream out(seg0, std::ios::binary | std::ios::app);
+    uint32_t bogus_len = 500;
+    out.write(reinterpret_cast<const char*>(&bogus_len), 4);
+    out.write("torn", 4);
+  }
+  {
+    HistorySegmentStore store(dir.path(), 1 << 20);
+    ASSERT_TRUE(store.Open().ok());
+    std::vector<EventOccurrence> got;
+    ASSERT_TRUE(store.Scan({}, &got).ok());
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].method, "Whole");
+    // The torn bytes were cut away; new appends extend a clean tail.
+    ASSERT_TRUE(store.Append(MakeOccurrence(2, "S", "After")).ok());
+    got.clear();
+    ASSERT_TRUE(store.Scan({}, &got).ok());
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[1].method, "After");
+    ASSERT_TRUE(store.Close().ok());
+  }
+}
+
+TEST(SegmentStoreTest, CrcCatchesRecordCorruption) {
+  EventOccurrence occ = MakeOccurrence(5, "S", "M");
+  std::string framed = HistorySegmentStore::EncodeRecord(occ);
+  // Corrupt one body byte; the body starts after [len][crc].
+  std::string body = framed.substr(8);
+  body[2] ^= 0x40;
+  EventOccurrence decoded;
+  EXPECT_TRUE(
+      HistorySegmentStore::DecodeRecordBody(body, &decoded).ok());
+  // DecodeRecordBody itself doesn't checksum — the store's scan does; feed
+  // a malformed (truncated) body and decoding must refuse.
+  EXPECT_TRUE(HistorySegmentStore::DecodeRecordBody(body.substr(0, 4),
+                                                    &decoded)
+                  .IsCorruption());
+}
+
+TEST(SegmentStoreTest, AppendFailpointSurfacesIOError) {
+  TempDir dir("hist");
+  HistorySegmentStore store(dir.path(), 1 << 20);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Append(MakeOccurrence(1, "S", "A")).ok());
+
+  FailPoints::Instance().Reset();
+  ASSERT_TRUE(
+      FailPoints::Instance().EnableFromSpec("histlog.append=ioerror@hit(1)")
+          .ok());
+  EXPECT_TRUE(store.Append(MakeOccurrence(2, "S", "B")).IsIOError());
+  FailPoints::Instance().Reset();
+
+  // Unlike the WAL, history appends are not sticky — the store is a cache.
+  ASSERT_TRUE(store.Append(MakeOccurrence(3, "S", "C")).ok());
+  std::vector<EventOccurrence> got;
+  ASSERT_TRUE(store.Scan({}, &got).ok());
+  ASSERT_EQ(got.size(), 2u);
+  ASSERT_TRUE(store.Close().ok());
+}
+
+}  // namespace
+}  // namespace sentinel

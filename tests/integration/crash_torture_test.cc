@@ -290,6 +290,91 @@ TEST_F(CrashTortureTest, CrashEnteringBufferPoolFlush) {
   VerifyRecovery(dir.path(), result, 4);
 }
 
+TEST_F(CrashTortureTest, CrashAtCheckpointEntry) {
+  // Dies at the very first step of the fuzzy checkpoint, before the stable
+  // LSN is captured: the heap and the WAL are both exactly as the workload
+  // left them, so recovery replays everything.
+  TempDir dir("ckpt-entry");
+  ReactiveObject acct("Acct"), audit("Audit");
+  std::unique_ptr<Database> db = OpenWorld(dir.path());
+  Wire(db.get(), &acct, &audit);
+
+  WorkloadResult result = RunWorkload(db.get(), &acct, 5);
+  ASSERT_EQ(result.acked, 5);
+  ASSERT_TRUE(
+      FailPoints::Instance().EnableFromSpec("store.checkpoint=crash").ok());
+  EXPECT_FALSE(db->store()->Checkpoint().ok());
+  Kill(std::move(db), &acct, &audit);
+  VerifyRecovery(dir.path(), result, 5);
+}
+
+TEST_F(CrashTortureTest, CrashAtWalTruncateRenameStep) {
+  // Dies inside TruncateTo after the truncated copy is fully written but
+  // before the atomic rename swaps it in: the old log must still be the
+  // one recovery reads (the tmp file is garbage to be ignored).
+  TempDir dir("ckpt-rename");
+  ReactiveObject acct("Acct"), audit("Audit");
+  std::unique_ptr<Database> db = OpenWorld(dir.path());
+  Wire(db.get(), &acct, &audit);
+
+  WorkloadResult result = RunWorkload(db.get(), &acct, 6);
+  ASSERT_EQ(result.acked, 6);
+  ASSERT_TRUE(FailPoints::Instance()
+                  .EnableFromSpec("wal.truncate.rename=crash").ok());
+  EXPECT_FALSE(db->store()->Checkpoint().ok());
+  Kill(std::move(db), &acct, &audit);
+  VerifyRecovery(dir.path(), result, 6);
+}
+
+TEST_F(CrashTortureTest, CrashDuringHistorySegmentRotate) {
+  // The history spill path dies while sealing a segment. Spill failures
+  // must never fail a raise (history is a cache), and the reopened store
+  // serves whatever prefix survived.
+  TempDir dir("hist-rotate");
+  Database::Options opts;
+  opts.dir = dir.path();
+  opts.occurrence_log_capacity = 4;
+  opts.history_spill = true;
+  opts.history_segment_bytes = 64;  // Rotate every record or two.
+  auto opened = Database::Open(opts);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(opened).value();
+  ASSERT_TRUE(db->RegisterClass(
+      ClassBuilder("Acct").Reactive()
+          .Method("Set", {.end = true}).Build()).ok());
+  ReactiveObject acct("Acct");
+  ASSERT_TRUE(db->RegisterLiveObject(&acct).ok());
+
+  for (int i = 1; i <= 10; ++i) {
+    acct.RaiseEvent("Set", EventModifier::kEnd, {Value(int64_t{i})});
+  }
+  ASSERT_TRUE(FailPoints::Instance()
+                  .EnableFromSpec("histlog.rotate=crash").ok());
+  // Raises keep succeeding even though every spill now fails.
+  for (int i = 11; i <= 20; ++i) {
+    acct.RaiseEvent("Set", EventModifier::kEnd, {Value(int64_t{i})});
+  }
+  EXPECT_EQ(db->detector()->occurrence_total(), 20u);
+  db->UnregisterLiveObject(&acct).ok();
+  db->Close().ok();
+  db.reset();
+  FailPoints::Instance().Reset();
+
+  // Reopen: the store recovers (possibly truncating a torn tail) and the
+  // surviving history is a clean prefix of what was spilled.
+  opened = Database::Open(opts);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  db = std::move(opened).value();
+  std::vector<EventOccurrence> got;
+  ASSERT_TRUE(db->HistoryScan({}, &got).ok());
+  EXPECT_LE(got.size(), 16u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].params[0].AsInt(),
+              static_cast<int64_t>(i + 1));
+  }
+  ASSERT_TRUE(db->Close().ok());
+}
+
 // --- Rule-scheduling kills. -------------------------------------------------
 
 TEST_F(CrashTortureTest, DeferredRuleFaultAbortsOnlyThatTransaction) {
@@ -344,9 +429,10 @@ TEST_F(CrashTortureTest, RecoveryIsIdempotentUnderCrashReplayCrash) {
     result = RunWorkload(db.get(), &acct, 6);
     ASSERT_EQ(result.acked, 6);
     // Crash with all six commits in the WAL and (at least some) heap state
-    // unflushed: reopen will have real replay work to do.
+    // unflushed: reopen will have real replay work to do. The checkpoint
+    // dies at its WAL-truncation step, after the flush — the log survives.
     ASSERT_TRUE(
-        FailPoints::Instance().EnableFromSpec("wal.reset=crash").ok());
+        FailPoints::Instance().EnableFromSpec("wal.truncate=crash").ok());
     EXPECT_FALSE(db->store()->Checkpoint().ok());
     Kill(std::move(db), &acct, &audit);
   }

@@ -7,6 +7,8 @@
 #include <fstream>
 
 #include "../test_util.h"
+#include "common/codec.h"
+#include "common/failpoint.h"
 
 namespace sentinel {
 namespace {
@@ -111,6 +113,144 @@ TEST(WalTest, ResetEmptiesLog) {
   ASSERT_TRUE(wal.Append({WalRecordType::kBegin, 9, 0, ""}).ok());
   ASSERT_TRUE(wal.ReadAll(&records).ok());
   EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(WalTest, CrcCatchesMidLogCorruption) {
+  TempDir dir("wal");
+  std::string path = dir.path() + "/wal.log";
+  {
+    WalManager wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(
+        wal.Append({WalRecordType::kPut, 1, 10, "first payload"}).ok());
+    ASSERT_TRUE(
+        wal.Append({WalRecordType::kPut, 1, 11, "second payload"}).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  // Flip one byte inside the FIRST record's body (not the tail): this is
+  // mid-log rot, which replay must refuse — unlike a torn tail, silently
+  // dropping it would lose a committed suffix behind it.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    // 24-byte header, then [len][crc], then body; corrupt body byte 3.
+    f.seekp(24 + 8 + 3);
+    f.put('\xFF');
+  }
+  WalManager wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  std::vector<WalRecord> records;
+  Status s = wal.ReadAll(&records);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(WalTest, SyncFailureIsSticky) {
+  TempDir dir("wal");
+  WalManager wal;
+  ASSERT_TRUE(wal.Open(dir.path() + "/wal.log").ok());
+  ASSERT_TRUE(wal.Append({WalRecordType::kPut, 1, 2, "x"}).ok());
+
+  FailPoints::Instance().Reset();
+  ASSERT_TRUE(
+      FailPoints::Instance().EnableFromSpec("wal.sync=ioerror@hit(1)").ok());
+  EXPECT_TRUE(wal.Sync().IsIOError());
+  FailPoints::Instance().Reset();
+
+  // The injection is gone, but the failure poisons the log: the kernel may
+  // have dropped dirty pages without saying which, so every later sync
+  // refuses until the log is reopened.
+  EXPECT_TRUE(wal.sync_failed());
+  EXPECT_TRUE(wal.Sync().IsIOError());
+  // Appends stay best-effort (the abort-record neutralization path).
+  EXPECT_TRUE(wal.Append({WalRecordType::kAbort, 1, 0, ""}).ok());
+}
+
+TEST(WalTest, TruncateToDropsPrefixAndLsnsStayMonotone) {
+  TempDir dir("wal");
+  std::string path = dir.path() + "/wal.log";
+  WalManager wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  ASSERT_TRUE(wal.Append({WalRecordType::kPut, 1, 10, "old-a"}).ok());
+  ASSERT_TRUE(wal.Append({WalRecordType::kPut, 1, 11, "old-b"}).ok());
+  auto stable = wal.CurrentLsn();
+  ASSERT_TRUE(stable.ok());
+  ASSERT_TRUE(wal.Append({WalRecordType::kPut, 2, 12, "new-c"}).ok());
+  auto end_before = wal.CurrentLsn();
+  ASSERT_TRUE(end_before.ok());
+
+  ASSERT_TRUE(wal.TruncateTo(*stable).ok());
+
+  // Only the suffix survives, and the LSN space did not rewind.
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(wal.ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "new-c");
+  auto end_after = wal.CurrentLsn();
+  ASSERT_TRUE(end_after.ok());
+  EXPECT_EQ(*end_after, *end_before);
+
+  // Truncating below the base is a no-op; beyond the end is an error.
+  EXPECT_TRUE(wal.TruncateTo(0).ok());
+  EXPECT_TRUE(wal.TruncateTo(*end_after + 1000).IsInvalidArgument());
+
+  // LSNs keep climbing across a reopen.
+  ASSERT_TRUE(wal.Close().ok());
+  WalManager wal2;
+  ASSERT_TRUE(wal2.Open(path).ok());
+  auto reopened = wal2.CurrentLsn();
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*reopened, *end_after);
+  ASSERT_TRUE(wal2.ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "new-c");
+}
+
+TEST(WalTest, LegacyHeaderlessLogReplaysAndUpgrades) {
+  TempDir dir("wal");
+  std::string path = dir.path() + "/wal.log";
+  // Hand-write a v1 log: no header, records framed [u32 len][body] with no
+  // CRC — what every log written before versioning looks like.
+  {
+    Encoder body;
+    body.PutU8(static_cast<uint8_t>(WalRecordType::kPut));
+    body.PutU64(42);   // txn
+    body.PutU64(77);   // oid
+    body.PutString("legacy payload");
+    Encoder framed;
+    framed.PutU32(static_cast<uint32_t>(body.size()));
+    framed.PutRaw(body.buffer().data(), body.size());
+    std::ofstream out(path, std::ios::binary);
+    out.write(framed.buffer().data(),
+              static_cast<std::streamsize>(framed.size()));
+  }
+  WalManager wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  std::vector<WalRecord> records;
+  ASSERT_TRUE(wal.ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].txn, 42u);
+  EXPECT_EQ(records[0].oid, 77u);
+  EXPECT_EQ(records[0].payload, "legacy payload");
+
+  // Appends to a v1 log keep v1 framing (uniform replay)...
+  ASSERT_TRUE(wal.Append({WalRecordType::kCommit, 42, 0, ""}).ok());
+  ASSERT_TRUE(wal.ReadAll(&records).ok());
+  EXPECT_EQ(records.size(), 2u);
+  // ...and the first Reset/TruncateTo rewrites the file as version 2.
+  ASSERT_TRUE(wal.Reset().ok());
+  ASSERT_TRUE(wal.Append({WalRecordType::kPut, 1, 5, "modern"}).ok());
+  ASSERT_TRUE(wal.Close().ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    char magic[4] = {0, 0, 0, 0};
+    in.read(magic, 4);
+    EXPECT_EQ(std::string(magic, 4), "SWAL");
+  }
+  WalManager wal2;
+  ASSERT_TRUE(wal2.Open(path).ok());
+  ASSERT_TRUE(wal2.ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "modern");
 }
 
 TEST(WalTest, OperationsOnClosedWalFail) {
