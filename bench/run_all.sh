@@ -51,6 +51,7 @@ CORE_BENCHES=(
 )
 STORAGE_BENCHES=(bench_persistence)
 GATEWAY_BENCHES=(bench_gateway)
+REPLICATION_BENCHES=(bench_replication)
 
 TMP_DIR=$(mktemp -d)
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -76,10 +77,11 @@ run_suite() {
 run_suite "$OUT_DIR/BENCH_core.json" "${CORE_BENCHES[@]}"
 run_suite "$OUT_DIR/BENCH_storage.json" "${STORAGE_BENCHES[@]}"
 run_suite "$OUT_DIR/BENCH_gateway.json" "${GATEWAY_BENCHES[@]}"
+run_suite "$OUT_DIR/BENCH_replication.json" "${REPLICATION_BENCHES[@]}"
 
 if [[ -x "$VALIDATOR" ]]; then
   "$VALIDATOR" "$OUT_DIR/BENCH_core.json" "$OUT_DIR/BENCH_storage.json" \
-               "$OUT_DIR/BENCH_gateway.json"
+               "$OUT_DIR/BENCH_gateway.json" "$OUT_DIR/BENCH_replication.json"
 else
   echo "warning: $VALIDATOR not built; skipping schema validation" >&2
 fi

@@ -27,6 +27,16 @@ void Clock::ResetSequenceForTest(uint64_t seq) {
   sequence_.store(seq, std::memory_order_relaxed);
 }
 
+void Clock::AdvanceTo(uint64_t seq) {
+  // Now() returns the pre-increment value, so the counter must exceed
+  // `seq` for the next timestamp to be strictly greater.
+  uint64_t current = sequence_.load(std::memory_order_relaxed);
+  while (current <= seq &&
+         !sequence_.compare_exchange_weak(current, seq + 1,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
 std::string Timestamp::ToString() const {
   return "ts{" + std::to_string(micros) + "," + std::to_string(seq) + "}";
 }

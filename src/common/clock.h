@@ -50,6 +50,13 @@ class Clock {
   /// tracking the wall clock). Only used by deterministic tests.
   static void ResetSequenceForTest(uint64_t seq);
 
+  /// Ensures every future Now() returns a seq strictly greater than `seq`
+  /// (monotone CAS-max; never moves the clock backwards). A promoted
+  /// replica calls this with the highest replicated seq so the timestamps
+  /// it issues as the new primary extend — never collide with — the
+  /// history it replayed.
+  static void AdvanceTo(uint64_t seq);
+
  private:
   static std::atomic<uint64_t> sequence_;
 };

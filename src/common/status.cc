@@ -32,6 +32,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
   }
   return "Unknown";
 }

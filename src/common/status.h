@@ -31,6 +31,8 @@ class Status {
     kFailedPrecondition,
     kInternal,
     kResourceExhausted,  ///< A bounded resource (queue, buffer) is full.
+    kOutOfRange,  ///< A cursor/offset points outside what is retained
+                  ///< (e.g. a ship LSN a checkpoint already truncated).
   };
 
   /// Creates an OK status.
@@ -70,6 +72,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -87,6 +92,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
   }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
 
   Code code() const { return code_; }
 

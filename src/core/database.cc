@@ -148,6 +148,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
     db->checkpointer_->Start();
   }
 
+  db->replica_.store(options.replica, std::memory_order_release);
   db->open_ = true;
   return db;
 }
@@ -181,6 +182,60 @@ Status Database::HistoryScan(const HistoryQuery& query,
                    });
   if (query.limit != 0 && out->size() - base > query.limit) {
     out->resize(base + query.limit);
+  }
+  return Status::OK();
+}
+
+Status Database::HistoryScanPaged(const HistoryQuery& query,
+                                  HistoryCursor after, size_t limit,
+                                  HistoryPage* page) {
+  if (!open_) return Status::FailedPrecondition("database not open");
+  if (history_stores_.empty()) {
+    return Status::FailedPrecondition(
+        "history spill disabled (Options::history_spill)");
+  }
+  if (limit == 0) {
+    return Status::InvalidArgument("history page limit must be positive");
+  }
+  page->items.clear();
+  // Each shard's store scans in its own seq order, so `limit + 1` rows per
+  // shard are enough to decide the global first `limit + 1`; the extra row
+  // distinguishes "exactly limit matches" from "clamped".
+  struct Tagged {
+    EventOccurrence occ;
+    uint32_t shard;
+  };
+  std::vector<Tagged> merged;
+  for (size_t shard = 0; shard < history_stores_.size(); ++shard) {
+    HistoryQuery q = query;
+    // Exclusive (seq, shard) cursor: a shard at or before the cursor's
+    // shard resumes strictly after the cursor seq; a later shard may still
+    // hold the cursor seq itself.
+    q.after_seq = shard <= after.shard ? after.seq
+                                       : (after.seq == 0 ? 0 : after.seq - 1);
+    q.limit = limit + 1;
+    std::vector<EventOccurrence> rows;
+    SENTINEL_RETURN_IF_ERROR(history_stores_[shard]->Scan(q, &rows));
+    for (EventOccurrence& occ : rows) {
+      merged.push_back(Tagged{std::move(occ), static_cast<uint32_t>(shard)});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     if (a.occ.timestamp.seq != b.occ.timestamp.seq) {
+                       return a.occ.timestamp.seq < b.occ.timestamp.seq;
+                     }
+                     return a.shard < b.shard;
+                   });
+  page->complete = merged.size() <= limit;
+  if (!page->complete) merged.resize(limit);
+  page->items.reserve(merged.size());
+  for (Tagged& t : merged) page->items.push_back(std::move(t.occ));
+  if (!page->items.empty()) {
+    page->next.seq = page->items.back().timestamp.seq;
+    page->next.shard = merged.back().shard;
+  } else {
+    page->next = after;
   }
   return Status::OK();
 }
@@ -611,23 +666,10 @@ void Database::PreRaise(const EventOccurrence& occ) {
   shard.scheduler.BeginRound();
 }
 
-void Database::PostRaise(const EventOccurrence& occ) {
-  RaiseShard& shard = CurrentShard();
-  Transaction* txn = occ.txn != nullptr ? occ.txn : shard.current_txn;
-  Status s = shard.scheduler.EndRound(txn);
-  if (!s.ok()) {
-    SENTINEL_DEBUG << "rule round after " << occ.Key() << ": "
-                   << s.ToString();
-    // An Aborted status from an immediate rule dooms the transaction.
-    if (s.IsAborted() && txn != nullptr && txn->active() &&
-        !txn->abort_requested()) {
-      txn->RequestAbort(s.message());
-    }
-  }
-  // Remote fan-out happens after the rule round so observers see the
-  // occurrence with its local reactions already applied. The list is read
-  // under a shared lock (any shard may be raising); expired handles are
-  // pruned under the exclusive lock only when one was seen.
+void Database::FanOutOccurrence(const EventOccurrence& occ) {
+  // The list is read under a shared lock (any shard may be raising);
+  // expired handles are pruned under the exclusive lock only when one was
+  // seen.
   bool any_expired = false;
   {
     std::shared_lock<std::shared_mutex> lock(observers_mu_);
@@ -650,6 +692,54 @@ void Database::PostRaise(const EventOccurrence& occ) {
             }),
         occurrence_observers_.end());
   }
+}
+
+Status Database::ReplayOccurrence(const EventOccurrence& occ) {
+  if (!open_) return Status::FailedPrecondition("database not open");
+  // Route by oid exactly like the gateway routes raises, so the replica's
+  // per-shard logs — and therefore their trim/spill into the history
+  // stores — reproduce the primary's byte for byte.
+  const size_t idx = ShardIndexForOid(occ.oid, shards_.size());
+  detector_->RecordOccurrence(occ, idx);
+  FanOutOccurrence(occ);
+  return Status::OK();
+}
+
+Status Database::Promote(uint64_t max_replayed_seq) {
+  SENTINEL_FAILPOINT("repl.promote");
+  if (!is_replica()) return Status::OK();
+  // New timestamps must extend, never collide with, the replayed history.
+  Clock::AdvanceTo(max_replayed_seq);
+  // Objects arrived through replication apply, which bypasses NewOid: the
+  // allocator floor must clear everything the heap now holds.
+  store_.RefreshOidFloor();
+  // Pick up the catalog image replication shipped (the in-memory catalog
+  // still reflects what this node loaded at open).
+  {
+    std::lock_guard<std::recursive_mutex> ddl(ddl_mu_);
+    Status s = store_.LoadCatalog(&catalog_);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  replica_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+void Database::PostRaise(const EventOccurrence& occ) {
+  RaiseShard& shard = CurrentShard();
+  Transaction* txn = occ.txn != nullptr ? occ.txn : shard.current_txn;
+  Status s = shard.scheduler.EndRound(txn);
+  if (!s.ok()) {
+    SENTINEL_DEBUG << "rule round after " << occ.Key() << ": "
+                   << s.ToString();
+    // An Aborted status from an immediate rule dooms the transaction.
+    if (s.IsAborted() && txn != nullptr && txn->active() &&
+        !txn->abort_requested()) {
+      txn->RequestAbort(s.message());
+    }
+  }
+  // Remote fan-out happens after the rule round so observers see the
+  // occurrence with its local reactions already applied.
+  FanOutOccurrence(occ);
   if (--shard.raise_depth == 0 && shard.raise_start_ns != 0) {
     metrics::RecordSince(m_raise_notify_ns_, shard.raise_start_ns);
     shard.raise_start_ns = 0;

@@ -26,6 +26,7 @@
 #ifndef SENTINEL_CORE_DATABASE_H_
 #define SENTINEL_CORE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -99,6 +100,10 @@ class Database : public RaiseContext,
     bool history_spill = false;
     /// Rotation threshold for one history segment file.
     size_t history_segment_bytes = 1 << 20;
+    /// Open as a read-only replica: raises through the gateway are
+    /// rejected and mutation arrives only via the replication apply path
+    /// (ReplayOccurrence + ObjectStore::SystemApplyBatch) until Promote().
+    bool replica = false;
   };
 
   /// Opens (creating if needed) the database: replays the WAL, loads the
@@ -172,12 +177,58 @@ class Database : public RaiseContext,
                      std::vector<EventOccurrence>* out,
                      bool include_memory = false);
 
+  /// One page of a cursor-driven history scan.
+  struct HistoryPage {
+    std::vector<EventOccurrence> items;  ///< Logical-clock order.
+    bool complete = true;  ///< False when `limit` cut the result short.
+    /// Cursor of the last row in `items` — pass back as `after` to resume.
+    /// Meaningful whenever `items` is non-empty.
+    HistoryCursor next;
+  };
+
+  /// Paged HistoryScan over the spilled history: returns up to `limit`
+  /// matching rows strictly after the exclusive cursor `after`, merged into
+  /// (seq, shard) order, plus the resume cursor. Unlike the min_seq
+  /// workaround, resuming from the cursor never re-delivers or skips rows
+  /// even when seqs repeat across shards (replication catch-up replays
+  /// through this path). `limit` must be positive.
+  Status HistoryScanPaged(const HistoryQuery& query, HistoryCursor after,
+                          size_t limit, HistoryPage* page);
+
   /// Shard `shard`'s history segment store; nullptr when history_spill is
   /// off (tests and the gateway's replay handler).
   HistorySegmentStore* history_store(size_t shard) {
     return shard < history_stores_.size() ? history_stores_[shard].get()
                                           : nullptr;
   }
+
+  // --- Replication role -------------------------------------------------------
+
+  /// True while this database is a read-only replica (Options::replica, or
+  /// after Demote). The gateway rejects raises and rule DDL over the wire
+  /// while set; replication apply is the only mutation path.
+  bool is_replica() const {
+    return replica_.load(std::memory_order_acquire);
+  }
+
+  /// Replica -> primary. Advances the logical clock past
+  /// `max_replayed_seq` (so new timestamps extend the replayed history),
+  /// re-derives the oid floor from the replicated heap, reloads the
+  /// catalog image replication shipped, and clears the replica flag.
+  /// Idempotent on a primary. Failpoint: "repl.promote".
+  Status Promote(uint64_t max_replayed_seq);
+
+  /// Primary -> replica (epoch fencing: a deposed primary that learns of a
+  /// higher epoch demotes itself so stale producers stop being accepted).
+  void Demote() { replica_.store(true, std::memory_order_release); }
+
+  /// Replication apply of one shipped occurrence: records it (verbatim
+  /// timestamp) into the shard the oid routes to — reproducing the
+  /// primary's trim/spill into the history stores byte for byte — and fans
+  /// it out to occurrence observers (local subscribers, the repl mirror).
+  /// Only the single replication tailer thread may call this; the detector
+  /// deques are unlocked.
+  Status ReplayOccurrence(const EventOccurrence& occ);
 
   // --- ShardRouter ------------------------------------------------------------
 
@@ -381,6 +432,10 @@ class Database : public RaiseContext,
   /// Registers Reactive/Notifiable/Event/Rule built-ins (paper Fig. 3/5).
   Status RegisterBuiltinClasses();
 
+  /// Observer fan-out shared by PostRaise and ReplayOccurrence: invokes
+  /// every live occurrence observer and prunes expired handles.
+  void FanOutOccurrence(const EventOccurrence& occ);
+
   /// Resolves the index specs a (class, attr, deep) request covers.
   std::vector<IndexSpec> SpecsFor(const std::string& class_name,
                                   const std::string& attribute,
@@ -417,6 +472,7 @@ class Database : public RaiseContext,
   std::vector<std::weak_ptr<OccurrenceObserver>> occurrence_observers_;
   Tracer* tracer_ = nullptr;
   bool open_ = false;
+  std::atomic<bool> replica_{false};
 
   /// Serializes DDL — schema changes, rule create/apply/delete, live-object
   /// (un)registration — against itself. Recursive because DDL re-enters

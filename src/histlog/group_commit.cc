@@ -10,6 +10,11 @@
 namespace sentinel {
 
 Status GroupCommitSync::Sync() {
+  // Sticky-failure fast path: once a physical sync has failed, no later
+  // sync can succeed within this log generation, so a committer arriving
+  // after the failure must not take a ticket, join a doomed batch, or pay
+  // the batching window — it fails immediately with the sticky IOError.
+  if (wal_->sync_failed()) return wal_->Sync();
   if (window_us_ == 0) return wal_->Sync();  // Serialized baseline.
 
   std::unique_lock<std::mutex> lk(mu_);
@@ -30,8 +35,9 @@ Status GroupCommitSync::Sync() {
         fp = FailPoints::Instance().Check("groupcommit.leader");
       }
       // Hold the door open for followers still appending. Sleeping without
-      // the lock: joiners must be able to take tickets meanwhile.
-      if (fp.ok() && window_us_ > 0) {
+      // the lock: joiners must be able to take tickets meanwhile. Skip the
+      // window when the log is already failed — the batch outcome is known.
+      if (fp.ok() && window_us_ > 0 && !wal_->sync_failed()) {
         std::this_thread::sleep_for(std::chrono::microseconds(window_us_));
       }
       lk.lock();

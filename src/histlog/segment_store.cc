@@ -362,6 +362,49 @@ Status HistorySegmentStore::Flush() {
   return Status::OK();
 }
 
+Status HistorySegmentStore::ScanFrom(uint64_t after_ordinal,
+                                     size_t max_rows,
+                                     std::vector<EventOccurrence>* out,
+                                     uint64_t* next_ordinal) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::FailedPrecondition("history store not open");
+  if (active_ != nullptr) std::fflush(active_);
+  *next_ordinal = after_ordinal;
+  uint64_t ordinal = 0;  // Records walked so far, across segments.
+  for (const SegmentInfo& info : segments_) {
+    if (max_rows != 0 && out->size() >= max_rows) break;
+    if (info.sealed &&
+        ordinal + info.stats.record_count <= after_ordinal) {
+      // The whole segment is behind the cursor: footer count skips it.
+      ordinal += info.stats.record_count;
+      continue;
+    }
+    std::string bytes;
+    SENTINEL_RETURN_IF_ERROR(ReadWholeFile(info.path, &bytes));
+    size_t pos = 0;
+    while (bytes.size() - pos >= 8) {
+      uint32_t len = 0, crc = 0;
+      std::memcpy(&len, bytes.data() + pos, 4);
+      if (len == kFooterSentinel) break;  // Footer reached: done.
+      std::memcpy(&crc, bytes.data() + pos + 4, 4);
+      if (bytes.size() - pos - 8 < len) break;  // Torn tail.
+      const char* body = bytes.data() + pos + 8;
+      if (Crc32c(body, len) != crc) break;  // In-progress buffered append.
+      ++ordinal;
+      if (ordinal > after_ordinal) {
+        EventOccurrence occ;
+        Status s = DecodeRecordBody(std::string(body, len), &occ);
+        if (!s.ok()) return s;
+        out->push_back(std::move(occ));
+        *next_ordinal = ordinal;
+        if (max_rows != 0 && out->size() >= max_rows) return Status::OK();
+      }
+      pos += 8 + len;
+    }
+  }
+  return Status::OK();
+}
+
 Status HistorySegmentStore::ScanFileLocked(
     const std::string& path, const HistoryQuery& query,
     std::vector<EventOccurrence>* out, bool* stop) const {
@@ -407,7 +450,8 @@ Status HistorySegmentStore::Scan(const HistoryQuery& query,
       // Footer pruning: skip the whole segment when the stats prove no
       // record can match.
       const SegmentStats& st = info.stats;
-      if (st.max_seq < query.min_seq || st.min_seq > query.max_seq ||
+      if (st.max_seq < query.min_seq || st.max_seq <= query.after_seq ||
+          st.min_seq > query.max_seq ||
           st.max_micros < query.min_micros ||
           st.min_micros > query.max_micros ||
           (query.oid != kInvalidOid &&
@@ -419,6 +463,18 @@ Status HistorySegmentStore::Scan(const HistoryQuery& query,
     SENTINEL_RETURN_IF_ERROR(ScanFileLocked(info.path, query, out, &stop));
   }
   return Status::OK();
+}
+
+uint64_t HistorySegmentStore::TotalRecords() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const SegmentInfo& info : segments_) {
+    if (info.sealed) total += info.stats.record_count;
+  }
+  if (!segments_.empty() && !segments_.back().sealed) {
+    total += active_stats_.record_count;
+  }
+  return total;
 }
 
 uint64_t HistorySegmentStore::appended_total() const {

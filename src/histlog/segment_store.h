@@ -55,6 +55,10 @@ namespace sentinel {
 struct HistoryQuery {
   uint64_t min_seq = 0;  ///< Inclusive logical-clock bounds.
   uint64_t max_seq = std::numeric_limits<uint64_t>::max();
+  /// Exclusive lower seq bound: only rows with seq > after_seq match. This
+  /// is the per-store face of the paging resume cursor (0 = disabled; the
+  /// logical clock never issues seq 0, so 0 excludes nothing).
+  uint64_t after_seq = 0;
   int64_t min_micros = std::numeric_limits<int64_t>::min();
   int64_t max_micros = std::numeric_limits<int64_t>::max();
   Oid oid = kInvalidOid;  ///< Filter to one generating object; kInvalidOid
@@ -62,11 +66,21 @@ struct HistoryQuery {
   size_t limit = 0;       ///< Stop after this many matches; 0 = unlimited.
 
   bool Matches(const EventOccurrence& occ) const {
-    return occ.timestamp.seq >= min_seq && occ.timestamp.seq <= max_seq &&
+    return occ.timestamp.seq >= min_seq && occ.timestamp.seq > after_seq &&
+           occ.timestamp.seq <= max_seq &&
            occ.timestamp.micros >= min_micros &&
            occ.timestamp.micros <= max_micros &&
            (oid == kInvalidOid || occ.oid == oid);
   }
+};
+
+/// Resume cursor for paged history scans: the logical position of the last
+/// row already delivered, as (seq, shard). Exclusive — the next page starts
+/// strictly after it. Zero-initialized = scan from the beginning (seqs start
+/// at 1, so (0, 0) precedes every row).
+struct HistoryCursor {
+  uint64_t seq = 0;
+  uint32_t shard = 0;
 };
 
 /// Append-only segment store for one shard's trimmed occurrences.
@@ -104,6 +118,24 @@ class HistorySegmentStore {
   /// records.
   Status Scan(const HistoryQuery& query,
               std::vector<EventOccurrence>* out) const;
+
+  /// Replication tail read: appends up to `max_rows` records strictly after
+  /// the exclusive *ordinal* cursor `after_ordinal` and sets `*next_ordinal`
+  /// to the cursor of the last row returned. An ordinal is a record's
+  /// 1-based position in this store's total append order — stable across
+  /// restarts (it is re-derived from segment record counts, not from the
+  /// logical clock), which is what lets a follower resume ship-cursors
+  /// after either side restarts. Sealed segments wholly before the cursor
+  /// are skipped via their footer record counts without reading records.
+  Status ScanFrom(uint64_t after_ordinal, size_t max_rows,
+                  std::vector<EventOccurrence>* out,
+                  uint64_t* next_ordinal) const;
+
+  /// Total records currently stored: sealed-footer counts plus the active
+  /// segment's count. Unlike appended_total() this survives restarts (it is
+  /// re-derived from the files), so it equals the ordinal of the newest
+  /// record — the replication probe reports it as the ship target.
+  uint64_t TotalRecords() const;
 
   /// Lifetime counters (for tests and metrics).
   uint64_t appended_total() const;

@@ -426,7 +426,7 @@ Result<std::vector<Notification>> Subscriber::Fetch(uint32_t max,
 }
 
 Result<std::vector<Notification>> Subscriber::HistoryScan(
-    const HistoryScanMsg& query, bool* complete) {
+    const HistoryScanMsg& query, bool* complete, HistoryScanMsg* resume) {
   Encoder enc;
   query.Encode(&enc);
   Frame reply;
@@ -443,7 +443,32 @@ Result<std::vector<Notification>> Subscriber::HistoryScan(
   SENTINEL_ASSIGN_OR_RETURN(HistoryBatchMsg batch,
                             HistoryBatchMsg::Decode(reply.body));
   if (complete != nullptr) *complete = batch.complete;
+  if (resume != nullptr) {
+    *resume = query;
+    if (!batch.items.empty()) {
+      resume->after_seq = batch.next_seq;
+      resume->after_shard = batch.next_shard;
+    }
+  }
   return std::move(batch.items);
+}
+
+Result<std::vector<Notification>> Subscriber::HistoryScanAll(
+    HistoryScanMsg query, uint32_t page_limit) {
+  query.limit = page_limit;
+  std::vector<Notification> all;
+  while (true) {
+    bool complete = false;
+    SENTINEL_ASSIGN_OR_RETURN(std::vector<Notification> batch,
+                              HistoryScan(query, &complete, &query));
+    // An empty clamped page cannot advance the cursor; bail rather than
+    // spin (it would take a server bug to produce one).
+    const bool stuck = !complete && batch.empty();
+    all.insert(all.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+    if (complete) return all;
+    if (stuck) return Status::Internal("history page empty but incomplete");
+  }
 }
 
 // --- GatewayClient (deprecated facade) ---------------------------------------

@@ -212,11 +212,20 @@ class Subscriber {
   /// Replays the server's spilled occurrence history matching `query`
   /// (Notification encoding; the subscription key field stays empty). Sets
   /// `*complete` to false (when non-null) if the server clamped the result
-  /// at its per-scan ceiling — narrow the query (or raise min_seq past the
-  /// last row) and call again to continue. Requires the server database to
-  /// run with history spill enabled; FailedPrecondition otherwise.
+  /// at its per-scan ceiling; when that happens, `*resume` (when non-null)
+  /// holds `query` with its after_seq/after_shard cursor advanced past the
+  /// last delivered row — pass it back to continue without duplicates.
+  /// Requires the server database to run with history spill enabled;
+  /// FailedPrecondition otherwise.
   Result<std::vector<Notification>> HistoryScan(const HistoryScanMsg& query,
-                                                bool* complete = nullptr);
+                                                bool* complete = nullptr,
+                                                HistoryScanMsg* resume =
+                                                    nullptr);
+
+  /// Pages HistoryScan to completion with `page_limit` rows per request
+  /// (0 = the server's ceiling), following the resume cursor.
+  Result<std::vector<Notification>> HistoryScanAll(HistoryScanMsg query,
+                                                   uint32_t page_limit = 0);
 
  private:
   Connection* conn_;

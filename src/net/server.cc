@@ -960,6 +960,16 @@ void GatewayServer::ProcessItem(size_t shard, const IngressItem& item,
       HandleHistoryScan(session.get(), *msg);
       return;
     }
+    case FrameType::kReplSubscribe: {
+      Result<ReplSubscribeMsg> msg = ReplSubscribeMsg::Decode(body);
+      if (!msg.ok()) {
+        session->Reply(FrameType::kStatusReply,
+                       StatusReplyMsg::FromStatus(msg.status()));
+        return;
+      }
+      HandleReplSubscribe(session.get(), *msg);
+      return;
+    }
     default:
       session->Reply(FrameType::kStatusReply,
                      StatusReplyMsg::FromStatus(Status::InvalidArgument(
@@ -1011,6 +1021,13 @@ Result<ReactiveObject*> GatewayServer::RelayFor(size_t shard,
 
 StatusReplyMsg GatewayServer::HandleRaiseEvent(size_t shard,
                                                const RaiseEventMsg& msg) {
+  if (db_->is_replica()) {
+    // Read-only replica (or a fenced ex-primary): producers must redial
+    // the current primary. FailedPrecondition is deliberate — it is not a
+    // transient the client retry policy would spin on.
+    return StatusReplyMsg::FromStatus(
+        Status::FailedPrecondition("replica is read-only"));
+  }
   if (FailPoints::AnyActive()) {
     Status fp = FailPoints::Instance().Check("gateway.raise");
     if (!fp.ok()) return StatusReplyMsg::FromStatus(fp);
@@ -1028,6 +1045,10 @@ StatusReplyMsg GatewayServer::HandleRaiseEvent(size_t shard,
 }
 
 StatusReplyMsg GatewayServer::HandleCreateRule(const CreateRuleMsg& msg) {
+  if (db_->is_replica()) {
+    return StatusReplyMsg::FromStatus(
+        Status::FailedPrecondition("replica is read-only"));
+  }
   Result<EventSignature> sig = EventSignature::Parse(msg.event_signature);
   if (!sig.ok()) return StatusReplyMsg::FromStatus(sig.status());
 
@@ -1215,20 +1236,22 @@ void GatewayServer::HandleHistoryScan(Session* session,
   if (msg.min_micros != 0) query.min_micros = msg.min_micros;
   if (msg.max_micros != 0) query.max_micros = msg.max_micros;
   if (msg.oid != 0) query.oid = msg.oid;
-  // One extra row distinguishes "exactly limit matches" from "clamped".
-  query.limit = static_cast<size_t>(limit) + 1;
 
-  std::vector<EventOccurrence> occurrences;
-  Status s = db_->HistoryScan(query, &occurrences);
+  HistoryCursor after;
+  after.seq = msg.after_seq;
+  after.shard = msg.after_shard;
+  Database::HistoryPage page;
+  Status s = db_->HistoryScanPaged(query, after, limit, &page);
   if (!s.ok()) {
     session->Reply(FrameType::kStatusReply, StatusReplyMsg::FromStatus(s));
     return;
   }
   HistoryBatchMsg reply;
-  reply.complete = occurrences.size() <= limit;
-  if (!reply.complete) occurrences.resize(limit);
-  reply.items.reserve(occurrences.size());
-  for (const EventOccurrence& occ : occurrences) {
+  reply.complete = page.complete;
+  reply.next_seq = page.next.seq;
+  reply.next_shard = page.next.shard;
+  reply.items.reserve(page.items.size());
+  for (const EventOccurrence& occ : page.items) {
     Notification n;
     n.oid = occ.oid;
     n.class_name = occ.class_name;
@@ -1239,6 +1262,23 @@ void GatewayServer::HandleHistoryScan(Session* session,
     reply.items.push_back(std::move(n));
   }
   session->Reply(FrameType::kHistoryBatch, reply);
+}
+
+void GatewayServer::HandleReplSubscribe(Session* session,
+                                        const ReplSubscribeMsg& msg) {
+  if (repl_ == nullptr) {
+    session->Reply(FrameType::kStatusReply,
+                   StatusReplyMsg::FromStatus(Status::FailedPrecondition(
+                       "replication not enabled on this node")));
+    return;
+  }
+  ReplBatchMsg reply;
+  Status s = repl_->HandleReplSubscribe(msg, &reply);
+  if (!s.ok()) {
+    session->Reply(FrameType::kStatusReply, StatusReplyMsg::FromStatus(s));
+    return;
+  }
+  session->Reply(FrameType::kReplBatch, reply);
 }
 
 }  // namespace net

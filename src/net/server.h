@@ -126,6 +126,18 @@ struct GatewayStats {
                                ///< fast path: idle shard, lone frame).
 };
 
+/// Serves kReplSubscribe frames. Implemented by repl::Replicator; an
+/// abstract seam here keeps net/ free of a dependency on src/repl (which
+/// itself depends on net/ for the follower's client side).
+class ReplicationHandler {
+ public:
+  virtual ~ReplicationHandler() = default;
+  /// Fills `*reply` for one replication poll. Must be safe to call from
+  /// any gateway worker thread.
+  virtual Status HandleReplSubscribe(const ReplSubscribeMsg& msg,
+                                     ReplBatchMsg* reply) = 0;
+};
+
 /// TCP front end for one Database. The caller must keep `db` alive until
 /// Stop()/destruction, and after Start() must not mutate `db` from other
 /// threads (the gateway's worker threads own the facade's raise path).
@@ -158,6 +170,12 @@ class GatewayServer {
   /// Materialized tenant quota domains, the default one included.
   size_t tenant_count() const;
   GatewayStats stats() const;
+
+  /// Attaches the replication handler serving kReplSubscribe (nullptr
+  /// detaches; such frames then answer FailedPrecondition). The handler
+  /// must outlive the server or be detached before it dies. Set before
+  /// Start() or from a quiesced server only.
+  void SetReplication(ReplicationHandler* repl) { repl_ = repl; }
 
  private:
   /// One epoll thread plus everything pinned to it. Sessions are handed to
@@ -257,6 +275,9 @@ class GatewayServer {
   /// session as a HistoryBatch. The request limit is clamped so one scan
   /// cannot balloon a reply frame past the session's negotiated cap.
   void HandleHistoryScan(Session* session, const HistoryScanMsg& msg);
+  /// Forwards one replication poll to the attached handler and answers
+  /// with a kReplBatch (or an error StatusReply when none is attached).
+  void HandleReplSubscribe(Session* session, const ReplSubscribeMsg& msg);
   /// Renders the StatsReply JSON for the requested section bits. Runs on a
   /// worker thread; counters are exact only once writers quiesce.
   std::string BuildStatsJson(uint32_t sections) const;
@@ -270,6 +291,7 @@ class GatewayServer {
 
   Database* db_;
   ServerOptions options_;
+  ReplicationHandler* repl_ = nullptr;
   NotifyLimits notify_limits_;
   std::shared_ptr<NotificationHub> hub_;
   /// One bounded queue per raise shard, each with the configured capacity.

@@ -43,6 +43,7 @@ bool IsKnownFrameType(uint8_t raw) {
     case FrameType::kGetStats:
     case FrameType::kHello:
     case FrameType::kHistoryScan:
+    case FrameType::kReplSubscribe:
     case FrameType::kHistoryBatch:
     case FrameType::kPong:
     case FrameType::kStatusReply:
@@ -50,6 +51,7 @@ bool IsKnownFrameType(uint8_t raw) {
     case FrameType::kStatsReply:
     case FrameType::kHelloReply:
     case FrameType::kBatchStatusReply:
+    case FrameType::kReplBatch:
       return true;
   }
   return false;
@@ -243,6 +245,8 @@ void HistoryScanMsg::Encode(Encoder* enc) const {
   enc->PutI64(max_micros);
   enc->PutU64(oid);
   enc->PutU32(limit);
+  enc->PutU64(after_seq);
+  enc->PutU32(after_shard);
 }
 
 Result<HistoryScanMsg> HistoryScanMsg::Decode(const std::string& body) {
@@ -254,6 +258,10 @@ Result<HistoryScanMsg> HistoryScanMsg::Decode(const std::string& body) {
   SENTINEL_RETURN_IF_ERROR(dec.GetI64(&msg.max_micros));
   SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.oid));
   SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.limit));
+  if (!dec.AtEnd()) {  // Cursor absent from pre-cursor peers.
+    SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.after_seq));
+    SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.after_shard));
+  }
   SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
   if (msg.min_seq > msg.max_seq) {
     return Status::InvalidArgument("history scan: min_seq > max_seq");
@@ -407,6 +415,8 @@ Status StatusReplyMsg::ToStatus() const {
       return Status::Internal(message);
     case Status::Code::kResourceExhausted:
       return Status::ResourceExhausted(message);
+    case Status::Code::kOutOfRange:
+      return Status::OutOfRange(message);
   }
   return Status::Internal("unknown status code " + std::to_string(code));
 }
@@ -416,6 +426,101 @@ StatusReplyMsg StatusReplyMsg::FromStatus(const Status& s, uint64_t payload) {
   msg.code = static_cast<uint8_t>(s.code());
   msg.message = s.message();
   msg.payload = payload;
+  return msg;
+}
+
+void ReplSubscribeMsg::Encode(Encoder* enc) const {
+  enc->PutU64(epoch);
+  enc->PutU8(mode);
+  enc->PutU64(after_oid);
+  enc->PutU64(next_lsn);
+  enc->PutU64(after_ordinal);
+  enc->PutU32(max_items);
+}
+
+Result<ReplSubscribeMsg> ReplSubscribeMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  ReplSubscribeMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.epoch));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.mode));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.after_oid));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.next_lsn));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.after_ordinal));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.max_items));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
+  if (msg.mode > ReplSubscribeMsg::kTail) {
+    return Status::InvalidArgument("repl subscribe: unknown mode");
+  }
+  return msg;
+}
+
+void ReplBatchMsg::Encode(Encoder* enc) const {
+  enc->PutU64(epoch);
+  enc->PutU8(primary);
+  enc->PutU8(mode);
+  enc->PutU64(wal_base_lsn);
+  enc->PutU64(wal_end_lsn);
+  enc->PutU64(mirror_total);
+  enc->PutU32(static_cast<uint32_t>(objects.size()));
+  for (const ObjectImage& obj : objects) {
+    enc->PutU64(obj.oid);
+    enc->PutString(obj.class_name);
+    enc->PutString(obj.state);
+  }
+  enc->PutU64(next_oid);
+  enc->PutU8(snapshot_done);
+  enc->PutU64(snapshot_lsn);
+  enc->PutU32(static_cast<uint32_t>(wal.size()));
+  for (const WalEntry& rec : wal) {
+    enc->PutU8(rec.type);
+    enc->PutU64(rec.txn);
+    enc->PutU64(rec.oid);
+    enc->PutString(rec.payload);
+  }
+  enc->PutU64(next_lsn);
+  enc->PutU8(wal_reset);
+  enc->PutU32(static_cast<uint32_t>(occ_records.size()));
+  for (const std::string& rec : occ_records) enc->PutString(rec);
+  enc->PutU64(next_ordinal);
+}
+
+Result<ReplBatchMsg> ReplBatchMsg::Decode(const std::string& body) {
+  Decoder dec(body);
+  ReplBatchMsg msg;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.epoch));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.primary));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.mode));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.wal_base_lsn));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.wal_end_lsn));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.mirror_total));
+  uint32_t n = 0;
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&n));
+  msg.objects.resize(n);
+  for (ObjectImage& obj : msg.objects) {
+    SENTINEL_RETURN_IF_ERROR(dec.GetU64(&obj.oid));
+    SENTINEL_RETURN_IF_ERROR(dec.GetString(&obj.class_name));
+    SENTINEL_RETURN_IF_ERROR(dec.GetString(&obj.state));
+  }
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.next_oid));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.snapshot_done));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.snapshot_lsn));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&n));
+  msg.wal.resize(n);
+  for (WalEntry& rec : msg.wal) {
+    SENTINEL_RETURN_IF_ERROR(dec.GetU8(&rec.type));
+    SENTINEL_RETURN_IF_ERROR(dec.GetU64(&rec.txn));
+    SENTINEL_RETURN_IF_ERROR(dec.GetU64(&rec.oid));
+    SENTINEL_RETURN_IF_ERROR(dec.GetString(&rec.payload));
+  }
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.next_lsn));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU8(&msg.wal_reset));
+  SENTINEL_RETURN_IF_ERROR(dec.GetU32(&n));
+  msg.occ_records.resize(n);
+  for (std::string& rec : msg.occ_records) {
+    SENTINEL_RETURN_IF_ERROR(dec.GetString(&rec));
+  }
+  SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.next_ordinal));
+  SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
   return msg;
 }
 
@@ -493,6 +598,8 @@ void HistoryBatchMsg::Encode(Encoder* enc) const {
   enc->PutU32(static_cast<uint32_t>(items.size()));
   for (const Notification& n : items) n.Encode(enc);
   enc->PutBool(complete);
+  enc->PutU64(next_seq);
+  enc->PutU32(next_shard);
 }
 
 Result<HistoryBatchMsg> HistoryBatchMsg::Decode(const std::string& body) {
@@ -507,6 +614,10 @@ Result<HistoryBatchMsg> HistoryBatchMsg::Decode(const std::string& body) {
     msg.items.push_back(std::move(n));
   }
   SENTINEL_RETURN_IF_ERROR(dec.GetBool(&msg.complete));
+  if (!dec.AtEnd()) {  // Cursor absent from pre-cursor peers.
+    SENTINEL_RETURN_IF_ERROR(dec.GetU64(&msg.next_seq));
+    SENTINEL_RETURN_IF_ERROR(dec.GetU32(&msg.next_shard));
+  }
   SENTINEL_RETURN_IF_ERROR(ExpectEnd(dec));
   return msg;
 }

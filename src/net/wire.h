@@ -51,6 +51,7 @@ enum class FrameType : uint8_t {
   kGetStats = 8,
   kHello = 9,
   kHistoryScan = 10,
+  kReplSubscribe = 11,
 
   // Responses (server -> client).
   kPong = 64,
@@ -60,6 +61,7 @@ enum class FrameType : uint8_t {
   kHelloReply = 68,
   kBatchStatusReply = 69,
   kHistoryBatch = 70,
+  kReplBatch = 71,
 };
 
 /// True when `raw` names a defined FrameType.
@@ -226,9 +228,37 @@ struct HistoryScanMsg {
   int64_t max_micros = 0;  ///< 0 = open.
   uint64_t oid = 0;        ///< 0 = every object.
   uint32_t limit = 0;      ///< 0 = server default.
+  /// Exclusive resume cursor: the (seq, shard) of the last row the previous
+  /// HistoryBatch delivered (its next_seq/next_shard). (0, 0) scans from
+  /// the start. Unlike bumping min_seq, the cursor cannot skip or duplicate
+  /// rows when logical seqs collide across shards.
+  uint64_t after_seq = 0;
+  uint32_t after_shard = 0;
 
   void Encode(Encoder* enc) const;
   static Result<HistoryScanMsg> Decode(const std::string& body);
+};
+
+/// One poll of the log-shipping replication stream (request). A follower
+/// drives the whole protocol with this single message in three modes:
+/// probe (where is the primary's log?), snapshot (fuzzy heap chunks for
+/// initial catch-up), and tail (WAL suffix + occurrence-mirror rows from
+/// the cursors). Every request carries the follower's view of the primary
+/// epoch; a request with a *newer* epoch demotes the serving node (epoch
+/// fencing — a deposed primary stops accepting producers the moment it
+/// hears of its successor).
+struct ReplSubscribeMsg {
+  enum Mode : uint8_t { kProbe = 0, kSnapshot = 1, kTail = 2 };
+
+  uint64_t epoch = 0;
+  uint8_t mode = kProbe;
+  uint64_t after_oid = 0;       ///< Snapshot chunk cursor (exclusive).
+  uint64_t next_lsn = 0;        ///< Tail: first WAL LSN not yet applied.
+  uint64_t after_ordinal = 0;   ///< Tail: occurrence-mirror cursor (excl.).
+  uint32_t max_items = 0;       ///< Per-section row cap; 0 = server default.
+
+  void Encode(Encoder* enc) const;
+  static Result<ReplSubscribeMsg> Decode(const std::string& body);
 };
 
 // --- Response messages ----------------------------------------------------
@@ -307,13 +337,65 @@ struct NotificationBatchMsg {
 
 /// Reply to HistoryScan: the matching occurrences in logical-clock order
 /// (Notification encoding with an empty subscription key), plus `complete`
-/// — false when the server's limit clamp cut the result short.
+/// — false when the server's limit clamp cut the result short — and the
+/// resume cursor (next_seq, next_shard): copy it into the next request's
+/// after_seq/after_shard to continue exactly where this page ended.
 struct HistoryBatchMsg {
   std::vector<Notification> items;
   bool complete = true;
+  uint64_t next_seq = 0;
+  uint32_t next_shard = 0;
 
   void Encode(Encoder* enc) const;
   static Result<HistoryBatchMsg> Decode(const std::string& body);
+};
+
+/// Reply to ReplSubscribe. Sections are filled per the request mode;
+/// cursors always come back advanced so the follower's next request
+/// resumes exactly where this batch ended.
+struct ReplBatchMsg {
+  /// One snapshot object image.
+  struct ObjectImage {
+    uint64_t oid = 0;
+    std::string class_name;
+    std::string state;
+  };
+  /// One shipped WAL record (mirror of txn/wal.h WalRecord).
+  struct WalEntry {
+    uint8_t type = 0;
+    uint64_t txn = 0;
+    uint64_t oid = 0;
+    std::string payload;
+  };
+
+  uint64_t epoch = 0;      ///< Serving node's current epoch.
+  uint8_t primary = 0;     ///< 1 while the serving node believes it leads.
+  uint8_t mode = 0;        ///< Echo of the request mode.
+
+  // Probe section (also stamped on every reply).
+  uint64_t wal_base_lsn = 0;   ///< Oldest LSN still shippable.
+  uint64_t wal_end_lsn = 0;    ///< LSN one past the newest record.
+  uint64_t mirror_total = 0;   ///< Occurrence-mirror rows appended ever.
+
+  // Snapshot section.
+  std::vector<ObjectImage> objects;
+  uint64_t next_oid = 0;       ///< Pass back as after_oid.
+  uint8_t snapshot_done = 0;   ///< 1 = no objects past next_oid.
+  /// WAL position captured when this chunk was cut: tailing from the
+  /// *first* chunk's value replays everything the fuzzy snapshot raced.
+  uint64_t snapshot_lsn = 0;
+
+  // Tail section.
+  std::vector<WalEntry> wal;
+  uint64_t next_lsn = 0;       ///< Pass back as next_lsn.
+  /// 1 = the requested LSN was checkpoint-truncated away; re-snapshot.
+  uint8_t wal_reset = 0;
+  /// Occurrence-mirror rows (HistorySegmentStore record bodies).
+  std::vector<std::string> occ_records;
+  uint64_t next_ordinal = 0;   ///< Pass back as after_ordinal.
+
+  void Encode(Encoder* enc) const;
+  static Result<ReplBatchMsg> Decode(const std::string& body);
 };
 
 /// Reply to Ping.

@@ -125,19 +125,29 @@ Status ObjectStore::Open(const std::string& dir) {
   }
   oids_.Restore(max_oid + 1);
 
+  {
+    std::lock_guard<std::mutex> ck(checkpoint_mu_);
+    closing_ = false;  // Reopen after a Close re-arms checkpoints.
+  }
   open_ = true;
   return Status::OK();
 }
 
 Status ObjectStore::Close() {
   if (!open_) return Status::OK();
+  // The final checkpoint runs under checkpoint_mu_ with `closing_` set:
+  // any in-flight checkpoint (a background WAL-size trigger, say) finishes
+  // first, and any later caller bounces off `closing_` instead of racing
+  // a second truncation against the teardown below.
+  std::lock_guard<std::mutex> ck(checkpoint_mu_);
+  closing_ = true;
   // Best effort: a failed checkpoint (e.g. under failure injection) must
   // not strand open file handles — the WAL still holds everything the
   // heap is missing, so recovery at the next open makes the heap current.
   Status first_error = Status::OK();
   bool crashed = FailPoints::AnyActive() && FailPoints::Instance().crashed();
   if (!crashed) {
-    first_error = Checkpoint();
+    first_error = CheckpointLocked();
   }
   Status s = wal_.Close();
   if (!s.ok() && first_error.ok()) first_error = s;
@@ -379,7 +389,31 @@ size_t ObjectStore::ObjectCount() const {
   return n;
 }
 
+std::vector<Oid> ObjectStore::AllOids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Oid> oids;
+  oids.reserve(directory_.size());
+  for (const auto& [oid, rids] : directory_) oids.push_back(oid);
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
+void ObjectStore::RefreshOidFloor() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Oid max_oid = kFirstUserOid - 1;
+  for (const auto& [oid, rids] : directory_) {
+    max_oid = std::max(max_oid, oid);
+  }
+  oids_.Restore(max_oid + 1);
+}
+
 Status ObjectStore::Checkpoint() {
+  std::lock_guard<std::mutex> ck(checkpoint_mu_);
+  if (closing_) return Status::FailedPrecondition("store closing");
+  return CheckpointLocked();
+}
+
+Status ObjectStore::CheckpointLocked() {
   if (pool_ == nullptr) return Status::FailedPrecondition("store not open");
   SENTINEL_FAILPOINT("store.checkpoint");
 
@@ -412,6 +446,7 @@ Status ObjectStore::Checkpoint() {
 
   // (5) Drop the prefix; recovery now replays only the suffix.
   SENTINEL_RETURN_IF_ERROR(wal_.TruncateTo(stable_lsn));
+  checkpoint_generation_.fetch_add(1, std::memory_order_release);
   if (metrics_ != nullptr) {
     metrics::Add(metrics_->counter("storage.checkpoints"));
   }
@@ -547,6 +582,48 @@ Status ObjectStore::SystemPut(Oid oid, const std::string& class_name,
   SENTINEL_RETURN_IF_ERROR(group_commit_ != nullptr ? group_commit_->Sync()
                                                     : wal_.Sync());
   return ApplyPut(oid, framed);
+}
+
+Status ObjectStore::SystemApplyBatch(const std::vector<ReplOp>& ops) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  if (ops.empty()) return Status::OK();
+  SENTINEL_FAILPOINT("store.apply_batch");
+  // One mini-transaction for the whole batch: recovery replays it all or
+  // none, so a replication cursor written as one of the ops can never
+  // describe data the heap does not durably hold.
+  TxnId id = kSystemTxnBase + system_txn_seq_.fetch_add(1);
+  std::vector<std::string> framed(ops.size());
+  std::shared_lock<std::shared_mutex> apply_guard(
+      *txn_manager_->apply_barrier());
+  SENTINEL_RETURN_IF_ERROR(
+      wal_.Append({WalRecordType::kBegin, id, 0, {}}));
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const ReplOp& op = ops[i];
+    if (op.del) {
+      SENTINEL_RETURN_IF_ERROR(
+          wal_.Append({WalRecordType::kDelete, id, op.oid, {}}));
+    } else {
+      framed[i] = FrameRecord(op.oid, op.class_name, op.state);
+      SENTINEL_RETURN_IF_ERROR(
+          wal_.Append({WalRecordType::kPut, id, op.oid, framed[i]}));
+    }
+  }
+  SENTINEL_RETURN_IF_ERROR(
+      wal_.Append({WalRecordType::kCommit, id, 0, {}}));
+  SENTINEL_RETURN_IF_ERROR(group_commit_ != nullptr ? group_commit_->Sync()
+                                                    : wal_.Sync());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const ReplOp& op = ops[i];
+    if (op.del) {
+      Status s = ApplyDelete(op.oid);
+      // A delete shipped twice (batch replay after a follower restart)
+      // finds nothing the second time: that is idempotent redo, not error.
+      if (!s.ok() && !s.IsNotFound()) return s;
+    } else {
+      SENTINEL_RETURN_IF_ERROR(ApplyPut(op.oid, framed[i]));
+    }
+  }
+  return Status::OK();
 }
 
 Status ObjectStore::SaveCatalog(const ClassCatalog& catalog) {

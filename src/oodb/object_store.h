@@ -123,6 +123,11 @@ class ObjectStore : public HeapApplier {
   /// Number of committed user objects.
   size_t ObjectCount() const;
 
+  /// Every committed oid — system records included — sorted ascending. The
+  /// replication snapshot walks this with an exclusive cursor, so a stable
+  /// total order is the contract.
+  std::vector<Oid> AllOids() const;
+
   // --- Maintenance ---------------------------------------------------------
 
   /// Fuzzy checkpoint: captures the stable LSN, waits out in-flight heap
@@ -131,12 +136,44 @@ class ObjectStore : public HeapApplier {
   /// WAL behind it. Mutators keep committing throughout; only commits
   /// caught between WAL-durable and heap-applied are briefly waited on.
   /// Bounds recovery to replaying the WAL suffix since the last checkpoint.
+  /// Whole checkpoints are serialized against each other and against
+  /// Close: a call that arrives while another checkpoint runs blocks until
+  /// it finishes, and a call that loses the race with Close returns
+  /// FailedPrecondition instead of truncating a log being torn down.
   Status Checkpoint();
+
+  /// Completed (successful) checkpoints since open — each one truncated
+  /// the WAL exactly once.
+  uint64_t checkpoint_generation() const {
+    return checkpoint_generation_.load(std::memory_order_acquire);
+  }
 
   /// Writes a system record (catalog, registries) durably and immediately,
   /// outside user transactions, via a WAL mini-transaction.
   Status SystemPut(Oid oid, const std::string& class_name,
                    const std::string& state);
+
+  /// One operation of a replication apply batch (see SystemApplyBatch).
+  struct ReplOp {
+    bool del = false;  ///< true = delete `oid`; false = put.
+    Oid oid = kInvalidOid;
+    std::string class_name;  ///< Put only.
+    std::string state;       ///< Put only.
+  };
+
+  /// Applies a replicated batch durably: all ops are logged in ONE local
+  /// WAL mini-transaction (begin, ops, commit, one group sync) and then
+  /// installed in the heap. A follower that crashes mid-batch recovers to
+  /// a batch boundary — its own redo replay either has the whole batch or
+  /// none of it — so a ship cursor persisted *inside* the batch can never
+  /// run ahead of the data it describes.
+  Status SystemApplyBatch(const std::vector<ReplOp>& ops);
+
+  /// Re-derives the oid allocator's floor from the committed directory —
+  /// exactly what Open does after recovery. A promoted replica calls this
+  /// so the oids it issues as the new primary never collide with objects
+  /// it received through replication apply (which bypasses NewOid).
+  void RefreshOidFloor();
 
   /// Persists the catalog (system mini-transaction, durable immediately).
   Status SaveCatalog(const ClassCatalog& catalog);
@@ -187,6 +224,9 @@ class ObjectStore : public HeapApplier {
   /// Replays committed WAL transactions into the heap.
   Status Recover();
 
+  /// Checkpoint body; caller holds checkpoint_mu_.
+  Status CheckpointLocked();
+
   bool open_ = false;
   size_t buffer_pages_hint_ = 256;
   uint32_t group_commit_window_us_ = 0;
@@ -201,6 +241,14 @@ class ObjectStore : public HeapApplier {
   std::unique_ptr<TransactionManager> txn_manager_;
   OidGenerator oids_;
   std::atomic<uint64_t> system_txn_seq_{0};  ///< SystemPut id allocator.
+
+  /// Serializes whole checkpoints against each other and against Close —
+  /// two interleaved capture/flush/truncate sequences could otherwise
+  /// truncate twice against one captured LSN. `closing_` (set under the
+  /// lock) fences late checkpoint callers off the teardown path.
+  std::mutex checkpoint_mu_;
+  bool closing_ = false;
+  std::atomic<uint64_t> checkpoint_generation_{0};
 
   mutable std::mutex mutex_;  // Guards directory_, extents_, insert path.
   std::unordered_map<Oid, std::vector<RecordId>> directory_;

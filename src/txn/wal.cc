@@ -286,6 +286,79 @@ Status WalManager::ReadAll(std::vector<WalRecord>* out) {
   return result;
 }
 
+Status WalManager::ReadFrom(uint64_t from_lsn, size_t max_records,
+                            std::vector<WalRecord>* out,
+                            uint64_t* next_lsn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  out->clear();
+  *next_lsn = from_lsn;
+  if (from_lsn < base_lsn_) {
+    return Status::OutOfRange("lsn " + std::to_string(from_lsn) +
+                              " truncated away (base " +
+                              std::to_string(base_lsn_) + ")");
+  }
+  std::fflush(file_);
+  std::fseek(file_, 0, SEEK_END);
+  long file_size = std::ftell(file_);
+  long pos = static_cast<long>(header_size_ + (from_lsn - base_lsn_));
+  if (pos > file_size) {
+    return Status::OutOfRange("lsn " + std::to_string(from_lsn) +
+                              " past the log end");
+  }
+  if (std::fseek(file_, pos, SEEK_SET) != 0) {
+    return Status::IOError("wal seek failed");
+  }
+  const bool with_crc = format_version_ >= 2;
+  const size_t frame_overhead = with_crc ? 8 : 4;
+  Status result = Status::OK();
+  while (out->size() < max_records) {
+    uint32_t len = 0;
+    size_t got = std::fread(&len, 1, 4, file_);
+    if (got < 4) break;  // Clean end or torn length: stop.
+    uint64_t remaining = static_cast<uint64_t>(file_size - pos);
+    if (len > kMaxRecordBody || frame_overhead + len > remaining) break;
+    uint32_t stored_crc = 0;
+    if (with_crc && std::fread(&stored_crc, 1, 4, file_) < 4) break;
+    std::string record_body(len, '\0');
+    got = std::fread(record_body.data(), 1, len, file_);
+    if (got < len) break;
+    if (with_crc && Crc32c(record_body) != stored_crc) {
+      result = Status::Corruption(
+          "wal record crc mismatch at lsn " +
+          std::to_string(base_lsn_ + (pos - header_size_)));
+      break;
+    }
+    Decoder dec(record_body);
+    WalRecord rec;
+    uint8_t type = 0;
+    Status s = dec.GetU8(&type);
+    if (s.ok()) s = dec.GetU64(&rec.txn);
+    if (s.ok()) s = dec.GetU64(&rec.oid);
+    if (s.ok()) s = dec.GetString(&rec.payload);
+    if (!s.ok()) {
+      if (with_crc) {
+        result = Status::Corruption("malformed wal record at lsn " +
+                                    std::to_string(base_lsn_ +
+                                                   (pos - header_size_)));
+      }
+      break;
+    }
+    rec.type = static_cast<WalRecordType>(type);
+    out->push_back(std::move(rec));
+    pos += static_cast<long>(frame_overhead + len);
+    *next_lsn = base_lsn_ + (pos - header_size_);
+  }
+  std::fseek(file_, 0, SEEK_END);
+  return result;
+}
+
+Result<uint64_t> WalManager::BaseLsn() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  return base_lsn_;
+}
+
 Result<uint64_t> WalManager::CurrentLsn() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal not open");

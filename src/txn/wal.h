@@ -108,6 +108,20 @@ class WalManager {
   /// present but fails its CRC returns Corruption.
   Status ReadAll(std::vector<WalRecord>* out);
 
+  /// Log-shipping read: decodes up to `max_records` records starting at
+  /// logical LSN `from_lsn` and sets `*next_lsn` to the LSN one past the
+  /// last record returned (pass it back to continue). `from_lsn` must be a
+  /// record boundary previously handed out by CurrentLsn()/ReadFrom.
+  /// OutOfRange when a checkpoint already truncated `from_lsn` away — the
+  /// caller (a replication follower) must fall back to a snapshot. Only
+  /// records already flushed at call time are visible; a torn tail stops
+  /// the scan cleanly, exactly like ReadAll.
+  Status ReadFrom(uint64_t from_lsn, size_t max_records,
+                  std::vector<WalRecord>* out, uint64_t* next_lsn);
+
+  /// The LSN of the oldest byte still in the log (advances on truncation).
+  Result<uint64_t> BaseLsn();
+
   /// The LSN one past the last appended record (logical log offset;
   /// monotone across truncations). Everything below this is in the log —
   /// though not necessarily synced yet.

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "../test_util.h"
 #include "core/database.h"
@@ -137,6 +138,49 @@ TEST_F(CheckpointTest, BackgroundCheckpointerFiresOnWalSizeTrigger) {
   }
   EXPECT_GT(checkpoints, 0u);
   ASSERT_TRUE(db->Close().ok());
+}
+
+TEST_F(CheckpointTest, ConcurrentCheckpointsAndCloseNeverDoubleTruncate) {
+  TempDir dir("ckpt");
+  Database::Options opts;
+  // An aggressive background checkpointer: the WAL-size trigger fires
+  // while the explicit CheckpointNow callers below are mid-flight.
+  opts.checkpoint_wal_bytes = 256;
+  auto db = OpenDb(dir.path(), opts);
+  Churn(db.get(), 10);
+
+  // Hammer explicit checkpoints from several threads while the background
+  // thread races them, then Close concurrently with the last wave. Before
+  // checkpoints were serialized, two interleaved capture/flush/truncate
+  // sequences could truncate twice against one captured LSN; now each OK
+  // checkpoint bumps the generation exactly once and a caller that loses
+  // the race with Close gets FailedPrecondition, not a torn log.
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        Status s = db->store()->Checkpoint();
+        if (!s.ok() && !s.IsFailedPrecondition()) unexpected.fetch_add(1);
+      }
+    });
+  }
+  Churn(db.get(), 10);
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(unexpected.load(), 0);
+  const uint64_t generation = db->store()->checkpoint_generation();
+  EXPECT_GT(generation, 0u);
+
+  ASSERT_TRUE(db->Close().ok());
+  // Close's final checkpoint ran under the same serialization.
+  EXPECT_EQ(db->store()->checkpoint_generation(), generation + 1);
+  // A straggler arriving after Close is fenced off the teardown path.
+  EXPECT_TRUE(db->store()->Checkpoint().IsFailedPrecondition());
+
+  // The log is intact: reopen replays cleanly.
+  auto reopened = OpenDb(dir.path());
+  EXPECT_EQ(reopened->store()->ObjectCount(), 20u);
+  ASSERT_TRUE(reopened->Close().ok());
 }
 
 TEST(CheckpointerTest, DisabledOptionsStartNoThread) {

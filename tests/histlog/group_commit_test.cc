@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -115,6 +116,41 @@ TEST(GroupCommitTest, LeaderFailureReachesWholeBatch) {
   // leader and followers alike — sees the IOError. (Threads that became
   // their own leader hit the still-armed failpoint themselves.)
   EXPECT_EQ(io_errors.load(), kThreads);
+}
+
+TEST(GroupCommitTest, CommittersAfterStickyFailureFailFastWithIOError) {
+  TempDir dir("gc");
+  WalManager wal;
+  ASSERT_TRUE(wal.Open(dir.path() + "/wal.log").ok());
+  // A window long enough that "joined a doomed batch and slept it out"
+  // versus "failed fast" is unmistakable in wall-clock terms.
+  constexpr uint32_t kWindowUs = 150000;
+  GroupCommitSync gc(&wal, kWindowUs);
+
+  // Poison the log: one failed physical sync; failures are sticky.
+  FailPoints::Instance().Reset();
+  ASSERT_TRUE(
+      FailPoints::Instance().EnableFromSpec("wal.sync=ioerror@hit(1)").ok());
+  ASSERT_TRUE(wal.Append({WalRecordType::kCommit, 1, 0, ""}).ok());
+  EXPECT_TRUE(gc.Sync().IsIOError());
+  FailPoints::Instance().Reset();
+  ASSERT_TRUE(wal.sync_failed());
+
+  // Committers enqueued after the failure epoch: each must surface the
+  // sticky IOError immediately — no fresh batch, no batching window.
+  const uint64_t batches_before = gc.batches_synced();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        wal.Append({WalRecordType::kCommit, static_cast<TxnId>(i + 2), 0, ""})
+            .ok());
+    EXPECT_TRUE(gc.Sync().IsIOError());
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Three windows would be 450 ms; the fast path is microseconds. A loose
+  // bound (under one window) keeps the assertion robust on slow CI.
+  EXPECT_LT(elapsed, std::chrono::microseconds(kWindowUs));
+  EXPECT_EQ(gc.batches_synced(), batches_before);
 }
 
 }  // namespace

@@ -180,5 +180,63 @@ TEST_F(HistoryScanTest, ShardedSpillMergesIntoLogicalOrder) {
   ASSERT_TRUE(db->Close().ok());
 }
 
+TEST_F(HistoryScanTest, PagedScanResumesWithoutDuplicatesOrGaps) {
+  TempDir dir("hist_db");
+  Database::Options opts;
+  opts.occurrence_log_capacity = 2;
+  opts.history_spill = true;
+  opts.history_segment_bytes = 512;  // Force several sealed segments.
+  opts.raise_shards = 2;
+  auto db = OpenDb(dir.path(), opts);
+  RegisterStock(db.get());
+
+  ReactiveObject stock("Stock");
+  ASSERT_TRUE(db->RegisterLiveObject(&stock).ok());
+  constexpr int kRaises = 60;
+  for (int i = 0; i < kRaises; ++i) {
+    stock.RaiseEvent("SetPrice", EventModifier::kEnd,
+                     {Value(static_cast<double>(i))});
+  }
+
+  std::vector<EventOccurrence> full;
+  ASSERT_TRUE(db->HistoryScan({}, &full).ok());
+  ASSERT_EQ(full.size(), static_cast<size_t>(kRaises) - 2);
+
+  // Page through with a limit far below the total; the cursor must hand
+  // back exactly the full scan, in order, with no duplicate or skipped seq.
+  HistoryCursor cursor;
+  std::vector<EventOccurrence> paged;
+  bool complete = false;
+  int pages = 0;
+  while (!complete) {
+    ASSERT_LT(pages++, 32) << "cursor failed to advance";
+    Database::HistoryPage page;
+    ASSERT_TRUE(db->HistoryScanPaged({}, cursor, 7, &page).ok());
+    complete = page.complete;
+    if (!complete) EXPECT_EQ(page.items.size(), 7u);
+    paged.insert(paged.end(), page.items.begin(), page.items.end());
+    cursor = page.next;
+  }
+  ASSERT_EQ(paged.size(), full.size());
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(paged[i].timestamp.seq, full[i].timestamp.seq) << "row " << i;
+    EXPECT_EQ(paged[i].params[0], full[i].params[0]) << "row " << i;
+  }
+
+  // Regression: before the cursor existed, a clamped page followed by a
+  // re-scan of the same query re-delivered the first rows. With the cursor
+  // the second page starts strictly after the first.
+  Database::HistoryPage first, second;
+  ASSERT_TRUE(db->HistoryScanPaged({}, HistoryCursor{}, 10, &first).ok());
+  ASSERT_FALSE(first.complete);
+  ASSERT_TRUE(db->HistoryScanPaged({}, first.next, 10, &second).ok());
+  ASSERT_FALSE(second.items.empty());
+  EXPECT_GT(second.items.front().timestamp.seq,
+            first.items.back().timestamp.seq);
+
+  ASSERT_TRUE(db->UnregisterLiveObject(&stock).ok());
+  ASSERT_TRUE(db->Close().ok());
+}
+
 }  // namespace
 }  // namespace sentinel

@@ -110,22 +110,65 @@ TEST_F(HistoryReplayTest, ClientPagesWithLimitAndCompleteFlag) {
 
   auto conn = Dial();
   Subscriber consumer(conn.get());
-  // 22 spilled rows, page size 10: two clamped pages and a final short one.
+  // 22 spilled rows, page size 10: two clamped pages and a final short one,
+  // chained through the (seq, shard) resume cursor.
   HistoryScanMsg page;
   page.limit = 10;
   std::vector<Notification> all;
   for (int pages = 0; pages < 10; ++pages) {
     bool complete = false;
-    auto batch = consumer.HistoryScan(page, &complete);
+    auto batch = consumer.HistoryScan(page, &complete, &page);
     ASSERT_TRUE(batch.ok()) << batch.status().ToString();
     all.insert(all.end(), batch->begin(), batch->end());
     if (complete) break;
     ASSERT_FALSE(batch->empty());
-    page.min_seq = batch->back().timestamp.seq + 1;
   }
   ASSERT_EQ(all.size(), 22u);
   for (size_t i = 0; i < all.size(); ++i) {
     EXPECT_EQ(all[i].params[0], Value(static_cast<double>(i)));
+  }
+}
+
+TEST_F(HistoryReplayTest, ResumeCursorNeverDuplicatesRows) {
+  StartServer(/*history_spill=*/true);
+  auto producer_conn = Dial();
+  Publisher producer(producer_conn.get());
+  uint64_t relay_oid = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto oid = producer.Raise("Sensor", "Report", EventModifier::kEnd,
+                              {Value(static_cast<double>(i))}, relay_oid);
+    ASSERT_TRUE(oid.ok());
+    relay_oid = *oid;
+  }
+
+  auto conn = Dial();
+  Subscriber consumer(conn.get());
+
+  // The original bug: a clamped scan said complete=false but offered no
+  // cursor, so a naive retry of the same query re-delivered page one. The
+  // reply now carries (next_seq, next_shard); resuming from it yields
+  // strictly later rows.
+  HistoryScanMsg query;
+  query.limit = 10;
+  bool complete = true;
+  HistoryScanMsg resume;
+  auto first = consumer.HistoryScan(query, &complete, &resume);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_FALSE(complete);
+  ASSERT_EQ(first->size(), 10u);
+  EXPECT_EQ(resume.after_seq, first->back().timestamp.seq);
+
+  auto second = consumer.HistoryScan(resume, &complete);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_FALSE(second->empty());
+  EXPECT_GT(second->front().timestamp.seq, first->back().timestamp.seq);
+
+  // And the one-call convenience loop sees each spilled row exactly once.
+  auto all = consumer.HistoryScanAll({}, /*page_limit=*/7);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->size(), 22u);
+  for (size_t i = 1; i < all->size(); ++i) {
+    EXPECT_GT((*all)[i].timestamp.seq, (*all)[i - 1].timestamp.seq);
   }
 }
 
