@@ -12,8 +12,14 @@
 //                     through the bounded ingress queues, swept across
 //                     raise-shard counts (--shards 1,2,4; each point runs
 //                     against a fresh database so shard state is cold)
-//   4. raise→notify — end-to-end latency through a parked long-poll
-//   5. soak         — raise→notify p50/p90/p99 with a sweep of parked
+//   4. shm          — the same windowed pipelined workload through the
+//                     zero-syscall shared-memory local transport
+//                     (gateway/shm_pipelined): producers attach to the
+//                     host's shm rings instead of dialing TCP, so
+//                     shm_pipelined / pipelined is the local-transport
+//                     speedup on this host
+//   5. raise→notify — end-to-end latency through a parked long-poll
+//   6. soak         — raise→notify p50/p90/p99 with a sweep of parked
 //                     background sessions (--soak 64,256,1024); the epoll
 //                     plane's claim is that tail latency stays flat as
 //                     parked sessions scale, and --assert-flat enforces it
@@ -28,6 +34,8 @@
 //
 // Plain main() (bench_three_way.cc precedent): the interesting numbers are
 // a table, not a google-benchmark timing loop.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -51,6 +59,7 @@ namespace {
 using net::ClientOptions;
 using net::Connection;
 using net::GatewayServer;
+using net::LocalPublisher;
 using net::Publisher;
 using net::Subscriber;
 
@@ -173,6 +182,88 @@ Row RunPipelined(const std::filesystem::path& dir, size_t raise_shards,
   row.events_per_sec = 1e9 / ns;
   row.ns_per_event = ns;
   row.shards = raise_shards;
+  for (uint64_t r : rejected) row.rejected += r;
+  return row;
+}
+
+/// One shared-memory-transport measurement: the same windowed pipelined
+/// workload as RunPipelined (same per-producer op count, shard count 1),
+/// but each producer is a LocalPublisher attached to the gateway's shm
+/// segment instead of a TCP connection. The server gets the deep-drain
+/// tuning a local-producer deployment would run with: a bigger ingress
+/// queue and mutator batch so the zero-syscall path is not throttled by
+/// knobs sized for socket clients.
+Row RunShmPipelined(const std::filesystem::path& dir, int producers) {
+  auto db = OpenFreshDb(dir, 1);
+  net::ServerOptions options;
+  options.ingress_capacity = 8192;
+  options.max_batch = 512;
+  options.shm_segment = "/sentinel-bench-gw-" + std::to_string(getpid());
+  options.shm_rings = static_cast<uint32_t>(std::max(producers, 1));
+  GatewayServer server(db.get(), options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<std::unique_ptr<LocalPublisher>> pubs;
+  std::vector<std::vector<net::RaiseEventMsg>> batches(
+      static_cast<size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    auto& batch = batches[static_cast<size_t>(p)];
+    batch.resize(static_cast<size_t>(g_pipeline_batch));
+    for (auto& msg : batch) {
+      msg.oid = 1000 + static_cast<uint64_t>(p);
+      msg.class_name = "Sensor";
+      msg.method = "Report";
+      msg.modifier = EventModifier::kEnd;
+      msg.params = {Value(static_cast<int64_t>(0))};
+    }
+    LocalPublisher::Options lp;
+    lp.segment = options.shm_segment;
+    lp.port = server.port();
+    lp.window = 1024;  // Ring depth is cheap; keep the host busy.
+    auto opened = std::move(net::LocalPublisher::Open(lp)).value();
+    if (!opened->via_shm()) {
+      std::fprintf(stderr, "shm attach fell back to TCP; not benching that\n");
+      std::exit(1);
+    }
+    pubs.push_back(std::move(opened));
+    pubs.back()->RaisePipelined(batches[static_cast<size_t>(p)], nullptr)
+        .ok();  // Untimed warmup batch.
+  }
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> rejected(static_cast<size_t>(producers), 0);
+  int64_t t0 = SteadyNowNs();
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      LocalPublisher* pub = pubs[static_cast<size_t>(p)].get();
+      const auto& batch = batches[static_cast<size_t>(p)];
+      for (int done = 0; done < g_pipelined_per_producer;
+           done += g_pipeline_batch) {
+        uint64_t r = 0;
+        pub->RaisePipelined(batch, &r).ok();
+        rejected[static_cast<size_t>(p)] += r;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  int64_t t1 = SteadyNowNs();
+  pubs.clear();  // Detach before the host goes away.
+  server.Stop();
+  db->Close().ok();
+  db.reset();
+  std::filesystem::remove_all(dir);
+
+  double total = static_cast<double>(producers) * g_pipelined_per_producer;
+  double ns = static_cast<double>(t1 - t0) / total;
+  Row row;
+  row.mode = "gateway shm pipelined x" + std::to_string(producers);
+  row.slug = "shm_pipelined";
+  row.ops = static_cast<int64_t>(total);
+  row.events_per_sec = 1e9 / ns;
+  row.ns_per_event = ns;
+  row.shards = 1;
   for (uint64_t r : rejected) row.rejected += r;
   return row;
 }
@@ -475,6 +566,10 @@ int RunBench(int producers, const std::vector<size_t>& shard_sweep,
     rows.push_back(RunPipelined(dir, shards, producers));
     total_rejected += rows.back().rejected;
   }
+
+  // --- 4b. Same workload through the shared-memory local transport. ------
+  rows.push_back(RunShmPipelined(dir, producers));
+  total_rejected += rows.back().rejected;
 
   std::printf("gateway throughput (%d producer connections)\n", producers);
   std::printf("  %-26s %14s %14s\n", "mode", "events/sec", "ns/event");

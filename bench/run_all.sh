@@ -5,7 +5,7 @@
 #   BENCH_core.json     in-process benches (events, rules, txn)
 #   BENCH_storage.json  the durability suite (group-commit sweep, bounded
 #                       recovery, history-scan)
-#   BENCH_gateway.json  the TCP gateway bench
+#   BENCH_gateway.json  the gateway bench (TCP + shm local transport)
 #
 # usage: bench/run_all.sh [--quick] [--build-dir DIR] [--out-dir DIR]
 #
@@ -85,3 +85,22 @@ if [[ -x "$VALIDATOR" ]]; then
 else
   echo "warning: $VALIDATOR not built; skipping schema validation" >&2
 fi
+
+# Gateway-suite contract beyond the generic schema: the shared-memory local
+# transport point must be present and carry its counters. bench_gateway
+# exits nonzero when the segment cannot be attached, but guard here too so
+# a silently dropped row (e.g. a future refactor skipping the shm section)
+# cannot produce a valid-looking but TCP-only BENCH_gateway.json.
+python3 - "$OUT_DIR/BENCH_gateway.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+results = [r for b in doc["benches"] for r in b["results"]]
+shm = [r for r in results if r["name"] == "gateway/shm_pipelined"]
+if not shm:
+    sys.exit("BENCH_gateway.json: missing gateway/shm_pipelined result")
+for field in ("events_per_sec", "producers", "shards", "backpressure_rejections"):
+    if field not in shm[0].get("counters", {}):
+        sys.exit("BENCH_gateway.json: shm_pipelined missing counter " + field)
+print("BENCH_gateway.json: gateway/shm_pipelined contract ok")
+PY

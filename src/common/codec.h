@@ -37,6 +37,9 @@ class Encoder {
 
   const std::string& buffer() const { return buf_; }
   std::string Release() { return std::move(buf_); }
+  /// Empties the buffer keeping its capacity, so hot loops can reuse one
+  /// Encoder instead of paying an allocation per message.
+  void Clear() { buf_.clear(); }
   size_t size() const { return buf_.size(); }
 
  private:

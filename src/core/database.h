@@ -140,6 +140,12 @@ class Database : public RaiseContext,
   /// scheduler, current-transaction slot, and occurrence-log segment.
   /// Unbound threads act as shard 0. Ids >= raise_shards() clamp to the
   /// last shard. A no-op in effect when raise_shards == 1.
+  ///
+  /// The binding is per *worker thread*, not per transport: the gateway's
+  /// shard workers serve their queue regardless of whether a frame arrived
+  /// over TCP or the shared-memory transport (src/shmtp) — both route into
+  /// the same per-shard ingress queues with ShardIndexForRoute, so the
+  /// one-thread-per-shard invariant needs no transport-specific handling.
   static void BindRaiseShard(size_t shard);
 
   /// The shard the calling thread resolves to (always 0 when unsharded).

@@ -78,6 +78,18 @@ struct ForwardedTrigger {
 /// Bounded single-producer/single-consumer ring. Lock-free: the producer
 /// owns tail_, the consumer owns head_; each reads the other's index with
 /// acquire to pair with the release store publishing it.
+///
+/// Ordering audit (see tests/core/shard_test.cc, SpscRingStressTest): the
+/// ring needs exactly two release/acquire pairs, and has exactly two.
+///   tail_: the producer's release store (TryPush) pairs with the
+///     consumer's acquire load (TryPop), ordering the slot write *before*
+///     the index publication — the consumer can never read a slot the
+///     producer has not finished writing.
+///   head_: the consumer's release store (TryPop) pairs with the
+///     producer's acquire load (TryPush), ordering the move-out of a slot
+///     *before* the producer is allowed to reuse it.
+/// The relaxed self-loads (each side re-reading its own cursor) are safe
+/// because each cursor has a single writer.
 template <typename T>
 class SpscRing {
  public:

@@ -13,6 +13,9 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <utility>
+
+#include "shmtp/handle.h"
 
 namespace sentinel {
 namespace net {
@@ -291,10 +294,19 @@ Status Publisher::SendWindowed(
   acks->clear();
   acks->reserve(pending.size());
   size_t sent = 0;
+  size_t scanned = 0;  ///< Acks already inspected by the stall check.
+  bool stalled = false;
   std::string wire;
   while (acks->size() < pending.size()) {
-    // Top the window up with one coalesced send.
-    if (sent < pending.size() && sent - acks->size() < window_) {
+    // A stalled window only drains: once every in-flight frame is acked,
+    // the pass ends and the unsent tail is reported below.
+    if (stalled && acks->size() == sent) break;
+    // Top the window up with one coalesced send — unless a transient
+    // rejection stalled it: pumping more frames at a server that just
+    // answered ResourceExhausted/Busy can only deepen the rejection run,
+    // so the pass stops advancing at the first failed seq instead.
+    if (!stalled && sent < pending.size() &&
+        sent - acks->size() < window_) {
       wire.clear();
       size_t burst_end = std::min(pending.size(), acks->size() + window_);
       for (; sent < burst_end; ++sent) {
@@ -307,6 +319,30 @@ Status Publisher::SendWindowed(
     SENTINEL_RETURN_IF_ERROR(ReadAcks(acks));
     if (acks->size() > sent) {
       return Status::Internal("server acked more raises than were sent");
+    }
+    while (scanned < acks->size() && !stalled) {
+      if (IsTransient((*acks)[scanned].status)) {
+        stalled = true;
+        // Latched, not overwritten: on a retry pass the indices are
+        // relative to the retry subset, while callers want the seq within
+        // the original request — which the first (full) pass recorded.
+        if (first_rejected_seq_ == kNoRejectedSeq) {
+          first_rejected_seq_ = scanned;
+        }
+        break;
+      }
+      ++scanned;
+    }
+  }
+  if (stalled && acks->size() < pending.size()) {
+    // The never-sent tail: each withheld raise is reported as its own
+    // transient rejection, so the retry loop re-sends exactly this subset
+    // and `*rejected` accounting stays 1:1 with the request.
+    Status withheld = Status::ResourceExhausted(
+        "raise withheld: window stalled by a rejection at seq " +
+        std::to_string(scanned));
+    while (acks->size() < pending.size()) {
+      acks->push_back(Ack{withheld, 0});
     }
   }
   return Status::OK();
@@ -349,6 +385,7 @@ Result<uint64_t> Publisher::Raise(const std::string& class_name,
 Status Publisher::RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
                                  uint64_t* rejected) {
   if (rejected != nullptr) *rejected = 0;
+  first_rejected_seq_ = kNoRejectedSeq;
   std::vector<const RaiseEventMsg*> pending;
   pending.reserve(msgs.size());
   for (const RaiseEventMsg& msg : msgs) pending.push_back(&msg);
@@ -469,6 +506,152 @@ Result<std::vector<Notification>> Subscriber::HistoryScanAll(
     if (complete) return all;
     if (stuck) return Status::Internal("history page empty but incomplete");
   }
+}
+
+// --- LocalPublisher ----------------------------------------------------------
+
+namespace {
+
+/// Expands one reply frame into per-request (status, payload) acks —
+/// kStatusReply is one ack, kBatchStatusReply one per run count. The shm
+/// and TCP paths share ack semantics by construction: both decode the
+/// same frames.
+Status ExpandAckFrame(const Frame& reply,
+                      std::vector<std::pair<Status, uint64_t>>* out) {
+  if (reply.type == FrameType::kStatusReply) {
+    SENTINEL_ASSIGN_OR_RETURN(StatusReplyMsg msg,
+                              StatusReplyMsg::Decode(reply.body));
+    out->emplace_back(msg.ToStatus(), msg.payload);
+    return Status::OK();
+  }
+  if (reply.type == FrameType::kBatchStatusReply) {
+    SENTINEL_ASSIGN_OR_RETURN(BatchStatusReplyMsg batch,
+                              BatchStatusReplyMsg::Decode(reply.body));
+    for (const BatchStatusReplyMsg::Run& run : batch.runs) {
+      StatusReplyMsg one;
+      one.code = run.code;
+      one.message = run.message;
+      Status s = one.ToStatus();
+      for (uint32_t i = 0; i < run.count; ++i) {
+        out->emplace_back(s, run.payload);
+      }
+    }
+    return Status::OK();
+  }
+  return Status::Internal("expected an ack frame, got type " +
+                          std::to_string(static_cast<int>(reply.type)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LocalPublisher>> LocalPublisher::Open(
+    Options options) {
+  auto pub = std::unique_ptr<LocalPublisher>(new LocalPublisher());
+  pub->window_ = options.window == 0 ? 1 : options.window;
+  pub->ack_timeout_ms_ = options.ack_timeout_ms;
+  if (!options.segment.empty()) {
+    Result<std::unique_ptr<shmtp::ShmHandle>> attached =
+        shmtp::ShmHandle::Attach(options.segment);
+    if (attached.ok()) {
+      pub->shm_ = std::move(attached).value();
+      return pub;
+    }
+    // Any attach failure — segment absent, rings exhausted, layout
+    // mismatch, host gone — downgrades to TCP, never to an error: the
+    // caller asked for the gateway, not for a transport.
+  }
+  SENTINEL_ASSIGN_OR_RETURN(
+      pub->conn_, Connection::Dial(options.host, options.port, options.tcp));
+  pub->tcp_ = std::make_unique<Publisher>(pub->conn_.get(), pub->window_);
+  return pub;
+}
+
+LocalPublisher::~LocalPublisher() = default;
+
+Result<uint64_t> LocalPublisher::Raise(const std::string& class_name,
+                                       const std::string& method,
+                                       EventModifier modifier,
+                                       const ValueList& params,
+                                       uint64_t oid) {
+  if (shm_ == nullptr) {
+    return tcp_->Raise(class_name, method, modifier, params, oid);
+  }
+  RaiseEventMsg msg;
+  msg.oid = oid;
+  msg.class_name = class_name;
+  msg.method = method;
+  msg.modifier = modifier;
+  msg.params = params;
+  std::vector<RaiseEventMsg> one;
+  one.push_back(std::move(msg));
+  uint64_t payload = 0;
+  SENTINEL_RETURN_IF_ERROR(RaisePipelinedShmInternal(one, nullptr, &payload));
+  return payload;
+}
+
+Status LocalPublisher::RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
+                                      uint64_t* rejected) {
+  if (rejected != nullptr) *rejected = 0;
+  if (shm_ == nullptr) return tcp_->RaisePipelined(msgs, rejected);
+  return RaisePipelinedShmInternal(msgs, rejected, nullptr);
+}
+
+Status LocalPublisher::RaisePipelinedShmInternal(
+    const std::vector<RaiseEventMsg>& msgs, uint64_t* rejected,
+    uint64_t* last_payload) {
+  size_t sent = 0;
+  size_t acked = 0;
+  Status first_error = Status::OK();
+  uint64_t rejected_count = 0;
+  std::string wire;
+  Encoder enc;  // Reused across the window loop: no per-raise allocation.
+  std::vector<std::pair<Status, uint64_t>> acks;
+  const auto ack_timeout = std::chrono::milliseconds(ack_timeout_ms_);
+  while (acked < msgs.size()) {
+    // Fill the window. A full job ring is not an error — the host is
+    // momentarily behind; draining an ack below implies progress.
+    bool ring_full = false;
+    while (sent < msgs.size() && sent - acked < window_) {
+      wire.clear();
+      enc.Clear();
+      msgs[sent].Encode(&enc);
+      EncodeFrame(FrameType::kRaiseEvent, enc.buffer(), &wire, kProtocolV2);
+      Status s = shm_->PushFrame(wire);
+      if (s.IsResourceExhausted()) {
+        ring_full = true;
+        break;
+      }
+      SENTINEL_RETURN_IF_ERROR(s);
+      ++sent;
+    }
+    if (acked == sent) {
+      if (!ring_full) continue;
+      // Nothing in flight yet the ring will not take one frame: it can
+      // only drain by host progress, so yield rather than burn the core.
+      std::this_thread::yield();
+      continue;
+    }
+    Frame reply;
+    SENTINEL_RETURN_IF_ERROR(shm_->ReadAckFrame(&reply, ack_timeout));
+    acks.clear();
+    SENTINEL_RETURN_IF_ERROR(ExpandAckFrame(reply, &acks));
+    if (acked + acks.size() > sent) {
+      return Status::Internal("shmtp host acked more raises than were sent");
+    }
+    for (const auto& [status, payload] : acks) {
+      if (!status.ok()) {
+        if (status.IsResourceExhausted() || status.IsBusy()) {
+          ++rejected_count;
+        }
+        if (first_error.ok()) first_error = status;
+      } else if (last_payload != nullptr) {
+        *last_payload = payload;
+      }
+      ++acked;
+    }
+  }
+  if (rejected != nullptr) *rejected = rejected_count;
+  return first_error;
 }
 
 // --- GatewayClient (deprecated facade) ---------------------------------------

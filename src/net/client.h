@@ -30,6 +30,11 @@
 #include "net/wire.h"
 
 namespace sentinel {
+
+namespace shmtp {
+class ShmHandle;
+}  // namespace shmtp
+
 namespace net {
 
 /// Retry policy for transient server rejections (ResourceExhausted from
@@ -163,11 +168,23 @@ class Publisher {
   /// message (expanded from coalesced BatchStatusReply frames when the
   /// server batches). Returns OK when every raise was applied; otherwise
   /// the first non-OK ack (ResourceExhausted indicates backpressure or a
-  /// quota). Under a retry policy, the rejected subset is re-sent (with
+  /// quota). A transient rejection mid-pipeline stalls the window: frames
+  /// not yet on the wire are withheld (and reported rejected) instead of
+  /// being pumped at a server that just said no. Under a retry policy, the
+  /// rejected subset — refused and withheld alike — is re-sent (with
   /// backoff) until it drains or attempts run out. `*rejected` (optional)
   /// counts raises still rejected as transient after all retries.
   Status RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
                         uint64_t* rejected = nullptr);
+
+  /// No raise was transiently rejected (yet).
+  static constexpr uint64_t kNoRejectedSeq = ~0ull;
+
+  /// Index into the most recent RaisePipelined call's `msgs` of the first
+  /// transiently rejected raise, or kNoRejectedSeq when none was. Set as
+  /// soon as the rejection's ack is read — the point where the window
+  /// stops advancing.
+  uint64_t first_rejected_seq() const { return first_rejected_seq_; }
 
  private:
   /// One per-request ack, in request order.
@@ -192,6 +209,7 @@ class Publisher {
   size_t window_;
   RetryPolicy retry_policy_;
   uint64_t retries_total_ = 0;
+  uint64_t first_rejected_seq_ = kNoRejectedSeq;
 };
 
 /// Consumer role: subscriptions and notification fetches over a Connection
@@ -229,6 +247,68 @@ class Subscriber {
 
  private:
   Connection* conn_;
+};
+
+/// Local-first producer: attaches to the gateway's shared-memory segment
+/// (src/shmtp) when one is reachable and pushes raise frames with zero
+/// syscalls on the hot path; otherwise it transparently dials TCP and
+/// behaves exactly like a Publisher. The raise surface is a subset of
+/// Publisher's, with identical semantics — acks are the same v2
+/// StatusReply / ranged BatchStatusReply frames either way.
+class LocalPublisher {
+ public:
+  struct Options {
+    /// shm_open name of the server's segment; "" skips straight to TCP.
+    std::string segment;
+    /// TCP fallback target.
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Raises kept in flight by RaisePipelined (0 means 1).
+    size_t window = 256;
+    /// Per-ack wait bound on the shm path; expiring fails the call.
+    uint32_t ack_timeout_ms = 5000;
+    /// Dial options for the TCP fallback.
+    ClientOptions tcp;
+  };
+
+  /// Attaches over shm, or — on any attach failure (no segment, rings
+  /// exhausted, incompatible layout, dead host) — dials host:port.
+  static Result<std::unique_ptr<LocalPublisher>> Open(Options options);
+
+  ~LocalPublisher();
+
+  LocalPublisher(const LocalPublisher&) = delete;
+  LocalPublisher& operator=(const LocalPublisher&) = delete;
+
+  /// True when raises travel through shared memory.
+  bool via_shm() const { return shm_ != nullptr; }
+
+  /// Single raise, strict request/response. Mirrors Publisher::Raise.
+  Result<uint64_t> Raise(const std::string& class_name,
+                         const std::string& method, EventModifier modifier,
+                         const ValueList& params, uint64_t oid = 0);
+
+  /// Windowed pipelined raises; mirrors Publisher::RaisePipelined without
+  /// the retry machinery (one pass; `*rejected` counts transient
+  /// rejections). On the shm path, backpressure is absorbed by the host's
+  /// lossless deferral, so rejections only surface via quota acks.
+  Status RaisePipelined(const std::vector<RaiseEventMsg>& msgs,
+                        uint64_t* rejected = nullptr);
+
+ private:
+  LocalPublisher() = default;
+
+  /// Shm-path windowed loop. `last_payload` (optional) receives the
+  /// payload of the last OK ack — the relay oid for a single raise.
+  Status RaisePipelinedShmInternal(const std::vector<RaiseEventMsg>& msgs,
+                                   uint64_t* rejected,
+                                   uint64_t* last_payload);
+
+  std::unique_ptr<shmtp::ShmHandle> shm_;
+  std::unique_ptr<Connection> conn_;      ///< TCP fallback (null with shm).
+  std::unique_ptr<Publisher> tcp_;        ///< Lives on conn_.
+  size_t window_ = 256;
+  uint32_t ack_timeout_ms_ = 5000;
 };
 
 /// Deprecated monolithic client: the pre-redesign API, now a thin facade

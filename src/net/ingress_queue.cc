@@ -87,6 +87,11 @@ void IngressQueue::Shutdown() {
   not_empty_.notify_all();
 }
 
+bool IngressQueue::DrainedAfterShutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_ && items_.empty();
+}
+
 bool IngressQueue::shutdown() const {
   std::lock_guard<std::mutex> lock(mu_);
   return shutdown_;

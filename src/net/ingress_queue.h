@@ -83,6 +83,16 @@ class IngressQueue {
   /// Stops accepting pushes and wakes blocked consumers. Idempotent.
   void Shutdown();
 
+  /// True once Shutdown() has been called *and* every admitted item has
+  /// been popped — the consumer's exit predicate. Evaluating both under
+  /// one lock is the point: deciding from a stale PopBatch count plus a
+  /// separate shutdown() read lets a frame admitted between the two
+  /// observations be stranded forever (admitted, never processed, never
+  /// acked). Safe because TryPush rejects under the same mutex once
+  /// shutdown_ is set: a true result can never be invalidated by a later
+  /// push.
+  bool DrainedAfterShutdown() const;
+
   bool shutdown() const;
   size_t size() const;
   size_t capacity() const { return capacity_; }

@@ -18,6 +18,7 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "shmtp/host.h"
 
 namespace sentinel {
 namespace net {
@@ -219,6 +220,32 @@ Status GatewayServer::Start() {
   for (size_t shard = 0; shard < queues_.size(); ++shard) {
     workers_.emplace_back([this, shard] { WorkerLoop(shard); });
   }
+  if (!options_.shm_segment.empty()) {
+    shmtp::ShmHost::Options shm_opts;
+    shm_opts.segment = options_.shm_segment;
+    shm_opts.rings = options_.shm_rings;
+    shm_opts.job_ring_bytes = options_.shm_ring_bytes;
+    shm_opts.cpl_ring_bytes = options_.shm_completion_bytes;
+    shm_opts.max_frame_body = options_.max_frame_body;
+    shm_opts.max_inflight_raises = options_.max_inflight_raises;
+    shm_opts.tenant_max_inflight_raises =
+        options_.tenant_max_inflight_raises;
+    shmtp::ShmHost::Env shm_env;
+    for (auto& queue : queues_) shm_env.queues.push_back(queue.get());
+    shm_env.default_tenant = TenantFor("");
+    shm_env.alloc_session_id = [this] {
+      return next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    };
+    shm_host_ =
+        std::make_unique<shmtp::ShmHost>(std::move(shm_opts),
+                                         std::move(shm_env));
+    Status err = shm_host_->Start();
+    if (!err.ok()) {
+      shm_host_.reset();
+      Stop();
+      return err;
+    }
+  }
   SENTINEL_INFO << "gateway listening on " << options_.host << ":" << port_
                 << " (" << io_shards_.size() << " io thread"
                 << (io_shards_.size() == 1 ? "" : "s") << ", "
@@ -230,7 +257,13 @@ Status GatewayServer::Start() {
 void GatewayServer::Stop() {
   bool was_running = running_.exchange(false, std::memory_order_acq_rel);
   if (was_running) {
-    // Workers first: they drain what the IO shards already admitted, and
+    // Shm intake first: once it stops, no new frames enter the queues
+    // from local producers, and the segment flips to kHostShutdown so
+    // handles stop pushing. The host object itself stays alive until the
+    // workers are joined — their final ack flushes write into its
+    // completion regions.
+    if (shm_host_ != nullptr) shm_host_->StopIntake();
+    // Workers next: they drain what the IO shards already admitted, and
     // their final replies still have live IO shards to flush them (pure
     // shutdown hygiene — clients of a stopping server get best-effort
     // delivery, not a guarantee).
@@ -239,6 +272,7 @@ void GatewayServer::Stop() {
       if (worker.joinable()) worker.join();
     }
     workers_.clear();
+    shm_host_.reset();
     for (auto& io : io_shards_) io->wake.Wake();
     for (auto& io : io_shards_) {
       if (io->thread.joinable()) io->thread.join();
@@ -285,6 +319,15 @@ GatewayStats GatewayServer::stats() const {
   s.sessions_accepted = sessions_accepted_.load(std::memory_order_relaxed);
   s.batched_acks = batched_acks_.load(std::memory_order_relaxed);
   s.inline_raises = inline_raises_.load(std::memory_order_relaxed);
+  if (shm_host_ != nullptr) {
+    const shmtp::ShmHost::Stats& shm = shm_host_->stats();
+    s.shm_frames = shm.frames.load(std::memory_order_relaxed);
+    s.shm_batches = shm.batches.load(std::memory_order_relaxed);
+    s.shm_parks = shm.parks.load(std::memory_order_relaxed);
+    s.shm_wakeups = shm.wakeups.load(std::memory_order_relaxed);
+    s.shm_attaches = shm.attaches.load(std::memory_order_relaxed);
+    s.shm_reclaims = shm.reclaims.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
@@ -786,7 +829,13 @@ void GatewayServer::WorkerLoop(size_t shard) {
     if (shard == 0) {
       hub_->ExpireParkedFetches(std::chrono::steady_clock::now());
     }
-    if (n == 0 && queue->shutdown()) break;
+    // Exit predicate, evaluated atomically: `n == 0 && queue->shutdown()`
+    // would decide from a stale pop count — a frame admitted between this
+    // drain's empty pop and a separate shutdown() read would be stranded
+    // (admitted, never processed, never acked). The shm doorbell protocol
+    // re-checks its rings after arming the park for the same reason
+    // (DESIGN.md §14).
+    if (queue->DrainedAfterShutdown()) break;
   }
 }
 
@@ -1208,6 +1257,21 @@ std::string GatewayServer::BuildStatsJson(uint32_t sections) const {
     out.append(std::to_string(s.batched_acks));
     out.append(",\"inline_raises\":");
     out.append(std::to_string(s.inline_raises));
+    if (shm_host_ != nullptr) {
+      out.append(",\"shm\":{\"frames\":");
+      out.append(std::to_string(s.shm_frames));
+      out.append(",\"batches\":");
+      out.append(std::to_string(s.shm_batches));
+      out.append(",\"parks\":");
+      out.append(std::to_string(s.shm_parks));
+      out.append(",\"wakeups\":");
+      out.append(std::to_string(s.shm_wakeups));
+      out.append(",\"attaches\":");
+      out.append(std::to_string(s.shm_attaches));
+      out.append(",\"reclaims\":");
+      out.append(std::to_string(s.shm_reclaims));
+      out.append("}");
+    }
     out.append("}");
   }
   out.push_back('}');

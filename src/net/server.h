@@ -64,6 +64,11 @@
 #include "net/wire.h"
 
 namespace sentinel {
+
+namespace shmtp {
+class ShmHost;
+}  // namespace shmtp
+
 namespace net {
 
 /// FunctionRegistry name of the built-in rule action that notifies
@@ -105,6 +110,17 @@ struct ServerOptions {
   /// Register unknown classes on first RaiseEvent (reactive, with the
   /// raised method designated begin+end). Off: such raises fail NotFound.
   bool auto_register_classes = true;
+
+  // --- Shared-memory local transport (src/shmtp) ------------------------------
+  /// shm_open name of the local-producer segment, e.g. "/sentinel-gw".
+  /// Must start with '/'. Empty (the default) disables the transport.
+  std::string shm_segment;
+  /// Producer ring slots: the number of local handles attachable at once.
+  uint32_t shm_rings = 4;
+  /// Per-ring job (producer -> host) byte capacity.
+  uint64_t shm_ring_bytes = 1u << 20;
+  /// Per-ring completion (host -> producer) byte capacity.
+  uint64_t shm_completion_bytes = 256u << 10;
 };
 
 /// Deprecated name of ServerOptions, kept so pre-redesign call sites
@@ -124,6 +140,14 @@ struct GatewayStats {
   uint64_t batched_acks = 0;  ///< Acks delivered inside BatchStatusReplies.
   uint64_t inline_raises = 0;  ///< Raises executed on the IO thread (sync
                                ///< fast path: idle shard, lone frame).
+
+  // Shared-memory local transport (0s when shm_segment is unset).
+  uint64_t shm_frames = 0;    ///< Raise frames admitted from shm rings.
+  uint64_t shm_batches = 0;   ///< Shard-queue batches those frames rode in.
+  uint64_t shm_parks = 0;     ///< Host intake futex parks.
+  uint64_t shm_wakeups = 0;   ///< Parks ended by a producer doorbell.
+  uint64_t shm_attaches = 0;  ///< Rings claimed by local handles.
+  uint64_t shm_reclaims = 0;  ///< Rings reclaimed (crash or clean close).
 };
 
 /// Serves kReplSubscribe frames. Implemented by repl::Replicator; an
@@ -313,6 +337,10 @@ class GatewayServer {
   std::atomic<bool> running_{false};
   std::vector<std::unique_ptr<IoShard>> io_shards_;
   std::vector<std::thread> workers_;
+  /// Shared-memory local transport host (null unless shm_segment is set).
+  /// Intake stops before the queues shut down; the host itself outlives
+  /// the workers, whose ack flushes write into its completion regions.
+  std::unique_ptr<shmtp::ShmHost> shm_host_;
 
   std::atomic<uint64_t> next_session_id_{1};
 

@@ -1,0 +1,170 @@
+// Copyright (c) 2026 The Sentinel Authors. Licensed under Apache-2.0.
+//
+// ShmHost: the gateway-side end of the shared-memory local transport.
+//
+// The host owns the segment (create/initialise/unlink) and runs one intake
+// thread that scans the per-producer job rings, decodes committed frames,
+// and feeds them into the *same* per-shard IngressQueues the TCP gateway
+// uses — so sharding, admission quotas, worker ordering, metrics, and ack
+// batching are shared, not reimplemented. Each attached ring is fronted by
+// a socketless net::Session (fd = -1, protocol v2): workers ack through
+// the normal AckBatcher path, the session's flush notifier lands the
+// encoded reply frames in the ring's completion region, and the handle
+// decodes them exactly as a TCP client would.
+//
+// Flow control is lossless by deferral: when a shard queue is full or an
+// admission quota is at its cap, the host simply stops advancing that
+// ring's job_head — the producer sees a full ring and blocks, instead of
+// receiving interleaved rejections that would reorder acks.
+//
+// Crash safety: a handle that dies leaves at worst a torn record past its
+// committed job_tail (never visible to the host) and a charged-but-unacked
+// run of admitted frames. The host's periodic pid-liveness sweep reclaims
+// the ring: the fronting session is marked closed (workers skip its queued
+// items, quota charges still credit back), cursors are reset, and the slot
+// returns to kRingFree for the next attacher.
+
+#ifndef SENTINEL_SHMTP_HOST_H_
+#define SENTINEL_SHMTP_HOST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/ingress_queue.h"
+#include "net/session.h"
+#include "shmtp/layout.h"
+
+namespace sentinel {
+namespace shmtp {
+
+class ShmHost {
+ public:
+  struct Options {
+    /// shm_open name, e.g. "/sentinel-gw.1234". Must start with '/'.
+    std::string segment;
+    uint32_t rings = 4;
+    uint64_t job_ring_bytes = 1u << 20;
+    uint64_t cpl_ring_bytes = 256u << 10;
+    uint32_t max_frame_body = 4u << 20;
+    /// Frames decoded from one ring per scan before moving on (fairness).
+    uint32_t max_batch = 256;
+    /// Admission quotas, mirrored from ServerOptions (0 = unlimited).
+    uint32_t max_inflight_raises = 0;
+    uint32_t tenant_max_inflight_raises = 0;
+    /// Pid-liveness sweep cadence; also the park timeout while idle.
+    uint32_t sweep_interval_ms = 20;
+    /// Empty-scan spins before arming a futex park.
+    uint32_t spin_iterations = 512;
+  };
+
+  /// Hooks into the owning gateway. All queues/pointers must outlive the
+  /// host (the server guarantees this by stopping intake before tearing
+  /// either down).
+  struct Env {
+    std::vector<net::IngressQueue*> queues;  ///< One per raise shard.
+    net::TenantState* default_tenant = nullptr;
+    std::function<uint64_t()> alloc_session_id;
+  };
+
+  /// Intake counters, readable live (relaxed) by the server's stats path.
+  struct Stats {
+    std::atomic<uint64_t> frames{0};    ///< Raise frames admitted.
+    std::atomic<uint64_t> batches{0};   ///< Shard-queue push batches.
+    std::atomic<uint64_t> parks{0};     ///< Futex parks armed.
+    std::atomic<uint64_t> wakeups{0};   ///< Parks ended by a producer wake.
+    std::atomic<uint64_t> attaches{0};  ///< Rings claimed by handles.
+    std::atomic<uint64_t> reclaims{0};  ///< Rings reclaimed (crash or close).
+    std::atomic<uint64_t> protocol_errors{0};  ///< Rings killed for garbage.
+  };
+
+  ShmHost(Options options, Env env);
+  ~ShmHost();
+
+  ShmHost(const ShmHost&) = delete;
+  ShmHost& operator=(const ShmHost&) = delete;
+
+  /// Creates + maps + initialises the segment and starts the intake
+  /// thread. A stale segment with the same name (a previous host that
+  /// crashed) is unlinked first.
+  Status Start();
+
+  /// Stops the intake thread and marks the segment kHostShutdown so
+  /// handles stop pushing. Completion writes from gateway workers remain
+  /// valid until destruction — call this *before* shutting the ingress
+  /// queues down, destroy after the workers are joined.
+  void StopIntake();
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Host-private (non-shared) per-ring state.
+  struct Ring {
+    /// One decoded frame awaiting admission, with its precomputed shard.
+    struct Pending {
+      size_t shard = 0;
+      net::IngressItem item;
+    };
+
+    /// Guards `session` and serializes completion-region writes against
+    /// reclaim. Worker flush notifiers take it; the intake thread takes it
+    /// only on attach/reclaim transitions.
+    std::mutex mu;
+    std::shared_ptr<net::Session> session;
+    /// Decoded-but-not-admitted frames (deferred on backpressure/quota).
+    /// Their job-ring bytes are already consumed; admission order is kept.
+    std::vector<Pending> deferred;
+    size_t deferred_offset = 0;  ///< Items before this index were admitted.
+    uint64_t last_live_check_ms = 0;
+  };
+
+  RingHeader* header(uint32_t i);
+  char* job_ring(uint32_t i);
+  char* cpl_ring(uint32_t i);
+
+  void IntakeLoop();
+  /// One pass over every ring; returns true when any progress was made.
+  bool ScanOnce(bool sweep_liveness);
+  /// Handles state transitions for ring `i`; true on progress.
+  bool ManageRing(uint32_t i, bool sweep_liveness);
+  /// Decodes + admits committed frames from ring `i`; true on progress.
+  bool DrainRing(uint32_t i);
+  /// Tries to push `ring.deferred` items to their shard queues, in order.
+  /// True when everything pending was admitted.
+  bool FlushDeferred(uint32_t i, Ring* ring);
+  /// Admission-charges `item`'s session/tenant unless a quota is at cap;
+  /// false = defer (nothing charged).
+  bool TryCharge(const std::shared_ptr<net::Session>& session,
+                 net::IngressItem* item);
+  void AttachRing(uint32_t i);
+  void ReclaimRing(uint32_t i, const char* reason);
+  /// Flush notifier target: copies `session`'s queued reply frames into
+  /// ring `i`'s completion region and wakes the handle.
+  void WriteCompletions(uint32_t i, net::Session* session);
+  /// Parks on the doorbell after re-scanning; returns after a wake or
+  /// `timeout_ms`.
+  void Park(uint32_t timeout_ms);
+
+  Options options_;
+  Env env_;
+  SegmentLayout layout_;
+  char* base_ = nullptr;  ///< mmap base (nullptr until Start succeeds).
+  Superblock* sb_ = nullptr;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::thread intake_;
+  std::atomic<bool> stop_{false};
+  bool intake_stopped_ = false;
+  Stats stats_;
+};
+
+}  // namespace shmtp
+}  // namespace sentinel
+
+#endif  // SENTINEL_SHMTP_HOST_H_

@@ -8,6 +8,7 @@
 #include "core/shard.h"
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -71,6 +72,42 @@ TEST(SpscRingTest, PushPopOrdering) {
     EXPECT_EQ(out, i);  // FIFO.
   }
   EXPECT_FALSE(ring.TryPop(&out));
+}
+
+// Ordering regression stress, written to fail loudly under TSan if either
+// release/acquire pair in SpscRing (documented in core/shard.h) is ever
+// weakened: the payload is a heap-owning type, so a consumer reading a
+// half-published slot (tail pair broken) or a producer reusing a slot
+// before the move-out completes (head pair broken) is a data race on the
+// string's heap cell, not just a wrong value. A tiny ring maximizes
+// wrap-around and full/empty boundary crossings, where the races live.
+TEST(SpscRingTest, ConcurrentPushPopStress) {
+  constexpr uint64_t kItems = 50000;
+  SpscRing<std::string> ring(4);
+  std::thread consumer([&ring] {
+    std::string out;
+    for (uint64_t expect = 0; expect < kItems;) {
+      if (!ring.TryPop(&out)) {
+        // Yield on empty: on a single core a bare spin burns the whole
+        // scheduling quantum before the producer can refill.
+        std::this_thread::yield();
+        continue;
+      }
+      ASSERT_EQ(out, std::to_string(expect)) << "at item " << expect;
+      ++expect;
+    }
+  });
+  for (uint64_t i = 0; i < kItems;) {
+    std::string item = std::to_string(i);
+    if (!ring.TryPush(item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ++i;
+  }
+  consumer.join();
+  std::string leftover;
+  EXPECT_FALSE(ring.TryPop(&leftover));
 }
 
 class ShardedDatabaseTest : public ::testing::Test {

@@ -302,6 +302,51 @@ TEST_F(GatewayTest, PipelinedRetryResendsOnlyRejectedSubset) {
   EXPECT_EQ(producer.retries_total(), 2u);
 }
 
+// Regression for the pipelined ResourceExhausted-handling bug: a transient
+// rejection mid-window used to let the window keep advancing, so raises
+// after the rejection were still sent (and applied server-side) even though
+// the caller was told "rejected — retry". The fix stalls the window at the
+// first transient ack: in-flight raises drain, the unsent tail is withheld
+// and reported as rejected, and first_rejected_seq() records where the
+// stall began so callers can resume precisely.
+TEST_F(GatewayTest, PipelinedRejectionStallsWindowAndWithholdsTail) {
+  auto conn = Dial();
+  constexpr size_t kWindow = 8;
+  Publisher producer(conn.get(), kWindow);  // Default policy: no retry.
+  EXPECT_EQ(producer.first_rejected_seq(), Publisher::kNoRejectedSeq);
+
+  std::vector<RaiseEventMsg> msgs(64);
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    msgs[i].class_name = "Sensor";
+    msgs[i].method = "Report";
+    msgs[i].modifier = EventModifier::kEnd;
+    msgs[i].params = {Value(static_cast<int64_t>(i))};
+  }
+
+  const uint64_t processed_before = server_->stats().requests_processed;
+  FailPoints::Instance().Reset();
+  // The very first raise the worker handles bounces as backpressure.
+  ASSERT_TRUE(FailPoints::Instance()
+                  .EnableFromSpec("gateway.raise=resource_exhausted@hit(1)")
+                  .ok());
+  uint64_t rejected = 0;
+  Status s = producer.RaisePipelined(msgs, &rejected);
+  FailPoints::Instance().Reset();
+
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  // Rejected = the bounced raise itself plus the entire withheld tail that
+  // was never sent: 64 total - 7 survivors of the first burst (seqs 1-7).
+  EXPECT_EQ(rejected, 64u - (kWindow - 1));
+  EXPECT_EQ(producer.first_rejected_seq(), 0u);
+  EXPECT_EQ(producer.retries_total(), 0u);
+
+  // The server only ever saw the first window's burst — the tail really was
+  // withheld on the wire, not sent-and-ignored. (All acks were read before
+  // RaisePipelined returned, so the worker-side count is settled.)
+  const uint64_t processed_after = server_->stats().requests_processed;
+  EXPECT_EQ(processed_after - processed_before, kWindow);
+}
+
 TEST_F(GatewayTest, DeprecatedGatewayClientShimStillWorks) {
   // The monolithic facade must stay a faithful veneer over the role types
   // until every external caller has migrated: same wire behaviour, same

@@ -154,6 +154,49 @@ TEST(IngressQueueTest, ShutdownDeliversInFlightItemsThenStops) {
   EXPECT_LT(std::chrono::steady_clock::now() - start, milliseconds(500));
 }
 
+TEST(IngressQueueTest, DrainedAfterShutdownIsAtomic) {
+  IngressQueue q(8);
+  EXPECT_FALSE(q.DrainedAfterShutdown());  // Not shut down yet.
+  ASSERT_TRUE(q.TryPush(Item(1, 0)).ok());
+  q.Shutdown();
+  EXPECT_FALSE(q.DrainedAfterShutdown());  // Shut down but not drained.
+  std::vector<IngressItem> out;
+  EXPECT_EQ(q.PopBatch(8, milliseconds(0), &out), 1u);
+  EXPECT_TRUE(q.DrainedAfterShutdown());   // Both, observed under one lock.
+}
+
+// Regression for the worker-exit race: the old predicate was "this drain
+// popped nothing AND shutdown() is (separately) true", which strands a
+// frame admitted between the empty pop and the shutdown read — accepted,
+// never processed, never acked. DrainedAfterShutdown evaluates both under
+// the queue lock, so a consumer exiting on it can never leave an admitted
+// item behind. This loop races a push+Shutdown pair against a consumer
+// running exactly the worker's zero-wait drain pattern.
+TEST(IngressQueueTest, ShutdownDoesNotStrandConcurrentPush) {
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    IngressQueue q(8);
+    std::atomic<size_t> popped{0};
+    std::thread consumer([&] {
+      std::vector<IngressItem> out;
+      while (true) {
+        out.clear();
+        q.WaitReady(milliseconds(0));
+        popped.fetch_add(q.PopBatch(16, milliseconds(0), &out));
+        if (q.DrainedAfterShutdown()) break;
+      }
+    });
+    // The racing admit: sometimes it lands before the consumer's empty
+    // pop, sometimes between the pop and the exit check.
+    Status s = q.TryPush(Item(1, 0));
+    q.Shutdown();
+    consumer.join();
+    const size_t expected = s.ok() ? 1u : 0u;
+    ASSERT_EQ(popped.load(), expected)
+        << "round " << round << ": admitted frame stranded at shutdown";
+  }
+}
+
 TEST(IngressQueueTest, ShutdownWakesBlockedConsumer) {
   IngressQueue q(4);
   std::atomic<bool> woke{false};
